@@ -1,0 +1,95 @@
+// Ablations of the three design choices DESIGN.md calls out, on the
+// heterogeneous clusters 3, 4 and 6:
+//   (1) phase-aware objective  — plan as if generation were 1 token
+//       (prefill-only, PipeEdge's view), then serve the real workload;
+//   (2) adaptive mixed precision — collapse the plan's bitwidths to the
+//       single lowest width it used, keeping the partition;
+//   (3) hybrid micro-batch sizing — force one shared micro-batch size for
+//       both phases (global batch / stages).
+// Each ablated plan is re-simulated under the full workload.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/assigner.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace {
+
+using namespace llmpq;
+
+double simulate_tput(const ModelSpec& model, const ClusterSpec& cluster,
+                     const ExecutionPlan& plan) {
+  const SimResult sim = simulate_plan(model, cluster, plan);
+  return sim.ok ? sim.throughput_tokens_per_s : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace llmpq;
+  std::printf("=== Ablation: phase awareness, adaptive precision, hybrid "
+              "micro-batching ===\n\n");
+  Table t({"Cluster", "Full LLM-PQ", "no phase-aware", "no mixed-precision",
+           "no hybrid micro-batch"});
+  for (int cluster_index : {3, 4, 6}) {
+    const PaperCluster pc = paper_cluster(cluster_index);
+    const ModelSpec& model = model_registry_get(pc.model_name);
+    const Workload full;
+    AssignerOptions opt;
+    opt.solver = SolverKind::kHeuristic;
+    opt.theta = 1.0;
+
+    // Full system.
+    CostProvider cost(model, pc.cluster, CostMode::kFitted);
+    cost.set_workload(full);
+    const AssignerResult full_plan = assign(cost, opt);
+    const double tput_full = simulate_tput(model, pc.cluster, full_plan.plan);
+
+    // (1) Phase-blind: plan against a 2-token generation (decode term
+    // vanishes), then run the real workload with that partition/bits.
+    Workload blind = full;
+    blind.gen_tokens = 2;
+    CostProvider blind_cost(model, pc.cluster, CostMode::kFitted);
+    blind_cost.set_workload(blind);
+    const AssignerResult blind_plan = assign(blind_cost, opt);
+    ExecutionPlan degraded = blind_plan.plan;
+    degraded.workload = full;
+    degraded.decode_micro_batch =
+        std::max(1, full.global_batch / pc.cluster.num_devices());
+    const double tput_blind = simulate_tput(model, pc.cluster, degraded);
+
+    // (2) Uniform-precision: keep partition and micro-batches, quantize
+    // every layer to the lowest width the adaptive plan used (the uniform
+    // setting guaranteed to still fit).
+    ExecutionPlan uniform = full_plan.plan;
+    const int min_bits = *std::min_element(uniform.layer_bits.begin(),
+                                           uniform.layer_bits.end());
+    std::fill(uniform.layer_bits.begin(), uniform.layer_bits.end(), min_bits);
+    const double tput_uniform = simulate_tput(model, pc.cluster, uniform);
+
+    // (3) Single micro-batch size for both phases.
+    ExecutionPlan mono = full_plan.plan;
+    mono.prefill_micro_batch =
+        std::max(1, full.global_batch / pc.cluster.num_devices());
+    mono.decode_micro_batch = mono.prefill_micro_batch;
+    const double tput_mono = simulate_tput(model, pc.cluster, mono);
+
+    auto cell = [&](double v) {
+      return v > 0 ? Table::fmt(v) + " (" +
+                         Table::fmt_ratio(v / tput_full) + ")"
+                   : std::string("OOM");
+    };
+    t.add_row({std::to_string(cluster_index), Table::fmt(tput_full),
+               cell(tput_blind), cell(tput_uniform), cell(tput_mono)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\n(ratios < 1.00x quantify what each design element "
+              "contributes. Caveats: uniform-low-bit can be faster at a "
+              "quality cost — pair with Table 4's PPL columns; the "
+              "phase-blind column can sit within the bitwidth-transfer "
+              "heuristic's ~5%% local-search tolerance on small clusters, "
+              "but OOMs outright where decode-phase memory pressure "
+              "matters.)\n");
+  return 0;
+}

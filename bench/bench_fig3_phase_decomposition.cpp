@@ -1,0 +1,41 @@
+// Reproduces Fig. 3: per-layer execution time of the prefill and decode
+// phases under each precision, on P100 vs V100 (OPT-30b layer, prompt 512,
+// batch 8). The headline ratio: FP16 prefill on P100 is ~14.5x V100, while
+// the decode-phase gap is much smaller — the reason partitioning on
+// prefill time alone (PipeEdge) misjudges heterogeneous clusters.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "cost/ground_truth.hpp"
+
+int main() {
+  using namespace llmpq;
+  std::printf("=== Fig 3: phase time decomposition across precisions "
+              "(OPT-30b layer, s=512, b=8) ===\n\n");
+  const ModelSpec& model = model_registry_get("opt-30b");
+  const PhaseShape pre = prefill_shape(8, 512);
+  const PhaseShape dec = decode_shape(8, 512);
+
+  Table table({"GPU", "Bits", "Prefill (ms)", "Decode (ms)",
+               "Prefill xV100", "Decode xV100"});
+  const GpuSpec& v100 = gpu_registry_get("V100-32G");
+  for (const char* gpu_name : {"V100-32G", "P100-12G", "T4-16G", "A100-40G"}) {
+    const GpuSpec& gpu = gpu_registry_get(gpu_name);
+    for (int bits : kBitCandidates) {
+      const double tp = layer_time_ground_truth(gpu, model, pre, bits);
+      const double td = layer_time_ground_truth(gpu, model, dec, bits);
+      const double vp = layer_time_ground_truth(v100, model, pre, bits);
+      const double vd = layer_time_ground_truth(v100, model, dec, bits);
+      table.add_row({gpu_name, std::to_string(bits), Table::fmt(tp * 1e3),
+                     Table::fmt(td * 1e3), Table::fmt_ratio(tp / vp),
+                     Table::fmt_ratio(td / vd)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  const double headline =
+      layer_time_ground_truth(gpu_registry_get("P100-12G"), model, pre, 16) /
+      layer_time_ground_truth(v100, model, pre, 16);
+  std::printf("\nheadline: P100/V100 FP16 prefill ratio = %.2fx "
+              "(paper: 14.53x)\n", headline);
+  return 0;
+}

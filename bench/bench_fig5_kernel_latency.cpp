@@ -1,0 +1,45 @@
+// Reproduces Fig. 5: single-layer prefill/decode execution time across
+// precisions and batch sizes (OPT-30b layer, prompt 512) on T4, V100 and
+// A100. The shape the paper stresses: low-precision kernels are NOT
+// uniformly faster — FP16 often wins the compute-bound prefill, while
+// weight-only 3/4-bit wins the memory-bound decode; V100's INT8 loses both.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "cost/ground_truth.hpp"
+
+int main() {
+  using namespace llmpq;
+  std::printf("=== Fig 5: kernel latency vs precision and batch "
+              "(OPT-30b layer, s=512) ===\n\n");
+  const ModelSpec& model = model_registry_get("opt-30b");
+  for (const char* gpu_name : {"T4-16G", "V100-32G", "A100-40G"}) {
+    const GpuSpec& gpu = gpu_registry_get(gpu_name);
+    std::printf("%s\n", gpu_name);
+    Table t({"Batch", "Phase", "fp16 (ms)", "int8 (ms)", "int4 (ms)",
+             "int3 (ms)", "fastest"});
+    for (int batch : {1, 4, 8, 16, 32}) {
+      for (int phase = 0; phase < 2; ++phase) {
+        const PhaseShape shape = phase == 0 ? prefill_shape(batch, 512)
+                                            : decode_shape(batch, 512);
+        double best = 1e30;
+        int best_bits = 0;
+        std::vector<std::string> cells{std::to_string(batch),
+                                       phase == 0 ? "prefill" : "decode"};
+        for (int bits : {16, 8, 4, 3}) {
+          const double t_ms =
+              layer_time_ground_truth(gpu, model, shape, bits) * 1e3;
+          cells.push_back(Table::fmt(t_ms, 3));
+          if (t_ms < best) {
+            best = t_ms;
+            best_bits = bits;
+          }
+        }
+        cells.push_back(std::to_string(best_bits) + "-bit");
+        t.add_row(cells);
+      }
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

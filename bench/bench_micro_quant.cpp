@@ -1,0 +1,72 @@
+// google-benchmark micro benchmarks for the quantization substrate: the
+// pack/dequant kernels and the weight-only GEMM at each candidate width.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "quant/qgemm.hpp"
+#include "quant/quantize.hpp"
+
+namespace {
+
+using namespace llmpq;
+
+std::vector<float> random_weights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> w(n);
+  for (float& v : w) v = 0.05f * static_cast<float>(rng.normal());
+  return w;
+}
+
+void BM_Quantize(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const std::size_t rows = 256, cols = 256;
+  const auto w = random_weights(rows * cols, 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    const QuantizedMatrix q = QuantizedMatrix::quantize(
+        w, rows, cols, bits, Rounding::kDeterministic, rng);
+    benchmark::DoNotOptimize(q.packed_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols * 4));
+}
+BENCHMARK(BM_Quantize)->Arg(3)->Arg(4)->Arg(8);
+
+void BM_DequantizeRow(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const std::size_t rows = 64, cols = 4096;
+  const auto w = random_weights(rows * cols, 3);
+  Rng rng(4);
+  const QuantizedMatrix q = QuantizedMatrix::quantize(
+      w, rows, cols, bits, Rounding::kDeterministic, rng);
+  std::vector<float> out(cols);
+  std::size_t r = 0;
+  for (auto _ : state) {
+    q.dequantize_row(r % rows, out.data());
+    ++r;
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DequantizeRow)->Arg(3)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Qgemm(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const std::size_t m = 8, k = 512, n = 512;
+  const auto x = random_weights(m * k, 5);
+  const auto w = random_weights(n * k, 6);
+  Rng rng(7);
+  const QuantizedMatrix qw =
+      QuantizedMatrix::quantize(w, n, k, bits, Rounding::kDeterministic, rng);
+  std::vector<float> y(m * n);
+  for (auto _ : state) {
+    qgemm(x, m, k, qw, {}, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * k * n));
+}
+BENCHMARK(BM_Qgemm)->Arg(3)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

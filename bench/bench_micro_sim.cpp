@@ -1,0 +1,75 @@
+// google-benchmark micro benchmarks for the execution substrates: the
+// discrete-event pipeline simulator, the planner's analytic estimator and
+// the threaded runtime engine on a tiny real transformer.
+#include <benchmark/benchmark.h>
+
+#include "core/adabits.hpp"
+#include "core/estimator.hpp"
+#include "runtime/engine.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace {
+
+using namespace llmpq;
+
+ExecutionPlan cluster3_plan() {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& model = model_registry_get(model_name);
+  CostProvider cost(model, cluster, CostMode::kProfiled);
+  const IndicatorResult ind =
+      compute_indicator(model, IndicatorKind::kVariance);
+  return adabits_plan(cost, ind, {0, 1, 2, 3}, 4, 8);
+}
+
+void BM_PipelineSimulation(benchmark::State& state) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& model = model_registry_get(model_name);
+  const ExecutionPlan plan = cluster3_plan();
+  for (auto _ : state) {
+    const SimResult r = simulate_plan(model, cluster, plan);
+    benchmark::DoNotOptimize(r.e2e_latency_s);
+  }
+}
+BENCHMARK(BM_PipelineSimulation);
+
+void BM_PlanEstimate(benchmark::State& state) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& model = model_registry_get(model_name);
+  CostProvider cost(model, cluster, CostMode::kProfiled);
+  const IndicatorResult ind =
+      compute_indicator(model, IndicatorKind::kVariance);
+  const ExecutionPlan plan = cluster3_plan();
+  for (auto _ : state) {
+    const PlanEstimate est = estimate_plan(cost, plan, &ind, 1.0);
+    benchmark::DoNotOptimize(est.objective);
+  }
+}
+BENCHMARK(BM_PlanEstimate);
+
+void BM_RuntimeGenerate(benchmark::State& state) {
+  ModelSpec spec;
+  spec.name = "tiny-bench";
+  spec.family = "opt";
+  spec.hidden = 64;
+  spec.ffn = 256;
+  spec.heads = 4;
+  spec.layers = 4;
+  spec.vocab = 128;
+  spec.max_pos = 64;
+  std::vector<int> bits = {16, 8, 4, 16};
+  const ModelWeights mw = build_random_model(spec, bits, 11);
+  std::vector<std::vector<TokenId>> prompts(4,
+                                            std::vector<TokenId>(8, 1));
+  PipelineEngine engine(mw, {{0, 2}, {2, 4}}, 2, 2);
+  for (auto _ : state) {
+    auto out = engine.generate(prompts, 8);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          8);
+}
+BENCHMARK(BM_RuntimeGenerate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// google-benchmark micro benchmarks for the optimization substrates:
+// simplex LP solves, MILP branch-and-bound, the partition DP and MCKP —
+// the planner's inner loops.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "solver/dp_partition.hpp"
+#include "solver/mckp.hpp"
+#include "solver/milp.hpp"
+
+namespace {
+
+using namespace llmpq;
+
+LpProblem random_lp(int vars, int rows, std::uint64_t seed) {
+  Rng rng(seed);
+  LpProblem p;
+  for (int j = 0; j < vars; ++j)
+    p.add_var(0.0, rng.uniform(1.0, 4.0), rng.uniform(-2.0, 2.0));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int j = 0; j < vars; ++j)
+      if (rng.uniform() < 0.4) coeffs.push_back({j, rng.uniform(-1.0, 1.0)});
+    if (coeffs.empty()) coeffs.push_back({0, 1.0});
+    p.add_row(std::move(coeffs), LpProblem::RowType::kLe,
+              rng.uniform(1.0, 6.0));
+  }
+  return p;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LpProblem p = random_lp(n, n / 2, 7);
+  for (auto _ : state) {
+    const LpSolution s = solve_lp(p);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  MilpProblem p;
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < n; ++i) {
+    const int v = p.lp.add_binary(-rng.uniform(1.0, 2.0));
+    p.integer_vars.push_back(v);
+    row.push_back({v, rng.uniform(1.0, 3.0)});
+  }
+  p.lp.add_row(std::move(row), LpProblem::RowType::kLe, n / 3.0);
+  MilpOptions opt;
+  opt.time_limit_s = 5.0;
+  for (auto _ : state) {
+    const MilpSolution s = solve_milp(p, opt);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(12)->Arg(20);
+
+void BM_PartitionDp(benchmark::State& state) {
+  const int layers = static_cast<int>(state.range(0));
+  const auto cost = [](int b, int e, int dev) {
+    return static_cast<double>(e - b) * (1.0 + 0.3 * dev);
+  };
+  for (auto _ : state) {
+    const PartitionResult r = partition_min_max(layers, 8, cost);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_PartitionDp)->Arg(48)->Arg(96);
+
+void BM_Mckp(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<MckpOption>> items;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    std::vector<MckpOption> opts;
+    for (int o = 0; o < 4; ++o)
+      opts.push_back({rng.uniform_int(1 << 20, 1 << 26), rng.uniform(0, 3)});
+    items.push_back(std::move(opts));
+  }
+  for (auto _ : state) {
+    const MckpResult r = solve_mckp(items, 1LL << 30);
+    benchmark::DoNotOptimize(r.total_value);
+  }
+}
+BENCHMARK(BM_Mckp)->Arg(24)->Arg(70);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// Reproduces Table 5: serving performance on the homogeneous clusters
+// 9-11. Gains over the baselines should be present but visibly smaller
+// than on the heterogeneous clusters (Table 4) — with identical devices
+// there is no partition asymmetry for LLM-PQ to exploit, only adaptive
+// precision and micro-batch sizing.
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace llmpq;
+  using namespace llmpq::bench;
+  std::printf("=== Table 5: serving in homogeneous clusters "
+              "(s=512, n=100, batch=32) ===\n\n");
+  Workload w;
+  for (int cluster = 9; cluster <= 11; ++cluster) {
+    const ClusterReport report = evaluate_cluster(cluster, w);
+    print_report(report);
+  }
+  return 0;
+}

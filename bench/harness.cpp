@@ -1,0 +1,166 @@
+#include "harness.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace llmpq::bench {
+
+AssignerOptions bench_assigner_options(int cluster_index) {
+  AssignerOptions opt;
+  // theta per the paper's Table 9.
+  switch (cluster_index) {
+    case 4:
+      opt.theta = 1000.0;
+      break;
+    case 5:
+      opt.theta = 50.0;
+      break;
+    case 6:
+      opt.theta = 100.0;
+      break;
+    case 7:
+      // Table 9 says 10, but against our normalized omega that saturates
+      // the quality term for a 70-layer model; 1 plays the same relative
+      // role (quality as a strong tiebreak, not the dominant objective).
+      opt.theta = 1.0;
+      break;
+    case 8:
+    case 11:
+      opt.theta = 10.0;
+      break;
+    default:
+      opt.theta = 1.0;
+  }
+  // Solver per Table 9, at the scales our branch-and-bound affords: exact
+  // ILP on the single-GPU clusters, heuristic elsewhere (the paper runs
+  // Gurobi further up; Table 8's bench explores that trade-off directly).
+  if (cluster_index == 1 || cluster_index == 2) {
+    opt.solver = SolverKind::kIlp;
+    opt.group_size = 1;
+    opt.ilp_time_limit_s = 10.0;
+  } else {
+    opt.solver = SolverKind::kHeuristic;
+  }
+  opt.max_orderings = 6;
+  return opt;
+}
+
+namespace {
+
+SchemeRow simulate_scheme(const std::string& name, const ModelSpec& model,
+                          const ClusterSpec& cluster,
+                          const ExecutionPlan& plan) {
+  SchemeRow row;
+  row.scheme = name;
+  const SimResult sim = simulate_plan(model, cluster, plan);
+  if (!sim.ok) {
+    row.note = sim.error;
+    return row;
+  }
+  row.ok = true;
+  row.ppl = plan_ppl(model, plan.layer_bits);
+  row.latency_s = sim.e2e_latency_s;
+  row.throughput = sim.throughput_tokens_per_s;
+  return row;
+}
+
+}  // namespace
+
+ClusterReport evaluate_cluster(int cluster_index, const Workload& workload,
+                               std::optional<AssignerOptions> opts) {
+  const PaperCluster pc = paper_cluster(cluster_index);
+  const ModelSpec& model = model_registry_get(pc.model_name);
+  ClusterReport report;
+  report.cluster_index = cluster_index;
+  report.model_name = pc.model_name;
+  report.devices = pc.cluster.describe_devices();
+
+  CostProvider cost(model, pc.cluster, CostMode::kFitted);
+  cost.set_workload(workload);
+
+  // ---- PipeEdge.
+  {
+    SchemeRow row;
+    row.scheme = "PipeEdge";
+    try {
+      const ExecutionPlan plan = pipeedge_plan(cost);
+      row = simulate_scheme("PipeEdge", model, pc.cluster, plan);
+    } catch (const InfeasibleError& e) {
+      row.note = e.what();
+    }
+    report.rows.push_back(row);
+  }
+  // ---- Uniform.
+  {
+    SchemeRow row;
+    row.scheme = "Uniform";
+    try {
+      const ExecutionPlan plan = uniform_plan(cost);
+      row = simulate_scheme("Uniform", model, pc.cluster, plan);
+    } catch (const InfeasibleError& e) {
+      row.note = "OOM";
+    }
+    report.rows.push_back(row);
+  }
+  // ---- FlexGen variants (OPT only, as in the paper).
+  if (model.family == "opt") {
+    for (const auto& [name, bits] :
+         std::vector<std::pair<std::string, int>>{{"FlexGen", 16},
+                                                  {"FlexGen-int8", 8}}) {
+      SchemeRow row;
+      row.scheme = name;
+      const OffloadResult r = flexgen_run(cost, bits);
+      if (r.ok) {
+        row.ok = true;
+        row.ppl = uniform_ppl(model, bits);
+        row.latency_s = r.e2e_latency_s;
+        row.throughput = r.throughput_tokens_per_s;
+      } else {
+        row.note = r.error;
+      }
+      report.rows.push_back(row);
+    }
+  }
+  // ---- LLM-PQ.
+  {
+    SchemeRow row;
+    row.scheme = "LLM-PQ";
+    try {
+      const AssignerOptions options =
+          opts ? *opts : bench_assigner_options(cluster_index);
+      const AssignerResult result = assign(cost, options);
+      row = simulate_scheme("LLM-PQ", model, pc.cluster, result.plan);
+    } catch (const InfeasibleError& e) {
+      row.note = e.what();
+    }
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+void print_report(const ClusterReport& report) {
+  std::printf("cluster %d: %s serving %s (total mem %.0f GB)\n",
+              report.cluster_index, report.devices.c_str(),
+              report.model_name.c_str(),
+              static_cast<double>(
+                  paper_cluster(report.cluster_index).cluster.total_mem_bytes()) /
+                  1e9);
+  Table table({"Scheme", "PPL", "Latency (s)", "Throughput (tok/s)", "vs PipeEdge"});
+  const SchemeRow* pipeedge = report.find("PipeEdge");
+  for (const auto& row : report.rows) {
+    if (!row.ok) {
+      table.add_row({row.scheme, "-", "-", "-", row.note.empty() ? "OOM" : "OOM"});
+      continue;
+    }
+    std::string speedup = "-";
+    if (pipeedge != nullptr && pipeedge->ok)
+      speedup = Table::fmt_ratio(row.throughput / pipeedge->throughput);
+    table.add_row({row.scheme, Table::fmt(row.ppl), Table::fmt(row.latency_s),
+                   Table::fmt(row.throughput), speedup});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace llmpq::bench

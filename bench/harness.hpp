@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared harness for the paper-reproduction benchmark binaries: runs LLM-PQ
+// and the baselines on one paper cluster and returns rows shaped like the
+// evaluation tables (scheme, PPL, latency, throughput). All "measured"
+// numbers come from the discrete-event simulator / offloading simulator;
+// PPL comes from the quality model.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "core/assigner.hpp"
+#include "quant/quality.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace llmpq::bench {
+
+struct SchemeRow {
+  std::string scheme;
+  bool ok = false;
+  std::string note;  ///< "OOM", exception text, ...
+  double ppl = 0.0;
+  double latency_s = 0.0;
+  double throughput = 0.0;
+};
+
+struct ClusterReport {
+  int cluster_index = 0;
+  std::string model_name;
+  std::string devices;
+  std::vector<SchemeRow> rows;
+
+  const SchemeRow* find(const std::string& scheme) const {
+    for (const auto& r : rows)
+      if (r.scheme == scheme) return &r;
+    return nullptr;
+  }
+};
+
+/// Assigner options sized so a full multi-cluster sweep finishes in
+/// benchmark time; scale-sensitive knobs follow the paper's Table 9 where
+/// our branch-and-bound can afford it.
+AssignerOptions bench_assigner_options(int cluster_index);
+
+/// Runs LLM-PQ, PipeEdge, Uniform, FlexGen and FlexGen-int8 on one paper
+/// cluster (FlexGen rows only for OPT models, as in the paper) under the
+/// given workload.
+ClusterReport evaluate_cluster(int cluster_index, const Workload& workload,
+                               std::optional<AssignerOptions> opts = {});
+
+/// Renders a report as paper-style table rows into stdout, with speedups
+/// computed against the PipeEdge row like Table 4.
+void print_report(const ClusterReport& report);
+
+}  // namespace llmpq::bench

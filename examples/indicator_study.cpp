@@ -1,0 +1,91 @@
+// Indicator study: how LLM-PQ decides which layers tolerate aggressive
+// quantization. Computes the variance indicator (Theorem 1 / Proposition 2)
+// for OPT-13b, compares it with the Hessian proxy and a random baseline,
+// validates the variance bound empirically on real quantized GEMMs, and
+// shows how the indicator shifts the planner's bit allocation.
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/assigner.hpp"
+#include "quant/calibration.hpp"
+#include "quant/indicator.hpp"
+#include "quant/qgemm.hpp"
+#include "quant/quality.hpp"
+
+int main() {
+  using namespace llmpq;
+  const ModelSpec& model = model_registry_get("opt-13b");
+
+  // 1. Per-layer omega at each candidate bitwidth.
+  const IndicatorResult variance =
+      compute_indicator(model, IndicatorKind::kVariance);
+  const IndicatorResult hessian =
+      compute_indicator(model, IndicatorKind::kHessian);
+  std::printf("variance indicator for %s (build cost %.0f s vs Hessian "
+              "%.0f s -> %.0fx cheaper)\n\n",
+              model.name.c_str(), variance.overhead_s, hessian.overhead_s,
+              hessian.overhead_s / variance.overhead_s);
+  Table t({"Layer", "omega@3", "omega@4", "omega@8", "true dPPL@4"});
+  for (int i = 0; i < model.layers; i += 5) {
+    t.add_row({std::to_string(i), Table::fmt(variance.at(i, 3), 3),
+               Table::fmt(variance.at(i, 4), 3),
+               Table::fmt(variance.at(i, 8), 4),
+               Table::fmt(true_layer_ppl_delta(model, i, 4), 4)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // 2. Empirical check of the Theorem-1 bound on real numerics: quantize a
+  //    real weight matrix, measure the output perturbation variance.
+  Rng rng(3);
+  const std::size_t k = 256, n = 16, m = 512;
+  std::vector<float> w(n * k), x(m * k);
+  for (auto& v : w) v = 0.05f * static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  std::printf("Theorem 1 on real numerics (W %zux%zu, %zu samples):\n", n, k,
+              m);
+  for (int bits : {3, 4, 8}) {
+    const QuantizedMatrix qw =
+        QuantizedMatrix::quantize(w, n, k, bits, Rounding::kDeterministic, rng);
+    std::vector<float> yq(m * n), yf(m * n);
+    qgemm(x, m, k, qw, {}, yq);
+    gemm_f32(x, m, k, w, n, {}, yf);
+    RunningStats pert;
+    for (std::size_t i = 0; i < yq.size(); ++i)
+      pert.add(static_cast<double>(yq[i]) - static_cast<double>(yf[i]));
+    double max_scale = 0.0;
+    for (float s : qw.scales()) max_scale = std::max(max_scale, (double)s);
+    const ActivationStats xs = collect_activation_stats(x);
+    const double bound = static_cast<double>(k) * max_scale * max_scale *
+                         g_of_x(xs, Rounding::kDeterministic);
+    std::printf("  %2d-bit: empirical Var = %.3e, bound = %.3e (%s)\n", bits,
+                pert.variance(), bound,
+                pert.variance() <= bound ? "holds" : "VIOLATED");
+  }
+
+  // 3. Effect on planning: single V100, tight memory — which layers keep
+  //    high precision under each indicator?
+  const auto [cluster, model_name] = paper_cluster(1);
+  CostProvider cost(model_registry_get(model_name), cluster,
+                    CostMode::kFitted);
+  std::printf("\nbit allocation on %s (theta=200):\n",
+              cluster.describe_devices().c_str());
+  for (IndicatorKind kind : {IndicatorKind::kVariance,
+                             IndicatorKind::kRandom}) {
+    AssignerOptions opt;
+    opt.indicator = kind;
+    opt.theta = 200.0;
+    opt.solver = SolverKind::kHeuristic;
+    const AssignerResult r = assign(cost, opt);
+    std::printf("  %-9s -> PPL %.3f, bits:",
+                indicator_kind_name(kind).c_str(),
+                plan_ppl(model, r.plan.layer_bits));
+    for (int b : r.plan.layer_bits) std::printf(" %d", b);
+    std::printf("\n");
+  }
+  std::printf("\nthe variance indicator protects the layers whose "
+              "perturbation bound is largest, matching the true "
+              "sensitivity trend.\n");
+  return 0;
+}

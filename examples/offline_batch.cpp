@@ -1,0 +1,83 @@
+// Offline batch generation with the real (CPU) runtime: build a small
+// decoder-only model, write its checkpoint as module-level shards, plan a
+// mixed-precision pipeline, load each stage with the on-the-fly quantizer,
+// and generate tokens through the threaded pipeline engine — verifying the
+// output against the single-threaded reference. This exercises the entire
+// runtime half of LLM-PQ end to end.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/otf_quantizer.hpp"
+#include "runtime/weights_io.hpp"
+
+int main() {
+  using namespace llmpq;
+
+  // A laptop-sized decoder-only model (the runtime's numerics are identical
+  // at any size; sizes here keep the demo instant).
+  ModelSpec spec;
+  spec.name = "demo-350m-scale";
+  spec.family = "opt";
+  spec.hidden = 128;
+  spec.ffn = 512;
+  spec.heads = 8;
+  spec.layers = 8;
+  spec.vocab = 512;
+  spec.max_pos = 128;
+
+  // The "assigner output" for a 2-stage pipeline: stage 0 runs layers 0-3
+  // at 8-bit, stage 1 runs layers 4-7 mixing 16- and 4-bit.
+  std::vector<int> bits = {8, 8, 8, 8, 16, 16, 4, 4};
+  const std::vector<std::pair<int, int>> stages = {{0, 4}, {4, 8}};
+
+  // 1. Write the checkpoint as per-layer shards (what `llmpq-dist` ships).
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "llmpq_offline_demo").string();
+  std::filesystem::create_directories(dir);
+  const std::size_t ckpt_bytes = write_random_checkpoint(dir, spec, 2024);
+  std::printf("checkpoint: %zu layer shards, %.1f MB of FP32 masters in %s\n",
+              static_cast<std::size_t>(spec.layers),
+              static_cast<double>(ckpt_bytes) / 1e6, dir.c_str());
+
+  // 2. On-the-fly quantized load (streaming, bounded DRAM).
+  OtfOptions otf;
+  otf.seed = 2024;
+  otf.prefetch_depth = 2;
+  OtfLoadStats stats;
+  const ModelWeights weights =
+      otf_load_model(dir, spec, bits, 0, spec.layers, otf, &stats);
+  std::printf("on-the-fly load: %.1f MB streamed, peak DRAM %.1f MB "
+              "(%.0f%% of the checkpoint), %.0f ms\n",
+              static_cast<double>(stats.total_loaded_bytes) / 1e6,
+              static_cast<double>(stats.peak_master_bytes) / 1e6,
+              100.0 * static_cast<double>(stats.peak_master_bytes) /
+                  static_cast<double>(stats.total_loaded_bytes),
+              stats.load_wall_s * 1e3);
+
+  // 3. The offline workload: 8 prompts padded to 16 tokens, generate 24.
+  Rng rng(7);
+  std::vector<std::vector<TokenId>> prompts(8);
+  for (auto& p : prompts)
+    for (int t = 0; t < 16; ++t)
+      p.push_back(static_cast<TokenId>(rng.uniform_int(0, spec.vocab - 1)));
+
+  // 4. Generate through the threaded pipeline (prefill micro-batch 2,
+  //    decode micro-batch 4 — hybrid sizing as the planner prescribes).
+  PipelineEngine engine(weights, stages, /*prefill_mb=*/2, /*decode_mb=*/4);
+  const auto generated = engine.generate(prompts, 24);
+
+  // 5. Cross-check against the single-threaded reference.
+  const auto reference = reference_generate(weights, prompts, 24);
+  bool identical = true;
+  for (std::size_t b = 0; b < prompts.size(); ++b)
+    identical = identical && generated[b] == reference[b];
+  std::printf("pipeline output %s the single-threaded reference\n",
+              identical ? "MATCHES" : "DIFFERS FROM");
+
+  std::printf("\nfirst sequence, generated token ids: ");
+  for (TokenId t : generated.front()) std::printf("%d ", t);
+  std::printf("\n");
+  return identical ? 0 : 1;
+}

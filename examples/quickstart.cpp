@@ -1,0 +1,55 @@
+// Quickstart: plan mixed-precision pipelined serving of OPT-30b on a small
+// heterogeneous cluster (3x T4 + 1x V100 — the paper's cluster 3), then
+// check the plan against the discrete-event simulator and the quality
+// model. This is the whole public API in ~40 lines.
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "core/assigner.hpp"
+#include "quant/quality.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main() {
+  using namespace llmpq;
+
+  // 1. Describe the job: model, cluster, workload.
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& model = model_registry_get(model_name);
+  Workload workload;  // 32 prompts of 512 tokens, generate 100 tokens each
+
+  // 2. Build the cost model (profiles each GPU type, fits the phase-aware
+  //    latency regressions) and run the assigner.
+  CostProvider cost(model, cluster, CostMode::kFitted);
+  cost.set_workload(workload);
+
+  AssignerOptions options;
+  options.theta = 1.0;  // modest weight on model quality
+  const AssignerResult result = assign(cost, options);
+
+  std::printf("%s", result.plan.to_string().c_str());
+  std::printf("planner estimate: %.1f s end-to-end, %.1f tokens/s\n",
+              result.estimate.e2e_latency,
+              result.estimate.throughput_tokens_per_s);
+  std::printf("solver: %s, %d combos, %.2f s solve time\n",
+              result.stats.solver_used.c_str(), result.stats.combos_tried,
+              result.stats.solve_time_s);
+
+  // 3. Validate against the simulator and the quality model.
+  const SimResult sim = simulate_plan(model, cluster, result.plan);
+  if (!sim.ok) {
+    std::printf("simulation failed: %s\n", sim.error.c_str());
+    return 1;
+  }
+  std::printf("simulated: %.1f s end-to-end, %.1f tokens/s\n",
+              sim.e2e_latency_s, sim.throughput_tokens_per_s);
+  std::printf("perplexity: %.2f (FP16 baseline %.2f)\n",
+              plan_ppl(model, result.plan.layer_bits), model.ppl_fp16);
+
+  // 4. Compare against a baseline.
+  const ExecutionPlan pe = pipeedge_plan(cost);
+  const SimResult pe_sim = simulate_plan(model, cluster, pe);
+  std::printf("PipeEdge baseline: %.1f tokens/s -> LLM-PQ speedup %.2fx\n",
+              pe_sim.throughput_tokens_per_s,
+              sim.throughput_tokens_per_s / pe_sim.throughput_tokens_per_s);
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/assigner.hpp"
+#include "core/estimator.hpp"
+#include "cost/mem_model.hpp"
+#include "solver/dp_partition.hpp"
+#include "solver/lp.hpp"
+
+namespace llmpq {
+
+namespace {
+
+/// Builds a plan skeleton with the shared workload/cluster wiring.
+ExecutionPlan skeleton(const CostProvider& cost, std::vector<int> order,
+                       int prefill_mb, int decode_mb) {
+  ExecutionPlan plan;
+  plan.model_name = cost.model().name;
+  plan.cluster_name = cost.cluster().name;
+  plan.workload = cost.workload();
+  plan.device_order = std::move(order);
+  plan.prefill_micro_batch = prefill_mb;
+  plan.decode_micro_batch = decode_mb;
+  return plan;
+}
+
+std::vector<int> identity_order(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  return order;
+}
+
+/// Memory budget of pipeline position p in `plan` (weights + KV budget).
+std::int64_t stage_weight_kv_budget(const CostProvider& cost,
+                                    const ExecutionPlan& plan, int p,
+                                    bool first, bool last) {
+  const auto& model = cost.model();
+  const int dev = plan.device_order[static_cast<std::size_t>(p)];
+  std::int64_t budget =
+      cost.cluster().devices[static_cast<std::size_t>(dev)].gpu().mem_bytes -
+      device_memory_reserve() -
+      temp_peak_bytes(model, plan.workload, plan.prefill_micro_batch,
+                      plan.decode_micro_batch);
+  if (first) budget -= embedding_weight_bytes(model);
+  if (last && !first) budget -= lm_head_bytes(model);
+  return budget;
+}
+
+}  // namespace
+
+std::optional<int> uniform_bits_that_fit(const CostProvider& cost) {
+  const ModelSpec& model = cost.model();
+  const int N = cost.cluster().num_devices();
+  const int L = model.layers;
+  const Workload& w = cost.workload();
+  const int mb = std::max(1, w.global_batch / N);
+  ExecutionPlan probe = skeleton(cost, identity_order(N), mb, mb);
+  probe.boundaries.assign(static_cast<std::size_t>(N) + 1, 0);
+  for (int p = 0; p < N; ++p)
+    probe.boundaries[static_cast<std::size_t>(p) + 1] =
+        std::min(L, (p + 1) * ((L + N - 1) / N));
+  probe.boundaries[static_cast<std::size_t>(N)] = L;
+
+  const std::int64_t kv = layer_kv_bytes(model, w.global_batch, w.max_seq_len());
+  for (int bits : {16, 8, 4, 3}) {
+    bool fits = true;
+    for (int p = 0; p < N && fits; ++p) {
+      const std::int64_t need =
+          static_cast<std::int64_t>(probe.stage_size(p)) *
+          (layer_weight_bytes(model, bits) + kv);
+      fits = need <= stage_weight_kv_budget(cost, probe, p, p == 0, p == N - 1);
+    }
+    if (fits) return bits;
+  }
+  return std::nullopt;
+}
+
+ExecutionPlan pipeedge_plan(const CostProvider& cost) {
+  const ModelSpec& model = cost.model();
+  const ClusterSpec& cluster = cost.cluster();
+  const int N = cluster.num_devices();
+  const int L = model.layers;
+  const Workload& w = cost.workload();
+  const int mb = std::max(1, w.global_batch / N);
+  const std::int64_t kv = layer_kv_bytes(model, w.global_batch, w.max_seq_len());
+
+  // Candidate orderings: cluster order plus compute-ascending/descending.
+  std::vector<std::vector<int>> orders{identity_order(N)};
+  {
+    auto asc = identity_order(N);
+    std::stable_sort(asc.begin(), asc.end(), [&](int a, int b) {
+      return cluster.devices[static_cast<std::size_t>(a)].gpu().effective_flops(16) <
+             cluster.devices[static_cast<std::size_t>(b)].gpu().effective_flops(16);
+    });
+    orders.push_back(asc);
+    orders.emplace_back(asc.rbegin(), asc.rend());
+  }
+
+  ExecutionPlan best;
+  double best_obj = kLpInf;
+  for (int bits : {16, 8, 4, 3}) {
+    for (const auto& order : orders) {
+      ExecutionPlan plan = skeleton(cost, order, mb, mb);
+      plan.layer_bits.assign(static_cast<std::size_t>(L), bits);
+      // PipeEdge's DP: minimize the max prefill-stage time subject to
+      // per-stage memory.
+      const auto stage_cost = [&](int begin, int end, int p) {
+        const std::int64_t need =
+            static_cast<std::int64_t>(end - begin) *
+            (layer_weight_bytes(model, bits) + kv);
+        const bool first = p == 0, last = p == N - 1;
+        if (need > stage_weight_kv_budget(cost, plan, p, first, last))
+          return kLpInf;
+        const int dev = order[static_cast<std::size_t>(p)];
+        return static_cast<double>(end - begin) *
+               cost.layer_time(dev, bits, Phase::kPrefill, mb, w.prompt_len);
+      };
+      const PartitionResult part = partition_min_max(L, N, stage_cost);
+      if (!part.feasible) continue;
+      plan.boundaries = part.boundaries;
+      const PlanEstimate est = estimate_plan(cost, plan);
+      if (est.mem_feasible && est.e2e_latency < best_obj) {
+        best_obj = est.e2e_latency;
+        best = plan;
+      }
+    }
+    if (best_obj < kLpInf) return best;  // highest bitwidth that works
+  }
+  throw InfeasibleError("pipeedge_plan: model does not fit at any precision");
+}
+
+ExecutionPlan uniform_plan(const CostProvider& cost) {
+  const ModelSpec& model = cost.model();
+  const int N = cost.cluster().num_devices();
+  const int L = model.layers;
+  const Workload& w = cost.workload();
+
+  const std::optional<int> bits = uniform_bits_that_fit(cost);
+  if (!bits)
+    throw InfeasibleError(
+        "uniform_plan: even partition does not fit at any precision");
+
+  ExecutionPlan best;
+  double best_latency = kLpInf;
+  for (int mb_pre : prefill_microbatch_candidates(w, 8)) {
+    for (int mb_dec : decode_microbatch_candidates(w, N)) {
+      ExecutionPlan plan = skeleton(cost, identity_order(N), mb_pre, mb_dec);
+      plan.layer_bits.assign(static_cast<std::size_t>(L), *bits);
+      plan.boundaries.assign(static_cast<std::size_t>(N) + 1, 0);
+      for (int p = 0; p < N; ++p)
+        plan.boundaries[static_cast<std::size_t>(p) + 1] =
+            std::min(L, (p + 1) * ((L + N - 1) / N));
+      plan.boundaries[static_cast<std::size_t>(N)] = L;
+      const PlanEstimate est = estimate_plan(cost, plan);
+      if (est.mem_feasible && est.e2e_latency < best_latency) {
+        best_latency = est.e2e_latency;
+        best = plan;
+      }
+    }
+  }
+  if (best_latency == kLpInf)
+    throw InfeasibleError("uniform_plan: no feasible micro-batch sizing");
+  return best;
+}
+
+OffloadResult flexgen_run(const CostProvider& cost, int bits) {
+  return simulate_offload(cost.model(), cost.cluster(), cost.workload(),
+                          bits);
+}
+
+}  // namespace llmpq

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+
+#include "core/plan.hpp"
+#include "cost/cost_provider.hpp"
+#include "sim/offload_sim.hpp"
+
+namespace llmpq {
+
+/// Baseline planners the paper compares against (Sec. 6.1). All of them use
+/// *uniform* quantization: starting from FP16, the bitwidth is lowered
+/// through {16, 8, 4, 3} until the model fits the devices; if nothing fits
+/// they throw InfeasibleError (the "missing results are due to OOM" cells).
+
+/// PipeEdge: heterogeneity-aware layer partition minimizing the maximum
+/// *single-phase* (prefill) stage time — the paper's point is precisely
+/// that it ignores the decode phase. Tries a few natural device orderings
+/// and keeps the best. Micro-batch: global batch split evenly over stages,
+/// shared by both phases.
+ExecutionPlan pipeedge_plan(const CostProvider& cost);
+
+/// Uniform: even layer split over devices in cluster order (the
+/// HF-Transformers / DeepSpeed policy), micro-batch sizes chosen to
+/// minimize estimated latency.
+ExecutionPlan uniform_plan(const CostProvider& cost);
+
+/// Highest uniform bitwidth whose *even* partition fits every device, or
+/// nullopt if even 3-bit overflows. Exposed for tests.
+std::optional<int> uniform_bits_that_fit(const CostProvider& cost);
+
+/// FlexGen / FlexGen-int8: offloading execution (Sec. 6.1 baseline 3).
+/// FlexGen is OPT-only in the paper; callers skip BLOOM models themselves.
+OffloadResult flexgen_run(const CostProvider& cost, int bits);
+
+}  // namespace llmpq

@@ -1,0 +1,97 @@
+#include "common/args.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string key, value;
+    const auto eq = arg.find('=');
+    bool has_value = false;
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      key = arg;
+      // Consume a following token as the value unless it looks like an
+      // option itself.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+        has_value = true;
+      }
+    }
+    if (std::find(order_.begin(), order_.end(), key) == order_.end())
+      order_.push_back(key);
+    if (has_value)
+      values_[key].push_back(std::move(value));
+    else
+      values_[key];  // bare flag: present with no values
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::string ArgParser::get_or(const std::string& key,
+                              const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::vector<std::string> ArgParser::get_all(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::vector<std::string>{} : it->second;
+}
+
+long ArgParser::get_long(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    return std::stol(*v);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("--" + key + " expects an integer, got " + *v);
+  }
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("--" + key + " expects a number, got " + *v);
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string token;
+  for (char c : s) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+}  // namespace llmpq

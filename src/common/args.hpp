@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llmpq {
+
+/// Tiny GNU-style argument parser for the CLI tools (`llmpq-algo`,
+/// `llmpq-dist`): supports `--key value`, `--key=value`, repeated keys
+/// (collected in order) and bare `--flag`s. Unknown keys are kept so the
+/// tool can reject them with a helpful message.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  /// Last value of --key; nullopt if absent or a bare flag.
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+
+  /// All values passed for --key, in order.
+  std::vector<std::string> get_all(const std::string& key) const;
+
+  long get_long(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Keys seen on the command line (for unknown-option checks).
+  const std::vector<std::string>& keys() const { return order_; }
+
+  /// Positional (non --key) arguments.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+/// Splits "a,b,c" into tokens (empty tokens dropped).
+std::vector<std::string> split_csv(const std::string& s);
+
+}  // namespace llmpq

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace llmpq {
+
+/// Base class for all llmpq errors. Thrown on contract violations that a
+/// caller could plausibly recover from (bad configs, infeasible plans).
+/// Programming errors use assertions instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Requested configuration cannot be satisfied (e.g. model does not fit in
+/// cluster memory at any candidate precision).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input: unknown model/device name, invalid plan file, ...
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgumentError with `msg` unless `cond` holds.
+inline void check_arg(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgumentError(msg);
+}
+
+}  // namespace llmpq

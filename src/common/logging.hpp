@@ -1,0 +1,46 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace llmpq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace llmpq
+
+#define LLMPQ_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::llmpq::log_level())) { \
+  } else                                                  \
+    ::llmpq::detail::LogLine(level)
+
+#define LOG_DEBUG LLMPQ_LOG(::llmpq::LogLevel::kDebug)
+#define LOG_INFO LLMPQ_LOG(::llmpq::LogLevel::kInfo)
+#define LOG_WARN LLMPQ_LOG(::llmpq::LogLevel::kWarn)
+#define LOG_ERROR LLMPQ_LOG(::llmpq::LogLevel::kError)

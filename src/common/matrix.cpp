@@ -1,0 +1,88 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+Matrix Matrix::multiply(const Matrix& a, const Matrix& b) {
+  check_arg(a.cols() == b.rows(), "Matrix::multiply: dimension mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+namespace {
+// In-place Cholesky; returns false if the matrix is not (numerically) SPD.
+bool cholesky(Matrix& a) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<double> Matrix::solve_spd(Matrix a, std::vector<double> b) {
+  check_arg(a.rows() == a.cols() && a.rows() == b.size(),
+            "solve_spd: dimension mismatch");
+  const std::size_t n = a.rows();
+  // Retry with an escalating ridge if the factorization fails; OLS callers
+  // hit this when features are collinear and the ridge is the right answer.
+  Matrix saved = a;
+  double ridge = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (attempt > 0) {
+      a = saved;
+      ridge = (ridge == 0.0) ? 1e-10 : ridge * 100.0;
+      double trace = 0.0;
+      for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+      const double bump = ridge * (trace / static_cast<double>(n) + 1.0);
+      for (std::size_t i = 0; i < n; ++i) a(i, i) += bump;
+    }
+    if (cholesky(a)) {
+      // Forward substitution: L y = b.
+      std::vector<double> x = b;
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = x[i];
+        for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * x[k];
+        x[i] = s / a(i, i);
+      }
+      // Back substitution: L^T x = y.
+      for (std::size_t ii = n; ii-- > 0;) {
+        double s = x[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= a(k, ii) * x[k];
+        x[ii] = s / a(ii, ii);
+      }
+      return x;
+    }
+  }
+  throw Error("solve_spd: matrix not positive definite even after ridging");
+}
+
+}  // namespace llmpq

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace llmpq {
+
+/// Dense row-major matrix of doubles. Small and deliberately boring: the
+/// numerical workhorses (simplex tableau, OLS normal equations) need
+/// contiguous storage and bounds-checked debug access, nothing fancier.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// C = A * B. Dimensions must agree.
+  static Matrix multiply(const Matrix& a, const Matrix& b);
+
+  /// A^T.
+  Matrix transposed() const;
+
+  /// Solves A x = b for symmetric positive definite A via Cholesky, with a
+  /// small diagonal ridge added on failure (used by OLS on nearly collinear
+  /// designs). Returns x.
+  static std::vector<double> solve_spd(Matrix a, std::vector<double> b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace llmpq

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace llmpq {
+
+/// Bounded multi-producer/multi-consumer blocking queue. This is the
+/// message-passing primitive between pipeline stages in the runtime: each
+/// stage owns an inbox and data moves between worker threads only through
+/// these queues (no shared mutable tensors), mirroring the MPI-style model
+/// the runtime is built on.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false if the queue was closed
+  /// before the item could be enqueued.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// After close(), pushes fail and pops drain the remaining items then
+  /// return nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace llmpq

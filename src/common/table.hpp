@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llmpq {
+
+/// Monospace table printer used by the benchmark harnesses to emit
+/// paper-style result tables (and CSV for downstream plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_ratio(double v, int precision = 2);  // "1.82x"
+
+  /// Pretty monospace rendering with column alignment.
+  std::string to_string() const;
+
+  /// Comma-separated rendering (quotes cells containing commas).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace llmpq

@@ -1,0 +1,58 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace llmpq {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) (*task)();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size() * 4);
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto body = [&] {
+    const std::size_t per = (n + chunks - 1) / chunks;
+    for (;;) {
+      const std::size_t c = next.fetch_add(1);
+      if (c >= chunks) break;
+      const std::size_t lo = c * per;
+      const std::size_t hi = std::min(n, lo + per);
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(workers_.size());
+  for (std::size_t t = 0; t + 1 < workers_.size(); ++t)
+    futs.push_back(submit(body));
+  body();  // caller thread participates
+  for (auto& f : futs) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace llmpq

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+
+namespace llmpq {
+
+/// Fixed-size thread pool used for embarrassingly parallel sweeps (profiling
+/// grids, per-ordering planner solves). Tasks are type-erased closures; use
+/// submit() to get a future, or parallel_for for an indexed loop with static
+/// chunking (OpenMP-style "parallel for schedule(static)").
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads =
+                          std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    tasks_.push([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool; blocks until all complete.
+  /// Exceptions from tasks propagate (the first one observed is rethrown).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace llmpq

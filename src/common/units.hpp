@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+namespace llmpq {
+
+// All sizes in the code base are carried in bytes (int64), all times in
+// seconds (double), all rates in units/second. These helpers keep literals
+// readable at call sites.
+
+inline constexpr std::int64_t KiB = 1024;
+inline constexpr std::int64_t MiB = 1024 * KiB;
+inline constexpr std::int64_t GiB = 1024 * MiB;
+
+/// 10^9 floating point operations.
+inline constexpr double GFLOP = 1e9;
+inline constexpr double TFLOP = 1e12;
+
+/// Converts a marketing "GB" (10^9) figure to bytes.
+constexpr std::int64_t gb_marketing(double gb) {
+  return static_cast<std::int64_t>(gb * 1e9);
+}
+
+/// Converts GiB to bytes.
+constexpr std::int64_t gib(double g) {
+  return static_cast<std::int64_t>(g * static_cast<double>(GiB));
+}
+
+/// Network rate helpers: converts Gbit/s to bytes/s.
+constexpr double gbps(double g) { return g * 1e9 / 8.0; }
+
+/// Memory bandwidth: GB/s (10^9 bytes) to bytes/s.
+constexpr double gBps(double g) { return g * 1e9; }
+
+/// Milliseconds to seconds.
+constexpr double ms(double m) { return m * 1e-3; }
+
+/// Microseconds to seconds.
+constexpr double us(double u) { return u * 1e-6; }
+
+}  // namespace llmpq

@@ -1,0 +1,162 @@
+#include "core/adabits.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/estimator.hpp"
+#include "cost/mem_model.hpp"
+#include "solver/mckp.hpp"
+
+namespace llmpq {
+
+namespace {
+
+/// Free bytes on pipeline position p after reserving KV-independent
+/// overheads (embedding/head, temp workspace, allocator reserve).
+std::int64_t stage_budget(const CostProvider& cost, const ExecutionPlan& plan,
+                          int p, bool first, bool last) {
+  const auto& model = cost.model();
+  const int dev = plan.device_order[static_cast<std::size_t>(p)];
+  std::int64_t budget =
+      cost.cluster().devices[static_cast<std::size_t>(dev)].gpu().mem_bytes -
+      device_memory_reserve() -
+      temp_peak_bytes(model, plan.workload, plan.prefill_micro_batch,
+                      plan.decode_micro_batch);
+  if (first) budget -= embedding_weight_bytes(model);
+  if (last && !first) budget -= lm_head_bytes(model);
+  return budget;
+}
+
+}  // namespace
+
+ExecutionPlan adabits_plan(const CostProvider& cost,
+                           const IndicatorResult& indicator,
+                           const std::vector<int>& device_order,
+                           int prefill_mb, int decode_mb) {
+  const ModelSpec& model = cost.model();
+  const ClusterSpec& cluster = cost.cluster();
+  const int N = cluster.num_devices();
+  const int L = model.layers;
+  check_arg(static_cast<int>(device_order.size()) == N,
+            "adabits_plan: ordering size mismatch");
+
+  ExecutionPlan plan;
+  plan.model_name = model.name;
+  plan.cluster_name = cluster.name;
+  plan.workload = cost.workload();
+  plan.device_order = device_order;
+  plan.prefill_micro_batch = prefill_mb;
+  plan.decode_micro_batch = decode_mb;
+  plan.layer_bits.assign(static_cast<std::size_t>(L), 16);
+  plan.boundaries.assign(static_cast<std::size_t>(N) + 1, 0);
+  plan.boundaries[static_cast<std::size_t>(N)] = L;
+
+  // ---- Proportional layer split by free memory.
+  const std::int64_t kv_per_layer =
+      layer_kv_bytes(model, plan.workload.global_batch,
+                     plan.workload.max_seq_len());
+  std::vector<std::int64_t> budgets(static_cast<std::size_t>(N));
+  std::int64_t total_budget = 0;
+  for (int p = 0; p < N; ++p) {
+    budgets[static_cast<std::size_t>(p)] =
+        std::max<std::int64_t>(0, stage_budget(cost, plan, p, p == 0, p == N - 1));
+    total_budget += budgets[static_cast<std::size_t>(p)];
+  }
+  check_arg(total_budget > 0, "adabits_plan: cluster has no free memory");
+
+  std::vector<int> counts(static_cast<std::size_t>(N), 0);
+  int assigned = 0;
+  for (int p = 0; p < N; ++p) {
+    const double share = static_cast<double>(budgets[static_cast<std::size_t>(p)]) /
+                         static_cast<double>(total_budget);
+    counts[static_cast<std::size_t>(p)] =
+        std::min(L - assigned, static_cast<int>(share * L + 0.5));
+    assigned += counts[static_cast<std::size_t>(p)];
+  }
+  // Distribute any remainder to the largest budgets.
+  while (assigned < L) {
+    int best = 0;
+    double best_headroom = -1.0;
+    for (int p = 0; p < N; ++p) {
+      const double per_layer_used =
+          counts[static_cast<std::size_t>(p)] > 0
+              ? static_cast<double>(counts[static_cast<std::size_t>(p)])
+              : 0.0;
+      const double headroom =
+          static_cast<double>(budgets[static_cast<std::size_t>(p)]) -
+          per_layer_used * static_cast<double>(kv_per_layer);
+      if (headroom > best_headroom) {
+        best_headroom = headroom;
+        best = p;
+      }
+    }
+    ++counts[static_cast<std::size_t>(best)];
+    ++assigned;
+  }
+  for (int p = 0; p < N; ++p)
+    plan.boundaries[static_cast<std::size_t>(p) + 1] =
+        plan.boundaries[static_cast<std::size_t>(p)] +
+        counts[static_cast<std::size_t>(p)];
+
+  // ---- Per-stage bit selection: exact MCKP minimizing indicator omega.
+  // Repair loop: if some stage cannot fit its layers even at 3 bits, move
+  // boundary layers toward neighbours with headroom and retry.
+  const std::int64_t min_layer_bytes =
+      layer_weight_bytes(model, 3) + kv_per_layer;
+  for (int attempt = 0; attempt < 4 * N + 4; ++attempt) {
+    bool all_fit = true;
+    for (int p = 0; p < N && all_fit; ++p) {
+      const std::int64_t need =
+          static_cast<std::int64_t>(plan.stage_size(p)) * min_layer_bytes;
+      if (need > budgets[static_cast<std::size_t>(p)]) {
+        all_fit = false;
+        // Shed one layer to the neighbour with the most absolute headroom.
+        const std::int64_t head_prev =
+            p > 0 ? budgets[static_cast<std::size_t>(p - 1)] -
+                        static_cast<std::int64_t>(plan.stage_size(p - 1)) *
+                            min_layer_bytes
+                  : -1;
+        const std::int64_t head_next =
+            p < N - 1 ? budgets[static_cast<std::size_t>(p + 1)] -
+                            static_cast<std::int64_t>(plan.stage_size(p + 1)) *
+                                min_layer_bytes
+                      : -1;
+        if (head_prev < min_layer_bytes && head_next < min_layer_bytes)
+          throw InfeasibleError(
+              "adabits_plan: model does not fit the cluster even at 3-bit");
+        if (head_prev >= head_next)
+          ++plan.boundaries[static_cast<std::size_t>(p)];  // shed first layer to prev
+        else
+          --plan.boundaries[static_cast<std::size_t>(p) + 1];  // shed last layer to next
+      }
+    }
+    if (all_fit) break;
+  }
+
+  for (int p = 0; p < N; ++p) {
+    const auto [b, e] = plan.stage_range(p);
+    if (b == e) continue;
+    std::vector<std::vector<MckpOption>> items;
+    for (int i = b; i < e; ++i) {
+      std::vector<MckpOption> options;
+      for (int bits : kBitCandidates) {
+        options.push_back({layer_weight_bytes(model, bits) + kv_per_layer,
+                           indicator.at(i, bits)});
+      }
+      items.push_back(std::move(options));
+    }
+    const MckpResult sel =
+        solve_mckp(items, budgets[static_cast<std::size_t>(p)]);
+    if (!sel.feasible)
+      throw InfeasibleError("adabits_plan: stage " + std::to_string(p) +
+                            " infeasible at all precisions");
+    for (int i = b; i < e; ++i)
+      plan.layer_bits[static_cast<std::size_t>(i)] =
+          kBitCandidates[static_cast<std::size_t>(
+              sel.choice[static_cast<std::size_t>(i - b)])];
+  }
+  return plan;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "core/plan.hpp"
+#include "cost/cost_provider.hpp"
+#include "quant/indicator.hpp"
+
+namespace llmpq {
+
+/// Pure adaptive quantization (the "adabits" scheme of Sec. 6.9 and the
+/// starting point of the bitwidth-transfer heuristic, Alg. 2 lines 1-3):
+/// drop the latency term from the ILP and pick, for a fixed device
+/// ordering, the memory-feasible bit assignment minimizing the quality
+/// indicator. Layers are spread proportionally to each device's free
+/// memory; per-stage bitwidths are then an exact multiple-choice knapsack.
+///
+/// Returns a complete plan (micro-batch sizes taken from `prefill_mb` /
+/// `decode_mb`). Throws InfeasibleError if the model cannot fit at any
+/// candidate precision.
+ExecutionPlan adabits_plan(const CostProvider& cost,
+                           const IndicatorResult& indicator,
+                           const std::vector<int>& device_order,
+                           int prefill_mb, int decode_mb);
+
+}  // namespace llmpq

@@ -1,0 +1,235 @@
+#include "core/assigner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "core/adabits.hpp"
+#include "core/ilp_builder.hpp"
+#include "solver/milp.hpp"
+
+namespace llmpq {
+
+std::vector<std::vector<int>> enumerate_device_orderings(
+    const ClusterSpec& cluster, int max_orderings) {
+  const int N = cluster.num_devices();
+  // Devices of the same type are interchangeable: enumerate distinct type
+  // sequences, then materialize device indices by handing out same-type
+  // devices in index order.
+  std::map<std::string, std::vector<int>> by_type;
+  for (int d = 0; d < N; ++d)
+    by_type[cluster.devices[static_cast<std::size_t>(d)].gpu_name].push_back(d);
+
+  std::vector<std::string> type_seq;
+  for (const auto& slot : cluster.devices) type_seq.push_back(slot.gpu_name);
+  std::sort(type_seq.begin(), type_seq.end());
+
+  std::vector<std::vector<int>> all;
+  auto materialize = [&](const std::vector<std::string>& seq) {
+    std::map<std::string, std::size_t> next;
+    std::vector<int> order;
+    for (const auto& t : seq)
+      order.push_back(by_type[t][next[t]++]);
+    return order;
+  };
+  do {
+    all.push_back(materialize(type_seq));
+  } while (std::next_permutation(type_seq.begin(), type_seq.end()));
+
+  if (static_cast<int>(all.size()) <= max_orderings) return all;
+
+  // Deterministic truncation: keep compute-ascending and -descending, then
+  // a uniform stride over the rest.
+  auto flops_of = [&](int d) {
+    return cluster.devices[static_cast<std::size_t>(d)].gpu().effective_flops(16);
+  };
+  std::vector<int> asc(static_cast<std::size_t>(N));
+  for (int d = 0; d < N; ++d) asc[static_cast<std::size_t>(d)] = d;
+  std::stable_sort(asc.begin(), asc.end(),
+                   [&](int a, int b) { return flops_of(a) < flops_of(b); });
+  std::vector<int> desc(asc.rbegin(), asc.rend());
+
+  std::vector<std::vector<int>> kept{asc, desc};
+  const std::size_t stride =
+      std::max<std::size_t>(1, all.size() / static_cast<std::size_t>(
+                                                std::max(1, max_orderings - 2)));
+  for (std::size_t i = 0; i < all.size() && kept.size() <
+                                                static_cast<std::size_t>(max_orderings);
+       i += stride) {
+    if (std::find(kept.begin(), kept.end(), all[i]) == kept.end())
+      kept.push_back(all[i]);
+  }
+  return kept;
+}
+
+std::vector<int> prefill_microbatch_candidates(const Workload& w, int limit) {
+  std::vector<int> candidates;
+  for (int mb = 1; mb <= std::min(limit, w.global_batch); mb *= 2)
+    if (w.global_batch % mb == 0) candidates.push_back(mb);
+  if (candidates.empty()) candidates.push_back(1);
+  return candidates;
+}
+
+std::vector<int> decode_microbatch_candidates(const Workload& w,
+                                              int num_devices) {
+  // Optimization #1: evenly partition the global batch across pipeline
+  // stages; consider the even split and one refinement around it.
+  std::set<int> cands;
+  const int even = std::max(1, w.global_batch / std::max(1, num_devices));
+  cands.insert(even);
+  if (even / 2 >= 1) cands.insert(even / 2);
+  cands.insert(std::min(w.global_batch, even * 2));
+  return {cands.begin(), cands.end()};
+}
+
+namespace {
+
+struct SolverChoice {
+  SolverKind kind;
+  int group_size;
+  std::string describe() const {
+    if (kind == SolverKind::kHeuristic) return "heuristic";
+    return "ilp(group=" + std::to_string(group_size) + ")";
+  }
+};
+
+SolverChoice pick_solver(const AssignerOptions& opt, int layers,
+                         int devices) {
+  if (opt.solver == SolverKind::kHeuristic)
+    return {SolverKind::kHeuristic, 0};
+  const int group =
+      opt.group_size > 0 ? opt.group_size : (layers > 48 ? 2 : 1);
+  if (opt.solver == SolverKind::kIlp) return {SolverKind::kIlp, group};
+  // Auto (mirrors the paper's Table 9 at the scales our branch-and-bound
+  // handles; Gurobi would push the ILP further up).
+  const int binaries =
+      layers * devices * static_cast<int>(kBitCandidates.size());
+  if (devices == 1 || binaries <= 440) return {SolverKind::kIlp, 1};
+  if (binaries <= 880) return {SolverKind::kIlp, 2};
+  return {SolverKind::kHeuristic, 0};
+}
+
+}  // namespace
+
+AssignerResult assign(const CostProvider& cost,
+                      const AssignerOptions& options) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+
+  const ModelSpec& model = cost.model();
+  const ClusterSpec& cluster = cost.cluster();
+  const Workload& workload = cost.workload();
+
+  const IndicatorResult indicator =
+      compute_indicator(model, options.indicator,
+                        Rounding::kDeterministic, options.seed);
+
+  const SolverChoice solver =
+      pick_solver(options, model.layers, cluster.num_devices());
+
+  AssignerResult best;
+  best.stats.indicator_overhead_s = indicator.overhead_s;
+  best.stats.profiling_overhead_s = cost.build_cost_s();
+  best.stats.solver_used = solver.describe();
+  double best_obj = kLpInf;
+
+  const auto orderings =
+      enumerate_device_orderings(cluster, options.max_orderings);
+  const auto prefill_cands =
+      prefill_microbatch_candidates(workload, options.prefill_mb_limit);
+  const auto decode_cands =
+      decode_microbatch_candidates(workload, cluster.num_devices());
+
+  // ---- Pass 1: score every combo with the cheap heuristic.
+  struct Combo {
+    std::vector<int> ordering;
+    int mb_pre, mb_dec;
+    ExecutionPlan plan;
+    PlanEstimate est;
+  };
+  std::vector<Combo> feasible;
+  std::string last_infeasible = "no combination tried";
+  for (const auto& ordering : orderings) {
+    for (int mb_pre : prefill_cands) {
+      for (int mb_dec : decode_cands) {
+        ++best.stats.combos_tried;
+        try {
+          const ExecutionPlan seed =
+              adabits_plan(cost, indicator, ordering, mb_pre, mb_dec);
+          BitTransferOptions bt;
+          bt.theta = options.theta;
+          BitTransferResult bt_result =
+              bit_transfer(cost, indicator, seed, bt);
+          if (!bt_result.estimate.mem_feasible) {
+            last_infeasible = bt_result.estimate.infeasible_reason;
+            continue;
+          }
+          feasible.push_back({ordering, mb_pre, mb_dec,
+                              std::move(bt_result.plan), bt_result.estimate});
+        } catch (const InfeasibleError& e) {
+          last_infeasible = e.what();
+          continue;
+        }
+      }
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Combo& a, const Combo& b) {
+              return a.est.objective < b.est.objective;
+            });
+
+  for (const auto& combo : feasible) {
+    if (combo.est.objective < best_obj) {
+      best_obj = combo.est.objective;
+      best.plan = combo.plan;
+      best.estimate = combo.est;
+    }
+  }
+
+  // ---- Pass 2: ILP refinement of the leading combos only.
+  if (solver.kind == SolverKind::kIlp) {
+    const int refine =
+        std::min<int>(static_cast<int>(feasible.size()),
+                      std::max(1, options.ilp_refine_top));
+    for (int c = 0; c < refine; ++c) {
+      const Combo& combo = feasible[static_cast<std::size_t>(c)];
+      IlpBuilder builder(cost, indicator, combo.ordering, combo.mb_pre,
+                         combo.mb_dec, options.theta, solver.group_size);
+      MilpProblem milp = builder.build();
+      MilpOptions mopt;
+      mopt.time_limit_s = options.ilp_time_limit_s /
+                          static_cast<double>(refine);
+      mopt.warm_start = builder.encode_plan(combo.plan);
+      const MilpSolution sol = solve_milp(milp, mopt);
+      ++best.stats.ilp_solves;
+      best.stats.ilp_nodes += sol.nodes_explored;
+      if (sol.status == MilpStatus::kOptimal ||
+          sol.status == MilpStatus::kFeasible) {
+        ExecutionPlan ilp_plan = builder.extract_plan(sol.x);
+        const PlanEstimate ilp_est =
+            estimate_plan(cost, ilp_plan, &indicator, options.theta);
+        if (ilp_est.mem_feasible && ilp_est.objective < best_obj) {
+          best_obj = ilp_est.objective;
+          best.plan = std::move(ilp_plan);
+          best.estimate = ilp_est;
+        }
+      }
+    }
+  }
+
+  best.stats.solve_time_s =
+      std::chrono::duration<double>(clock::now() - start).count();
+  if (best_obj == kLpInf)
+    throw InfeasibleError("assign: no feasible plan found (" +
+                          last_infeasible + ")");
+  LOG_INFO << "assign: best objective " << best_obj << " via "
+           << best.stats.solver_used << " after "
+           << best.stats.combos_tried << " combos in "
+           << best.stats.solve_time_s << "s";
+  return best;
+}
+
+}  // namespace llmpq

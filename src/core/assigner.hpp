@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bit_transfer.hpp"
+#include "core/estimator.hpp"
+#include "core/plan.hpp"
+#include "cost/cost_provider.hpp"
+#include "quant/indicator.hpp"
+
+namespace llmpq {
+
+/// Which optimizer backs the bitwidth/partition decision (paper Sec. 4.3 +
+/// Table 9): the exact ILP, the bitwidth-transfer heuristic, or a size-based
+/// automatic choice.
+enum class SolverKind { kAuto, kIlp, kHeuristic };
+
+struct AssignerOptions {
+  double theta = 1.0;  ///< user quality scalar (paper's theta)
+  IndicatorKind indicator = IndicatorKind::kVariance;
+  SolverKind solver = SolverKind::kAuto;
+  int group_size = 0;          ///< layers per ILP group; 0 = automatic
+  double ilp_time_limit_s = 30.0;  ///< total ILP budget across refinements
+  /// The ILP refines only the most promising heuristic combos (the search
+  /// first scores every (ordering, micro-batch) pair with the cheap
+  /// heuristic, then spends the ILP budget on the leaders).
+  int ilp_refine_top = 2;
+  int max_orderings = 12;      ///< cap on device-topology enumerations
+  int prefill_mb_limit = 8;    ///< xi: prefill micro-batch enumerated in [1, xi]
+  CostMode cost_mode = CostMode::kFitted;
+  std::uint64_t seed = 7;
+};
+
+struct AssignerStats {
+  double solve_time_s = 0.0;        ///< wall time of the search
+  int combos_tried = 0;             ///< (ordering, micro-batch) pairs
+  int ilp_solves = 0;
+  int ilp_nodes = 0;
+  double indicator_overhead_s = 0;  ///< modelled indicator build cost
+  double profiling_overhead_s = 0;  ///< modelled profiling sweep cost
+  std::string solver_used;          ///< "ilp(group=2)", "heuristic", ...
+};
+
+struct AssignerResult {
+  ExecutionPlan plan;
+  PlanEstimate estimate;
+  AssignerStats stats;
+};
+
+/// The LLM-PQ assigner (paper Alg. 1): enumerates device-topology orderings
+/// and (prefill, decode) micro-batch pairs in the pruned search space; for
+/// each combination derives the best bit assignment + layer partition via
+/// the ILP (warm-started by the heuristic) or the heuristic alone; returns
+/// the plan minimizing latency + theta * quality penalty.
+/// Throws InfeasibleError when the model cannot be served on the cluster.
+AssignerResult assign(const CostProvider& cost,
+                      const AssignerOptions& options = {});
+
+/// Enumerate the distinct pipeline orderings of a cluster's devices (two
+/// devices of the same GPU model are interchangeable). Deterministically
+/// truncated to `max_orderings`, always retaining the compute-ascending and
+/// compute-descending orders.
+std::vector<std::vector<int>> enumerate_device_orderings(
+    const ClusterSpec& cluster, int max_orderings);
+
+/// Micro-batch candidates after the paper's Optimization #1 pruning.
+std::vector<int> prefill_microbatch_candidates(const Workload& w, int limit);
+std::vector<int> decode_microbatch_candidates(const Workload& w,
+                                              int num_devices);
+
+}  // namespace llmpq

@@ -1,0 +1,120 @@
+#include "core/bit_transfer.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hpp"
+#include "hw/gpu_spec.hpp"
+
+namespace llmpq {
+
+namespace {
+
+int lower_bits(int bits) {
+  const int idx = bit_index(bits);
+  return idx > 0 ? kBitCandidates[static_cast<std::size_t>(idx - 1)] : -1;
+}
+
+int higher_bits(int bits) {
+  const int idx = bit_index(bits);
+  return idx >= 0 && idx + 1 < static_cast<int>(kBitCandidates.size())
+             ? kBitCandidates[static_cast<std::size_t>(idx + 1)]
+             : -1;
+}
+
+/// Objective of a candidate, or nullopt if memory-infeasible.
+std::optional<double> score(const CostProvider& cost,
+                            const IndicatorResult& indicator, double theta,
+                            const ExecutionPlan& plan) {
+  const PlanEstimate est = estimate_plan(cost, plan, &indicator, theta);
+  if (!est.mem_feasible) return std::nullopt;
+  return est.objective;
+}
+
+}  // namespace
+
+BitTransferResult bit_transfer(const CostProvider& cost,
+                               const IndicatorResult& indicator,
+                               ExecutionPlan start,
+                               const BitTransferOptions& options) {
+  BitTransferResult result;
+  result.plan = std::move(start);
+
+  auto current = score(cost, indicator, options.theta, result.plan);
+  // An infeasible start can happen when adabits packs a stage right at its
+  // KV + weight budget but the temp workspace pushes it over; the moves
+  // below can repair it, so give such starts a pessimistic score.
+  double current_obj = current.value_or(1e18);
+
+  const int N = result.plan.num_stages();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    ExecutionPlan best_plan;
+    double best_obj = current_obj;
+    bool found = false;
+
+    auto consider = [&](const ExecutionPlan& cand) {
+      const auto s = score(cost, indicator, options.theta, cand);
+      if (s && *s < best_obj - 1e-9) {
+        best_obj = *s;
+        best_plan = cand;
+        found = true;
+      }
+    };
+
+    // ---- Precision transfers: one step up or down anywhere.
+    for (int i = 0; i < result.plan.num_layers(); ++i) {
+      const int bits = result.plan.layer_bits[static_cast<std::size_t>(i)];
+      for (int nb : {lower_bits(bits), higher_bits(bits)}) {
+        if (nb < 0) continue;
+        ExecutionPlan cand = result.plan;
+        cand.layer_bits[static_cast<std::size_t>(i)] = nb;
+        consider(cand);
+      }
+    }
+
+    // ---- Boundary migrations: move one layer across each boundary, both
+    // directions, optionally re-quantizing the moved layer one step down
+    // so it fits the receiving device.
+    for (int p = 0; p + 1 < N; ++p) {
+      const int boundary = result.plan.boundaries[static_cast<std::size_t>(p) + 1];
+      // Last layer of stage p -> stage p+1.
+      if (result.plan.stage_size(p) > 0) {
+        ExecutionPlan cand = result.plan;
+        --cand.boundaries[static_cast<std::size_t>(p) + 1];
+        consider(cand);
+        const int moved = boundary - 1;
+        const int nb =
+            lower_bits(cand.layer_bits[static_cast<std::size_t>(moved)]);
+        if (nb > 0) {
+          cand.layer_bits[static_cast<std::size_t>(moved)] = nb;
+          consider(cand);
+        }
+      }
+      // First layer of stage p+1 -> stage p.
+      if (p + 1 < N && result.plan.stage_size(p + 1) > 0) {
+        ExecutionPlan cand = result.plan;
+        ++cand.boundaries[static_cast<std::size_t>(p) + 1];
+        consider(cand);
+        const int moved = boundary;
+        const int nb =
+            lower_bits(cand.layer_bits[static_cast<std::size_t>(moved)]);
+        if (nb > 0) {
+          cand.layer_bits[static_cast<std::size_t>(moved)] = nb;
+          consider(cand);
+        }
+      }
+    }
+
+    if (!found) break;
+    result.plan = std::move(best_plan);
+    current_obj = best_obj;
+    ++result.moves_applied;
+  }
+
+  result.estimate =
+      estimate_plan(cost, result.plan, &indicator, options.theta);
+  return result;
+}
+
+}  // namespace llmpq

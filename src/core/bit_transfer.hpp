@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/estimator.hpp"
+#include "core/plan.hpp"
+#include "cost/cost_provider.hpp"
+#include "quant/indicator.hpp"
+
+namespace llmpq {
+
+struct BitTransferOptions {
+  int max_iterations = 400;
+  double theta = 1.0;
+};
+
+struct BitTransferResult {
+  ExecutionPlan plan;
+  PlanEstimate estimate;
+  int iterations = 0;
+  int moves_applied = 0;
+};
+
+/// The bitwidth-transfer heuristic (paper Alg. 2): starting from the
+/// adabits assignment, repeatedly apply precision-conversion and
+/// layer-migration transformations that relieve the straggler stage:
+///   * downgrade a layer on the straggler to the next lower precision,
+///   * upgrade a layer on an under-utilized stage (quality win at no
+///     pipeline cost),
+///   * shift a boundary layer off the straggler to a neighbour, re-picking
+///     its bitwidth to fit,
+/// accepting the best objective-improving move each round until fixpoint.
+BitTransferResult bit_transfer(const CostProvider& cost,
+                               const IndicatorResult& indicator,
+                               ExecutionPlan start,
+                               const BitTransferOptions& options = {});
+
+}  // namespace llmpq

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "cost/cost_provider.hpp"
+#include "cost/mem_model.hpp"
+#include "quant/indicator.hpp"
+
+namespace llmpq {
+
+/// Planner-side analytic estimate of a plan's cost — the quantity the ILP
+/// objective (4) encodes: pipelined two-phase latency
+///   T = [sum_p Tpre_p + (Mpre-1) max_p Tpre_p]
+///     + (n-1) [sum_p Tdec_p + (Mdec-1) max_p Tdec_p]
+/// plus theta times the quality-perturbation indicator. The ground truth
+/// the plan is eventually judged by is the discrete-event simulator; tests
+/// pin the two within a few percent.
+struct PlanEstimate {
+  bool mem_feasible = false;
+  std::string infeasible_reason;
+  std::vector<StageMemory> stage_mem;  ///< per pipeline position
+
+  std::vector<double> stage_prefill_time;  ///< per micro-batch, incl. comm
+  std::vector<double> stage_decode_time;
+  double prefill_total = 0.0;
+  double decode_total = 0.0;
+  double e2e_latency = 0.0;
+  double throughput_tokens_per_s = 0.0;
+
+  double quality_penalty = 0.0;  ///< sum_i omega(i, b_i)
+  double objective = 0.0;        ///< e2e + theta * penalty
+};
+
+PlanEstimate estimate_plan(const CostProvider& cost,
+                           const ExecutionPlan& plan,
+                           const IndicatorResult* indicator = nullptr,
+                           double theta = 0.0);
+
+/// Memory headroom reserved per device for allocator slack / runtime
+/// context (bytes).
+std::int64_t device_memory_reserve();
+
+}  // namespace llmpq

@@ -1,0 +1,317 @@
+#include "core/ilp_builder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/estimator.hpp"
+#include "cost/mem_model.hpp"
+
+namespace llmpq {
+
+IlpBuilder::IlpBuilder(const CostProvider& cost,
+                       const IndicatorResult& indicator,
+                       std::vector<int> device_order, int prefill_mb,
+                       int decode_mb, double theta, int group_size)
+    : cost_(cost),
+      indicator_(indicator),
+      device_order_(std::move(device_order)),
+      prefill_mb_(prefill_mb),
+      decode_mb_(decode_mb),
+      theta_(theta),
+      group_size_(std::max(1, group_size)),
+      num_positions_(static_cast<int>(device_order_.size())) {
+  const int L = cost_.model().layers;
+  num_groups_ = (L + group_size_ - 1) / group_size_;
+}
+
+int IlpBuilder::num_binaries() const {
+  return num_groups_ * num_positions_ *
+         static_cast<int>(kBitCandidates.size());
+}
+
+int IlpBuilder::z_index(int group, int position, int bit_idx) const {
+  return (group * num_positions_ + position) *
+             static_cast<int>(kBitCandidates.size()) +
+         bit_idx;
+}
+
+std::pair<int, int> IlpBuilder::group_range(int group) const {
+  const int L = cost_.model().layers;
+  const int begin = group * group_size_;
+  return {begin, std::min(L, begin + group_size_)};
+}
+
+MilpProblem IlpBuilder::build() const {
+  const ModelSpec& model = cost_.model();
+  const Workload& w = cost_.workload();
+  const int N = num_positions_;
+  const int G = num_groups_;
+  const int B = static_cast<int>(kBitCandidates.size());
+  const int n_tokens = w.gen_tokens;
+  const int m_pre = (w.global_batch + prefill_mb_ - 1) / prefill_mb_;
+  const int m_dec = (w.global_batch + decode_mb_ - 1) / decode_mb_;
+  const int dec_ctx = w.prompt_len + w.gen_tokens / 2;
+
+  // Per-position, per-bit single-layer times.
+  std::vector<double> t_pre(static_cast<std::size_t>(N * B));
+  std::vector<double> t_dec(static_cast<std::size_t>(N * B));
+  for (int j = 0; j < N; ++j) {
+    const int dev = device_order_[static_cast<std::size_t>(j)];
+    for (int bi = 0; bi < B; ++bi) {
+      const int bits = kBitCandidates[static_cast<std::size_t>(bi)];
+      t_pre[static_cast<std::size_t>(j * B + bi)] = cost_.layer_time(
+          dev, bits, Phase::kPrefill, prefill_mb_, w.prompt_len);
+      t_dec[static_cast<std::size_t>(j * B + bi)] =
+          cost_.layer_time(dev, bits, Phase::kDecode, decode_mb_, dec_ctx);
+    }
+  }
+
+  // Per-position constant times (embedding on the first position, outbound
+  // comm on every non-final position).
+  std::vector<double> c_pre(static_cast<std::size_t>(N), 0.0);
+  std::vector<double> c_dec(static_cast<std::size_t>(N), 0.0);
+  {
+    const int dev0 = device_order_.front();
+    c_pre[0] += cost_.embedding_time(dev0, prefill_mb_, w.prompt_len);
+    c_dec[0] += cost_.embedding_time(dev0, decode_mb_, 1);
+    for (int j = 0; j + 1 < N; ++j) {
+      const int a = device_order_[static_cast<std::size_t>(j)];
+      const int b = device_order_[static_cast<std::size_t>(j + 1)];
+      c_pre[static_cast<std::size_t>(j)] +=
+          cost_.comm_time(a, b, Phase::kPrefill, prefill_mb_);
+      c_dec[static_cast<std::size_t>(j)] +=
+          cost_.comm_time(a, b, Phase::kDecode, decode_mb_);
+    }
+  }
+
+  // Per-group memory and quality coefficients.
+  const std::int64_t kv_per_layer =
+      layer_kv_bytes(model, w.global_batch, w.max_seq_len());
+  std::vector<double> mem_gb(static_cast<std::size_t>(G * B));
+  std::vector<double> omega_g(static_cast<std::size_t>(G * B));
+  for (int g = 0; g < G; ++g) {
+    const auto [lo, hi] = group_range(g);
+    for (int bi = 0; bi < B; ++bi) {
+      const int bits = kBitCandidates[static_cast<std::size_t>(bi)];
+      const double bytes = static_cast<double>(hi - lo) *
+                           static_cast<double>(layer_weight_bytes(model, bits) +
+                                               kv_per_layer);
+      mem_gb[static_cast<std::size_t>(g * B + bi)] = bytes / 1e9;
+      double omega = 0.0;
+      for (int i = lo; i < hi; ++i) omega += indicator_.at(i, bits);
+      omega_g[static_cast<std::size_t>(g * B + bi)] = omega;
+    }
+  }
+
+  MilpProblem milp;
+  LpProblem& lp = milp.lp;
+
+  // Binaries z_{g,j,b}; objective per (4): the sum-of-stage-times part of
+  // both phases lands directly on z, the bubble part on the max variables.
+  for (int g = 0; g < G; ++g)
+    for (int j = 0; j < N; ++j)
+      for (int bi = 0; bi < B; ++bi) {
+        // Prefill sum-of-stages lands on z directly; the decode phase is
+        // charged through the round variable R_dec below.
+        const double obj =
+            t_pre[static_cast<std::size_t>(j * B + bi)] *
+                static_cast<double>(group_range(g).second -
+                                    group_range(g).first) +
+            theta_ * omega_g[static_cast<std::size_t>(g * B + bi)];
+        const int idx = lp.add_binary(obj);
+        check_arg(idx == z_index(g, j, bi), "IlpBuilder: index drift");
+        milp.integer_vars.push_back(idx);
+      }
+  const int v_pre_max =
+      lp.add_var(0.0, kLpInf, static_cast<double>(m_pre - 1), "Tpre_max");
+  const int v_dec_max = lp.add_var(0.0, kLpInf, 0.0, "Tdec_max");
+  // Steady-state decode round time: R >= sum_j Tdec_j and R >= m_dec *
+  // Tdec_max (the refined token-serial pipeline bound; see estimator.cpp).
+  const int v_dec_round = lp.add_var(
+      0.0, kLpInf, static_cast<double>(n_tokens - 1), "Rdec");
+
+  // (9)-(11): each group picks exactly one (device, bit).
+  for (int g = 0; g < G; ++g) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < N; ++j)
+      for (int bi = 0; bi < B; ++bi) row.push_back({z_index(g, j, bi), 1.0});
+    lp.add_row(std::move(row), LpProblem::RowType::kEq, 1.0);
+  }
+
+  // (15)-(16): contiguity — group g cannot sit on an earlier position than
+  // group g-1: u_{g,j} + u_{g-1,k} <= 1 for k > j.
+  for (int g = 1; g < G; ++g)
+    for (int j = 0; j < N; ++j)
+      for (int k = j + 1; k < N; ++k) {
+        std::vector<std::pair<int, double>> row;
+        for (int bi = 0; bi < B; ++bi) {
+          row.push_back({z_index(g, j, bi), 1.0});
+          row.push_back({z_index(g - 1, k, bi), 1.0});
+        }
+        lp.add_row(std::move(row), LpProblem::RowType::kLe, 1.0);
+      }
+
+  // (12)-(13): per-device memory (GB units to keep the tableau scaled).
+  for (int j = 0; j < N; ++j) {
+    const int dev = device_order_[static_cast<std::size_t>(j)];
+    double budget =
+        static_cast<double>(
+            cost_.cluster().devices[static_cast<std::size_t>(dev)].gpu().mem_bytes -
+            device_memory_reserve() -
+            temp_peak_bytes(model, w, prefill_mb_, decode_mb_)) /
+        1e9;
+    if (j == 0)
+      budget -= static_cast<double>(embedding_weight_bytes(model)) / 1e9;
+    else if (j == N - 1)
+      budget -= static_cast<double>(lm_head_bytes(model)) / 1e9;
+    std::vector<std::pair<int, double>> row;
+    for (int g = 0; g < G; ++g)
+      for (int bi = 0; bi < B; ++bi)
+        row.push_back(
+            {z_index(g, j, bi), mem_gb[static_cast<std::size_t>(g * B + bi)]});
+    lp.add_row(std::move(row), LpProblem::RowType::kLe, budget);
+  }
+
+  // (5)-(8): stage time definitions via the max variables.
+  for (int j = 0; j < N; ++j) {
+    std::vector<std::pair<int, double>> pre_row, dec_row;
+    for (int g = 0; g < G; ++g) {
+      const double layers =
+          static_cast<double>(group_range(g).second - group_range(g).first);
+      for (int bi = 0; bi < B; ++bi) {
+        pre_row.push_back(
+            {z_index(g, j, bi),
+             layers * t_pre[static_cast<std::size_t>(j * B + bi)]});
+        dec_row.push_back(
+            {z_index(g, j, bi),
+             layers * t_dec[static_cast<std::size_t>(j * B + bi)]});
+      }
+    }
+    pre_row.push_back({v_pre_max, -1.0});
+    dec_row.push_back({v_dec_max, -1.0});
+    lp.add_row(std::move(pre_row), LpProblem::RowType::kLe,
+               -c_pre[static_cast<std::size_t>(j)]);
+    lp.add_row(std::move(dec_row), LpProblem::RowType::kLe,
+               -c_dec[static_cast<std::size_t>(j)]);
+  }
+
+  // R_dec >= sum over positions of the decode stage time.
+  {
+    std::vector<std::pair<int, double>> row;
+    double const_sum = 0.0;
+    for (int j = 0; j < N; ++j) const_sum += c_dec[static_cast<std::size_t>(j)];
+    for (int g = 0; g < G; ++g) {
+      const double layers =
+          static_cast<double>(group_range(g).second - group_range(g).first);
+      for (int j = 0; j < N; ++j)
+        for (int bi = 0; bi < B; ++bi)
+          row.push_back(
+              {z_index(g, j, bi),
+               layers * t_dec[static_cast<std::size_t>(j * B + bi)]});
+    }
+    row.push_back({v_dec_round, -1.0});
+    lp.add_row(std::move(row), LpProblem::RowType::kLe, -const_sum);
+  }
+  // R_dec >= m_dec * Tdec_max.
+  lp.add_row({{v_dec_max, static_cast<double>(m_dec)}, {v_dec_round, -1.0}},
+             LpProblem::RowType::kLe, 0.0);
+
+  return milp;
+}
+
+ExecutionPlan IlpBuilder::extract_plan(const std::vector<double>& x) const {
+  const ModelSpec& model = cost_.model();
+  const int N = num_positions_;
+  const int B = static_cast<int>(kBitCandidates.size());
+
+  ExecutionPlan plan;
+  plan.model_name = model.name;
+  plan.cluster_name = cost_.cluster().name;
+  plan.workload = cost_.workload();
+  plan.device_order = device_order_;
+  plan.prefill_micro_batch = prefill_mb_;
+  plan.decode_micro_batch = decode_mb_;
+  plan.layer_bits.assign(static_cast<std::size_t>(model.layers), 16);
+  plan.boundaries.assign(static_cast<std::size_t>(N) + 1, 0);
+
+  std::vector<int> group_pos(static_cast<std::size_t>(num_groups_), -1);
+  for (int g = 0; g < num_groups_; ++g) {
+    for (int j = 0; j < N; ++j)
+      for (int bi = 0; bi < B; ++bi) {
+        if (x[static_cast<std::size_t>(z_index(g, j, bi))] > 0.5) {
+          group_pos[static_cast<std::size_t>(g)] = j;
+          const auto [lo, hi] = group_range(g);
+          for (int i = lo; i < hi; ++i)
+            plan.layer_bits[static_cast<std::size_t>(i)] =
+                kBitCandidates[static_cast<std::size_t>(bi)];
+        }
+      }
+    check_arg(group_pos[static_cast<std::size_t>(g)] >= 0,
+              "extract_plan: group unassigned");
+    check_arg(g == 0 || group_pos[static_cast<std::size_t>(g)] >=
+                            group_pos[static_cast<std::size_t>(g - 1)],
+              "extract_plan: non-contiguous assignment");
+  }
+  // Boundaries: position j covers groups with group_pos == j.
+  for (int j = 0; j < N; ++j) {
+    int end_layer = plan.boundaries[static_cast<std::size_t>(j)];
+    for (int g = 0; g < num_groups_; ++g)
+      if (group_pos[static_cast<std::size_t>(g)] == j)
+        end_layer = group_range(g).second;
+    plan.boundaries[static_cast<std::size_t>(j) + 1] =
+        std::max(end_layer, plan.boundaries[static_cast<std::size_t>(j)]);
+  }
+  plan.boundaries[static_cast<std::size_t>(N)] = model.layers;
+  return plan;
+}
+
+std::vector<double> IlpBuilder::encode_plan(const ExecutionPlan& plan) const {
+  std::vector<double> x(
+      static_cast<std::size_t>(num_binaries()) + 3, 0.0);
+  // Snap bits to the per-group minimum and boundaries to group granularity
+  // (a group straddling a stage boundary moves wholly onto the stage of its
+  // first layer), then derive the max-time variables from the *snapped*
+  // plan so the warm start satisfies the stage-time rows exactly.
+  ExecutionPlan snapped = plan;
+  std::vector<int> group_pos(static_cast<std::size_t>(num_groups_));
+  for (int g = 0; g < num_groups_; ++g) {
+    const auto [lo, hi] = group_range(g);
+    int min_bits = 16;
+    for (int i = lo; i < hi; ++i)
+      min_bits =
+          std::min(min_bits, plan.layer_bits[static_cast<std::size_t>(i)]);
+    for (int i = lo; i < hi; ++i)
+      snapped.layer_bits[static_cast<std::size_t>(i)] = min_bits;
+    const int pos = plan.stage_of_layer(lo);
+    group_pos[static_cast<std::size_t>(g)] = pos;
+    x[static_cast<std::size_t>(z_index(g, pos, bit_index(min_bits)))] = 1.0;
+  }
+  for (int p = 0; p < num_positions_; ++p) {
+    int end_layer = snapped.boundaries[static_cast<std::size_t>(p)];
+    for (int g = 0; g < num_groups_; ++g)
+      if (group_pos[static_cast<std::size_t>(g)] == p)
+        end_layer = group_range(g).second;
+    snapped.boundaries[static_cast<std::size_t>(p) + 1] =
+        std::max(end_layer, snapped.boundaries[static_cast<std::size_t>(p)]);
+  }
+  snapped.boundaries[static_cast<std::size_t>(num_positions_)] =
+      cost_.model().layers;
+  double pre_max = 0.0, dec_max = 0.0, dec_sum = 0.0;
+  const PlanEstimate est = estimate_plan(cost_, snapped);
+  for (double t : est.stage_prefill_time) pre_max = std::max(pre_max, t);
+  for (double t : est.stage_decode_time) {
+    dec_max = std::max(dec_max, t);
+    dec_sum += t;
+  }
+  const int m_dec = (cost_.workload().global_batch + decode_mb_ - 1) /
+                    decode_mb_;
+  // Tiny bump keeps the warm start inside the stage-time rows despite the
+  // estimator's slightly different handling of empty-stage comm hops.
+  x[static_cast<std::size_t>(num_binaries())] = pre_max + 1e-5;
+  x[static_cast<std::size_t>(num_binaries()) + 1] = dec_max + 1e-5;
+  x[static_cast<std::size_t>(num_binaries()) + 2] =
+      std::max(dec_sum, static_cast<double>(m_dec) * (dec_max + 1e-5)) + 1e-5;
+  return x;
+}
+
+}  // namespace llmpq

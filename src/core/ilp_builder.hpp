@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "core/plan.hpp"
+#include "cost/cost_provider.hpp"
+#include "quant/indicator.hpp"
+#include "solver/milp.hpp"
+
+namespace llmpq {
+
+/// Instantiation of the paper's ILP (4)-(16) for one fixed device ordering
+/// and micro-batch pair. Binary z_{g,j,b} places layer group g on pipeline
+/// position j at bitwidth b; continuous T^pre_max / T^dec_max linearize the
+/// pipeline-bubble max terms. Grouping (Optimization #2) shrinks the
+/// variable count by `group_size`.
+class IlpBuilder {
+ public:
+  IlpBuilder(const CostProvider& cost, const IndicatorResult& indicator,
+             std::vector<int> device_order, int prefill_mb, int decode_mb,
+             double theta, int group_size = 1);
+
+  /// Builds the MILP. Objective units are seconds (+ theta * omega).
+  MilpProblem build() const;
+
+  /// Decodes a MILP solution vector into an execution plan.
+  ExecutionPlan extract_plan(const std::vector<double>& x) const;
+
+  /// Encodes an existing plan as a solution vector (for warm starts).
+  /// Bits within a group are snapped to the group's minimum bitwidth and
+  /// the group is placed on the stage of its first layer.
+  std::vector<double> encode_plan(const ExecutionPlan& plan) const;
+
+  int num_groups() const { return num_groups_; }
+  int num_binaries() const;
+
+ private:
+  int z_index(int group, int position, int bit_idx) const;
+  std::pair<int, int> group_range(int group) const;
+
+  const CostProvider& cost_;
+  const IndicatorResult& indicator_;
+  std::vector<int> device_order_;
+  int prefill_mb_;
+  int decode_mb_;
+  double theta_;
+  int group_size_;
+  int num_groups_;
+  int num_positions_;
+};
+
+}  // namespace llmpq

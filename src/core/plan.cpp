@@ -1,0 +1,158 @@
+#include "core/plan.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "hw/gpu_spec.hpp"
+
+namespace llmpq {
+
+std::pair<int, int> ExecutionPlan::stage_range(int p) const {
+  check_arg(p >= 0 && p < num_stages(), "stage_range: bad stage");
+  return {boundaries[static_cast<std::size_t>(p)],
+          boundaries[static_cast<std::size_t>(p) + 1]};
+}
+
+int ExecutionPlan::stage_size(int p) const {
+  const auto [b, e] = stage_range(p);
+  return e - b;
+}
+
+std::span<const int> ExecutionPlan::stage_bits(int p) const {
+  const auto [b, e] = stage_range(p);
+  return std::span<const int>(layer_bits).subspan(
+      static_cast<std::size_t>(b), static_cast<std::size_t>(e - b));
+}
+
+int ExecutionPlan::stage_of_layer(int layer) const {
+  for (int p = 0; p < num_stages(); ++p) {
+    const auto [b, e] = stage_range(p);
+    if (layer >= b && layer < e) return p;
+  }
+  throw InvalidArgumentError("stage_of_layer: layer not assigned");
+}
+
+int ExecutionPlan::prefill_microbatch_count() const {
+  return (workload.global_batch + prefill_micro_batch - 1) /
+         prefill_micro_batch;
+}
+
+int ExecutionPlan::decode_microbatch_count() const {
+  return (workload.global_batch + decode_micro_batch - 1) /
+         decode_micro_batch;
+}
+
+void ExecutionPlan::validate(int model_layers, int cluster_devices) const {
+  check_arg(static_cast<int>(layer_bits.size()) == model_layers,
+            "plan: layer_bits size mismatch");
+  check_arg(static_cast<int>(device_order.size()) == cluster_devices,
+            "plan: device_order size mismatch");
+  check_arg(boundaries.size() == device_order.size() + 1,
+            "plan: boundaries size mismatch");
+  check_arg(boundaries.front() == 0 && boundaries.back() == model_layers,
+            "plan: boundaries must cover all layers");
+  for (std::size_t i = 1; i < boundaries.size(); ++i)
+    check_arg(boundaries[i] >= boundaries[i - 1],
+              "plan: boundaries must be non-decreasing");
+  std::vector<bool> seen(static_cast<std::size_t>(cluster_devices), false);
+  for (int d : device_order) {
+    check_arg(d >= 0 && d < cluster_devices, "plan: bad device index");
+    check_arg(!seen[static_cast<std::size_t>(d)], "plan: duplicate device");
+    seen[static_cast<std::size_t>(d)] = true;
+  }
+  for (int bits : layer_bits)
+    check_arg(bit_index(bits) >= 0, "plan: unsupported bitwidth");
+  check_arg(prefill_micro_batch >= 1 &&
+                prefill_micro_batch <= workload.global_batch,
+            "plan: bad prefill micro-batch");
+  check_arg(decode_micro_batch >= 1 &&
+                decode_micro_batch <= workload.global_batch,
+            "plan: bad decode micro-batch");
+}
+
+std::string ExecutionPlan::to_string() const {
+  std::ostringstream os;
+  os << "plan for " << model_name << " on " << cluster_name << " (s="
+     << workload.prompt_len << ", n=" << workload.gen_tokens
+     << ", batch=" << workload.global_batch << ")\n";
+  os << "  micro-batches: prefill=" << prefill_micro_batch
+     << ", decode=" << decode_micro_batch << "\n";
+  for (int p = 0; p < num_stages(); ++p) {
+    const auto [b, e] = stage_range(p);
+    os << "  stage " << p << " -> device " << device_order[static_cast<std::size_t>(p)]
+       << ": layers [" << b << ", " << e << ")";
+    if (b < e) {
+      std::map<int, int> bit_counts;
+      for (int i = b; i < e; ++i)
+        ++bit_counts[layer_bits[static_cast<std::size_t>(i)]];
+      os << " bits {";
+      bool first = true;
+      for (const auto& [bits, count] : bit_counts) {
+        if (!first) os << ", ";
+        os << bits << "b x" << count;
+        first = false;
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ExecutionPlan::serialize() const {
+  std::ostringstream os;
+  os << "model=" << model_name << "\n";
+  os << "cluster=" << cluster_name << "\n";
+  os << "global_batch=" << workload.global_batch << "\n";
+  os << "prompt_len=" << workload.prompt_len << "\n";
+  os << "gen_tokens=" << workload.gen_tokens << "\n";
+  os << "prefill_micro_batch=" << prefill_micro_batch << "\n";
+  os << "decode_micro_batch=" << decode_micro_batch << "\n";
+  auto emit_list = [&os](const char* key, const std::vector<int>& xs) {
+    os << key << '=';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i) os << ',';
+      os << xs[i];
+    }
+    os << "\n";
+  };
+  emit_list("device_order", device_order);
+  emit_list("boundaries", boundaries);
+  emit_list("layer_bits", layer_bits);
+  return os.str();
+}
+
+ExecutionPlan ExecutionPlan::deserialize(const std::string& text) {
+  ExecutionPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  auto parse_list = [](const std::string& s) {
+    std::vector<int> xs;
+    std::istringstream ls(s);
+    std::string tok;
+    while (std::getline(ls, tok, ','))
+      if (!tok.empty()) xs.push_back(std::stoi(tok));
+    return xs;
+  };
+  while (std::getline(is, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "model") plan.model_name = value;
+    else if (key == "cluster") plan.cluster_name = value;
+    else if (key == "global_batch") plan.workload.global_batch = std::stoi(value);
+    else if (key == "prompt_len") plan.workload.prompt_len = std::stoi(value);
+    else if (key == "gen_tokens") plan.workload.gen_tokens = std::stoi(value);
+    else if (key == "prefill_micro_batch") plan.prefill_micro_batch = std::stoi(value);
+    else if (key == "decode_micro_batch") plan.decode_micro_batch = std::stoi(value);
+    else if (key == "device_order") plan.device_order = parse_list(value);
+    else if (key == "boundaries") plan.boundaries = parse_list(value);
+    else if (key == "layer_bits") plan.layer_bits = parse_list(value);
+    else throw InvalidArgumentError("plan deserialize: unknown key " + key);
+  }
+  return plan;
+}
+
+}  // namespace llmpq

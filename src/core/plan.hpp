@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/workload.hpp"
+
+namespace llmpq {
+
+/// The assigner's output: everything the runtime needs to execute a serving
+/// job (paper Fig. 6 "strategy file").
+struct ExecutionPlan {
+  std::string model_name;
+  std::string cluster_name;
+  Workload workload;
+
+  /// Pipeline order: position p is served by cluster device
+  /// device_order[p]. Every cluster device appears exactly once; stages
+  /// with an empty layer range are skipped at runtime.
+  std::vector<int> device_order;
+
+  /// boundaries[p] .. boundaries[p+1] are the layers of stage p
+  /// (size device_order.size() + 1, starts at 0, ends at num layers).
+  std::vector<int> boundaries;
+
+  /// Quantization bitwidth per decoder layer (size = model layers).
+  std::vector<int> layer_bits;
+
+  int prefill_micro_batch = 0;
+  int decode_micro_batch = 0;
+
+  int num_stages() const { return static_cast<int>(device_order.size()); }
+  int num_layers() const { return static_cast<int>(layer_bits.size()); }
+
+  /// Layers of stage p as [begin, end).
+  std::pair<int, int> stage_range(int p) const;
+  int stage_size(int p) const;
+
+  /// Bitwidths of stage p's layers.
+  std::span<const int> stage_bits(int p) const;
+
+  /// Pipeline stage serving layer `layer`.
+  int stage_of_layer(int layer) const;
+
+  /// Number of prefill / decode micro-batches per global batch.
+  int prefill_microbatch_count() const;
+  int decode_microbatch_count() const;
+
+  /// Throws InvalidArgumentError if internally inconsistent (sizes,
+  /// monotone boundaries, micro-batch divisibility, bit candidates).
+  void validate(int model_layers, int cluster_devices) const;
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+
+  /// Round-trips through a simple key=value text format (the `strat_file`
+  /// of the paper's `llmpq-dist` command).
+  std::string serialize() const;
+  static ExecutionPlan deserialize(const std::string& text);
+};
+
+}  // namespace llmpq

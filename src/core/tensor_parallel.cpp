@@ -1,0 +1,137 @@
+#include "core/tensor_parallel.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "solver/lp.hpp"
+
+namespace llmpq {
+
+GpuSpec make_tp_device(const GpuSpec& base, int degree, const LinkSpec& link) {
+  check_arg(degree >= 1, "make_tp_device: degree must be >= 1");
+  if (degree == 1) return base;
+  GpuSpec tp = base;
+  tp.name = std::to_string(degree) + "x" + base.name + "(TP)";
+  // Weights, KV and activations shard across ranks.
+  tp.mem_bytes = static_cast<std::int64_t>(degree) * base.mem_bytes;
+  tp.peak_fp16_tflops = degree * base.peak_fp16_tflops;
+  tp.mem_bandwidth = degree * base.mem_bandwidth;
+  // Megatron-style sync costs: each rank stalls on partial-sum exchange;
+  // modelled as an efficiency haircut growing with the group size.
+  const double sync = 1.0 / (1.0 + 0.08 * (degree - 1));
+  tp.compute_efficiency = base.compute_efficiency * sync;
+  tp.mem_efficiency = base.mem_efficiency * sync;
+  // Two all-reduces per decoder layer (after attention and after the MLP);
+  // their latency component lands in the per-pass kernel overhead. The
+  // bandwidth component is covered by the efficiency haircut above.
+  for (auto& kernel : tp.kernels)
+    kernel.overhead_s += 2.0 * link.latency_s * degree;
+  return tp;
+}
+
+std::vector<ClusterSpec> enumerate_tp_foldings(
+    const ClusterSpec& cluster, const std::vector<int>& degrees) {
+  // Group devices by (node, type): TP only spans identical GPUs that share
+  // NVLink.
+  std::map<std::pair<int, std::string>, int> group_count;
+  for (const auto& slot : cluster.devices)
+    ++group_count[{slot.node, slot.gpu_name}];
+
+  // Distinct GPU types, in first-seen order.
+  std::vector<std::string> types;
+  for (const auto& slot : cluster.devices)
+    if (std::find(types.begin(), types.end(), slot.gpu_name) == types.end())
+      types.push_back(slot.gpu_name);
+
+  // Per-type feasible degrees: must divide that type's count on every node.
+  std::vector<std::vector<int>> feasible(types.size());
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    for (int d : degrees) {
+      bool ok = d >= 1;
+      for (const auto& [key, count] : group_count)
+        if (key.second == types[t] && count % d != 0) ok = false;
+      if (ok) feasible[t].push_back(d);
+    }
+    if (feasible[t].empty()) feasible[t].push_back(1);
+  }
+
+  // Cartesian product of per-type degrees.
+  std::vector<ClusterSpec> result;
+  std::vector<std::size_t> pick(types.size(), 0);
+  for (;;) {
+    ClusterSpec folded;
+    folded.intra_node = cluster.intra_node;
+    folded.inter_node = cluster.inter_node;
+    std::string suffix;
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      const int d = feasible[t][pick[t]];
+      if (d > 1)
+        suffix += "-" + types[t] + "x" + std::to_string(d);
+    }
+    folded.name = cluster.name + (suffix.empty() ? "" : "+tp" + suffix);
+
+    // Walk devices node by node, folding runs of `d` same-type devices.
+    std::map<std::pair<int, std::string>, int> pending;
+    for (const auto& slot : cluster.devices) {
+      const std::size_t t = static_cast<std::size_t>(
+          std::find(types.begin(), types.end(), slot.gpu_name) -
+          types.begin());
+      const int d = feasible[t][pick[t]];
+      auto& seen = pending[{slot.node, slot.gpu_name}];
+      ++seen;
+      if (seen % d != 0) continue;  // absorbed into the current TP group
+      DeviceSlot folded_slot;
+      folded_slot.node = slot.node;
+      if (d == 1) {
+        folded_slot.gpu_name = slot.gpu_name;
+      } else {
+        const GpuSpec tp =
+            make_tp_device(slot.gpu(), d, cluster.intra_node);
+        folded_slot.gpu_name = tp.name;
+        folded_slot.custom = std::make_shared<GpuSpec>(tp);
+      }
+      folded.devices.push_back(std::move(folded_slot));
+    }
+    result.push_back(std::move(folded));
+
+    // Advance the odometer.
+    std::size_t t = 0;
+    while (t < types.size() && ++pick[t] == feasible[t].size()) {
+      pick[t] = 0;
+      ++t;
+    }
+    if (t == types.size()) break;
+  }
+  return result;
+}
+
+TpAssignerResult assign_with_tensor_parallel(
+    const ModelSpec& model, const ClusterSpec& cluster,
+    const Workload& workload, const AssignerOptions& options,
+    const std::vector<int>& degrees) {
+  TpAssignerResult best;
+  double best_obj = kLpInf;
+  for (const ClusterSpec& folded : enumerate_tp_foldings(cluster, degrees)) {
+    ++best.meshes_tried;
+    try {
+      CostProvider cost(model, folded, options.cost_mode);
+      cost.set_workload(workload);
+      AssignerResult r = assign(cost, options);
+      const double obj = r.estimate.objective;
+      if (obj < best_obj) {
+        best_obj = obj;
+        best.folded = folded;
+        best.result = std::move(r);
+      }
+    } catch (const InfeasibleError& e) {
+      LOG_DEBUG << "TP mesh " << folded.name << " infeasible: " << e.what();
+    }
+  }
+  check_arg(best_obj < kLpInf,
+            "assign_with_tensor_parallel: no feasible mesh");
+  return best;
+}
+
+}  // namespace llmpq

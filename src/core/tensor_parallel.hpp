@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "core/assigner.hpp"
+#include "hw/cluster.hpp"
+
+namespace llmpq {
+
+/// Tensor-parallel extension (paper Sec. 7, "Search for Tensor
+/// Parallelization"): a TP group of k identical same-node GPUs is folded
+/// into one *virtual device* with aggregated memory and scaled compute —
+/// "we can view the device along the tensor-parallel dimension as a new
+/// device with larger memory and different kernel performance (as
+/// tensor-parallel will introduce some communication overhead), and it is
+/// still a 1-d partition problem along another axis."
+///
+/// The planner then enumerates the limited set of device meshes (TP degree
+/// per GPU type) exactly like it enumerates 1-d device orderings, running
+/// the ordinary assigner on each folded cluster.
+
+/// Virtual device modelling a TP group of `degree` GPUs of type `base`
+/// connected by `link` (the intra-node NVLink):
+///  * memory and peak throughput scale by `degree`,
+///  * compute/memory efficiency lose a per-rank synchronization factor,
+///  * every layer pass pays two all-reduce latencies on `link`.
+GpuSpec make_tp_device(const GpuSpec& base, int degree, const LinkSpec& link);
+
+/// All foldings of `cluster` with a uniform TP degree per GPU type from
+/// `degrees` (degree must divide that type's per-node count; degree 1 =
+/// no folding). Always includes the unfolded cluster.
+std::vector<ClusterSpec> enumerate_tp_foldings(
+    const ClusterSpec& cluster, const std::vector<int>& degrees = {1, 2, 4});
+
+struct TpAssignerResult {
+  ClusterSpec folded;      ///< the chosen (possibly unfolded) cluster
+  AssignerResult result;   ///< the plan over the folded devices
+  int meshes_tried = 0;
+};
+
+/// Runs the assigner over every TP folding and returns the best plan by
+/// planner objective. At least the unfolded mesh is tried, so the result
+/// is never worse than pipeline-only planning.
+TpAssignerResult assign_with_tensor_parallel(
+    const ModelSpec& model, const ClusterSpec& cluster,
+    const Workload& workload, const AssignerOptions& options = {},
+    const std::vector<int>& degrees = {1, 2, 4});
+
+}  // namespace llmpq

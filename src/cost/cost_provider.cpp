@@ -1,0 +1,60 @@
+#include "cost/cost_provider.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "cost/ground_truth.hpp"
+
+namespace llmpq {
+
+CostProvider::CostProvider(const ModelSpec& model, const ClusterSpec& cluster,
+                           CostMode mode, const ProfilerOptions& options)
+    : model_(model), cluster_(cluster), mode_(mode), latency_model_(model) {
+  if (mode_ == CostMode::kFitted) {
+    // Profile each distinct GPU type once.
+    std::set<std::string> seen;
+    std::vector<ProfileRecord> all;
+    for (const auto& slot : cluster_.devices) {
+      if (!seen.insert(slot.gpu_name).second) continue;
+      const auto records = profile_device(model_, slot.gpu(), options);
+      all.insert(all.end(), records.begin(), records.end());
+      build_cost_s_ += profiling_cost_s(model_, slot.gpu(), options);
+    }
+    latency_model_.fit(all);
+  }
+}
+
+double CostProvider::layer_time(int dev, int bits, Phase phase,
+                                int micro_batch, int seq_or_ctx) const {
+  check_arg(dev >= 0 && dev < cluster_.num_devices(),
+            "CostProvider::layer_time: bad device");
+  const auto& slot = cluster_.devices[static_cast<std::size_t>(dev)];
+  if (mode_ == CostMode::kFitted)
+    return latency_model_.predict(slot.gpu_name, bits, phase, micro_batch,
+                                  seq_or_ctx);
+  const PhaseShape shape = phase == Phase::kPrefill
+                               ? prefill_shape(micro_batch, seq_or_ctx)
+                               : decode_shape(micro_batch, seq_or_ctx);
+  return layer_time_ground_truth(slot.gpu(), model_, shape, bits);
+}
+
+double CostProvider::embedding_time(int dev, int micro_batch,
+                                    int tokens_per_seq) const {
+  const auto& slot = cluster_.devices[static_cast<std::size_t>(dev)];
+  return embedding_time_ground_truth(
+      slot.gpu(), model_,
+      static_cast<std::int64_t>(micro_batch) * tokens_per_seq);
+}
+
+double CostProvider::comm_time(int from_dev, int to_dev, Phase phase,
+                               int micro_batch) const {
+  if (from_dev == to_dev) return 0.0;
+  const PhaseShape shape =
+      phase == Phase::kPrefill
+          ? prefill_shape(micro_batch, workload_.prompt_len)
+          : decode_shape(micro_batch, workload_.max_seq_len());
+  return cluster_.link(from_dev, to_dev)
+      .transfer_time(activation_bytes(model_, shape));
+}
+
+}  // namespace llmpq

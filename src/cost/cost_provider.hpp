@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "cost/latency_model.hpp"
+#include "hw/cluster.hpp"
+#include "model/workload.hpp"
+
+namespace llmpq {
+
+/// The planner's single window onto execution cost. Two modes, matching
+/// the paper's `--fit / --use_profiler_prediction` switch:
+///   kFitted   — profile every device type once, fit the regression model,
+///               answer queries from the fit (fast, slightly inaccurate);
+///   kProfiled — answer queries straight from profiled samples (here: the
+///               noiseless ground truth), the "use profiled result" path.
+enum class CostMode { kFitted, kProfiled };
+
+class CostProvider {
+ public:
+  CostProvider(const ModelSpec& model, const ClusterSpec& cluster,
+               CostMode mode = CostMode::kFitted,
+               const ProfilerOptions& options = {});
+
+  /// Predicted time of ONE decoder layer at `bits` on device `dev` of the
+  /// cluster for a micro-batch of the given size.
+  double layer_time(int dev, int bits, Phase phase, int micro_batch,
+                    int seq_or_ctx) const;
+
+  /// Predicted master-engine (embedding + LM head) time per micro-batch,
+  /// charged to the first device.
+  double embedding_time(int dev, int micro_batch, int tokens_per_seq) const;
+
+  /// Activation-transfer time between consecutive pipeline positions.
+  double comm_time(int from_dev, int to_dev, Phase phase,
+                   int micro_batch) const;
+
+  /// Total time spent producing the cost model (profiling sweeps), for
+  /// overhead reporting.
+  double build_cost_s() const { return build_cost_s_; }
+
+  const ModelSpec& model() const { return model_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  const Workload& workload() const { return workload_; }
+  void set_workload(const Workload& w) { workload_ = w; }
+  CostMode mode() const { return mode_; }
+  const LatencyModel& latency_model() const { return latency_model_; }
+
+ private:
+  ModelSpec model_;
+  ClusterSpec cluster_;
+  CostMode mode_;
+  Workload workload_;
+  LatencyModel latency_model_;
+  double build_cost_s_ = 0.0;
+};
+
+}  // namespace llmpq

@@ -1,0 +1,38 @@
+#include "cost/ground_truth.hpp"
+
+#include <algorithm>
+
+namespace llmpq {
+
+double layer_time_ground_truth(const GpuSpec& gpu, const ModelSpec& model,
+                               const PhaseShape& shape, int bits,
+                               QuantScheme scheme) {
+  const double flops = layer_flops(model, shape);
+  const double bytes = layer_mem_ops(
+      model, shape, bytes_per_param(bits) * scheme_memory_factor(scheme, bits));
+  const double compute_time =
+      flops / (gpu.effective_flops(bits) * scheme_kernel_speedup(scheme, bits));
+  const double memory_time = bytes / gpu.effective_bandwidth(bits);
+  return std::max(compute_time, memory_time) + gpu.kernel(bits).overhead_s;
+}
+
+double embedding_time_ground_truth(const GpuSpec& gpu, const ModelSpec& model,
+                                   std::int64_t tokens) {
+  const double flops = embedding_flops(model, tokens);
+  // Embedding table gather + logits write, FP16.
+  const double bytes =
+      static_cast<double>(tokens) *
+          (static_cast<double>(model.hidden) + static_cast<double>(model.vocab)) *
+          2.0 +
+      static_cast<double>(model.vocab) * static_cast<double>(model.hidden) * 2.0;
+  const double compute_time = flops / gpu.effective_flops(16);
+  const double memory_time = bytes / gpu.effective_bandwidth(16);
+  return std::max(compute_time, memory_time) + gpu.kernel(16).overhead_s;
+}
+
+double activation_bytes(const ModelSpec& model, const PhaseShape& shape) {
+  return static_cast<double>(shape.batch) * static_cast<double>(shape.seq) *
+         static_cast<double>(model.hidden) * 2.0;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "hw/gpu_spec.hpp"
+#include "quant/scheme.hpp"
+#include "model/flops.hpp"
+#include "model/model_spec.hpp"
+
+namespace llmpq {
+
+/// Roofline-based "real" kernel timing — the stand-in for running kernels
+/// on actual GPUs. The profiler samples this (with measurement noise) to
+/// fit the latency cost model; the pipeline simulator executes against it.
+/// Keeping it in one place makes the planner-vs-reality gap honest: the
+/// planner only ever sees fitted regressions, never this function.
+
+/// Wall time of one decoder layer pass at `bits` for a phase shape.
+/// `scheme` selects the weight-only kernel family (Sec. 7 extension).
+double layer_time_ground_truth(const GpuSpec& gpu, const ModelSpec& model,
+                               const PhaseShape& shape, int bits,
+                               QuantScheme scheme = QuantScheme::kGptq);
+
+/// Wall time of embedding lookup + LM-head projection for `tokens` tokens
+/// (always FP16).
+double embedding_time_ground_truth(const GpuSpec& gpu, const ModelSpec& model,
+                                   std::int64_t tokens);
+
+/// Bytes of activations handed to the next pipeline stage for a shape
+/// (hidden states at FP16).
+double activation_bytes(const ModelSpec& model, const PhaseShape& shape);
+
+}  // namespace llmpq

@@ -1,0 +1,78 @@
+#include "cost/mem_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "hw/gpu_spec.hpp"
+
+namespace llmpq {
+
+std::int64_t layer_weight_bytes(const ModelSpec& model, int bits) {
+  const double wbytes = bytes_per_param(bits);
+  std::int64_t linear_params = 0;
+  std::int64_t scale_floats = 0;
+  for (const auto& op : model.layer_linear_ops()) {
+    linear_params += op.weight_params();
+    scale_floats += op.out_dim;  // one scale per output channel
+  }
+  const std::int64_t fp16_side =
+      2 * (4 * model.hidden) +              // two layer norms (w + b)
+      2 * (model.hidden * 5 + model.ffn);   // linear biases at FP16
+  std::int64_t total = static_cast<std::int64_t>(
+      static_cast<double>(linear_params) * wbytes);
+  if (bits < 16) total += scale_floats * 2;  // FP16 scales
+  return total + fp16_side;
+}
+
+std::int64_t layer_kv_bytes(const ModelSpec& model, int batch,
+                            int max_seq_len) {
+  // K and V, FP16, reserved at full length (paper follows FasterTransformer).
+  return 2LL * batch * max_seq_len * model.hidden * 2;
+}
+
+std::int64_t embedding_weight_bytes(const ModelSpec& model) {
+  return (model.vocab * model.hidden + model.max_pos * model.hidden +
+          2 * model.hidden) *
+         2;
+}
+
+std::int64_t lm_head_bytes(const ModelSpec& model) {
+  // Weight-tied with the token embedding, but a pipeline's last stage must
+  // hold its own copy when it differs from the first stage.
+  return model.vocab * model.hidden * 2;
+}
+
+std::int64_t temp_peak_bytes(const ModelSpec& model, const Workload& w,
+                             int prefill_mb, int decode_mb) {
+  check_arg(prefill_mb >= 1 && decode_mb >= 1,
+            "temp_peak_bytes: micro-batch sizes must be positive");
+  const std::int64_t s = w.prompt_len;
+  const std::int64_t ctx = w.max_seq_len();
+  // Prefill: activations through the widest operator (ffn) + attention
+  // score matrix (heads x s x s) in FP16, double-buffered.
+  const std::int64_t prefill =
+      2 * prefill_mb * s * (model.hidden + model.ffn) * 2 +
+      prefill_mb * model.heads * s * s * 2;
+  // Decode: one-token activations + scores over the full context.
+  const std::int64_t decode =
+      2 * decode_mb * (model.hidden + model.ffn) * 2 +
+      decode_mb * model.heads * ctx * 2;
+  return std::max(prefill, decode);
+}
+
+StageMemory stage_memory(const ModelSpec& model,
+                         std::span<const int> layer_bits, const Workload& w,
+                         int prefill_mb, int decode_mb, bool first_stage,
+                         bool last_stage) {
+  StageMemory mem;
+  for (int bits : layer_bits) {
+    mem.weights += layer_weight_bytes(model, bits);
+    mem.kv_cache += layer_kv_bytes(model, w.global_batch, w.max_seq_len());
+  }
+  if (first_stage) mem.embedding += embedding_weight_bytes(model);
+  if (last_stage && !first_stage) mem.embedding += lm_head_bytes(model);
+  mem.temp = temp_peak_bytes(model, w, prefill_mb, decode_mb);
+  return mem;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/model_spec.hpp"
+#include "model/workload.hpp"
+
+namespace llmpq {
+
+/// Analytic memory model (paper Sec. 4.1): the planner's view of how much
+/// GPU memory a model shard needs. Weights depend on per-layer bitwidths;
+/// the KV cache is reserved at the maximum sequence length (prompt +
+/// generation budget) in FP16; temporary memory is a worst case over the
+/// operators of the embedding layer and one decoder layer in both phases.
+
+/// Bytes of one decoder layer's weights at `bits` (linears packed at the
+/// quantized width plus per-channel scales; norms/biases stay FP16).
+std::int64_t layer_weight_bytes(const ModelSpec& model, int bits);
+
+/// Bytes of one layer's preallocated KV cache for `batch` sequences of up
+/// to `max_seq_len` tokens.
+std::int64_t layer_kv_bytes(const ModelSpec& model, int batch,
+                            int max_seq_len);
+
+/// Bytes of the embedding tables (token + positional, FP16) held by the
+/// first stage, and of the (tied) LM head held by the last stage.
+std::int64_t embedding_weight_bytes(const ModelSpec& model);
+std::int64_t lm_head_bytes(const ModelSpec& model);
+
+/// Worst-case temporary/workspace bytes for a stage processing micro-batch
+/// sizes `prefill_mb` / `decode_mb` of the given workload (attention score
+/// matrices dominate in prefill).
+std::int64_t temp_peak_bytes(const ModelSpec& model, const Workload& w,
+                             int prefill_mb, int decode_mb);
+
+/// Total memory demand of a stage holding layers with the given bitwidths.
+struct StageMemory {
+  std::int64_t weights = 0;
+  std::int64_t kv_cache = 0;
+  std::int64_t embedding = 0;
+  std::int64_t temp = 0;
+  std::int64_t total() const { return weights + kv_cache + embedding + temp; }
+};
+
+StageMemory stage_memory(const ModelSpec& model,
+                         std::span<const int> layer_bits, const Workload& w,
+                         int prefill_mb, int decode_mb, bool first_stage,
+                         bool last_stage);
+
+}  // namespace llmpq

@@ -1,0 +1,54 @@
+#include "cost/profiler.hpp"
+
+#include "cost/ground_truth.hpp"
+#include "model/flops.hpp"
+
+namespace llmpq {
+
+const char* phase_name(Phase phase) {
+  return phase == Phase::kPrefill ? "prefill" : "decode";
+}
+
+std::vector<ProfileRecord> profile_device(const ModelSpec& model,
+                                          const GpuSpec& gpu,
+                                          const ProfilerOptions& options) {
+  Rng rng(options.seed ^ std::hash<std::string>{}(gpu.name) ^
+          std::hash<std::string>{}(model.name));
+  std::vector<ProfileRecord> records;
+  for (int bits : kBitCandidates) {
+    for (int b : options.batches) {
+      for (int s : options.prompt_lens) {
+        const double t =
+            layer_time_ground_truth(gpu, model, prefill_shape(b, s), bits);
+        records.push_back({gpu.name, bits, Phase::kPrefill, b, s,
+                           t * (1.0 + options.noise_stddev * rng.normal())});
+      }
+      for (int ctx : options.contexts) {
+        const double t =
+            layer_time_ground_truth(gpu, model, decode_shape(b, ctx), bits);
+        records.push_back({gpu.name, bits, Phase::kDecode, b, ctx,
+                           t * (1.0 + options.noise_stddev * rng.normal())});
+      }
+    }
+  }
+  return records;
+}
+
+double profiling_cost_s(const ModelSpec& model, const GpuSpec& gpu,
+                        const ProfilerOptions& options) {
+  // Each grid point is timed over ~20 repetitions plus warmup.
+  double total = 0.0;
+  for (int bits : kBitCandidates) {
+    for (int b : options.batches) {
+      for (int s : options.prompt_lens)
+        total += 25.0 *
+                 layer_time_ground_truth(gpu, model, prefill_shape(b, s), bits);
+      for (int ctx : options.contexts)
+        total += 25.0 *
+                 layer_time_ground_truth(gpu, model, decode_shape(b, ctx), bits);
+    }
+  }
+  return total;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/gpu_spec.hpp"
+#include "model/model_spec.hpp"
+
+namespace llmpq {
+
+enum class Phase { kPrefill, kDecode };
+
+const char* phase_name(Phase phase);
+
+/// One measured sample: a single decoder layer of `model` run on `gpu` at
+/// `bits` with the given shape. `time_s` includes measurement noise.
+struct ProfileRecord {
+  std::string gpu_name;
+  int bits = 16;
+  Phase phase = Phase::kPrefill;
+  int batch = 1;
+  int seq_or_ctx = 1;  ///< prompt length (prefill) or context length (decode)
+  double time_s = 0.0;
+};
+
+struct ProfilerOptions {
+  std::vector<int> batches = {1, 2, 4, 8, 16, 32};
+  std::vector<int> prompt_lens = {64, 128, 256, 512, 1024};
+  std::vector<int> contexts = {128, 256, 384, 512, 768, 1024};
+  double noise_stddev = 0.01;  ///< multiplicative measurement noise
+  std::uint64_t seed = 2024;
+};
+
+/// "Runs" the profiling sweep for one (model, gpu) pair: samples the
+/// ground-truth kernel model over the grid with measurement noise. This is
+/// the only component besides the simulator allowed to touch ground truth.
+std::vector<ProfileRecord> profile_device(const ModelSpec& model,
+                                          const GpuSpec& gpu,
+                                          const ProfilerOptions& options = {});
+
+/// Modelled wall-clock cost of actually running that sweep on hardware
+/// (used when reporting planner overheads).
+double profiling_cost_s(const ModelSpec& model, const GpuSpec& gpu,
+                        const ProfilerOptions& options = {});
+
+}  // namespace llmpq

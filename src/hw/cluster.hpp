@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/gpu_spec.hpp"
+
+namespace llmpq {
+
+/// Point-to-point link characteristics between pipeline neighbours.
+struct LinkSpec {
+  double bytes_per_s = 0.0;
+  double latency_s = 0.0;
+
+  /// Time to move `bytes` across this link.
+  double transfer_time(double bytes) const {
+    return latency_s + bytes / bytes_per_s;
+  }
+};
+
+/// One GPU slot in a cluster: which device model and which node hosts it.
+/// A slot may carry an inline spec instead of a registry reference — used
+/// for *virtual* devices such as tensor-parallel groups folded into one
+/// logical device (core/tensor_parallel).
+struct DeviceSlot {
+  std::string gpu_name;
+  int node = 0;
+  std::shared_ptr<const GpuSpec> custom;  ///< overrides the registry if set
+
+  const GpuSpec& gpu() const {
+    return custom ? *custom : gpu_registry_get(gpu_name);
+  }
+};
+
+/// A (possibly heterogeneous) cluster: GPU slots grouped into nodes,
+/// NVLink within a node, Ethernet across nodes.
+struct ClusterSpec {
+  std::string name;
+  std::vector<DeviceSlot> devices;
+  LinkSpec intra_node;  ///< NVLink
+  LinkSpec inter_node;  ///< Ethernet
+
+  int num_devices() const { return static_cast<int>(devices.size()); }
+
+  /// Link between devices at positions a and b of a pipeline ordering.
+  const LinkSpec& link(int a, int b) const;
+
+  /// Total GPU memory across all devices.
+  std::int64_t total_mem_bytes() const;
+
+  /// True if every device is the same GPU model.
+  bool homogeneous() const;
+
+  /// Device multiset rendered as e.g. "3xT4-16G + 1xV100-32G".
+  std::string describe_devices() const;
+};
+
+/// Builds a cluster from counts, e.g. {{"T4-16G", 3}, {"V100-32G", 1}} with
+/// each GPU type placed on its own node (the paper's layout). Ethernet rate
+/// in Gbps picks 100 or 800 per the paper's cluster table.
+ClusterSpec make_cluster(const std::string& name,
+                         const std::vector<std::pair<std::string, int>>& gpus,
+                         double ethernet_gbps = 800.0);
+
+/// The paper's Table 3 clusters, keyed 1..11, plus the model evaluated on
+/// each. `paper_cluster(k)` throws for k outside [1, 11].
+struct PaperCluster {
+  ClusterSpec cluster;
+  std::string model_name;
+};
+PaperCluster paper_cluster(int index);
+
+}  // namespace llmpq

@@ -1,0 +1,114 @@
+#include "hw/gpu_spec.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace llmpq {
+
+int bit_index(int bits) {
+  for (std::size_t i = 0; i < kBitCandidates.size(); ++i)
+    if (kBitCandidates[i] == bits) return static_cast<int>(i);
+  return -1;
+}
+
+double bytes_per_param(int bits) {
+  check_arg(bit_index(bits) >= 0, "bytes_per_param: unsupported bitwidth");
+  return static_cast<double>(bits) / 8.0;
+}
+
+const KernelProfile& GpuSpec::kernel(int bits) const {
+  const int idx = bit_index(bits);
+  check_arg(idx >= 0, "GpuSpec::kernel: unsupported bitwidth");
+  return kernels[static_cast<std::size_t>(idx)];
+}
+
+double GpuSpec::effective_flops(int bits) const {
+  return peak_fp16_tflops * TFLOP * compute_efficiency *
+         kernel(bits).compute_scale;
+}
+
+namespace {
+
+// Kernel profiles, indexed {3, 4, 8, 16}. The 3/4-bit entries model GPTQ
+// weight-only kernels: dequantize-then-GEMM costs compute throughput but
+// reads fewer weight bytes. The 8-bit entry models bitsandbytes LLM.int8
+// decomposition: near-FP16 on GPUs with INT8 tensor cores (T4/A100/A800),
+// slower than FP16 on V100/P100 which lack them.
+std::vector<GpuSpec> build_registry() {
+  std::vector<GpuSpec> r;
+
+  GpuSpec a100;
+  a100.name = "A100-40G";
+  a100.mem_bytes = gb_marketing(40);
+  a100.peak_fp16_tflops = 312.0;
+  a100.mem_bandwidth = gBps(1555);
+  a100.compute_efficiency = 0.62;
+  a100.kernels = {KernelProfile{0.50, 0.85, us(45)}, KernelProfile{0.58, 0.90, us(40)},
+                  KernelProfile{1.30, 1.00, us(35)}, KernelProfile{1.00, 1.00, us(25)}};
+  r.push_back(a100);
+
+  GpuSpec a800 = a100;
+  a800.name = "A800-80G";
+  a800.mem_bytes = gb_marketing(80);
+  a800.mem_bandwidth = gBps(1935);
+  r.push_back(a800);
+
+  GpuSpec v100;
+  v100.name = "V100-32G";
+  v100.mem_bytes = gb_marketing(32);
+  v100.peak_fp16_tflops = 125.0;
+  v100.mem_bandwidth = gBps(900);
+  v100.compute_efficiency = 0.62;
+  // No INT8 tensor cores: the 8-bit decomposition kernel always loses to
+  // FP16 on compute (paper Sec 2.5).
+  v100.kernels = {KernelProfile{0.45, 0.85, us(50)}, KernelProfile{0.52, 0.90, us(45)},
+                  KernelProfile{0.55, 0.45, us(45)}, KernelProfile{1.00, 1.00, us(25)}};
+  r.push_back(v100);
+
+  GpuSpec t4;
+  t4.name = "T4-16G";
+  t4.mem_bytes = gb_marketing(16);
+  t4.peak_fp16_tflops = 65.0;
+  t4.mem_bandwidth = gBps(320);
+  t4.compute_efficiency = 0.48;
+  // Turing INT8 tensor cores make the 8-bit layer comparable to FP16
+  // (paper Sec 2.5: "T4 supports fast INT8").
+  t4.kernels = {KernelProfile{0.50, 0.85, us(50)}, KernelProfile{0.60, 0.90, us(45)},
+                KernelProfile{1.55, 1.00, us(40)}, KernelProfile{1.00, 1.00, us(30)}};
+  r.push_back(t4);
+
+  GpuSpec p100;
+  p100.name = "P100-12G";
+  p100.mem_bytes = gb_marketing(12);
+  p100.peak_fp16_tflops = 18.7;
+  p100.mem_bandwidth = gBps(732);
+  // Pascal has no tensor cores at all; GEMM efficiency is poor, which is
+  // what yields the ~14.5x FP16 prefill gap vs V100 the paper measures.
+  p100.compute_efficiency = 0.28;
+  p100.kernels = {KernelProfile{0.55, 0.85, us(55)}, KernelProfile{0.62, 0.90, us(50)},
+                  KernelProfile{0.70, 0.50, us(50)}, KernelProfile{1.00, 1.00, us(30)}};
+  r.push_back(p100);
+
+  return r;
+}
+
+const std::vector<GpuSpec>& registry() {
+  static const std::vector<GpuSpec> r = build_registry();
+  return r;
+}
+
+}  // namespace
+
+const GpuSpec& gpu_registry_get(const std::string& name) {
+  for (const auto& g : registry())
+    if (g.name == name) return g;
+  throw InvalidArgumentError("unknown GPU: " + name);
+}
+
+std::vector<std::string> gpu_registry_names() {
+  std::vector<std::string> names;
+  for (const auto& g : registry()) names.push_back(g.name);
+  return names;
+}
+
+}  // namespace llmpq

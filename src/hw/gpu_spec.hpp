@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llmpq {
+
+/// Candidate weight precisions (bits). Order matters: ascending.
+inline constexpr std::array<int, 4> kBitCandidates = {3, 4, 8, 16};
+
+/// Index of a bitwidth inside kBitCandidates; -1 if not a candidate.
+int bit_index(int bits);
+
+/// Bytes per weight parameter at a given precision (packed storage).
+double bytes_per_param(int bits);
+
+/// How a GPU executes a kernel at one weight precision. `compute_scale`
+/// multiplies the effective FLOP throughput relative to the FP16 tensor-core
+/// path (values < 1 model dequantization overhead, > 1 model INT8 tensor
+/// cores); `overhead_s` is the fixed per-layer-pass launch cost.
+struct KernelProfile {
+  double compute_scale = 1.0;
+  /// Fraction of peak bandwidth the kernel achieves (LLM.int8's
+  /// decomposition halves it on GPUs without INT8 tensor cores, which is
+  /// why V100 INT8 loses to FP16 even in the memory-bound decode phase).
+  double mem_scale = 1.0;
+  double overhead_s = 0.0;
+};
+
+/// Static description of one GPU model. These numbers parameterize the
+/// roofline ground-truth timing model (`cost/ground_truth`); they are
+/// calibrated so that cross-device ratios match the ones the paper reports
+/// (e.g. P100 ~14.5x V100 on FP16 prefill, T4 INT8 ~ FP16, V100 INT8 slower
+/// than FP16).
+struct GpuSpec {
+  std::string name;
+  std::int64_t mem_bytes = 0;
+  double peak_fp16_tflops = 0.0;
+  double mem_bandwidth = 0.0;     ///< bytes/s
+  double compute_efficiency = 0;  ///< achievable fraction of peak on GEMMs
+  double mem_efficiency = 0.85;   ///< achievable fraction of peak bandwidth
+  std::array<KernelProfile, 4> kernels;  ///< indexed by bit_index()
+
+  const KernelProfile& kernel(int bits) const;
+  /// Effective FLOP/s when running at `bits`.
+  double effective_flops(int bits) const;
+  /// Effective bytes/s when running at `bits`.
+  double effective_bandwidth(int bits) const {
+    return mem_bandwidth * mem_efficiency * kernel(bits).mem_scale;
+  }
+};
+
+/// Looks up a GPU by name: "A100-40G", "A800-80G", "V100-32G", "T4-16G",
+/// "P100-12G". Throws InvalidArgumentError for unknown names.
+const GpuSpec& gpu_registry_get(const std::string& name);
+
+std::vector<std::string> gpu_registry_names();
+
+}  // namespace llmpq

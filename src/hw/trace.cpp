@@ -1,0 +1,50 @@
+#include "hw/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace llmpq {
+
+ClusterTrace generate_cluster_trace(Rng& rng, int days) {
+  // Fleet composition and long-run utilization chosen to match the shape of
+  // the paper's Fig. 1: T4 is the majority inference fleet, A100 is scarce
+  // and saturated, older Pascal parts are plentiful and mostly idle.
+  ClusterTrace trace;
+  trace.shares = {
+      {"A100-40G", 0.08, 0.88},
+      {"V100-32G", 0.14, 0.55},
+      {"T4-16G", 0.46, 0.34},
+      {"P100-12G", 0.22, 0.18},
+      {"A800-80G", 0.10, 0.82},
+  };
+  for (const auto& share : trace.shares) {
+    for (int day = 0; day < days; ++day) {
+      // Weekly seasonality (weekend dips) + noise, clamped to [0, 1].
+      const double weekly =
+          0.06 * std::sin(2.0 * M_PI * static_cast<double>(day) / 7.0);
+      const double noise = rng.normal(0.0, 0.04);
+      const double util =
+          std::clamp(share.mean_utilization + weekly + noise, 0.0, 1.0);
+      trace.samples.push_back({share.gpu_name, day, util});
+    }
+  }
+  return trace;
+}
+
+std::vector<GpuFleetShare> average_utilization(const ClusterTrace& trace) {
+  std::vector<GpuFleetShare> out = trace.shares;
+  for (auto& share : out) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& s : trace.samples) {
+      if (s.gpu_name == share.gpu_name) {
+        sum += s.util;
+        ++n;
+      }
+    }
+    share.mean_utilization = n > 0 ? sum / n : 0.0;
+  }
+  return out;
+}
+
+}  // namespace llmpq

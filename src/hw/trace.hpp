@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace llmpq {
+
+/// Synthetic production AI-cluster inventory and utilization trace, standing
+/// in for the proprietary ByteDance trace behind the paper's Fig. 1. The
+/// generator reproduces the figure's qualitative facts: high-calibre GPUs
+/// (A100/V100) are a small fraction of the fleet but run near saturation,
+/// while the plentiful inference GPUs (T4, P100) sit largely idle.
+struct GpuFleetShare {
+  std::string gpu_name;
+  double fraction = 0.0;         ///< share of the fleet
+  double mean_utilization = 0.0; ///< long-run average busy fraction
+};
+
+struct UtilizationSample {
+  std::string gpu_name;
+  int day = 0;      ///< day within the month, 0-based
+  double util = 0;  ///< [0, 1]
+};
+
+struct ClusterTrace {
+  std::vector<GpuFleetShare> shares;         ///< sums to 1.0
+  std::vector<UtilizationSample> samples;    ///< per type x day
+};
+
+/// Generates a 30-day trace. Deterministic given the rng seed.
+ClusterTrace generate_cluster_trace(Rng& rng, int days = 30);
+
+/// Average utilization per GPU type over the trace.
+std::vector<GpuFleetShare> average_utilization(const ClusterTrace& trace);
+
+}  // namespace llmpq

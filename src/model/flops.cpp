@@ -1,0 +1,64 @@
+#include "model/flops.hpp"
+
+namespace llmpq {
+
+PhaseShape prefill_shape(std::int64_t batch, std::int64_t prompt_len) {
+  return {batch, prompt_len, prompt_len};
+}
+
+PhaseShape decode_shape(std::int64_t batch, std::int64_t context_len) {
+  return {batch, 1, context_len};
+}
+
+double layer_flops(const ModelSpec& m, const PhaseShape& s) {
+  const double tokens = static_cast<double>(s.batch * s.seq);
+  const double h = static_cast<double>(m.hidden);
+  // Linear GEMMs, derived from the layer's operator list so gated
+  // (LLaMA-style) MLPs are charged their third projection.
+  double gemm_params = 0.0;
+  for (const auto& op : m.layer_linear_ops())
+    gemm_params += static_cast<double>(op.weight_params());
+  const double gemm = 2.0 * tokens * gemm_params;
+  // Attention: QK^T and attn*V, each 2 * batch * seq * context * h.
+  const double attn = 4.0 * static_cast<double>(s.batch) *
+                      static_cast<double>(s.seq) *
+                      static_cast<double>(s.context) * h;
+  // Norms, softmax, residuals: ~10 flops per token-feature.
+  const double misc = 10.0 * tokens * h;
+  return gemm + attn + misc;
+}
+
+double layer_mem_ops(const ModelSpec& m, const PhaseShape& s,
+                     double weight_bytes_per_param) {
+  const double tokens = static_cast<double>(s.batch * s.seq);
+  const double h = static_cast<double>(m.hidden);
+  double gemm_params = 0.0;
+  double act_features = 0.0;  // in + out features touched per token
+  for (const auto& op : m.layer_linear_ops()) {
+    gemm_params += static_cast<double>(op.weight_params());
+    act_features +=
+        static_cast<double>(op.in_dim) + static_cast<double>(op.out_dim);
+  }
+  const double weight_bytes = gemm_params * weight_bytes_per_param;
+  // Activations in/out of each linear plus residual streams, FP16.
+  const double act_bytes = tokens * act_features * 2.0;
+  // KV cache: write seq tokens, read context tokens, both K and V, FP16.
+  const double kv_bytes = 2.0 * static_cast<double>(s.batch) *
+                          (static_cast<double>(s.seq) +
+                           static_cast<double>(s.context)) *
+                          h * 2.0;
+  return weight_bytes + act_bytes + kv_bytes;
+}
+
+double embedding_flops(const ModelSpec& m, std::int64_t tokens) {
+  // Lookup is bandwidth-only; the LM head GEMM is 2 * tokens * h * vocab.
+  return 2.0 * static_cast<double>(tokens) * static_cast<double>(m.hidden) *
+         static_cast<double>(m.vocab);
+}
+
+double layer_arithmetic_intensity(const ModelSpec& m, const PhaseShape& s,
+                                  double weight_bytes_per_param) {
+  return layer_flops(m, s) / layer_mem_ops(m, s, weight_bytes_per_param);
+}
+
+}  // namespace llmpq

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "model/model_spec.hpp"
+
+namespace llmpq {
+
+/// Workload shape for one phase of one micro-batch through one layer.
+/// Prefill: `tokens = batch * prompt_len`, attention spans `prompt_len`.
+/// Decode: `tokens = batch` (one new token each), attention spans the
+/// current context length (prompt + generated so far).
+struct PhaseShape {
+  std::int64_t batch = 1;
+  std::int64_t seq = 1;      ///< tokens processed per sequence this pass
+  std::int64_t context = 1;  ///< KV length attended over
+};
+
+/// Floating-point operations of one decoder layer for the given shape
+/// (GEMMs dominate; attention scores/values included; softmax/norms folded
+/// into a small linear term).
+double layer_flops(const ModelSpec& m, const PhaseShape& s);
+
+/// Bytes of memory traffic of one decoder layer: weights read once per
+/// pass at `weight_bytes_per_param` (precision-dependent), activations, and
+/// KV cache read/write at FP16. This is the "MOPs" quantity the latency
+/// cost model's features are built from.
+double layer_mem_ops(const ModelSpec& m, const PhaseShape& s,
+                     double weight_bytes_per_param);
+
+/// FLOPs of the embedding lookup + LM head for the given number of tokens.
+double embedding_flops(const ModelSpec& m, std::int64_t tokens);
+
+/// Arithmetic intensity (FLOPs / bytes) — used in tests to reproduce the
+/// paper's observation that prefill is compute-bound (intensity in the
+/// thousands) while decode is memory-bound (tens).
+double layer_arithmetic_intensity(const ModelSpec& m, const PhaseShape& s,
+                                  double weight_bytes_per_param);
+
+/// Convenience constructors for the two phases.
+PhaseShape prefill_shape(std::int64_t batch, std::int64_t prompt_len);
+PhaseShape decode_shape(std::int64_t batch, std::int64_t context_len);
+
+}  // namespace llmpq

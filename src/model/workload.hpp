@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+namespace llmpq {
+
+/// An offline serving task: a fixed global batch of prompts padded to a
+/// common length, generating a predetermined number of tokens (the paper's
+/// target setting, Sec. 2.3; defaults follow its evaluation setup).
+struct Workload {
+  int global_batch = 32;
+  int prompt_len = 512;   ///< s
+  int gen_tokens = 100;   ///< n
+
+  /// Maximum sequence length the KV cache must hold.
+  int max_seq_len() const { return prompt_len + gen_tokens; }
+
+  /// Total tokens produced by the whole batch (throughput denominator's
+  /// numerator: throughput = total_generated_tokens / e2e latency).
+  std::int64_t total_generated_tokens() const {
+    return static_cast<std::int64_t>(global_batch) * gen_tokens;
+  }
+};
+
+}  // namespace llmpq

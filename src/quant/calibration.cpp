@@ -1,0 +1,96 @@
+#include "quant/calibration.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace llmpq {
+
+double g_of_x(const ActivationStats& stats, Rounding mode) {
+  switch (mode) {
+    case Rounding::kDeterministic:
+      return stats.variance / 4.0;
+    case Rounding::kStochastic:
+      return (stats.mean * stats.mean + stats.variance) / 6.0;
+  }
+  return 0.0;  // unreachable
+}
+
+ActivationStats collect_activation_stats(std::span<const float> samples) {
+  check_arg(!samples.empty(), "collect_activation_stats: empty sample");
+  RunningStats rs;
+  for (float s : samples) rs.add(static_cast<double>(s));
+  return {rs.mean(), rs.variance()};
+}
+
+namespace {
+
+// Deterministic unit-interval hash of (model, layer, op, salt).
+double hash_unit(const ModelSpec& model, int layer, const std::string& op,
+                 std::uint64_t salt) {
+  std::uint64_t h = std::hash<std::string>{}(model.name);
+  h ^= 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(layer) +
+       (h << 6) + (h >> 2);
+  h ^= std::hash<std::string>{}(op) + 0x9e3779b97f4a7c15ull + (h << 6) +
+       (h >> 2);
+  h ^= salt * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Approximate inverse-normal for hashed gaussians (Acklam-lite; accuracy is
+// irrelevant here, determinism is what matters).
+double unit_to_normal(double u) {
+  u = std::min(std::max(u, 1e-9), 1.0 - 1e-9);
+  // Logistic approximation to the probit function.
+  return std::log(u / (1.0 - u)) / 1.702;
+}
+
+}  // namespace
+
+WeightStats synth_weight_stats(const ModelSpec& model, int layer,
+                               const std::string& op_name) {
+  check_arg(layer >= 0 && layer < model.layers,
+            "synth_weight_stats: layer out of range");
+  // Base scale follows the usual 1/sqrt(h) init magnitude; depth trend makes
+  // deeper layers ~60% "wider" by the last layer; hashed lognormal jitter
+  // differentiates operators and layers.
+  const double base = 1.0 / std::sqrt(static_cast<double>(model.hidden));
+  const double depth = 1.0 + 0.6 * static_cast<double>(layer) /
+                                 static_cast<double>(std::max(1, model.layers - 1));
+  const double jitter =
+      std::exp(0.25 * unit_to_normal(hash_unit(model, layer, op_name, 1)));
+  WeightStats w;
+  w.std_dev = base * depth * jitter;
+  // LLM weights are heavy-tailed; outliers push the symmetric range to
+  // ~6-10 sigma depending on the operator.
+  const double tail =
+      6.0 + 4.0 * hash_unit(model, layer, op_name, 2);
+  w.max_abs = w.std_dev * tail;
+  return w;
+}
+
+double weight_scale(const WeightStats& stats, int bits) {
+  return stats.max_abs / static_cast<double>(qmax_for_bits(bits));
+}
+
+ActivationStats synth_activation_stats(const ModelSpec& model, int layer,
+                                       const std::string& op_name) {
+  check_arg(layer >= 0 && layer < model.layers,
+            "synth_activation_stats: layer out of range");
+  // Post-layernorm activations: near-unit variance with per-op jitter, a
+  // small mean offset, and mild growth with depth (residual stream drift).
+  const double depth = 1.0 + 0.3 * static_cast<double>(layer) /
+                                 static_cast<double>(std::max(1, model.layers - 1));
+  ActivationStats a;
+  a.variance = depth *
+               std::exp(0.2 * unit_to_normal(hash_unit(model, layer, op_name, 3)));
+  a.mean = 0.1 * unit_to_normal(hash_unit(model, layer, op_name, 4));
+  return a;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/model_spec.hpp"
+#include "quant/rounding.hpp"
+
+namespace llmpq {
+
+/// First and second moments of the input activations of one linear
+/// operator, gathered from calibration data (the paper uses 128 C4
+/// segments; we use synthetic activations or real tiny-transformer runs).
+struct ActivationStats {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// The G(X) term of Proposition 2:
+///   deterministic rounding:  Var[X] / 4
+///   stochastic rounding:     (E[X]^2 + Var[X]) / 6
+double g_of_x(const ActivationStats& stats, Rounding mode);
+
+/// Computes activation statistics from raw samples.
+ActivationStats collect_activation_stats(std::span<const float> samples);
+
+/// Synthetic per-operator weight statistics for a model we do not have a
+/// checkpoint for. Deterministic in (model, layer, op): drawn from a hashed
+/// lognormal with a mild depth trend, so deeper layers have slightly larger
+/// weight scales — the source of the depth-increasing quantization
+/// sensitivity the paper's Table 1 observes.
+struct WeightStats {
+  double std_dev = 0.0;   ///< per-element standard deviation of W
+  double max_abs = 0.0;   ///< symmetric quantization range
+};
+
+WeightStats synth_weight_stats(const ModelSpec& model, int layer,
+                               const std::string& op_name);
+
+/// Symmetric quantization scale for a weight tensor at `bits`:
+///   S_W(b) = max|W| / (2^{b-1} - 1).
+double weight_scale(const WeightStats& stats, int bits);
+
+/// Synthetic activation statistics per operator input, deterministic in
+/// (model, layer, op) like synth_weight_stats.
+ActivationStats synth_activation_stats(const ModelSpec& model, int layer,
+                                       const std::string& op_name);
+
+}  // namespace llmpq

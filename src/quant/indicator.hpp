@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/gpu_spec.hpp"
+#include "model/model_spec.hpp"
+#include "quant/rounding.hpp"
+
+namespace llmpq {
+
+/// How layer sensitivities are estimated for the optimizer's quality term.
+///  kVariance — the paper's contribution: the rounding-variance upper bound
+///              of Theorem 1 / Proposition 2. Cheap (one statistics pass).
+///  kHessian  — HAWQ-style second-order proxy; most faithful but ~60x more
+///              expensive to produce (Table 6).
+///  kRandom   — ablation baseline: random positive values.
+enum class IndicatorKind { kVariance, kHessian, kRandom };
+
+std::string indicator_kind_name(IndicatorKind kind);
+
+/// Per-layer, per-bitwidth quality-perturbation scores omega_{i,b}, indexed
+/// [layer][bit_index] with bit order {3, 4, 8, 16}; omega at 16 bits is 0.
+/// Values are normalized so the per-layer mean at 4 bits is kOmegaScale —
+/// calibrated so the user quality scalar theta covers the same useful
+/// range the paper uses (1 .. 1000) against latencies measured in seconds.
+inline constexpr double kOmegaScale = 0.1;
+
+struct IndicatorResult {
+  IndicatorKind kind = IndicatorKind::kVariance;
+  std::vector<std::array<double, 4>> omega;
+  double overhead_s = 0.0;  ///< modelled time to produce the indicator
+
+  double at(int layer, int bits) const;
+};
+
+/// Raw (unnormalized) variance-indicator value of Proposition 2 for one
+/// layer: sum over the layer's linear operators of D_W * S_W(b)^2 * G(X).
+double raw_variance_omega(const ModelSpec& model, int layer, int bits,
+                          Rounding mode);
+
+/// Computes the indicator for a whole model. Deterministic given `seed`.
+IndicatorResult compute_indicator(const ModelSpec& model, IndicatorKind kind,
+                                  Rounding mode = Rounding::kDeterministic,
+                                  std::uint64_t seed = 17);
+
+/// Modelled wall-clock cost of producing each indicator, calibrated to the
+/// magnitudes in the paper's Table 6 (variance: minutes; Hessian: hours).
+double indicator_overhead_s(const ModelSpec& model, IndicatorKind kind);
+
+}  // namespace llmpq

@@ -1,0 +1,51 @@
+#include "quant/qgemm.hpp"
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
+           const QuantizedMatrix& w, std::span<const float> bias,
+           std::span<float> y) {
+  const std::size_t rows = w.rows();
+  check_arg(w.cols() == cols, "qgemm: inner dimension mismatch");
+  check_arg(x.size() == m * cols, "qgemm: x size mismatch");
+  check_arg(y.size() == m * rows, "qgemm: y size mismatch");
+  check_arg(bias.empty() || bias.size() == rows, "qgemm: bias size mismatch");
+
+  std::vector<float> wrow(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    w.dequantize_row(r, wrow.data());
+    const float b = bias.empty() ? 0.0f : bias[r];
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* xi = x.data() + i * cols;
+      float acc = b;
+      for (std::size_t c = 0; c < cols; ++c) acc += xi[c] * wrow[c];
+      y[i * rows + r] = acc;
+    }
+  }
+}
+
+void gemm_f32(std::span<const float> x, std::size_t m, std::size_t cols,
+              std::span<const float> w, std::size_t rows,
+              std::span<const float> bias, std::span<float> y) {
+  check_arg(w.size() == rows * cols, "gemm_f32: w size mismatch");
+  check_arg(x.size() == m * cols, "gemm_f32: x size mismatch");
+  check_arg(y.size() == m * rows, "gemm_f32: y size mismatch");
+  check_arg(bias.empty() || bias.size() == rows,
+            "gemm_f32: bias size mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* xi = x.data() + i * cols;
+    float* yi = y.data() + i * rows;
+    for (std::size_t r = 0; r < rows; ++r)
+      yi[r] = bias.empty() ? 0.0f : bias[r];
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* wr = w.data() + r * cols;
+      float acc = yi[r];
+      for (std::size_t c = 0; c < cols; ++c) acc += xi[c] * wr[c];
+      yi[r] = acc;
+    }
+  }
+}
+
+}  // namespace llmpq

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "quant/quantize.hpp"
+
+namespace llmpq {
+
+/// y[m x rows] = x[m x cols] * W^T where W is [rows x cols]. Weights are
+/// stored output-channel-major (each W row produces one output feature),
+/// matching the per-row quantization scales. `bias` (size rows) is optional.
+///
+/// This is the CPU reference of the "weight-only kernel": dequantize one
+/// output channel at a time and accumulate in fp32. Correctness, not speed,
+/// is the point — kernel *timing* on GPUs is modelled in cost/.
+void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
+           const QuantizedMatrix& w, std::span<const float> bias,
+           std::span<float> y);
+
+/// Plain fp32 GEMM with the same layout (used as the ground truth in tests).
+void gemm_f32(std::span<const float> x, std::size_t m, std::size_t cols,
+              std::span<const float> w, std::size_t rows,
+              std::span<const float> bias, std::span<float> y);
+
+}  // namespace llmpq

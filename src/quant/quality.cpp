@@ -1,0 +1,146 @@
+#include "quant/quality.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "quant/calibration.hpp"
+#include "quant/indicator.hpp"
+
+namespace llmpq {
+
+namespace {
+
+double hash_normal(const ModelSpec& model, int layer, std::uint64_t salt) {
+  std::uint64_t h = std::hash<std::string>{}(model.name);
+  h ^= (static_cast<std::uint64_t>(layer) + 0x9e3779b97f4a7c15ull) +
+       (h << 6) + (h >> 2);
+  h ^= salt * 0x94d049bb133111ebull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  const double u =
+      std::min(std::max(static_cast<double>(h >> 11) * 0x1.0p-53, 1e-9),
+               1.0 - 1e-9);
+  return std::log(u / (1.0 - u)) / 1.702;
+}
+
+// Uniform-4-bit perplexity degradation targets, set from the paper's
+// reported PPL gaps (e.g. OPT-13b: PipeEdge@4bit 11.78 vs FP16 11.22).
+double target_delta4(const ModelSpec& model) {
+  struct Entry {
+    const char* name;
+    double delta;
+  };
+  static constexpr Entry kTargets[] = {
+      {"opt-125m", 2.10}, {"opt-1.3b", 1.05}, {"opt-13b", 0.56},
+      {"opt-30b", 0.10},  {"opt-66b", 0.17},  {"opt-175b", 0.06},
+      {"bloom-560m", 1.90}, {"bloom-1b7", 1.30}, {"bloom-3b", 0.80},
+      {"bloom-7b1", 0.45},  {"bloom-176b", 0.07},
+  };
+  for (const auto& e : kTargets)
+    if (model.name == e.name) return e.delta;
+  // Unknown model: scale inversely with sqrt(model size in billions).
+  const double billions =
+      static_cast<double>(model.total_params()) / 1e9;
+  return 1.0 / std::sqrt(std::max(0.1, billions));
+}
+
+// Accuracy points lost at uniform 4-bit.
+double target_acc_delta4(const ModelSpec& model) {
+  // Table 1 magnitude: OPT-1.3b loses ~2 points when a third of layers is
+  // 4-bit, so ~2.5-3 points at uniform 4-bit; scale with the PPL target.
+  return 2.8 * target_delta4(model) / 1.05;
+}
+
+// Normalized depth-dependent sensitivity: variance-law shape (what the
+// indicator can see) times jitter it cannot.
+double true_shape(const ModelSpec& model, int layer) {
+  const double raw =
+      raw_variance_omega(model, layer, 4, Rounding::kDeterministic);
+  double mean_raw = 0.0;
+  for (int i = 0; i < model.layers; ++i)
+    mean_raw += raw_variance_omega(model, i, 4, Rounding::kDeterministic);
+  mean_raw /= static_cast<double>(model.layers);
+  return raw / mean_raw * std::exp(0.15 * hash_normal(model, layer, 101));
+}
+
+// Bitwidth factor relative to 4-bit.
+double bit_factor(const ModelSpec& model, int layer, int bits) {
+  switch (bits) {
+    case 16:
+      return 0.0;
+    case 8:
+      // Nearly free; per-layer jitter can dip slightly below zero
+      // (LLM.int8 occasionally regularizes, cf. negative deltas in
+      // Tables 4/6).
+      return 0.012 + 0.018 * hash_normal(model, layer, 202);
+    case 4:
+      return 1.0;
+    case 3: {
+      // (qmax4/qmax3)^2 = (7/3)^2 ~ 5.4, with mild per-layer variation.
+      return 5.4 * std::exp(0.10 * hash_normal(model, layer, 303));
+    }
+    default:
+      throw InvalidArgumentError("bit_factor: unsupported bitwidth");
+  }
+}
+
+}  // namespace
+
+double model_ppl_delta_at_uniform4(const ModelSpec& model) {
+  return target_delta4(model);
+}
+
+double true_layer_ppl_delta(const ModelSpec& model, int layer, int bits) {
+  check_arg(layer >= 0 && layer < model.layers,
+            "true_layer_ppl_delta: layer out of range");
+  const double unit =
+      target_delta4(model) / static_cast<double>(model.layers);
+  return unit * true_shape(model, layer) * bit_factor(model, layer, bits);
+}
+
+double true_layer_acc_delta(const ModelSpec& model, int layer, int bits) {
+  const double unit =
+      target_acc_delta4(model) / static_cast<double>(model.layers);
+  return unit * true_shape(model, layer) * bit_factor(model, layer, bits);
+}
+
+double plan_ppl(const ModelSpec& model, std::span<const int> bits_per_layer) {
+  return plan_ppl(model, bits_per_layer, QuantScheme::kGptq);
+}
+
+double plan_ppl(const ModelSpec& model, std::span<const int> bits_per_layer,
+                QuantScheme scheme) {
+  check_arg(static_cast<int>(bits_per_layer.size()) == model.layers,
+            "plan_ppl: wrong number of layers");
+  double ppl = model.ppl_fp16;
+  for (int i = 0; i < model.layers; ++i) {
+    const int bits = bits_per_layer[static_cast<std::size_t>(i)];
+    ppl += true_layer_ppl_delta(model, i, bits) *
+           scheme_quality_factor(scheme, bits);
+  }
+  return ppl;
+}
+
+double plan_accuracy(const ModelSpec& model,
+                     std::span<const int> bits_per_layer) {
+  check_arg(static_cast<int>(bits_per_layer.size()) == model.layers,
+            "plan_accuracy: wrong number of layers");
+  double acc = model.acc_fp16;
+  for (int i = 0; i < model.layers; ++i)
+    acc -= true_layer_acc_delta(model, i, bits_per_layer[static_cast<std::size_t>(i)]);
+  return acc;
+}
+
+double uniform_ppl(const ModelSpec& model, int bits) {
+  std::vector<int> plan(static_cast<std::size_t>(model.layers), bits);
+  return plan_ppl(model, plan);
+}
+
+double uniform_accuracy(const ModelSpec& model, int bits) {
+  std::vector<int> plan(static_cast<std::size_t>(model.layers), bits);
+  return plan_accuracy(model, plan);
+}
+
+}  // namespace llmpq

@@ -1,0 +1,116 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+namespace {
+
+// Writes `value` (already biased, < 2^bits) at element index `idx` of a
+// packed row starting at `row_words`.
+void pack_value(std::uint32_t* row_words, std::size_t idx, int bits,
+                std::uint32_t value) {
+  const std::size_t bit_pos = idx * static_cast<std::size_t>(bits);
+  const std::size_t word = bit_pos / 32;
+  const std::size_t offset = bit_pos % 32;
+  row_words[word] |= value << offset;
+  if (offset + static_cast<std::size_t>(bits) > 32)
+    row_words[word + 1] |= value >> (32 - offset);
+}
+
+std::uint32_t unpack_value(const std::uint32_t* row_words, std::size_t idx,
+                           int bits) {
+  const std::size_t bit_pos = idx * static_cast<std::size_t>(bits);
+  const std::size_t word = bit_pos / 32;
+  const std::size_t offset = bit_pos % 32;
+  const std::uint32_t mask = (1u << bits) - 1u;
+  std::uint32_t v = row_words[word] >> offset;
+  if (offset + static_cast<std::size_t>(bits) > 32)
+    v |= row_words[word + 1] << (32 - offset);
+  return v & mask;
+}
+
+}  // namespace
+
+QuantizedMatrix QuantizedMatrix::quantize(std::span<const float> weights,
+                                          std::size_t rows, std::size_t cols,
+                                          int bits, Rounding mode, Rng& rng) {
+  check_arg(weights.size() == rows * cols, "quantize: size mismatch");
+  check_arg(bits == 3 || bits == 4 || bits == 8 || bits == 16,
+            "quantize: unsupported bitwidth");
+  QuantizedMatrix q;
+  q.bits_ = bits;
+  q.rows_ = rows;
+  q.cols_ = cols;
+
+  if (bits == 16) {
+    q.fp_.assign(weights.begin(), weights.end());
+    return q;
+  }
+
+  const std::int32_t qmax = qmax_for_bits(bits);
+  q.words_per_row_ =
+      (cols * static_cast<std::size_t>(bits) + 31) / 32 + 1;  // +1 spill word
+  q.scales_.resize(rows);
+  q.packed_.assign(rows * q.words_per_row_, 0u);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* w = weights.data() + r * cols;
+    float max_abs = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c)
+      max_abs = std::max(max_abs, std::fabs(w[c]));
+    const float scale =
+        max_abs > 0.0f ? max_abs / static_cast<float>(qmax) : 1.0f;
+    q.scales_[r] = scale;
+    std::uint32_t* row_words = q.packed_.data() + r * q.words_per_row_;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::int32_t qi = clamp_to_bits(
+          round_scaled(static_cast<double>(w[c]) / scale, mode, rng), bits);
+      pack_value(row_words, c, bits,
+                 static_cast<std::uint32_t>(qi + qmax));
+    }
+  }
+  return q;
+}
+
+void QuantizedMatrix::dequantize_row(std::size_t row, float* out) const {
+  if (bits_ == 16) {
+    const float* src = fp_.data() + row * cols_;
+    std::copy(src, src + cols_, out);
+    return;
+  }
+  const std::int32_t qmax = qmax_for_bits(bits_);
+  const float scale = scales_[row];
+  const std::uint32_t* row_words = packed_.data() + row * words_per_row_;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const std::int32_t qi =
+        static_cast<std::int32_t>(unpack_value(row_words, c, bits_)) - qmax;
+    out[c] = static_cast<float>(qi) * scale;
+  }
+}
+
+std::vector<float> QuantizedMatrix::dequantize() const {
+  std::vector<float> out(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    dequantize_row(r, out.data() + r * cols_);
+  return out;
+}
+
+std::int32_t QuantizedMatrix::quantized_at(std::size_t row,
+                                           std::size_t col) const {
+  check_arg(bits_ < 16, "quantized_at: matrix is not quantized");
+  const std::uint32_t* row_words = packed_.data() + row * words_per_row_;
+  return static_cast<std::int32_t>(unpack_value(row_words, col, bits_)) -
+         qmax_for_bits(bits_);
+}
+
+std::size_t QuantizedMatrix::packed_bytes() const {
+  if (bits_ == 16) return fp_.size() * sizeof(float);
+  return packed_.size() * sizeof(std::uint32_t) +
+         scales_.size() * sizeof(float);
+}
+
+}  // namespace llmpq

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/rounding.hpp"
+
+namespace llmpq {
+
+/// A row-major [rows x cols] weight matrix quantized symmetrically with one
+/// scale per output channel (row), stored bit-packed. 16 "bits" means
+/// unquantized pass-through (weights kept in float).
+///
+/// Packing layout for b in {3, 4, 8}: each row is packed independently into
+/// 32-bit words, `b` bits per element in little-endian bit order, signed
+/// values stored with a bias of qmax (so stored field = q + qmax, always
+/// non-negative and < 2^b ... well within b bits since |q| <= qmax).
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  int bits() const { return bits_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const std::vector<float>& scales() const { return scales_; }
+
+  /// Quantizes `weights` ([rows x cols] row-major). For bits == 16 the
+  /// weights are stored verbatim.
+  static QuantizedMatrix quantize(std::span<const float> weights,
+                                  std::size_t rows, std::size_t cols, int bits,
+                                  Rounding mode, Rng& rng);
+
+  /// Reconstructs the full matrix in float.
+  std::vector<float> dequantize() const;
+
+  /// Reconstructs one row into `out` (size cols). Hot path of the
+  /// dequantize-then-GEMM kernel.
+  void dequantize_row(std::size_t row, float* out) const;
+
+  /// Raw quantized value at (row, col); only valid for bits < 16.
+  std::int32_t quantized_at(std::size_t row, std::size_t col) const;
+
+  /// Storage footprint of the packed representation in bytes.
+  std::size_t packed_bytes() const;
+
+ private:
+  int bits_ = 16;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<float> scales_;        ///< per-row scale
+  std::vector<std::uint32_t> packed_;  ///< bits < 16
+  std::vector<float> fp_;              ///< bits == 16
+};
+
+}  // namespace llmpq

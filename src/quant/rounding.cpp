@@ -1,0 +1,34 @@
+#include "quant/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+std::int32_t round_scaled(double x, Rounding mode, Rng& rng) {
+  switch (mode) {
+    case Rounding::kDeterministic:
+      return static_cast<std::int32_t>(std::lrint(x));
+    case Rounding::kStochastic: {
+      const double floor_x = std::floor(x);
+      const double frac = x - floor_x;
+      const double draw = rng.uniform();
+      return static_cast<std::int32_t>(floor_x) + (draw < frac ? 1 : 0);
+    }
+  }
+  return 0;  // unreachable
+}
+
+std::int32_t qmax_for_bits(int bits) {
+  check_arg(bits >= 2 && bits <= 16, "qmax_for_bits: bits out of range");
+  return (1 << (bits - 1)) - 1;
+}
+
+std::int32_t clamp_to_bits(std::int32_t q, int bits) {
+  const std::int32_t qmax = qmax_for_bits(bits);
+  return std::clamp(q, -qmax, qmax);
+}
+
+}  // namespace llmpq

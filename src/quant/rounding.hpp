@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace llmpq {
+
+/// Rounding mode used when mapping scaled weights to integers. The two
+/// modes are exactly the ones Theorem 1 of the paper analyses: deterministic
+/// round-to-nearest has error variance s^2/4 (worst case), stochastic
+/// rounding is unbiased with variance bounded by s^2/6 terms.
+enum class Rounding { kDeterministic, kStochastic };
+
+/// Rounds `x` (already divided by the scale) to an integer.
+std::int32_t round_scaled(double x, Rounding mode, Rng& rng);
+
+/// Clamps an integer to the symmetric range of a bitwidth:
+/// [-(2^{b-1} - 1), 2^{b-1} - 1].
+std::int32_t clamp_to_bits(std::int32_t q, int bits);
+
+/// Largest representable magnitude at a bitwidth: 2^{b-1} - 1.
+std::int32_t qmax_for_bits(int bits);
+
+}  // namespace llmpq

@@ -1,0 +1,53 @@
+#include "quant/scheme.hpp"
+
+namespace llmpq {
+
+std::string quant_scheme_name(QuantScheme scheme) {
+  switch (scheme) {
+    case QuantScheme::kGptq:
+      return "gptq";
+    case QuantScheme::kAwq:
+      return "awq";
+    case QuantScheme::kSpqr:
+      return "spqr";
+  }
+  return "?";
+}
+
+double scheme_kernel_speedup(QuantScheme scheme, int bits) {
+  if (bits >= 8) return 1.0;  // the 8-bit path is bitsandbytes either way
+  switch (scheme) {
+    case QuantScheme::kGptq:
+      return 1.0;
+    case QuantScheme::kAwq:
+      // Reorder-free layout + tensor-core dequant (AWQ paper's kernel
+      // claim): ~1.25x over the GPTQ kernels at 3/4-bit.
+      return 1.25;
+    case QuantScheme::kSpqr:
+      // The sparse outlier matmul costs a little throughput.
+      return 0.9;
+  }
+  return 1.0;
+}
+
+double scheme_quality_factor(QuantScheme scheme, int bits) {
+  if (bits >= 8) return 1.0;
+  switch (scheme) {
+    case QuantScheme::kGptq:
+      return 1.0;
+    case QuantScheme::kAwq:
+      // Activation-aware scaling protects salient channels.
+      return 0.85;
+    case QuantScheme::kSpqr:
+      // Near-lossless at 3-4 bits per its paper.
+      return 0.45;
+  }
+  return 1.0;
+}
+
+double scheme_memory_factor(QuantScheme scheme, int bits) {
+  if (bits >= 8) return 1.0;
+  return scheme == QuantScheme::kSpqr ? 1.04 : 1.0;
+}
+
+}  // namespace llmpq

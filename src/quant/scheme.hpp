@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+namespace llmpq {
+
+/// Candidate weight-only quantization schemes (paper Sec. 7, "Other
+/// Quantization Schemes"): LLM-PQ treats the kernel family as a pluggable
+/// choice. Each scheme trades kernel speed, model quality and memory
+/// differently at the same nominal bitwidth:
+///   kGptq — the paper's default for 3/4-bit (round-to-nearest with
+///           calibration; our baseline traits).
+///   kAwq  — activation-aware scaling + reorder-free kernels using tensor
+///           cores: noticeably faster dequant-GEMM, quality ~ GPTQ.
+///   kSpqr — outliers kept in higher precision: clearly better quality at
+///           low bits, a small memory surcharge and slightly slower kernels.
+enum class QuantScheme { kGptq, kAwq, kSpqr };
+
+std::string quant_scheme_name(QuantScheme scheme);
+
+/// Multiplier on the kernel's effective compute throughput at `bits`
+/// relative to the GPTQ baseline kernels (only sub-16-bit widths differ).
+double scheme_kernel_speedup(QuantScheme scheme, int bits);
+
+/// Multiplier on the quality perturbation (PPL delta / omega) at `bits`.
+double scheme_quality_factor(QuantScheme scheme, int bits);
+
+/// Multiplier on packed weight bytes at `bits` (SpQR's sparse outlier
+/// side-car costs a few percent).
+double scheme_memory_factor(QuantScheme scheme, int bits);
+
+}  // namespace llmpq

@@ -1,0 +1,155 @@
+#include "runtime/calibration_runner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "hw/gpu_spec.hpp"
+
+namespace llmpq {
+
+namespace {
+
+class StatsObserver final : public ActivationObserver {
+ public:
+  explicit StatsObserver(int layers) : stats_(static_cast<std::size_t>(layers)) {}
+
+  void on_linear_input(int layer, int op, std::span<const float> x) override {
+    check_arg(layer >= 0 && layer < static_cast<int>(stats_.size()),
+              "StatsObserver: layer out of range");
+    auto& rs = stats_[static_cast<std::size_t>(layer)]
+                     [static_cast<std::size_t>(op)];
+    for (float v : x) rs.add(static_cast<double>(v));
+  }
+
+  LayerCalibration layer_result(int layer) const {
+    const auto& ls = stats_[static_cast<std::size_t>(layer)];
+    auto to_stats = [](const RunningStats& rs) {
+      return ActivationStats{rs.mean(), rs.variance()};
+    };
+    return {to_stats(ls[0]), to_stats(ls[1]), to_stats(ls[2]), to_stats(ls[3])};
+  }
+
+ private:
+  std::vector<std::array<RunningStats, 4>> stats_;
+};
+
+/// Mean of the squared per-output-channel quantization scales of a weight
+/// matrix at `bits` — the S_W(b)^2 term of Proposition 2, measured from
+/// the actual weights instead of synthetic statistics.
+double mean_scale_sq(const QuantizedMatrix& w, int bits) {
+  const std::vector<float> dense = w.dequantize();
+  const std::size_t rows = w.rows(), cols = w.cols();
+  const double qmax = static_cast<double>(qmax_for_bits(bits));
+  double sum = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    float max_abs = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c)
+      max_abs = std::max(max_abs, std::fabs(dense[r * cols + c]));
+    const double s = static_cast<double>(max_abs) / qmax;
+    sum += s * s;
+  }
+  return sum / static_cast<double>(rows);
+}
+
+}  // namespace
+
+std::vector<LayerCalibration> run_calibration(
+    const ModelWeights& weights,
+    const std::vector<std::vector<TokenId>>& prompts) {
+  check_arg(!prompts.empty(), "run_calibration: no prompts");
+  const std::size_t batch = prompts.size();
+  const std::size_t prompt_len = prompts.front().size();
+  for (const auto& p : prompts)
+    check_arg(p.size() == prompt_len, "run_calibration: unpadded prompts");
+
+  StatsObserver observer(weights.spec.layers);
+  std::vector<KvCache> caches;
+  for (int i = 0; i < weights.spec.layers; ++i)
+    caches.emplace_back(batch, prompt_len,
+                        static_cast<std::size_t>(weights.spec.hidden));
+
+  std::vector<TokenId> flat;
+  for (const auto& p : prompts) flat.insert(flat.end(), p.begin(), p.end());
+  Tensor2D x = embed(weights, flat, batch, prompt_len, 0);
+  for (int i = 0; i < weights.spec.layers; ++i)
+    decoder_layer_forward(weights.spec,
+                          weights.layers[static_cast<std::size_t>(i)], x,
+                          caches[static_cast<std::size_t>(i)], 0, batch,
+                          prompt_len, &observer, i);
+
+  std::vector<LayerCalibration> result;
+  result.reserve(static_cast<std::size_t>(weights.spec.layers));
+  for (int i = 0; i < weights.spec.layers; ++i)
+    result.push_back(observer.layer_result(i));
+  return result;
+}
+
+std::vector<std::array<double, 4>> measured_variance_omega(
+    const ModelWeights& weights, const std::vector<LayerCalibration>& calib,
+    Rounding mode) {
+  check_arg(static_cast<int>(calib.size()) == weights.spec.layers,
+            "measured_variance_omega: calibration size mismatch");
+  std::vector<std::array<double, 4>> omega(
+      static_cast<std::size_t>(weights.spec.layers));
+  for (int i = 0; i < weights.spec.layers; ++i) {
+    const LayerWeights& lw = weights.layers[static_cast<std::size_t>(i)];
+    check_arg(lw.bits == 16,
+              "measured_variance_omega: needs the FP16 master model");
+    const LayerCalibration& lc = calib[static_cast<std::size_t>(i)];
+    const struct {
+      const QuantizedMatrix* w;
+      const ActivationStats* x;
+    } ops[] = {{&lw.qkv, &lc.qkv_in},
+               {&lw.out, &lc.out_in},
+               {&lw.fc1, &lc.fc1_in},
+               {&lw.fc2, &lc.fc2_in}};
+    for (std::size_t bi = 0; bi < kBitCandidates.size(); ++bi) {
+      const int bits = kBitCandidates[bi];
+      double total = 0.0;
+      if (bits < 16) {
+        for (const auto& op : ops)
+          total += static_cast<double>(op.w->cols()) *
+                   mean_scale_sq(*op.w, bits) * g_of_x(*op.x, mode);
+      }
+      omega[static_cast<std::size_t>(i)][bi] = total;
+    }
+  }
+  return omega;
+}
+
+double output_mse(const ModelWeights& a, const ModelWeights& b,
+                  const std::vector<std::vector<TokenId>>& prompts) {
+  check_arg(a.spec.layers == b.spec.layers && a.spec.hidden == b.spec.hidden,
+            "output_mse: incompatible models");
+  const std::size_t batch = prompts.size();
+  const std::size_t prompt_len = prompts.front().size();
+
+  auto forward = [&](const ModelWeights& mw) {
+    std::vector<KvCache> caches;
+    for (int i = 0; i < mw.spec.layers; ++i)
+      caches.emplace_back(batch, prompt_len,
+                          static_cast<std::size_t>(mw.spec.hidden));
+    std::vector<TokenId> flat;
+    for (const auto& p : prompts) flat.insert(flat.end(), p.begin(), p.end());
+    Tensor2D x = embed(mw, flat, batch, prompt_len, 0);
+    for (int i = 0; i < mw.spec.layers; ++i)
+      decoder_layer_forward(mw.spec, mw.layers[static_cast<std::size_t>(i)],
+                            x, caches[static_cast<std::size_t>(i)], 0, batch,
+                            prompt_len);
+    return x;
+  };
+
+  const Tensor2D ya = forward(a);
+  const Tensor2D yb = forward(b);
+  double mse = 0.0;
+  const auto fa = ya.flat();
+  const auto fb = yb.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double d = static_cast<double>(fa[i]) - static_cast<double>(fb[i]);
+    mse += d * d;
+  }
+  return mse / static_cast<double>(fa.size());
+}
+
+}  // namespace llmpq

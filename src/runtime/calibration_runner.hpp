@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "quant/calibration.hpp"
+#include "runtime/transformer.hpp"
+
+namespace llmpq {
+
+/// Real calibration path: where the paper runs 128 C4 segments through the
+/// checkpoint to gather the activation statistics G(X) behind the variance
+/// indicator, we run calibration prompts through the (tiny) real
+/// transformer and measure the inputs of every linear operator. This
+/// closes the loop between the analytic indicator (quant/indicator) and
+/// actual numerics: tests verify that the *measured* indicator orders real
+/// quantization damage correctly.
+
+/// Measured input statistics of one decoder layer's four linears.
+struct LayerCalibration {
+  ActivationStats qkv_in;
+  ActivationStats out_in;
+  ActivationStats fc1_in;
+  ActivationStats fc2_in;
+};
+
+/// Runs the prompts through `weights` (prefill only — calibration does not
+/// generate) and collects per-layer, per-operator activation statistics.
+std::vector<LayerCalibration> run_calibration(
+    const ModelWeights& weights,
+    const std::vector<std::vector<TokenId>>& prompts);
+
+/// Variance-indicator values computed from *measured* quantities: actual
+/// per-channel weight scales of `weights` (which must be an FP16 model) and
+/// the measured activation statistics. Indexed [layer][bit_index], bit
+/// order {3, 4, 8, 16}; not normalized.
+std::vector<std::array<double, 4>> measured_variance_omega(
+    const ModelWeights& weights, const std::vector<LayerCalibration>& calib,
+    Rounding mode = Rounding::kDeterministic);
+
+/// Mean squared difference between the final hidden states of two models
+/// on the same prompts (the "real damage" a quantization plan causes).
+double output_mse(const ModelWeights& a, const ModelWeights& b,
+                  const std::vector<std::vector<TokenId>>& prompts);
+
+}  // namespace llmpq

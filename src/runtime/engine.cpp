@@ -1,0 +1,203 @@
+#include "runtime/engine.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/mpmc_queue.hpp"
+
+namespace llmpq {
+
+namespace {
+
+struct StageMsg {
+  std::size_t batch_start = 0;
+  std::size_t seqs = 0;
+  std::size_t seq_len = 0;
+  Tensor2D acts;
+};
+
+}  // namespace
+
+struct PipelineEngine::Impl {
+  const ModelWeights& weights;
+  std::vector<std::pair<int, int>> stages;  ///< non-empty ranges only
+  int prefill_mb;
+  int decode_mb;
+
+  std::vector<std::unique_ptr<MpmcQueue<StageMsg>>> inboxes;
+  std::unique_ptr<MpmcQueue<StageMsg>> outbox;
+  std::vector<std::thread> workers;
+
+  // Per stage, per local layer: KV caches (rebuilt each generate() call).
+  std::vector<std::vector<KvCache>> caches;
+
+  Impl(const ModelWeights& w, std::vector<std::pair<int, int>> ranges,
+       int pre_mb, int dec_mb)
+      : weights(w),
+        prefill_mb(pre_mb),
+        decode_mb(dec_mb),
+        outbox(std::make_unique<MpmcQueue<StageMsg>>(64)) {
+    for (const auto& r : ranges) {
+      check_arg(r.first >= 0 && r.second <= w.spec.layers &&
+                    r.first <= r.second,
+                "PipelineEngine: bad stage range");
+      if (r.first < r.second) stages.push_back(r);
+    }
+    check_arg(!stages.empty(), "PipelineEngine: no layers assigned");
+    int covered = 0;
+    for (std::size_t p = 0; p < stages.size(); ++p) {
+      check_arg(stages[p].first == covered,
+                "PipelineEngine: stage ranges must tile the model");
+      covered = stages[p].second;
+    }
+    check_arg(covered == w.spec.layers,
+              "PipelineEngine: stage ranges must cover the model");
+    for (std::size_t p = 0; p < stages.size(); ++p)
+      inboxes.push_back(std::make_unique<MpmcQueue<StageMsg>>(64));
+    caches.resize(stages.size());
+  }
+
+  void start_workers() {
+    for (std::size_t p = 0; p < stages.size(); ++p) {
+      workers.emplace_back([this, p] { stage_loop(p); });
+    }
+  }
+
+  void stop_workers() {
+    for (auto& inbox : inboxes) inbox->close();
+    for (auto& t : workers) t.join();
+    workers.clear();
+  }
+
+  void stage_loop(std::size_t p) {
+    auto& inbox = *inboxes[p];
+    while (auto msg = inbox.pop()) {
+      StageMsg m = std::move(*msg);
+      const auto [begin, end] = stages[p];
+      for (int layer = begin; layer < end; ++layer) {
+        decoder_layer_forward(
+            weights.spec, weights.layers[static_cast<std::size_t>(layer)],
+            m.acts, caches[p][static_cast<std::size_t>(layer - begin)],
+            m.batch_start, m.seqs, m.seq_len);
+      }
+      if (p + 1 < stages.size())
+        inboxes[p + 1]->push(std::move(m));
+      else
+        outbox->push(std::move(m));
+    }
+  }
+};
+
+PipelineEngine::PipelineEngine(const ModelWeights& weights,
+                               std::vector<std::pair<int, int>> stage_layers,
+                               int prefill_micro_batch,
+                               int decode_micro_batch)
+    : impl_(std::make_unique<Impl>(weights, std::move(stage_layers),
+                                   prefill_micro_batch, decode_micro_batch)) {
+}
+
+PipelineEngine::~PipelineEngine() = default;
+
+int PipelineEngine::num_stages() const {
+  return static_cast<int>(impl_->stages.size());
+}
+
+std::vector<std::vector<TokenId>> PipelineEngine::generate(
+    const std::vector<std::vector<TokenId>>& prompts, int gen_tokens) {
+  check_arg(!prompts.empty() && gen_tokens >= 1,
+            "PipelineEngine::generate: bad arguments");
+  const std::size_t batch = prompts.size();
+  const std::size_t prompt_len = prompts.front().size();
+  for (const auto& p : prompts)
+    check_arg(p.size() == prompt_len,
+              "PipelineEngine::generate: unpadded prompts");
+
+  Impl& im = *impl_;
+  const ModelWeights& mw = im.weights;
+  const std::size_t max_seq = prompt_len + static_cast<std::size_t>(gen_tokens);
+
+  // Fresh preallocated caches for this call.
+  for (std::size_t p = 0; p < im.stages.size(); ++p) {
+    im.caches[p].clear();
+    const auto [begin, end] = im.stages[p];
+    for (int layer = begin; layer < end; ++layer) {
+      (void)layer;
+      im.caches[p].emplace_back(batch, max_seq,
+                                static_cast<std::size_t>(mw.spec.hidden));
+    }
+  }
+
+  im.start_workers();
+
+  MicrobatchManager mbm(batch, static_cast<std::size_t>(im.prefill_mb),
+                        static_cast<std::size_t>(im.decode_mb));
+  std::vector<std::vector<TokenId>> generated(batch);
+  std::vector<TokenId> last_token(batch);
+
+  // ---- Prefill: stream micro-batches through the pipeline.
+  mbm.begin_phase(mbm.prefill_slices().size());
+  for (const BatchSlice& slice : mbm.prefill_slices()) {
+    std::vector<TokenId> flat;
+    flat.reserve(slice.count * prompt_len);
+    for (std::size_t s = 0; s < slice.count; ++s) {
+      const auto& prompt = prompts[slice.start + s];
+      flat.insert(flat.end(), prompt.begin(), prompt.end());
+    }
+    StageMsg msg;
+    msg.batch_start = slice.start;
+    msg.seqs = slice.count;
+    msg.seq_len = prompt_len;
+    msg.acts = embed(mw, flat, slice.count, prompt_len, 0);
+    im.inboxes.front()->push(std::move(msg));
+  }
+  while (mbm.outstanding() > 0) {
+    auto out = im.outbox->pop();
+    check_arg(out.has_value(), "PipelineEngine: pipeline closed early");
+    const std::vector<TokenId> toks =
+        project_and_sample(mw, out->acts, out->seqs, out->seq_len);
+    for (std::size_t s = 0; s < out->seqs; ++s) {
+      generated[out->batch_start + s].push_back(toks[s]);
+      last_token[out->batch_start + s] = toks[s];
+    }
+    mbm.complete_one();
+  }
+
+  // ---- Decode rounds with re-sized micro-batches.
+  for (int step = 1; step < gen_tokens; ++step) {
+    const std::size_t pos = prompt_len + static_cast<std::size_t>(step) - 1;
+    mbm.begin_phase(mbm.decode_slices().size());
+    for (const BatchSlice& slice : mbm.decode_slices()) {
+      std::vector<TokenId> toks(last_token.begin() +
+                                    static_cast<std::ptrdiff_t>(slice.start),
+                                last_token.begin() +
+                                    static_cast<std::ptrdiff_t>(slice.start +
+                                                                slice.count));
+      StageMsg msg;
+      msg.batch_start = slice.start;
+      msg.seqs = slice.count;
+      msg.seq_len = 1;
+      msg.acts = embed(mw, toks, slice.count, 1, pos);
+      im.inboxes.front()->push(std::move(msg));
+    }
+    while (mbm.outstanding() > 0) {
+      auto out = im.outbox->pop();
+      check_arg(out.has_value(), "PipelineEngine: pipeline closed early");
+      const std::vector<TokenId> toks =
+          project_and_sample(mw, out->acts, out->seqs, out->seq_len);
+      for (std::size_t s = 0; s < out->seqs; ++s) {
+        generated[out->batch_start + s].push_back(toks[s]);
+        last_token[out->batch_start + s] = toks[s];
+      }
+      mbm.complete_one();
+    }
+  }
+
+  im.stop_workers();
+  // Reopen mailboxes for a potential next generate() call.
+  for (std::size_t p = 0; p < im.stages.size(); ++p)
+    im.inboxes[p] = std::make_unique<MpmcQueue<StageMsg>>(64);
+  im.outbox = std::make_unique<MpmcQueue<StageMsg>>(64);
+  return generated;
+}
+
+}  // namespace llmpq

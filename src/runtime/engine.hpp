@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/microbatch.hpp"
+#include "runtime/transformer.hpp"
+
+namespace llmpq {
+
+/// Distributed (multi-threaded) pipeline inference engine — the runtime
+/// half of LLM-PQ (paper Sec. 3/5), scaled to CPU threads: one worker
+/// thread per pipeline stage, message-passing via bounded mailboxes, a
+/// master engine handling embedding, logits and micro-batch sizing, and a
+/// preallocated KV cache per stage. Token output is bit-for-bit identical
+/// to the single-threaded reference (tests enforce this).
+class PipelineEngine {
+ public:
+  /// `stage_layers[p]` = [begin, end) layer range of stage p (empty ranges
+  /// allowed and skipped). Weights are shared, not copied.
+  PipelineEngine(const ModelWeights& weights,
+                 std::vector<std::pair<int, int>> stage_layers,
+                 int prefill_micro_batch, int decode_micro_batch);
+  ~PipelineEngine();
+
+  PipelineEngine(const PipelineEngine&) = delete;
+  PipelineEngine& operator=(const PipelineEngine&) = delete;
+
+  /// Generates `gen_tokens` tokens per prompt (greedy). Prompts must share
+  /// one padded length. Reusable across calls (caches reset per call).
+  std::vector<std::vector<TokenId>> generate(
+      const std::vector<std::vector<TokenId>>& prompts, int gen_tokens);
+
+  int num_stages() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace llmpq

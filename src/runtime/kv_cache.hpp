@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+/// Pre-allocated key/value cache for one decoder layer: [batch, max_seq,
+/// hidden] for K and V each, written once per generated position and read
+/// by every subsequent attention call — the paper's FasterTransformer-style
+/// reservation (Sec. 4.1, "KV Storage Modeling").
+class KvCache {
+ public:
+  KvCache() = default;
+  KvCache(std::size_t batch, std::size_t max_seq, std::size_t hidden)
+      : batch_(batch),
+        max_seq_(max_seq),
+        hidden_(hidden),
+        k_(batch * max_seq * hidden, 0.0f),
+        v_(batch * max_seq * hidden, 0.0f),
+        filled_(batch, 0) {}
+
+  std::size_t batch() const { return batch_; }
+  std::size_t max_seq() const { return max_seq_; }
+  std::size_t hidden() const { return hidden_; }
+
+  /// Number of positions stored for sequence `b`.
+  std::size_t filled(std::size_t b) const { return filled_[b]; }
+
+  /// Appends one position's K/V vectors for sequence `b`.
+  void append(std::size_t b, const float* k_vec, const float* v_vec) {
+    check_arg(filled_[b] < max_seq_, "KvCache: overflow");
+    const std::size_t off = (b * max_seq_ + filled_[b]) * hidden_;
+    std::copy(k_vec, k_vec + hidden_, k_.begin() + static_cast<std::ptrdiff_t>(off));
+    std::copy(v_vec, v_vec + hidden_, v_.begin() + static_cast<std::ptrdiff_t>(off));
+    ++filled_[b];
+  }
+
+  /// K/V vector of sequence `b` at position `pos` (pos < filled(b)).
+  const float* k_at(std::size_t b, std::size_t pos) const {
+    return k_.data() + (b * max_seq_ + pos) * hidden_;
+  }
+  const float* v_at(std::size_t b, std::size_t pos) const {
+    return v_.data() + (b * max_seq_ + pos) * hidden_;
+  }
+
+  std::size_t footprint_bytes() const {
+    return (k_.size() + v_.size()) * sizeof(float);
+  }
+
+ private:
+  std::size_t batch_ = 0, max_seq_ = 0, hidden_ = 0;
+  std::vector<float> k_, v_;
+  std::vector<std::size_t> filled_;
+};
+
+}  // namespace llmpq

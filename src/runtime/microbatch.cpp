@@ -1,0 +1,41 @@
+#include "runtime/microbatch.hpp"
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+MicrobatchManager::MicrobatchManager(std::size_t global_batch,
+                                     std::size_t prefill_mb,
+                                     std::size_t decode_mb) {
+  check_arg(global_batch >= 1 && prefill_mb >= 1 && decode_mb >= 1,
+            "MicrobatchManager: sizes must be positive");
+  prefill_ = make_slices(global_batch, prefill_mb);
+  decode_ = make_slices(global_batch, decode_mb);
+}
+
+std::vector<BatchSlice> MicrobatchManager::make_slices(std::size_t total,
+                                                       std::size_t per) {
+  std::vector<BatchSlice> slices;
+  for (std::size_t start = 0; start < total; start += per)
+    slices.push_back({start, std::min(per, total - start)});
+  return slices;
+}
+
+bool MicrobatchManager::complete_one() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_arg(outstanding_ > 0, "MicrobatchManager: nothing outstanding");
+  return --outstanding_ == 0;
+}
+
+void MicrobatchManager::begin_phase(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_arg(outstanding_ == 0, "MicrobatchManager: phase already running");
+  outstanding_ = n;
+}
+
+std::size_t MicrobatchManager::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outstanding_;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace llmpq {
+
+/// One contiguous slice of the global batch.
+struct BatchSlice {
+  std::size_t start = 0;
+  std::size_t count = 0;
+};
+
+/// Thread-safe micro-batch bookkeeping (paper Sec. 5: "thread-safe
+/// micro-batch manager"): slices the global batch differently per phase
+/// (hybrid micro-batch sizing) and tracks in-flight completion so the
+/// master engine knows when a phase barrier is reached.
+class MicrobatchManager {
+ public:
+  MicrobatchManager(std::size_t global_batch, std::size_t prefill_mb,
+                    std::size_t decode_mb);
+
+  const std::vector<BatchSlice>& prefill_slices() const { return prefill_; }
+  const std::vector<BatchSlice>& decode_slices() const { return decode_; }
+
+  /// Marks one slice completed; returns true when the whole phase is done.
+  bool complete_one();
+
+  /// Resets the in-flight counter for the next phase/round of `n` slices.
+  void begin_phase(std::size_t n);
+
+  std::size_t outstanding() const;
+
+ private:
+  static std::vector<BatchSlice> make_slices(std::size_t total,
+                                             std::size_t per);
+  std::vector<BatchSlice> prefill_;
+  std::vector<BatchSlice> decode_;
+  mutable std::mutex mutex_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace llmpq

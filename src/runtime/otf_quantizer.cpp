@@ -1,0 +1,107 @@
+#include "runtime/otf_quantizer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/mpmc_queue.hpp"
+#include "runtime/weights_io.hpp"
+
+namespace llmpq {
+
+namespace {
+
+std::size_t master_bytes(const LayerMaster& m) {
+  return (m.qkv.size() + m.out.size() + m.fc1.size() + m.fc2.size() +
+          m.qkv_bias.size() + m.out_bias.size() + m.fc1_bias.size() +
+          m.fc2_bias.size()) *
+         sizeof(float);
+}
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 float scale, Rng& rng) {
+  std::vector<float> w(rows * cols);
+  for (float& v : w) v = scale * static_cast<float>(rng.normal());
+  return w;
+}
+
+}  // namespace
+
+ModelWeights otf_load_model(const std::string& checkpoint_dir,
+                            const ModelSpec& spec,
+                            const std::vector<int>& bits_per_layer,
+                            int layer_begin, int layer_end,
+                            const OtfOptions& options, OtfLoadStats* stats) {
+  check_arg(static_cast<int>(bits_per_layer.size()) == spec.layers,
+            "otf_load_model: bits size mismatch");
+  check_arg(0 <= layer_begin && layer_begin <= layer_end &&
+                layer_end <= spec.layers,
+            "otf_load_model: bad layer range");
+  check_arg(options.prefetch_depth >= 1,
+            "otf_load_model: prefetch depth must be >= 1");
+
+  const auto start = std::chrono::steady_clock::now();
+
+  ModelWeights mw;
+  mw.spec = spec;
+  // Embeddings are derived from the seed in the exact order
+  // build_random_model uses, so an OTF-loaded model is bit-identical to a
+  // directly built one (tests rely on this).
+  Rng emb_rng(options.seed);
+  const auto h = static_cast<std::size_t>(spec.hidden);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(spec.hidden));
+  mw.token_embedding =
+      random_matrix(static_cast<std::size_t>(spec.vocab), h, scale, emb_rng);
+  mw.pos_embedding =
+      random_matrix(static_cast<std::size_t>(spec.max_pos), h, scale, emb_rng);
+  mw.final_gamma.assign(h, 1.0f);
+  mw.final_beta.assign(h, 0.0f);
+  mw.layers.resize(static_cast<std::size_t>(spec.layers));
+
+  // Bounded prefetch pipeline: the IO thread stays at most `prefetch_depth`
+  // layers ahead of the quantizer.
+  MpmcQueue<std::pair<int, LayerMaster>> prefetched(
+      static_cast<std::size_t>(options.prefetch_depth));
+  std::atomic<std::size_t> in_flight_bytes{0};
+  std::atomic<std::size_t> peak_bytes{0};
+  std::atomic<std::size_t> total_bytes{0};
+
+  std::thread loader([&] {
+    for (int layer = layer_begin; layer < layer_end; ++layer) {
+      LayerMaster m =
+          load_layer_shard(shard_filename(checkpoint_dir, layer), spec, layer);
+      const std::size_t bytes = master_bytes(m);
+      const std::size_t now =
+          in_flight_bytes.fetch_add(bytes) + bytes;
+      std::size_t prev = peak_bytes.load();
+      while (prev < now && !peak_bytes.compare_exchange_weak(prev, now)) {
+      }
+      total_bytes.fetch_add(bytes);
+      if (!prefetched.push({layer, std::move(m)})) break;  // aborted
+    }
+    prefetched.close();
+  });
+
+  Rng qrng(options.seed ^ 0x5151);
+  while (auto item = prefetched.pop()) {
+    auto& [layer, master] = *item;
+    mw.layers[static_cast<std::size_t>(layer)] = quantize_layer(
+        spec, master, bits_per_layer[static_cast<std::size_t>(layer)],
+        options.rounding, qrng);
+    in_flight_bytes.fetch_sub(master_bytes(master));
+  }
+  loader.join();
+
+  if (stats != nullptr) {
+    stats->peak_master_bytes = peak_bytes.load();
+    stats->total_loaded_bytes = total_bytes.load();
+    stats->load_wall_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  }
+  return mw;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/weights.hpp"
+
+namespace llmpq {
+
+/// On-the-fly quantized model loading (paper Sec. 5): instead of staging
+/// the full FP16 checkpoint in host DRAM and quantizing afterwards, layer
+/// shards are streamed with a bounded prefetch window — while layer i is
+/// being quantized, layer i+1 is already loading on a background thread.
+/// This bounds peak DRAM at ~`prefetch_depth` master layers and overlaps
+/// disk IO with quantization, which is also what makes precision changes
+/// and failure recovery cheap.
+struct OtfLoadStats {
+  std::size_t peak_master_bytes = 0;  ///< max simultaneously-held FP32 bytes
+  std::size_t total_loaded_bytes = 0;
+  double load_wall_s = 0.0;
+};
+
+struct OtfOptions {
+  int prefetch_depth = 2;  ///< layers in flight (>= 1)
+  Rounding rounding = Rounding::kDeterministic;
+  std::uint64_t seed = 29;
+};
+
+/// Loads layers [layer_begin, layer_end) from `checkpoint_dir`, quantizing
+/// layer i to `bits_per_layer[i]` (indexed globally). Only the requested
+/// range is read — a pipeline stage loads just its own shard. Embeddings
+/// are generated from `seed` (they are not part of the shard files).
+ModelWeights otf_load_model(const std::string& checkpoint_dir,
+                            const ModelSpec& spec,
+                            const std::vector<int>& bits_per_layer,
+                            int layer_begin, int layer_end,
+                            const OtfOptions& options = {},
+                            OtfLoadStats* stats = nullptr);
+
+}  // namespace llmpq

@@ -1,0 +1,59 @@
+#include "runtime/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+void layer_norm(Tensor2D& x, std::span<const float> gamma,
+                std::span<const float> beta, float eps) {
+  check_arg(gamma.size() == x.cols() && beta.size() == x.cols(),
+            "layer_norm: parameter size mismatch");
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.row(r);
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < x.cols(); ++c) mean += row[c];
+    mean /= static_cast<float>(x.cols());
+    float var = 0.0f;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const float d = row[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(x.cols());
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      row[c] = (row[c] - mean) * inv * gamma[c] + beta[c];
+  }
+}
+
+void rms_norm(Tensor2D& x, std::span<const float> gamma, float eps) {
+  check_arg(gamma.size() == x.cols(), "rms_norm: parameter size mismatch");
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.row(r);
+    float ms = 0.0f;
+    for (std::size_t c = 0; c < x.cols(); ++c) ms += row[c] * row[c];
+    ms /= static_cast<float>(x.cols());
+    const float inv = 1.0f / std::sqrt(ms + eps);
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] *= inv * gamma[c];
+  }
+}
+
+void relu(std::span<float> x) {
+  for (float& v : x) v = std::max(v, 0.0f);
+}
+
+void softmax(std::span<float> x) {
+  if (x.empty()) return;
+  const float mx = *std::max_element(x.begin(), x.end());
+  float sum = 0.0f;
+  for (float& v : x) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : x) v *= inv;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace llmpq {
+
+/// Minimal 2-D float tensor: `rows` token vectors of width `cols`,
+/// row-major. The runtime treats every activation as a flat token batch
+/// ([batch*seq, hidden]); batch/sequence bookkeeping lives in the messages.
+class Tensor2D {
+ public:
+  Tensor2D() = default;
+  Tensor2D(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// In-place layer norm over each row: y = (x - mean) / sqrt(var + eps) * g + b.
+void layer_norm(Tensor2D& x, std::span<const float> gamma,
+                std::span<const float> beta, float eps = 1e-5f);
+
+/// In-place root-mean-square norm (Zhang & Sennrich; LLaMA's norm):
+/// y = x / sqrt(mean(x^2) + eps) * g — no recentring, no bias.
+void rms_norm(Tensor2D& x, std::span<const float> gamma, float eps = 1e-5f);
+
+/// In-place ReLU.
+void relu(std::span<float> x);
+
+/// Numerically stable in-place softmax of a row segment.
+void softmax(std::span<float> x);
+
+}  // namespace llmpq

@@ -1,0 +1,252 @@
+#include "runtime/transformer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quant/qgemm.hpp"
+
+namespace llmpq {
+
+namespace {
+
+void apply_norm(const ModelSpec& spec, Tensor2D& x,
+                std::span<const float> gamma, std::span<const float> beta) {
+  if (spec.use_rms_norm)
+    rms_norm(x, gamma);
+  else
+    layer_norm(x, gamma, beta);
+}
+
+float silu(float v) { return v / (1.0f + std::exp(-v)); }
+
+/// In-place rotary position embedding on one head-sized vector at absolute
+/// position `pos`: rotate feature pairs (i, i + dh/2) by pos * theta_i.
+void apply_rope(float* v, std::size_t dh, std::size_t pos) {
+  const std::size_t half = dh / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const float freq = std::pow(10000.0f, -2.0f * static_cast<float>(i) /
+                                              static_cast<float>(dh));
+    const float angle = static_cast<float>(pos) * freq;
+    const float c = std::cos(angle), sn = std::sin(angle);
+    const float a = v[i], b = v[i + half];
+    v[i] = a * c - b * sn;
+    v[i + half] = a * sn + b * c;
+  }
+}
+
+}  // namespace
+
+void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
+                           Tensor2D& x, KvCache& cache,
+                           std::size_t batch_start, std::size_t seqs,
+                           std::size_t seq_len, ActivationObserver* observer,
+                           int layer_index) {
+  const std::size_t h = static_cast<std::size_t>(spec.hidden);
+  const std::size_t heads = static_cast<std::size_t>(spec.heads);
+  const std::size_t dh = h / heads;
+  const std::size_t f = static_cast<std::size_t>(spec.ffn);
+  const std::size_t rows = seqs * seq_len;
+  check_arg(x.rows() == rows && x.cols() == h,
+            "decoder_layer_forward: activation shape mismatch");
+
+  // ---- Self-attention (pre-LN).
+  Tensor2D normed = x;
+  apply_norm(spec, normed, w.ln1_gamma, w.ln1_beta);
+  if (observer != nullptr)
+    observer->on_linear_input(layer_index, 0, normed.flat());
+  Tensor2D qkv(rows, 3 * h);
+  qgemm(normed.flat(), rows, h, w.qkv, w.qkv_bias, qkv.flat());
+
+  // Append K/V to the cache, then attend over everything cached.
+  Tensor2D attn_ctx(rows, h, 0.0f);
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+  std::vector<float> scores;
+  for (std::size_t s = 0; s < seqs; ++s) {
+    const std::size_t gb = batch_start + s;
+    for (std::size_t t = 0; t < seq_len; ++t) {
+      float* qkv_row = qkv.row(s * seq_len + t);
+      if (spec.use_rope) {
+        const std::size_t pos = cache.filled(gb);  // this token's position
+        for (std::size_t head = 0; head < heads; ++head) {
+          apply_rope(qkv_row + head * dh, dh, pos);          // q
+          apply_rope(qkv_row + h + head * dh, dh, pos);      // k
+        }
+      }
+      cache.append(gb, qkv_row + h, qkv_row + 2 * h);
+    }
+    const std::size_t ctx_len = cache.filled(gb);
+    for (std::size_t t = 0; t < seq_len; ++t) {
+      const std::size_t row = s * seq_len + t;
+      const float* q = qkv.row(row);
+      // Causal span: this token may attend to cache positions
+      // [0, ctx_len - seq_len + t].
+      const std::size_t span = ctx_len - seq_len + t + 1;
+      scores.resize(span);
+      float* ctx_out = attn_ctx.row(row);
+      for (std::size_t head = 0; head < heads; ++head) {
+        const std::size_t off = head * dh;
+        for (std::size_t p = 0; p < span; ++p) {
+          const float* k = cache.k_at(gb, p) + off;
+          float dot = 0.0f;
+          for (std::size_t d = 0; d < dh; ++d) dot += q[off + d] * k[d];
+          scores[p] = dot * inv_sqrt_dh;
+        }
+        softmax(std::span<float>(scores.data(), span));
+        for (std::size_t p = 0; p < span; ++p) {
+          const float* v = cache.v_at(gb, p) + off;
+          const float sp = scores[p];
+          for (std::size_t d = 0; d < dh; ++d) ctx_out[off + d] += sp * v[d];
+        }
+      }
+    }
+  }
+
+  if (observer != nullptr)
+    observer->on_linear_input(layer_index, 1, attn_ctx.flat());
+  Tensor2D attn_out(rows, h);
+  qgemm(attn_ctx.flat(), rows, h, w.out, w.out_bias, attn_out.flat());
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* xr = x.row(r);
+    const float* ar = attn_out.row(r);
+    for (std::size_t c = 0; c < h; ++c) xr[c] += ar[c];
+  }
+
+  // ---- MLP (pre-LN).
+  normed = x;
+  apply_norm(spec, normed, w.ln2_gamma, w.ln2_beta);
+  if (observer != nullptr)
+    observer->on_linear_input(layer_index, 2, normed.flat());
+  Tensor2D inter(rows, f);
+  qgemm(normed.flat(), rows, h, w.fc1, w.fc1_bias, inter.flat());
+  if (spec.gated_mlp) {
+    // SwiGLU: down(silu(gate(x)) * up(x)).
+    Tensor2D up(rows, f);
+    qgemm(normed.flat(), rows, h, w.fc3, w.fc3_bias, up.flat());
+    auto gate = inter.flat();
+    auto up_flat = up.flat();
+    for (std::size_t i = 0; i < gate.size(); ++i)
+      gate[i] = silu(gate[i]) * up_flat[i];
+  } else {
+    relu(inter.flat());
+  }
+  if (observer != nullptr)
+    observer->on_linear_input(layer_index, 3, inter.flat());
+  Tensor2D mlp_out(rows, h);
+  qgemm(inter.flat(), rows, f, w.fc2, w.fc2_bias, mlp_out.flat());
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* xr = x.row(r);
+    const float* mr = mlp_out.row(r);
+    for (std::size_t c = 0; c < h; ++c) xr[c] += mr[c];
+  }
+}
+
+Tensor2D embed(const ModelWeights& mw, const std::vector<TokenId>& tokens,
+               std::size_t seqs, std::size_t seq_len,
+               std::size_t pos_offset) {
+  const std::size_t h = static_cast<std::size_t>(mw.spec.hidden);
+  check_arg(tokens.size() == seqs * seq_len, "embed: token count mismatch");
+  Tensor2D x(seqs * seq_len, h);
+  for (std::size_t s = 0; s < seqs; ++s) {
+    for (std::size_t t = 0; t < seq_len; ++t) {
+      const std::size_t row = s * seq_len + t;
+      const TokenId tok = tokens[row];
+      check_arg(tok >= 0 && tok < mw.spec.vocab, "embed: token out of range");
+      const std::size_t pos = pos_offset + t;
+      check_arg(pos < static_cast<std::size_t>(mw.spec.max_pos),
+                "embed: position out of range");
+      const float* te =
+          mw.token_embedding.data() + static_cast<std::size_t>(tok) * h;
+      float* out = x.row(row);
+      if (mw.spec.use_rope) {
+        // Rotary models carry position inside attention, not the embedding.
+        for (std::size_t c = 0; c < h; ++c) out[c] = te[c];
+      } else {
+        const float* pe = mw.pos_embedding.data() + pos * h;
+        for (std::size_t c = 0; c < h; ++c) out[c] = te[c] + pe[c];
+      }
+    }
+  }
+  return x;
+}
+
+std::vector<TokenId> project_and_sample(const ModelWeights& mw,
+                                        const Tensor2D& hidden,
+                                        std::size_t seqs,
+                                        std::size_t seq_len) {
+  const std::size_t h = static_cast<std::size_t>(mw.spec.hidden);
+  const std::size_t vocab = static_cast<std::size_t>(mw.spec.vocab);
+  std::vector<TokenId> out(seqs);
+  // Final norm applied to a copy of each sequence's last row only.
+  Tensor2D last(seqs, h);
+  for (std::size_t s = 0; s < seqs; ++s) {
+    const float* src = hidden.row(s * seq_len + (seq_len - 1));
+    std::copy(src, src + h, last.row(s));
+  }
+  if (mw.spec.use_rms_norm)
+    rms_norm(last, mw.final_gamma);
+  else
+    layer_norm(last, mw.final_gamma, mw.final_beta);
+  for (std::size_t s = 0; s < seqs; ++s) {
+    const float* v = last.row(s);
+    std::size_t best = 0;
+    float best_logit = -1e30f;
+    for (std::size_t tok = 0; tok < vocab; ++tok) {
+      const float* te = mw.token_embedding.data() + tok * h;
+      float logit = 0.0f;
+      for (std::size_t c = 0; c < h; ++c) logit += v[c] * te[c];
+      if (logit > best_logit) {
+        best_logit = logit;
+        best = tok;
+      }
+    }
+    out[s] = static_cast<TokenId>(best);
+  }
+  return out;
+}
+
+std::vector<std::vector<TokenId>> reference_generate(
+    const ModelWeights& mw, const std::vector<std::vector<TokenId>>& prompts,
+    int gen_tokens) {
+  check_arg(!prompts.empty() && gen_tokens >= 1,
+            "reference_generate: bad arguments");
+  const std::size_t batch = prompts.size();
+  const std::size_t prompt_len = prompts.front().size();
+  for (const auto& p : prompts)
+    check_arg(p.size() == prompt_len,
+              "reference_generate: prompts must be padded to equal length");
+  const std::size_t max_seq =
+      prompt_len + static_cast<std::size_t>(gen_tokens);
+
+  std::vector<KvCache> caches;
+  caches.reserve(mw.layers.size());
+  for (std::size_t i = 0; i < mw.layers.size(); ++i)
+    caches.emplace_back(batch, max_seq,
+                        static_cast<std::size_t>(mw.spec.hidden));
+
+  std::vector<std::vector<TokenId>> generated(batch);
+
+  // ---- Prefill.
+  std::vector<TokenId> flat;
+  flat.reserve(batch * prompt_len);
+  for (const auto& p : prompts) flat.insert(flat.end(), p.begin(), p.end());
+  Tensor2D x = embed(mw, flat, batch, prompt_len, 0);
+  for (std::size_t i = 0; i < mw.layers.size(); ++i)
+    decoder_layer_forward(mw.spec, mw.layers[i], x, caches[i], 0, batch,
+                          prompt_len);
+  std::vector<TokenId> next = project_and_sample(mw, x, batch, prompt_len);
+  for (std::size_t b = 0; b < batch; ++b) generated[b].push_back(next[b]);
+
+  // ---- Decode.
+  for (int step = 1; step < gen_tokens; ++step) {
+    Tensor2D xd =
+        embed(mw, next, batch, 1, prompt_len + static_cast<std::size_t>(step) - 1);
+    for (std::size_t i = 0; i < mw.layers.size(); ++i)
+      decoder_layer_forward(mw.spec, mw.layers[i], xd, caches[i], 0, batch, 1);
+    next = project_and_sample(mw, xd, batch, 1);
+    for (std::size_t b = 0; b < batch; ++b) generated[b].push_back(next[b]);
+  }
+  return generated;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/kv_cache.hpp"
+#include "runtime/tensor.hpp"
+#include "runtime/weights.hpp"
+
+namespace llmpq {
+
+using TokenId = std::int32_t;
+
+/// Observer for the inputs of a decoder layer's linear operators (op index:
+/// 0 = qkv, 1 = out, 2 = fc1, 3 = fc2). Used by the calibration runner to
+/// gather real activation statistics; a null observer costs nothing.
+class ActivationObserver {
+ public:
+  virtual ~ActivationObserver() = default;
+  virtual void on_linear_input(int layer, int op,
+                               std::span<const float> x) = 0;
+};
+
+/// Runs one decoder layer over a batch slice. `x` holds `seqs * seq_len`
+/// token rows (sequence-major). For each sequence s (global index
+/// `batch_start + s`), the new K/V entries are appended to `cache`, and
+/// attention spans everything cached so far (causal by construction).
+void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
+                           Tensor2D& x, KvCache& cache,
+                           std::size_t batch_start, std::size_t seqs,
+                           std::size_t seq_len,
+                           ActivationObserver* observer = nullptr,
+                           int layer_index = -1);
+
+/// Token + positional embedding for a batch slice. `tokens` is
+/// sequence-major [seqs x seq_len]; `pos_offset` is the position of the
+/// first token of this pass within each sequence.
+Tensor2D embed(const ModelWeights& mw, const std::vector<TokenId>& tokens,
+               std::size_t seqs, std::size_t seq_len, std::size_t pos_offset);
+
+/// Final layer norm + tied LM head + greedy sampling, returning one token
+/// per sequence (from each sequence's last position row).
+std::vector<TokenId> project_and_sample(const ModelWeights& mw,
+                                        const Tensor2D& hidden,
+                                        std::size_t seqs,
+                                        std::size_t seq_len);
+
+/// Single-threaded reference generation: prefill the prompts then decode
+/// `gen_tokens - 1` further tokens greedily. Returns [batch x gen_tokens]
+/// generated tokens (the first generated token comes from prefill).
+/// This is the ground truth the pipelined engine must reproduce exactly.
+std::vector<std::vector<TokenId>> reference_generate(
+    const ModelWeights& mw, const std::vector<std::vector<TokenId>>& prompts,
+    int gen_tokens);
+
+}  // namespace llmpq

@@ -1,0 +1,107 @@
+#include "runtime/weights.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+std::size_t LayerWeights::footprint_bytes() const {
+  std::size_t total = qkv.packed_bytes() + out.packed_bytes() +
+                      fc1.packed_bytes() + fc2.packed_bytes() +
+                      fc3.packed_bytes();
+  total += (qkv_bias.size() + out_bias.size() + fc1_bias.size() +
+            fc2_bias.size() + fc3_bias.size() + ln1_gamma.size() +
+            ln1_beta.size() + ln2_gamma.size() + ln2_beta.size()) *
+           sizeof(float);
+  return total;
+}
+
+namespace {
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 float scale, Rng& rng) {
+  std::vector<float> w(rows * cols);
+  for (float& v : w) v = scale * static_cast<float>(rng.normal());
+  return w;
+}
+
+std::vector<float> ones(std::size_t n) { return std::vector<float>(n, 1.0f); }
+std::vector<float> zeros(std::size_t n) { return std::vector<float>(n, 0.0f); }
+
+}  // namespace
+
+LayerMaster random_layer_master(const ModelSpec& spec, int layer, Rng& rng) {
+  (void)layer;
+  const auto h = static_cast<std::size_t>(spec.hidden);
+  const auto f = static_cast<std::size_t>(spec.ffn);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(spec.hidden));
+  LayerMaster m;
+  m.qkv = random_matrix(3 * h, h, scale, rng);
+  m.out = random_matrix(h, h, scale, rng);
+  m.fc1 = random_matrix(f, h, scale, rng);
+  m.fc2 = random_matrix(h, f, scale, rng);
+  if (spec.gated_mlp) m.fc3 = random_matrix(f, h, scale, rng);
+  m.qkv_bias = zeros(3 * h);
+  m.out_bias = zeros(h);
+  m.fc1_bias = zeros(f);
+  m.fc2_bias = zeros(h);
+  if (spec.gated_mlp) m.fc3_bias = zeros(f);
+  m.ln1_gamma = ones(h);
+  m.ln1_beta = zeros(h);
+  m.ln2_gamma = ones(h);
+  m.ln2_beta = zeros(h);
+  return m;
+}
+
+LayerWeights quantize_layer(const ModelSpec& spec, const LayerMaster& master,
+                            int bits, Rounding mode, Rng& rng) {
+  const auto h = static_cast<std::size_t>(spec.hidden);
+  const auto f = static_cast<std::size_t>(spec.ffn);
+  LayerWeights w;
+  w.bits = bits;
+  w.qkv = QuantizedMatrix::quantize(master.qkv, 3 * h, h, bits, mode, rng);
+  w.out = QuantizedMatrix::quantize(master.out, h, h, bits, mode, rng);
+  w.fc1 = QuantizedMatrix::quantize(master.fc1, f, h, bits, mode, rng);
+  w.fc2 = QuantizedMatrix::quantize(master.fc2, h, f, bits, mode, rng);
+  if (spec.gated_mlp)
+    w.fc3 = QuantizedMatrix::quantize(master.fc3, f, h, bits, mode, rng);
+  w.qkv_bias = master.qkv_bias;
+  w.out_bias = master.out_bias;
+  w.fc1_bias = master.fc1_bias;
+  w.fc2_bias = master.fc2_bias;
+  w.fc3_bias = master.fc3_bias;
+  w.ln1_gamma = master.ln1_gamma;
+  w.ln1_beta = master.ln1_beta;
+  w.ln2_gamma = master.ln2_gamma;
+  w.ln2_beta = master.ln2_beta;
+  return w;
+}
+
+ModelWeights build_random_model(const ModelSpec& spec,
+                                const std::vector<int>& bits_per_layer,
+                                std::uint64_t seed) {
+  check_arg(static_cast<int>(bits_per_layer.size()) == spec.layers,
+            "build_random_model: bits size mismatch");
+  Rng rng(seed);
+  ModelWeights mw;
+  mw.spec = spec;
+  const auto h = static_cast<std::size_t>(spec.hidden);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(spec.hidden));
+  mw.token_embedding =
+      random_matrix(static_cast<std::size_t>(spec.vocab), h, scale, rng);
+  mw.pos_embedding =
+      random_matrix(static_cast<std::size_t>(spec.max_pos), h, scale, rng);
+  mw.final_gamma = ones(h);
+  mw.final_beta = zeros(h);
+  for (int i = 0; i < spec.layers; ++i) {
+    const LayerMaster master = random_layer_master(spec, i, rng);
+    // Quantization rounding shares the master RNG stream: deterministic.
+    mw.layers.push_back(quantize_layer(
+        spec, master, bits_per_layer[static_cast<std::size_t>(i)],
+        Rounding::kDeterministic, rng));
+  }
+  return mw;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "runtime/weights.hpp"
+
+namespace llmpq {
+
+/// Module-level checkpoint layout (paper Sec. 5, "On-The-Fly Quantizer"):
+/// the integrated model weight is decoupled into per-layer shard files so a
+/// worker can stream, quantize and discard one module at a time instead of
+/// staging the whole FP16 model in DRAM.
+///
+/// File format (little-endian): magic "LPQW", u32 version, u32 layer index,
+/// then for each named array: u32 name length, name bytes, u64 element
+/// count, float data.
+
+/// Writes one layer's master weights to `path`.
+void save_layer_shard(const std::string& path, const ModelSpec& spec,
+                      int layer, const LayerMaster& master);
+
+/// Reads a layer shard; validates magic/shape against `spec`.
+LayerMaster load_layer_shard(const std::string& path, const ModelSpec& spec,
+                             int layer);
+
+/// Conventional shard filename inside a checkpoint directory.
+std::string shard_filename(const std::string& dir, int layer);
+
+/// Writes all layer shards of a randomly initialized model (the checkpoint
+/// stand-in used by tests and examples). Returns the number of bytes
+/// written.
+std::size_t write_random_checkpoint(const std::string& dir,
+                                    const ModelSpec& spec,
+                                    std::uint64_t seed);
+
+}  // namespace llmpq

@@ -1,0 +1,24 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+void EventQueue::schedule(double when, Callback cb) {
+  check_arg(when >= now_ - 1e-12, "EventQueue: scheduling into the past");
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+double EventQueue::run() {
+  while (!queue_.empty()) {
+    // Move out the top event before popping so the callback may schedule.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++processed_;
+    ev.cb(now_);
+  }
+  return now_;
+}
+
+}  // namespace llmpq

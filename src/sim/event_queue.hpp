@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace llmpq {
+
+/// Minimal discrete-event core: a time-ordered queue of callbacks with
+/// deterministic FIFO tie-breaking (events scheduled earlier run first at
+/// equal timestamps), driving the pipeline and offloading simulators.
+class EventQueue {
+ public:
+  using Callback = std::function<void(double now)>;
+
+  /// Schedules `cb` at absolute time `when` (must be >= now during run()).
+  void schedule(double when, Callback cb);
+
+  /// Runs until the queue drains; returns the final clock value.
+  double run();
+
+  double now() const { return now_; }
+  std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace llmpq

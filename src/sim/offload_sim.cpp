@@ -1,0 +1,136 @@
+#include "sim/offload_sim.hpp"
+
+#include <algorithm>
+
+#include "core/estimator.hpp"
+#include "cost/ground_truth.hpp"
+#include "cost/mem_model.hpp"
+
+namespace llmpq {
+
+OffloadResult simulate_offload(const ModelSpec& model,
+                               const ClusterSpec& cluster, const Workload& w,
+                               int bits, const OffloadConfig& config) {
+  OffloadResult result;
+  const int N = cluster.num_devices();
+  const int L = model.layers;
+
+  // Even layer partition (FlexGen has no heterogeneity awareness).
+  std::vector<int> counts(static_cast<std::size_t>(N), L / N);
+  for (int p = 0; p < L % N; ++p) ++counts[static_cast<std::size_t>(p)];
+
+  // Same micro-batch for both phases: global batch split over stages.
+  const int micro_batch = std::max(1, w.global_batch / N);
+  const int m_count = (w.global_batch + micro_batch - 1) / micro_batch;
+
+  const std::int64_t wb = layer_weight_bytes(model, bits);
+  const std::int64_t kv =
+      layer_kv_bytes(model, w.global_batch, w.max_seq_len());
+  const int dec_ctx = w.prompt_len + w.gen_tokens / 2;
+
+  std::vector<double> stage_pre(static_cast<std::size_t>(N), 0.0);
+  std::vector<double> stage_dec(static_cast<std::size_t>(N), 0.0);
+  result.resident_fraction.resize(static_cast<std::size_t>(N), 1.0);
+
+  for (int p = 0; p < N; ++p) {
+    const GpuSpec& gpu = cluster.devices[static_cast<std::size_t>(p)].gpu();
+    const int layers = counts[static_cast<std::size_t>(p)];
+    if (layers == 0) continue;
+    std::int64_t budget = gpu.mem_bytes - device_memory_reserve() -
+                          temp_peak_bytes(model, w, micro_batch, micro_batch);
+    if (p == 0) budget -= embedding_weight_bytes(model);
+    if (p == N - 1) budget -= lm_head_bytes(model);
+    if (budget < 0) {
+      result.error = "device cannot hold even the working set";
+      return result;
+    }
+
+    // Residency policy: KV first (touched every decode step), then weights.
+    const std::int64_t kv_total = static_cast<std::int64_t>(layers) * kv;
+    const std::int64_t w_total = static_cast<std::int64_t>(layers) * wb;
+    const std::int64_t kv_resident = std::min(kv_total, budget);
+    const std::int64_t w_resident =
+        std::min(w_total, std::max<std::int64_t>(0, budget - kv_resident));
+    const std::int64_t spill =
+        (kv_total - kv_resident) + (w_total - w_resident);
+    result.resident_fraction[static_cast<std::size_t>(p)] =
+        kv_total + w_total > 0
+            ? static_cast<double>(kv_resident + w_resident) /
+                  static_cast<double>(kv_total + w_total)
+            : 1.0;
+
+    // Spill beyond CPU RAM goes to disk at disk bandwidth.
+    const double cpu_spill =
+        std::min(static_cast<double>(spill), config.cpu_mem_bytes);
+    const double disk_spill = static_cast<double>(spill) - cpu_spill;
+    const double spill_bw =
+        spill > 0 ? static_cast<double>(spill) /
+                        (cpu_spill / config.pcie_bytes_per_s +
+                         disk_spill / config.disk_bytes_per_s)
+                  : config.pcie_bytes_per_s;
+
+    // Per-layer non-resident bytes touched per pass.
+    const double w_miss =
+        static_cast<double>(w_total - w_resident) / layers;
+    const double kv_miss_frac =
+        kv_total > 0 ? static_cast<double>(kv_total - kv_resident) /
+                           static_cast<double>(kv_total)
+                     : 0.0;
+
+    double pre = 0.0, dec = 0.0;
+    for (int i = 0; i < layers; ++i) {
+      const double c_pre = layer_time_ground_truth(
+          gpu, model, prefill_shape(micro_batch, w.prompt_len), bits);
+      // Prefill writes fresh KV; only weight misses stream in.
+      const double t_pre =
+          w_miss / (spill_bw * config.overlap_efficiency);
+      pre += std::max(c_pre, t_pre);
+
+      const double c_dec = layer_time_ground_truth(
+          gpu, model, decode_shape(micro_batch, dec_ctx), bits);
+      // Decode touches the full KV of the micro-batch's sequences.
+      const double kv_touch =
+          kv_miss_frac *
+          (2.0 * micro_batch * static_cast<double>(dec_ctx) *
+           static_cast<double>(model.hidden) * 2.0);
+      const double t_dec =
+          (w_miss + kv_touch) / (spill_bw * config.overlap_efficiency);
+      dec += std::max(c_dec, t_dec);
+    }
+    if (p == 0) {
+      pre += embedding_time_ground_truth(
+          gpu, model, static_cast<std::int64_t>(micro_batch) * w.prompt_len);
+      dec += embedding_time_ground_truth(gpu, model, micro_batch);
+    }
+    // Outbound comm.
+    if (p + 1 < N) {
+      const auto& link = cluster.link(p, p + 1);
+      pre += link.transfer_time(
+          activation_bytes(model, prefill_shape(micro_batch, w.prompt_len)));
+      dec += link.transfer_time(
+          activation_bytes(model, decode_shape(micro_batch, dec_ctx)));
+    }
+    stage_pre[static_cast<std::size_t>(p)] = pre;
+    stage_dec[static_cast<std::size_t>(p)] = dec;
+  }
+
+  double pre_sum = 0.0, pre_max = 0.0, dec_sum = 0.0, dec_max = 0.0;
+  for (int p = 0; p < N; ++p) {
+    pre_sum += stage_pre[static_cast<std::size_t>(p)];
+    pre_max = std::max(pre_max, stage_pre[static_cast<std::size_t>(p)]);
+    dec_sum += stage_dec[static_cast<std::size_t>(p)];
+    dec_max = std::max(dec_max, stage_dec[static_cast<std::size_t>(p)]);
+  }
+  result.ok = true;
+  result.prefill_latency_s =
+      pre_sum + static_cast<double>(m_count - 1) * pre_max;
+  result.e2e_latency_s =
+      result.prefill_latency_s +
+      static_cast<double>(w.gen_tokens - 1) *
+          (dec_sum + static_cast<double>(m_count - 1) * dec_max);
+  result.throughput_tokens_per_s =
+      static_cast<double>(w.total_generated_tokens()) / result.e2e_latency_s;
+  return result;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "model/model_spec.hpp"
+#include "model/workload.hpp"
+
+namespace llmpq {
+
+/// Offloading execution model (the FlexGen-style baseline substrate):
+/// layers are evenly partitioned over the devices; weights and KV cache
+/// that do not fit in GPU memory live in CPU RAM (over PCIe) or on NVMe,
+/// streamed in during execution with compute/transfer overlap (the zig-zag
+/// block schedule). Per-layer time is the max of compute and the transfer
+/// of the non-resident bytes touched by that pass.
+struct OffloadConfig {
+  double pcie_bytes_per_s = 16e9;   ///< PCIe 3.0 x16 effective
+  double disk_bytes_per_s = 3e9;    ///< NVMe SSD ("GB/s SSD" in the paper)
+  double cpu_mem_bytes = 128e9;     ///< spill target before disk
+  double overlap_efficiency = 0.85; ///< fraction of transfer hidden-able
+};
+
+struct OffloadResult {
+  bool ok = false;
+  std::string error;
+  double prefill_latency_s = 0.0;
+  double e2e_latency_s = 0.0;
+  double throughput_tokens_per_s = 0.0;
+  /// Fraction of (weights+KV) resident in GPU memory, per device.
+  std::vector<double> resident_fraction;
+};
+
+/// Simulates uniform-precision offloaded serving at `bits` on `cluster`.
+OffloadResult simulate_offload(const ModelSpec& model,
+                               const ClusterSpec& cluster, const Workload& w,
+                               int bits, const OffloadConfig& config = {});
+
+}  // namespace llmpq

@@ -1,0 +1,244 @@
+#include "sim/online_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "cost/ground_truth.hpp"
+#include "cost/profiler.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace llmpq {
+
+std::vector<OnlineRequest> generate_sharegpt_workload(Rng& rng, int count,
+                                                      double rate_per_s,
+                                                      int max_prompt,
+                                                      int max_gen) {
+  check_arg(count >= 0 && rate_per_s > 0.0,
+            "generate_sharegpt_workload: bad arguments");
+  std::vector<OnlineRequest> reqs;
+  reqs.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += -std::log(std::max(rng.uniform(), 1e-12)) / rate_per_s;  // Poisson
+    OnlineRequest r;
+    r.arrival_s = t;
+    // Bimodal prompt mix: ~55% short chat turns (lognormal around ~40
+    // tokens), the rest long context pastes (lognormal around ~400).
+    const bool short_prompt = rng.uniform() < 0.55;
+    const double mu = short_prompt ? 3.6 : 6.0;
+    const double sigma = short_prompt ? 0.6 : 0.5;
+    r.prompt_len = static_cast<int>(
+        std::clamp(std::exp(rng.normal(mu, sigma)), 4.0,
+                   static_cast<double>(max_prompt)));
+    // Generation length: geometric-ish with a heavier tail.
+    r.gen_tokens = static_cast<int>(
+        std::clamp(std::exp(rng.normal(4.0, 0.8)), 4.0,
+                   static_cast<double>(max_gen)));
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+double fraction_below(const std::vector<OnlineRequest>& reqs, int threshold) {
+  if (reqs.empty()) return 0.0;
+  int below = 0;
+  for (const auto& r : reqs) below += r.prompt_len < threshold;
+  return static_cast<double>(below) / static_cast<double>(reqs.size());
+}
+
+namespace {
+
+/// Serial traversal time of the whole pipeline for one pass: with a single
+/// in-flight batch, round r+1 depends on round r's token, so stages do not
+/// overlap; the pass costs the sum of stage times plus transfers.
+double pass_time(const ModelSpec& model, const ClusterSpec& cluster,
+                 const ExecutionPlan& plan, Phase phase, int batch,
+                 int seq_or_ctx) {
+  double total = 0.0;
+  int prev_dev = -1;
+  bool first = true;
+  for (int p = 0; p < plan.num_stages(); ++p) {
+    if (plan.stage_size(p) == 0) continue;
+    const int dev = plan.device_order[static_cast<std::size_t>(p)];
+    const GpuSpec& gpu = cluster.devices[static_cast<std::size_t>(dev)].gpu();
+    const PhaseShape shape = phase == Phase::kPrefill
+                                 ? prefill_shape(batch, seq_or_ctx)
+                                 : decode_shape(batch, seq_or_ctx);
+    for (int bits : plan.stage_bits(p))
+      total += layer_time_ground_truth(gpu, model, shape, bits);
+    if (first) {
+      const std::int64_t tokens =
+          phase == Phase::kPrefill
+              ? static_cast<std::int64_t>(batch) * seq_or_ctx
+              : static_cast<std::int64_t>(batch);
+      total += embedding_time_ground_truth(gpu, model, tokens);
+      first = false;
+    }
+    if (prev_dev >= 0 && prev_dev != dev)
+      total += cluster.link(prev_dev, dev)
+                   .transfer_time(activation_bytes(model, shape));
+    prev_dev = dev;
+  }
+  return total;
+}
+
+struct Active {
+  std::size_t idx;   ///< index into requests
+  int context;       ///< tokens currently in KV
+  int remaining;     ///< tokens still to generate
+  double admitted_at;
+};
+
+}  // namespace
+
+OnlineSimResult simulate_online(const ModelSpec& model,
+                                const ClusterSpec& cluster,
+                                const ExecutionPlan& plan,
+                                const std::vector<OnlineRequest>& requests,
+                                const OnlineSimOptions& options) {
+  OnlineSimResult result;
+  plan.validate(model.layers, cluster.num_devices());
+  check_arg(options.max_batch >= 1 && options.batch_size >= 1,
+            "simulate_online: batch limits must be positive");
+
+  // The plan's memory feasibility gates the run exactly like offline.
+  {
+    const SimResult probe = simulate_plan(model, cluster, plan);
+    if (!probe.ok) {
+      result.error = probe.error;
+      return result;
+    }
+  }
+
+  std::vector<OnlineRequest> sorted = requests;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const OnlineRequest& a, const OnlineRequest& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+
+  std::vector<double> latencies;
+  std::vector<double> queue_delays;
+  std::int64_t tokens_out = 0;
+  double t = 0.0;
+  std::size_t next = 0;
+
+  if (options.policy == SchedulerPolicy::kStaticBatching) {
+    // Form batches of `batch_size` (or whatever is queued once the oldest
+    // waits too long); pad prompts and generations to the batch maxima.
+    std::deque<std::size_t> queue;
+    while (next < sorted.size() || !queue.empty()) {
+      // Fill the queue up to the current time.
+      while (next < sorted.size() && sorted[next].arrival_s <= t)
+        queue.push_back(next++);
+      if (queue.empty()) {
+        t = sorted[next].arrival_s;
+        continue;
+      }
+      const bool full =
+          static_cast<int>(queue.size()) >= options.batch_size;
+      const bool stale =
+          t - sorted[queue.front()].arrival_s >= options.max_wait_s;
+      if (!full && !stale && next < sorted.size()) {
+        t = std::max(t, sorted[next].arrival_s);  // wait for more arrivals
+        continue;
+      }
+      // Dispatch.
+      std::vector<std::size_t> batch;
+      while (!queue.empty() &&
+             static_cast<int>(batch.size()) <
+                 std::min(options.batch_size, options.max_batch)) {
+        batch.push_back(queue.front());
+        queue.pop_front();
+      }
+      int max_prompt = 0, max_gen = 0;
+      for (std::size_t idx : batch) {
+        max_prompt = std::max(max_prompt, sorted[idx].prompt_len);
+        max_gen = std::max(max_gen, sorted[idx].gen_tokens);
+      }
+      for (std::size_t idx : batch)
+        queue_delays.push_back(t - sorted[idx].arrival_s);
+      t += pass_time(model, cluster, plan, Phase::kPrefill,
+                     static_cast<int>(batch.size()), max_prompt);
+      for (int round = 1; round < max_gen; ++round)
+        t += pass_time(model, cluster, plan, Phase::kDecode,
+                       static_cast<int>(batch.size()), max_prompt + round);
+      for (std::size_t idx : batch) {
+        latencies.push_back(t - sorted[idx].arrival_s);
+        tokens_out += sorted[idx].gen_tokens;  // useful (unpadded) tokens
+      }
+      result.completed += static_cast<int>(batch.size());
+    }
+  } else {
+    // ORCA-style iteration-level scheduling: the active set changes at
+    // token granularity; new requests are prefilled as they are admitted.
+    std::vector<Active> active;
+    while (next < sorted.size() || !active.empty()) {
+      // Admit while capacity allows.
+      std::vector<std::size_t> admitted;
+      while (next < sorted.size() && sorted[next].arrival_s <= t &&
+             static_cast<int>(active.size() + admitted.size()) <
+                 options.max_batch)
+        admitted.push_back(next++);
+      if (!admitted.empty()) {
+        int max_prompt = 0;
+        for (std::size_t idx : admitted)
+          max_prompt = std::max(max_prompt, sorted[idx].prompt_len);
+        t += pass_time(model, cluster, plan, Phase::kPrefill,
+                       static_cast<int>(admitted.size()), max_prompt);
+        for (std::size_t idx : admitted) {
+          queue_delays.push_back(
+              std::max(0.0, t - sorted[idx].arrival_s));
+          Active a;
+          a.idx = idx;
+          a.context = sorted[idx].prompt_len + 1;  // prefill emits token 1
+          a.remaining = sorted[idx].gen_tokens - 1;
+          a.admitted_at = t;
+          if (a.remaining <= 0) {
+            latencies.push_back(t - sorted[idx].arrival_s);
+            tokens_out += sorted[idx].gen_tokens;
+            ++result.completed;
+          } else {
+            active.push_back(a);
+          }
+        }
+        continue;
+      }
+      if (active.empty()) {
+        t = sorted[next].arrival_s;
+        continue;
+      }
+      // One decode round over the current active set.
+      int max_ctx = 0;
+      for (const Active& a : active) max_ctx = std::max(max_ctx, a.context);
+      t += pass_time(model, cluster, plan, Phase::kDecode,
+                     static_cast<int>(active.size()), max_ctx);
+      for (auto it = active.begin(); it != active.end();) {
+        ++it->context;
+        if (--it->remaining <= 0) {
+          latencies.push_back(t - sorted[it->idx].arrival_s);
+          tokens_out += sorted[it->idx].gen_tokens;
+          ++result.completed;
+          it = active.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  result.ok = true;
+  result.makespan_s = t;
+  result.throughput_tokens_per_s =
+      t > 0.0 ? static_cast<double>(tokens_out) / t : 0.0;
+  if (!latencies.empty()) {
+    result.mean_latency_s = mean(latencies);
+    result.p95_latency_s = percentile(latencies, 95);
+  }
+  if (!queue_delays.empty()) result.mean_queue_delay_s = mean(queue_delays);
+  return result;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/plan.hpp"
+#include "hw/cluster.hpp"
+#include "model/model_spec.hpp"
+
+namespace llmpq {
+
+/// Online-serving extension (paper Sec. 2.3 / Sec. 7): LLM-PQ targets the
+/// offline task, but the discussion sketches applying its plans to
+/// ORCA/vLLM-style online serving, where requests arrive unpredictably
+/// with varying prompt and generation lengths. This module provides the
+/// missing pieces: a ShareGPT-shaped request generator and a scheduler
+/// simulator with both classic static batching and ORCA-style
+/// iteration-level scheduling, executing over an LLM-PQ execution plan.
+
+struct OnlineRequest {
+  double arrival_s = 0.0;
+  int prompt_len = 0;
+  int gen_tokens = 0;
+};
+
+/// Synthetic ShareGPT-like workload (paper Sec. 2.1: "prompt length varies
+/// substantially", with a large short-prompt mass and a long tail).
+/// Poisson arrivals at `rate_per_s`.
+std::vector<OnlineRequest> generate_sharegpt_workload(Rng& rng, int count,
+                                                      double rate_per_s,
+                                                      int max_prompt = 1024,
+                                                      int max_gen = 256);
+
+/// Fraction of prompts shorter than `threshold` (the paper's "< 128"
+/// observation).
+double fraction_below(const std::vector<OnlineRequest>& reqs, int threshold);
+
+enum class SchedulerPolicy {
+  kStaticBatching,    ///< pad a batch, run it to the longest generation
+  kIterationLevel,    ///< ORCA: requests join/leave at token granularity
+};
+
+struct OnlineSimResult {
+  bool ok = false;
+  std::string error;
+  int completed = 0;
+  double makespan_s = 0.0;
+  double throughput_tokens_per_s = 0.0;
+  double mean_latency_s = 0.0;   ///< arrival -> last token
+  double p95_latency_s = 0.0;
+  double mean_queue_delay_s = 0.0;  ///< arrival -> first admission
+};
+
+struct OnlineSimOptions {
+  SchedulerPolicy policy = SchedulerPolicy::kIterationLevel;
+  /// Max concurrent sequences (bounded by the plan's preallocated KV).
+  int max_batch = 32;
+  /// Static batching: dispatch when this many requests are queued or the
+  /// oldest has waited `max_wait_s`.
+  int batch_size = 16;
+  double max_wait_s = 5.0;
+};
+
+/// Replays `requests` against the plan's pipeline on the simulated
+/// cluster. Timing comes from the same roofline ground truth the offline
+/// simulator uses; memory feasibility of the plan is checked up front.
+OnlineSimResult simulate_online(const ModelSpec& model,
+                                const ClusterSpec& cluster,
+                                const ExecutionPlan& plan,
+                                const std::vector<OnlineRequest>& requests,
+                                const OnlineSimOptions& options = {});
+
+}  // namespace llmpq

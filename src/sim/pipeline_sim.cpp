@@ -1,0 +1,206 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/estimator.hpp"
+#include "cost/ground_truth.hpp"
+#include "cost/mem_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace llmpq {
+
+namespace {
+
+/// Compute-only time of one stage pass (all its layers + master work on the
+/// first stage), excluding communication.
+double stage_pass_time(const ModelSpec& model, const ClusterSpec& cluster,
+                       const ExecutionPlan& plan, int p, Phase phase,
+                       int micro_batch, int seq_or_ctx, bool is_first_stage,
+                       QuantScheme scheme) {
+  const int dev = plan.device_order[static_cast<std::size_t>(p)];
+  const GpuSpec& gpu = cluster.devices[static_cast<std::size_t>(dev)].gpu();
+  const PhaseShape shape = phase == Phase::kPrefill
+                               ? prefill_shape(micro_batch, seq_or_ctx)
+                               : decode_shape(micro_batch, seq_or_ctx);
+  double t = 0.0;
+  for (int bits : plan.stage_bits(p))
+    t += layer_time_ground_truth(gpu, model, shape, bits, scheme);
+  if (is_first_stage) {
+    const std::int64_t tokens =
+        phase == Phase::kPrefill
+            ? static_cast<std::int64_t>(micro_batch) * seq_or_ctx
+            : static_cast<std::int64_t>(micro_batch);
+    t += embedding_time_ground_truth(gpu, model, tokens);
+  }
+  return t;
+}
+
+}  // namespace
+
+SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
+                        const ExecutionPlan& plan, const SimOptions& options) {
+  SimResult result;
+  plan.validate(model.layers, cluster.num_devices());
+  const Workload& w = plan.workload;
+
+  // ---- Active (non-empty) stages in pipeline order.
+  std::vector<int> active;
+  for (int p = 0; p < plan.num_stages(); ++p)
+    if (plan.stage_size(p) > 0) active.push_back(p);
+  if (active.empty()) {
+    result.error = "plan assigns no layers";
+    return result;
+  }
+  const int S = static_cast<int>(active.size());
+
+  // ---- Memory check (the simulator's OOM signal).
+  result.stage_peak_mem.assign(static_cast<std::size_t>(plan.num_stages()), 0);
+  for (int si = 0; si < S; ++si) {
+    const int p = active[static_cast<std::size_t>(si)];
+    const int dev = plan.device_order[static_cast<std::size_t>(p)];
+    const StageMemory mem =
+        stage_memory(model, plan.stage_bits(p), w, plan.prefill_micro_batch,
+                     plan.decode_micro_batch, si == 0, si == S - 1);
+    result.stage_peak_mem[static_cast<std::size_t>(p)] = mem.total();
+    const std::int64_t budget =
+        cluster.devices[static_cast<std::size_t>(dev)].gpu().mem_bytes -
+        device_memory_reserve();
+    if (mem.total() > budget) {
+      std::ostringstream os;
+      os << "OOM on device " << dev << " (stage " << p << "): needs "
+         << static_cast<double>(mem.total()) / static_cast<double>(GiB)
+         << " GiB, has "
+         << static_cast<double>(budget) / static_cast<double>(GiB) << " GiB";
+      result.error = os.str();
+      return result;
+    }
+  }
+
+  Rng rng(options.seed);
+  auto jittered = [&](double t) {
+    return options.jitter > 0.0
+               ? t * std::max(0.5, 1.0 + options.jitter * rng.normal())
+               : t;
+  };
+
+  // Inter-stage transfer time from active stage si to si+1.
+  auto comm = [&](int si, Phase phase, int micro_batch) {
+    if (si + 1 >= S) return 0.0;
+    const int a = plan.device_order[static_cast<std::size_t>(
+        active[static_cast<std::size_t>(si)])];
+    const int b = plan.device_order[static_cast<std::size_t>(
+        active[static_cast<std::size_t>(si + 1)])];
+    if (a == b) return 0.0;
+    const PhaseShape shape = phase == Phase::kPrefill
+                                 ? prefill_shape(micro_batch, w.prompt_len)
+                                 : decode_shape(micro_batch, 1);
+    return cluster.link(a, b).transfer_time(
+        activation_bytes(model, shape));
+  };
+
+  EventQueue queue;
+  std::vector<double> stage_free(static_cast<std::size_t>(S), 0.0);
+  std::vector<double> stage_busy(static_cast<std::size_t>(S), 0.0);
+
+  const int m_pre = plan.prefill_microbatch_count();
+  const int m_dec = plan.decode_microbatch_count();
+  double prefill_done = 0.0;
+  int prefill_remaining = m_pre;
+
+  // Decode stage-pass times are per round (context grows with each token).
+  // Cached per (round) on demand inside the round scheduling.
+
+  double final_time = 0.0;
+  const int rounds_total = std::max(0, w.gen_tokens - 1);
+
+  // Forward declaration trampoline for scheduling decode rounds.
+  std::function<void(int, int, int, double)> arrive_decode;
+
+  arrive_decode = [&](int si, int m, int round, double now) {
+    const double start =
+        std::max(now, stage_free[static_cast<std::size_t>(si)]);
+    const int ctx = w.prompt_len + round;
+    const double pass = jittered(
+        stage_pass_time(model, cluster, plan, active[static_cast<std::size_t>(si)],
+                        Phase::kDecode, plan.decode_micro_batch, ctx, si == 0,
+                        options.scheme));
+    const double finish = start + pass;
+    stage_free[static_cast<std::size_t>(si)] = finish;
+    stage_busy[static_cast<std::size_t>(si)] += pass;
+    if (si + 1 < S) {
+      const double arrive = finish + comm(si, Phase::kDecode,
+                                          plan.decode_micro_batch);
+      queue.schedule(arrive, [&, si, m, round](double t) {
+        arrive_decode(si + 1, m, round, t);
+      });
+    } else {
+      final_time = std::max(final_time, finish);
+      if (round + 1 <= rounds_total) {
+        // Token round + 1 of micro-batch m begins at the master once this
+        // round's token is sampled.
+        queue.schedule(finish, [&, m, round](double t) {
+          arrive_decode(0, m, round + 1, t);
+        });
+      }
+    }
+  };
+
+  std::function<void(int, int, double)> arrive_prefill;
+  arrive_prefill = [&](int si, int m, double now) {
+    const double start =
+        std::max(now, stage_free[static_cast<std::size_t>(si)]);
+    const double pass = jittered(stage_pass_time(
+        model, cluster, plan, active[static_cast<std::size_t>(si)],
+        Phase::kPrefill, plan.prefill_micro_batch, w.prompt_len, si == 0,
+        options.scheme));
+    const double finish = start + pass;
+    stage_free[static_cast<std::size_t>(si)] = finish;
+    stage_busy[static_cast<std::size_t>(si)] += pass;
+    if (si + 1 < S) {
+      const double arrive =
+          finish + comm(si, Phase::kPrefill, plan.prefill_micro_batch);
+      queue.schedule(arrive, [&, si, m](double t) {
+        arrive_prefill(si + 1, m, t);
+      });
+    } else {
+      prefill_done = std::max(prefill_done, finish);
+      final_time = std::max(final_time, finish);
+      if (--prefill_remaining == 0 && rounds_total > 0) {
+        // Barrier: decode re-batches the prompts, so round 1 starts once
+        // every prefill micro-batch has produced its first token.
+        for (int dm = 0; dm < m_dec; ++dm)
+          queue.schedule(prefill_done, [&, dm](double t) {
+            arrive_decode(0, dm, 1, t);
+          });
+      }
+    }
+  };
+
+  for (int m = 0; m < m_pre; ++m)
+    queue.schedule(0.0, [&, m](double t) { arrive_prefill(0, m, t); });
+
+  queue.run();
+
+  result.ok = true;
+  result.prefill_latency_s = prefill_done;
+  result.e2e_latency_s = final_time;
+  result.throughput_tokens_per_s =
+      static_cast<double>(w.total_generated_tokens()) / final_time;
+  result.stage_busy_s.assign(static_cast<std::size_t>(plan.num_stages()), 0.0);
+  result.stage_utilization.assign(static_cast<std::size_t>(plan.num_stages()),
+                                  0.0);
+  for (int si = 0; si < S; ++si) {
+    const int p = active[static_cast<std::size_t>(si)];
+    result.stage_busy_s[static_cast<std::size_t>(p)] =
+        stage_busy[static_cast<std::size_t>(si)];
+    result.stage_utilization[static_cast<std::size_t>(p)] =
+        stage_busy[static_cast<std::size_t>(si)] / final_time;
+  }
+  result.events_processed = queue.events_processed();
+  return result;
+}
+
+}  // namespace llmpq

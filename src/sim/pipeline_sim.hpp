@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "hw/cluster.hpp"
+#include "model/model_spec.hpp"
+#include "quant/scheme.hpp"
+
+namespace llmpq {
+
+/// Result of executing a plan on the simulated cluster (the stand-in for a
+/// real serving run; all "measured" numbers in the benchmark tables come
+/// from here).
+struct SimResult {
+  bool ok = false;
+  std::string error;  ///< e.g. OOM description when !ok
+
+  double prefill_latency_s = 0.0;
+  double e2e_latency_s = 0.0;
+  double throughput_tokens_per_s = 0.0;
+
+  std::vector<double> stage_busy_s;       ///< per pipeline position
+  std::vector<double> stage_utilization;  ///< busy / e2e
+  std::vector<std::int64_t> stage_peak_mem;
+  std::size_t events_processed = 0;
+};
+
+struct SimOptions {
+  /// Multiplicative per-stage-pass timing jitter stddev (0 = deterministic).
+  double jitter = 0.0;
+  std::uint64_t seed = 11;
+  /// Weight-only kernel family used for sub-8-bit layers.
+  QuantScheme scheme = QuantScheme::kGptq;
+};
+
+/// Discrete-event simulation of pipelined two-phase generative inference:
+/// prefill micro-batches stream through the stages, then gen_tokens - 1
+/// decode rounds with re-sized micro-batches, token t+1 depending on token
+/// t through the master engine. Timing comes from the roofline ground
+/// truth; memory from the analytic model with an OOM check per stage.
+SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
+                        const ExecutionPlan& plan,
+                        const SimOptions& options = {});
+
+}  // namespace llmpq

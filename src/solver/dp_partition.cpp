@@ -1,0 +1,76 @@
+#include "solver/dp_partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PartitionResult run_dp(int num_layers, int num_devices,
+                       const StageCostFn& cost, bool min_max) {
+  check_arg(num_layers >= 0 && num_devices >= 1, "partition: bad sizes");
+  const int L = num_layers, N = num_devices;
+  // f[j][i]: best objective assigning the first i layers to the first j
+  // devices. combine = max or +.
+  std::vector<std::vector<double>> f(
+      static_cast<std::size_t>(N) + 1,
+      std::vector<double>(static_cast<std::size_t>(L) + 1, kInf));
+  std::vector<std::vector<int>> arg(
+      static_cast<std::size_t>(N) + 1,
+      std::vector<int>(static_cast<std::size_t>(L) + 1, -1));
+  f[0][0] = min_max ? 0.0 : 0.0;
+
+  for (int j = 1; j <= N; ++j) {
+    for (int i = 0; i <= L; ++i) {
+      for (int k = 0; k <= i; ++k) {
+        const double prev = f[static_cast<std::size_t>(j - 1)]
+                             [static_cast<std::size_t>(k)];
+        if (prev == kInf) continue;
+        const double stage = (k == i) ? 0.0 : cost(k, i, j - 1);
+        if (stage == kInf) continue;
+        const double combined = min_max ? std::max(prev, stage) : prev + stage;
+        auto& cell =
+            f[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+        if (combined < cell) {
+          cell = combined;
+          arg[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = k;
+        }
+      }
+    }
+  }
+
+  PartitionResult result;
+  if (f[static_cast<std::size_t>(N)][static_cast<std::size_t>(L)] == kInf)
+    return result;
+  result.feasible = true;
+  result.objective = f[static_cast<std::size_t>(N)][static_cast<std::size_t>(L)];
+  result.boundaries.assign(static_cast<std::size_t>(N) + 1, 0);
+  result.boundaries[static_cast<std::size_t>(N)] = L;
+  int i = L;
+  for (int j = N; j >= 1; --j) {
+    const int k =
+        arg[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+    result.boundaries[static_cast<std::size_t>(j - 1)] = k;
+    i = k;
+  }
+  return result;
+}
+
+}  // namespace
+
+PartitionResult partition_min_max(int num_layers, int num_devices,
+                                  const StageCostFn& cost) {
+  return run_dp(num_layers, num_devices, cost, /*min_max=*/true);
+}
+
+PartitionResult partition_min_sum(int num_layers, int num_devices,
+                                  const StageCostFn& cost) {
+  return run_dp(num_layers, num_devices, cost, /*min_max=*/false);
+}
+
+}  // namespace llmpq

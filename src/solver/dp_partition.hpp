@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace llmpq {
+
+/// Cost of assigning the contiguous layer range [begin, end) to device
+/// `device`. Return +inf (or any huge value) for infeasible stages (e.g.
+/// memory overflow). An empty range (begin == end) means the device is
+/// skipped and must cost 0.
+using StageCostFn =
+    std::function<double(int begin, int end, int device)>;
+
+struct PartitionResult {
+  bool feasible = false;
+  double objective = 0.0;
+  /// boundaries[j] .. boundaries[j+1] is device j's range; size N+1 with
+  /// boundaries[0] == 0 and boundaries[N] == num_layers.
+  std::vector<int> boundaries;
+};
+
+/// Optimal contiguous partition of `num_layers` layers over `num_devices`
+/// ordered devices minimizing the *maximum* stage cost (the PipeEdge
+/// objective: pipeline throughput is bound by the slowest stage).
+/// O(num_devices * num_layers^2) DP.
+PartitionResult partition_min_max(int num_layers, int num_devices,
+                                  const StageCostFn& cost);
+
+/// Same, minimizing the *sum* of stage costs (used for latency-sum style
+/// objectives and as a cross-check for the MILP).
+PartitionResult partition_min_sum(int num_layers, int num_devices,
+                                  const StageCostFn& cost);
+
+}  // namespace llmpq

@@ -1,0 +1,89 @@
+#include "solver/mckp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+MckpResult solve_mckp(const std::vector<std::vector<MckpOption>>& items,
+                      std::int64_t capacity, int buckets) {
+  check_arg(buckets >= 1, "solve_mckp: buckets must be positive");
+  MckpResult result;
+  if (items.empty()) {
+    result.feasible = capacity >= 0;
+    return result;
+  }
+  if (capacity < 0) return result;
+  for (const auto& options : items)
+    check_arg(!options.empty(), "solve_mckp: item with no options");
+
+  const std::int64_t bucket_size =
+      std::max<std::int64_t>(1, (capacity + buckets - 1) / buckets);
+  const int cap_buckets = static_cast<int>(capacity / bucket_size);
+
+  // Bucketized (rounded-up) weights; options that alone exceed capacity are
+  // marked unusable.
+  const double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = items.size();
+  const std::size_t width = static_cast<std::size_t>(cap_buckets) + 1;
+
+  std::vector<double> dp(width, kInf);
+  std::vector<double> next(width, kInf);
+  // choice_at[i][c] = option chosen for item i when ending at bucket c.
+  std::vector<std::vector<std::int16_t>> choice_at(
+      n, std::vector<std::int16_t>(width, -1));
+
+  dp[0] = 0.0;
+  // dp over prefix of items; dp[c] = min value with total bucketized
+  // weight exactly... no — "at most c" formulation: we propagate minima.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (std::size_t c = 0; c < width; ++c) {
+      if (dp[c] == kInf) continue;
+      for (std::size_t o = 0; o < items[i].size(); ++o) {
+        const auto& opt = items[i][o];
+        check_arg(opt.weight >= 0, "solve_mckp: negative weight");
+        const std::int64_t wb = (opt.weight + bucket_size - 1) / bucket_size;
+        const std::size_t nc = c + static_cast<std::size_t>(wb);
+        if (nc >= width) continue;
+        const double val = dp[c] + opt.value;
+        if (val < next[nc]) {
+          next[nc] = val;
+          choice_at[i][nc] = static_cast<std::int16_t>(o);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Find the best end bucket.
+  double best = kInf;
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < width; ++c) {
+    if (dp[c] < best) {
+      best = dp[c];
+      best_c = c;
+    }
+  }
+  if (best == kInf) return result;
+
+  // Backtrack. Recompute predecessor buckets from the stored choices.
+  result.choice.assign(n, -1);
+  std::size_t c = best_c;
+  for (std::size_t ii = n; ii-- > 0;) {
+    const int o = choice_at[ii][c];
+    check_arg(o >= 0, "solve_mckp: backtrack failure");
+    result.choice[ii] = o;
+    const auto& opt = items[ii][static_cast<std::size_t>(o)];
+    const std::int64_t wb = (opt.weight + bucket_size - 1) / bucket_size;
+    c -= static_cast<std::size_t>(wb);
+    result.total_weight += opt.weight;
+    result.total_value += opt.value;
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace llmpq

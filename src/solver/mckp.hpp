@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace llmpq {
+
+/// Multiple-choice knapsack: pick exactly one option per item, minimizing
+/// total value subject to a weight (byte) capacity. Used by the adabits
+/// planner to choose per-layer bitwidths inside one pipeline stage:
+/// options are bitwidths, weight = memory footprint, value = quality
+/// perturbation omega.
+struct MckpOption {
+  std::int64_t weight = 0;
+  double value = 0.0;
+};
+
+struct MckpResult {
+  bool feasible = false;
+  double total_value = 0.0;
+  std::int64_t total_weight = 0;
+  std::vector<int> choice;  ///< option index per item
+};
+
+/// Exact DP over discretized capacity. `buckets` trades precision for
+/// speed; weights are rounded *up* to bucket granularity so the returned
+/// selection never exceeds `capacity` in true weight.
+MckpResult solve_mckp(const std::vector<std::vector<MckpOption>>& items,
+                      std::int64_t capacity, int buckets = 2048);
+
+}  // namespace llmpq

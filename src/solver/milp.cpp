@@ -1,0 +1,202 @@
+#include "solver/milp.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace llmpq {
+
+const char* milp_status_name(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal:
+      return "optimal";
+    case MilpStatus::kFeasible:
+      return "feasible";
+    case MilpStatus::kInfeasible:
+      return "infeasible";
+    case MilpStatus::kNoSolution:
+      return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Node {
+  // Sparse bound overrides relative to the root problem.
+  std::vector<std::pair<int, std::pair<double, double>>> bounds;
+  double parent_bound = -kLpInf;
+  int depth = 0;
+};
+
+bool warm_start_feasible(const MilpProblem& p, const std::vector<double>& x,
+                         double int_tol) {
+  if (static_cast<int>(x.size()) != p.lp.num_vars()) return false;
+  for (int j = 0; j < p.lp.num_vars(); ++j) {
+    const double v = x[static_cast<std::size_t>(j)];
+    if (v < p.lp.lower()[static_cast<std::size_t>(j)] - 1e-6 ||
+        v > p.lp.upper()[static_cast<std::size_t>(j)] + 1e-6)
+      return false;
+  }
+  for (int jv : p.integer_vars) {
+    const double v = x[static_cast<std::size_t>(jv)];
+    if (std::fabs(v - std::round(v)) > int_tol) return false;
+  }
+  for (const auto& row : p.lp.rows()) {
+    double lhs = 0.0;
+    for (const auto& [col, coef] : row.coeffs)
+      lhs += coef * x[static_cast<std::size_t>(col)];
+    const double slack = row.rhs - lhs;
+    if (row.type == LpProblem::RowType::kLe && slack < -1e-6) return false;
+    if (row.type == LpProblem::RowType::kGe && slack > 1e-6) return false;
+    if (row.type == LpProblem::RowType::kEq && std::fabs(slack) > 1e-6)
+      return false;
+  }
+  return true;
+}
+
+double objective_of(const LpProblem& lp, const std::vector<double>& x) {
+  double z = 0.0;
+  for (int j = 0; j < lp.num_vars(); ++j)
+    z += lp.objective()[static_cast<std::size_t>(j)] *
+         x[static_cast<std::size_t>(j)];
+  return z;
+}
+
+}  // namespace
+
+MilpSolution solve_milp(const MilpProblem& problem,
+                        const MilpOptions& options) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+
+  MilpSolution best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  if (options.warm_start &&
+      warm_start_feasible(problem, *options.warm_start, options.int_tol)) {
+    best.status = MilpStatus::kFeasible;
+    best.x = *options.warm_start;
+    best.objective = objective_of(problem.lp, best.x);
+  }
+
+  LpProblem work = problem.lp;  // bounds mutated per node, restored after
+
+  std::vector<Node> stack;
+  stack.push_back({});
+  bool truncated = false;
+  bool any_lp_feasible = false;
+  double root_bound = -kLpInf;
+
+  while (!stack.empty()) {
+    if (best.nodes_explored >= options.max_nodes ||
+        elapsed() > options.time_limit_s) {
+      truncated = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (node.parent_bound >= best.objective - options.gap_abs) continue;
+    ++best.nodes_explored;
+
+    // Apply node bounds.
+    std::vector<std::pair<int, std::pair<double, double>>> saved;
+    saved.reserve(node.bounds.size());
+    for (const auto& [col, bd] : node.bounds) {
+      saved.push_back({col,
+                       {work.lower()[static_cast<std::size_t>(col)],
+                        work.upper()[static_cast<std::size_t>(col)]}});
+      const double lo = std::max(bd.first, saved.back().second.first);
+      const double hi = std::min(bd.second, saved.back().second.second);
+      if (lo > hi) {  // empty intersection: infeasible node
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it)
+          work.set_bounds(it->first, it->second.first, it->second.second);
+        saved.clear();
+        break;
+      }
+      work.set_bounds(col, lo, hi);
+    }
+    if (saved.size() != node.bounds.size()) continue;
+
+    const LpSolution relax = solve_lp(work, options.simplex);
+
+    // Restore bounds.
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it)
+      work.set_bounds(it->first, it->second.first, it->second.second);
+
+    if (relax.status == LpStatus::kInfeasible) continue;
+    if (relax.status == LpStatus::kUnbounded)
+      throw Error("solve_milp: relaxation unbounded (missing bounds?)");
+    if (relax.status == LpStatus::kIterLimit) {
+      truncated = true;
+      continue;
+    }
+    any_lp_feasible = true;
+    if (node.depth == 0) root_bound = relax.objective;
+    if (relax.objective >= best.objective - options.gap_abs) continue;
+
+    // Find most fractional integer variable.
+    int branch_var = -1;
+    double branch_frac = 0.0;
+    for (int jv : problem.integer_vars) {
+      const double v = relax.x[static_cast<std::size_t>(jv)];
+      const double frac = std::fabs(v - std::round(v));
+      if (frac > options.int_tol && frac > branch_frac) {
+        branch_frac = frac;
+        branch_var = jv;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      best.objective = relax.objective;
+      best.x = relax.x;
+      for (int jv : problem.integer_vars) {
+        auto& v = best.x[static_cast<std::size_t>(jv)];
+        v = std::round(v);
+      }
+      best.status = MilpStatus::kFeasible;
+      continue;
+    }
+
+    const double v = relax.x[static_cast<std::size_t>(branch_var)];
+    const double fl = std::floor(v);
+    Node down;
+    down.bounds = node.bounds;
+    down.bounds.push_back({branch_var, {-kLpInf, fl}});
+    down.parent_bound = relax.objective;
+    down.depth = node.depth + 1;
+    Node up;
+    up.bounds = node.bounds;
+    up.bounds.push_back({branch_var, {fl + 1.0, kLpInf}});
+    up.parent_bound = relax.objective;
+    up.depth = node.depth + 1;
+    // Dive toward the nearer integer first (pushed last = explored first).
+    if (v - fl < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  best.solve_time_s = elapsed();
+  best.best_bound = root_bound;
+  if (best.status == MilpStatus::kFeasible && !truncated)
+    best.status = MilpStatus::kOptimal;
+  if (best.status == MilpStatus::kNoSolution && !truncated &&
+      !any_lp_feasible)
+    best.status = MilpStatus::kInfeasible;
+  if (best.status == MilpStatus::kNoSolution && !truncated && any_lp_feasible)
+    best.status = MilpStatus::kInfeasible;  // all integral leaves pruned/infeasible
+  return best;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "solver/lp.hpp"
+#include "solver/simplex.hpp"
+
+namespace llmpq {
+
+/// Mixed-integer program: an LpProblem plus integrality marks.
+struct MilpProblem {
+  LpProblem lp;
+  std::vector<int> integer_vars;  ///< columns required to be integral
+};
+
+struct MilpOptions {
+  double time_limit_s = 60.0;
+  int max_nodes = 500000;
+  double int_tol = 1e-6;
+  double gap_abs = 1e-6;  ///< prune nodes within this of the incumbent
+  SimplexOptions simplex;
+  /// Optional feasible start (full x vector); its objective seeds the
+  /// incumbent so branch-and-bound can prune immediately — this is how the
+  /// assigner warm-starts the ILP from the bitwidth-transfer heuristic.
+  std::optional<std::vector<double>> warm_start;
+};
+
+enum class MilpStatus {
+  kOptimal,     ///< proved optimal
+  kFeasible,    ///< feasible incumbent, search truncated (time/node limit)
+  kInfeasible,  ///< no integral solution exists
+  kNoSolution,  ///< truncated before any incumbent was found
+};
+
+struct MilpSolution {
+  MilpStatus status = MilpStatus::kNoSolution;
+  double objective = 0.0;
+  std::vector<double> x;
+  int nodes_explored = 0;
+  double solve_time_s = 0.0;
+  double best_bound = -kLpInf;  ///< proven lower bound on the optimum
+};
+
+const char* milp_status_name(MilpStatus status);
+
+/// Depth-first branch-and-bound over LP relaxations (most-fractional
+/// branching, dive-toward-nearest-integer child first).
+MilpSolution solve_milp(const MilpProblem& problem,
+                        const MilpOptions& options = {});
+
+}  // namespace llmpq

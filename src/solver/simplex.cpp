@@ -1,0 +1,337 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+namespace {
+
+enum class VarState : unsigned char { kBasic, kAtLower, kAtUpper };
+
+/// Dense bounded-variable two-phase tableau simplex.
+///
+/// Column layout: [structural | slack (one per inequality) | artificial
+/// (one per row)]. After slacks every row is an equality; artificials give
+/// the initial identity basis. Phase 1 minimizes the artificial sum; phase
+/// 2 fixes artificials at zero and minimizes the real objective.
+class Simplex {
+ public:
+  Simplex(const LpProblem& p, const SimplexOptions& opt) : opt_(opt) {
+    build(p);
+  }
+
+  LpSolution run(const LpProblem& p) {
+    LpSolution sol;
+    // ---- Phase 1.
+    set_phase1_costs();
+    const LpStatus s1 = iterate();
+    sol.iterations = iters_;
+    if (s1 == LpStatus::kIterLimit) {
+      sol.status = LpStatus::kIterLimit;
+      return sol;
+    }
+    if (objective_value() > 1e-6) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    // ---- Phase 2: fix artificials to zero, restore real costs.
+    for (int j = art_begin_; j < num_cols_; ++j) {
+      lower_[j] = 0.0;
+      upper_[j] = 0.0;
+      if (state_[j] == VarState::kAtUpper) state_[j] = VarState::kAtLower;
+      value_[j] = 0.0;
+    }
+    set_phase2_costs(p);
+    const LpStatus s2 = iterate();
+    sol.iterations = iters_;
+    sol.status = s2;
+    if (s2 == LpStatus::kOptimal) {
+      sol.objective = objective_value();
+      // Basic variables' current values live in beta_; sync before export.
+      for (int i = 0; i < num_rows_; ++i) value_[basis_[i]] = beta_[i];
+      sol.x.resize(static_cast<std::size_t>(num_structural_));
+      for (int j = 0; j < num_structural_; ++j)
+        sol.x[static_cast<std::size_t>(j)] = value_[j];
+    }
+    return sol;
+  }
+
+ private:
+  void build(const LpProblem& p) {
+    num_structural_ = p.num_vars();
+    const int m = p.num_rows();
+    int num_slacks = 0;
+    for (const auto& row : p.rows())
+      if (row.type != LpProblem::RowType::kEq) ++num_slacks;
+    slack_begin_ = num_structural_;
+    art_begin_ = num_structural_ + num_slacks;
+    num_cols_ = art_begin_ + m;
+    num_rows_ = m;
+
+    tab_.assign(static_cast<std::size_t>(m) * num_cols_, 0.0);
+    lower_.assign(num_cols_, 0.0);
+    upper_.assign(num_cols_, kLpInf);
+    value_.assign(num_cols_, 0.0);
+    state_.assign(num_cols_, VarState::kAtLower);
+    cost_.assign(num_cols_, 0.0);
+    d_.assign(num_cols_, 0.0);
+    basis_.assign(m, -1);
+    beta_.assign(m, 0.0);
+
+    for (int j = 0; j < num_structural_; ++j) {
+      lower_[j] = p.lower()[static_cast<std::size_t>(j)];
+      upper_[j] = p.upper()[static_cast<std::size_t>(j)];
+    }
+
+    // Choose initial nonbasic resting values for structurals.
+    for (int j = 0; j < num_structural_; ++j) {
+      if (std::isfinite(lower_[j])) {
+        state_[j] = VarState::kAtLower;
+        value_[j] = lower_[j];
+      } else if (std::isfinite(upper_[j])) {
+        state_[j] = VarState::kAtUpper;
+        value_[j] = upper_[j];
+      } else {
+        state_[j] = VarState::kAtLower;  // free var parked at 0
+        value_[j] = 0.0;
+      }
+    }
+
+    // Fill rows: structural coefficients + slack, then artificial identity.
+    int slack = slack_begin_;
+    for (int i = 0; i < m; ++i) {
+      const auto& row = p.rows()[static_cast<std::size_t>(i)];
+      double* t = row_ptr(i);
+      for (const auto& [col, coef] : row.coeffs) t[col] += coef;
+      if (row.type == LpProblem::RowType::kLe) {
+        t[slack] = 1.0;
+        lower_[slack] = 0.0;
+        upper_[slack] = kLpInf;
+        state_[slack] = VarState::kAtLower;
+        value_[slack] = 0.0;
+        ++slack;
+      } else if (row.type == LpProblem::RowType::kGe) {
+        t[slack] = -1.0;
+        lower_[slack] = 0.0;
+        upper_[slack] = kLpInf;
+        state_[slack] = VarState::kAtLower;
+        value_[slack] = 0.0;
+        ++slack;
+      }
+      // Residual given nonbasic resting values.
+      double residual = row.rhs;
+      for (int j = 0; j < art_begin_; ++j) residual -= t[j] * value_[j];
+      const double sign = residual >= 0.0 ? 1.0 : -1.0;
+      if (sign < 0.0)
+        for (int j = 0; j < art_begin_; ++j) t[j] = -t[j];
+      const double rhs_mag = std::fabs(residual);
+      rhs_sign_.push_back(sign);
+      rhs_.push_back(sign * row.rhs);
+      const int art = art_begin_ + i;
+      t[art] = 1.0;
+      lower_[art] = 0.0;
+      upper_[art] = kLpInf;
+      state_[art] = VarState::kBasic;
+      basis_[i] = art;
+      beta_[i] = rhs_mag;
+      value_[art] = rhs_mag;
+    }
+  }
+
+  double* row_ptr(int i) {
+    return tab_.data() + static_cast<std::size_t>(i) * num_cols_;
+  }
+
+  void set_phase1_costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = art_begin_; j < num_cols_; ++j) cost_[j] = 1.0;
+    recompute_reduced_costs();
+  }
+
+  void set_phase2_costs(const LpProblem& p) {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = 0; j < num_structural_; ++j)
+      cost_[j] = p.objective()[static_cast<std::size_t>(j)];
+    recompute_reduced_costs();
+  }
+
+  // d_j = c_j - c_B^T (B^{-1} A)_j, computed from the current tableau.
+  void recompute_reduced_costs() {
+    d_ = cost_;
+    for (int i = 0; i < num_rows_; ++i) {
+      const double cb = cost_[basis_[i]];
+      if (cb == 0.0) continue;
+      const double* t = row_ptr(i);
+      for (int j = 0; j < num_cols_; ++j) d_[j] -= cb * t[j];
+    }
+  }
+
+  double objective_value() const {
+    double z = 0.0;
+    for (int j = 0; j < num_cols_; ++j)
+      if (state_[j] != VarState::kBasic) z += cost_[j] * value_[j];
+    for (int i = 0; i < num_rows_; ++i) z += cost_[basis_[i]] * beta_[i];
+    return z;
+  }
+
+  LpStatus iterate() {
+    int stall = 0;
+    for (;;) {
+      if (iters_ >= opt_.max_iterations) return LpStatus::kIterLimit;
+      ++iters_;
+      const bool bland = stall > 2 * (num_rows_ + num_cols_);
+
+      // ---- Pricing: pick an entering column.
+      int q = -1;
+      double best = -opt_.cost_tol;
+      double dir = 0.0;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (state_[j] == VarState::kBasic) continue;
+        if (lower_[j] == upper_[j]) continue;  // fixed
+        double score = 0.0;
+        double cand_dir = 0.0;
+        const bool is_free =
+            !std::isfinite(lower_[j]) && !std::isfinite(upper_[j]);
+        if (is_free && std::fabs(d_[j]) > opt_.cost_tol) {
+          score = -std::fabs(d_[j]);
+          cand_dir = d_[j] > 0.0 ? -1.0 : 1.0;
+        } else if (state_[j] == VarState::kAtLower && d_[j] < -opt_.cost_tol) {
+          score = d_[j];
+          cand_dir = 1.0;
+        } else if (state_[j] == VarState::kAtUpper && d_[j] > opt_.cost_tol) {
+          score = -d_[j];
+          cand_dir = -1.0;
+        } else {
+          continue;
+        }
+        if (bland) {
+          q = j;
+          dir = cand_dir;
+          break;
+        }
+        if (score < best) {
+          best = score;
+          q = j;
+          dir = cand_dir;
+        }
+      }
+      if (q < 0) return LpStatus::kOptimal;  // optimal
+
+      // ---- Ratio test. Moving x_q by t*dir changes basic i by
+      // -t*dir*T[i][q].
+      double t_limit = kLpInf;
+      // Entering variable's own opposite bound.
+      if (std::isfinite(upper_[q]) && std::isfinite(lower_[q]))
+        t_limit = upper_[q] - lower_[q];
+      int leave_row = -1;
+      double leave_bound = 0.0;  // bound the leaving var hits
+      for (int i = 0; i < num_rows_; ++i) {
+        const double alpha = dir * row_ptr(i)[q];
+        if (std::fabs(alpha) < 1e-11) continue;
+        const int bi = basis_[i];
+        double t_i = kLpInf;
+        double hit = 0.0;
+        if (alpha > 0.0) {
+          // beta decreases toward lower bound.
+          if (std::isfinite(lower_[bi])) {
+            t_i = (beta_[i] - lower_[bi]) / alpha;
+            hit = lower_[bi];
+          }
+        } else {
+          // beta increases toward upper bound.
+          if (std::isfinite(upper_[bi])) {
+            t_i = (upper_[bi] - beta_[i]) / (-alpha);
+            hit = upper_[bi];
+          }
+        }
+        if (t_i < -1e-12) t_i = 0.0;
+        if (t_i < t_limit - 1e-12 ||
+            (t_i < t_limit + 1e-12 && leave_row >= 0 && bland &&
+             basis_[i] < basis_[leave_row])) {
+          t_limit = t_i;
+          leave_row = i;
+          leave_bound = hit;
+        }
+      }
+
+      if (!std::isfinite(t_limit)) return LpStatus::kUnbounded;
+      if (t_limit < 1e-12)
+        ++stall;
+      else
+        stall = 0;
+
+      // Apply step to basic values.
+      for (int i = 0; i < num_rows_; ++i)
+        beta_[i] -= t_limit * dir * row_ptr(i)[q];
+      const double new_q_value = value_[q] + t_limit * dir;
+
+      if (leave_row < 0) {
+        // Bound flip: x_q traverses to the opposite bound.
+        value_[q] = new_q_value;
+        state_[q] = (dir > 0.0) ? VarState::kAtUpper : VarState::kAtLower;
+        continue;
+      }
+
+      // ---- Pivot basis_[leave_row] out, q in.
+      const int leaving = basis_[leave_row];
+      value_[leaving] = leave_bound;
+      state_[leaving] = (std::fabs(leave_bound - lower_[leaving]) <
+                         std::fabs(leave_bound - upper_[leaving]))
+                            ? VarState::kAtLower
+                            : VarState::kAtUpper;
+      basis_[leave_row] = q;
+      state_[q] = VarState::kBasic;
+      beta_[leave_row] = new_q_value;
+
+      double* prow = row_ptr(leave_row);
+      const double piv = prow[q];
+      check_arg(std::fabs(piv) > 1e-12, "simplex: zero pivot");
+      const double inv_piv = 1.0 / piv;
+      for (int j = 0; j < num_cols_; ++j) prow[j] *= inv_piv;
+      prow[q] = 1.0;
+      for (int i = 0; i < num_rows_; ++i) {
+        if (i == leave_row) continue;
+        double* t = row_ptr(i);
+        const double f = t[q];
+        if (f == 0.0) continue;
+        for (int j = 0; j < num_cols_; ++j) t[j] -= f * prow[j];
+        t[q] = 0.0;
+      }
+      {
+        const double f = d_[q];
+        if (f != 0.0) {
+          for (int j = 0; j < num_cols_; ++j) d_[j] -= f * prow[j];
+          d_[q] = 0.0;
+        }
+      }
+    }
+  }
+
+  const SimplexOptions opt_;
+  int num_structural_ = 0;
+  int slack_begin_ = 0;
+  int art_begin_ = 0;
+  int num_cols_ = 0;
+  int num_rows_ = 0;
+  int iters_ = 0;
+
+  std::vector<double> tab_;
+  std::vector<double> lower_, upper_, value_, cost_, d_;
+  std::vector<VarState> state_;
+  std::vector<int> basis_;
+  std::vector<double> beta_;
+  std::vector<double> rhs_, rhs_sign_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  Simplex s(problem, options);
+  return s.run(problem);
+}
+
+}  // namespace llmpq

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "solver/lp.hpp"
+
+namespace llmpq {
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double feas_tol = 1e-7;   ///< bound / constraint feasibility tolerance
+  double cost_tol = 1e-9;   ///< reduced-cost optimality tolerance
+};
+
+/// Solves an LpProblem with a dense two-phase primal simplex supporting
+/// general variable bounds (nonbasic variables rest at either bound, with
+/// bound-flip pivots). Suitable for the mid-sized, well-scaled LPs the
+/// planner's branch-and-bound produces (hundreds of rows and columns).
+LpSolution solve_lp(const LpProblem& problem,
+                    const SimplexOptions& options = {});
+
+}  // namespace llmpq

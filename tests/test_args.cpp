@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/args.hpp"
+#include "common/error.hpp"
+
+namespace llmpq {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return ArgParser(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Args, KeyValueForms) {
+  const auto args = parse({"--model-name", "opt", "--theta=2.5", "--fit"});
+  EXPECT_EQ(args.get("model-name"), "opt");
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 2.5);
+  EXPECT_TRUE(args.has("fit"));
+  EXPECT_EQ(args.get("fit"), std::nullopt);  // bare flag
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(Args, RepeatedKeysCollectInOrder) {
+  const auto args = parse({"--d", "a", "--d", "b", "--d=c"});
+  EXPECT_EQ(args.get_all("d"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(args.get("d"), "c");  // last wins
+}
+
+TEST(Args, PositionalAndNumericErrors) {
+  const auto args = parse({"run", "--n", "5", "extra"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"run", "extra"}));
+  EXPECT_EQ(args.get_long("n", 0), 5);
+  const auto bad = parse({"--n", "abc"});
+  EXPECT_THROW(bad.get_long("n", 0), InvalidArgumentError);
+}
+
+TEST(Args, ValueLookingLikeOptionIsNotConsumed) {
+  const auto args = parse({"--flag", "--other", "v"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("flag"), std::nullopt);
+  EXPECT_EQ(args.get("other"), "v");
+}
+
+TEST(SplitCsv, SplitsAndDropsEmpties) {
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("a,,b,"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_csv("").empty());
+}
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/gpu_spec.hpp"
+#include "runtime/calibration_runner.hpp"
+
+namespace llmpq {
+namespace {
+
+ModelSpec tiny() {
+  ModelSpec m;
+  m.name = "tiny-calib";
+  m.family = "opt";
+  m.hidden = 32;
+  m.ffn = 128;
+  m.heads = 4;
+  m.layers = 5;
+  m.vocab = 96;
+  m.max_pos = 64;
+  return m;
+}
+
+std::vector<std::vector<TokenId>> prompts(const ModelSpec& m,
+                                          std::size_t batch, std::size_t len,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<TokenId>> out(batch);
+  for (auto& p : out)
+    for (std::size_t t = 0; t < len; ++t)
+      p.push_back(static_cast<TokenId>(rng.uniform_int(0, m.vocab - 1)));
+  return out;
+}
+
+TEST(CalibrationRunner, CollectsPlausibleStats) {
+  const ModelSpec spec = tiny();
+  const std::vector<int> fp16(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, fp16, 7);
+  const auto calib = run_calibration(mw, prompts(spec, 6, 12, 3));
+  ASSERT_EQ(calib.size(), 5u);
+  for (const auto& lc : calib) {
+    // Layer-normed inputs: near-unit variance, near-zero mean.
+    EXPECT_NEAR(lc.qkv_in.variance, 1.0, 0.1);
+    EXPECT_NEAR(lc.qkv_in.mean, 0.0, 0.1);
+    // ReLU output: non-negative mean, positive variance.
+    EXPECT_GT(lc.fc2_in.mean, 0.0);
+    EXPECT_GT(lc.fc2_in.variance, 0.0);
+  }
+}
+
+TEST(CalibrationRunner, DeterministicAcrossRuns) {
+  const ModelSpec spec = tiny();
+  const std::vector<int> fp16(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, fp16, 9);
+  const auto ps = prompts(spec, 4, 10, 5);
+  const auto a = run_calibration(mw, ps);
+  const auto b = run_calibration(mw, ps);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].qkv_in.variance, b[i].qkv_in.variance);
+    EXPECT_DOUBLE_EQ(a[i].fc1_in.mean, b[i].fc1_in.mean);
+  }
+}
+
+TEST(CalibrationRunner, MeasuredOmegaMonotoneInBits) {
+  const ModelSpec spec = tiny();
+  const std::vector<int> fp16(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, fp16, 11);
+  const auto calib = run_calibration(mw, prompts(spec, 4, 10, 1));
+  const auto omega = measured_variance_omega(mw, calib);
+  for (const auto& row : omega) {
+    EXPECT_GT(row[0], row[1]);  // 3-bit worse than 4-bit
+    EXPECT_GT(row[1], row[2]);  // 4-bit worse than 8-bit
+    EXPECT_GT(row[2], 0.0);
+    EXPECT_EQ(row[3], 0.0);     // 16-bit lossless
+  }
+}
+
+TEST(CalibrationRunner, MeasuredOmegaOrdersRealQuantizationDamage) {
+  // The end-to-end claim behind the paper's indicator: a plan with a
+  // larger measured omega sum inflicts a larger *real* output perturbation.
+  const ModelSpec spec = tiny();
+  const std::vector<int> fp16(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights reference = build_random_model(spec, fp16, 21);
+  const auto ps = prompts(spec, 4, 10, 2);
+  const auto calib = run_calibration(reference, ps);
+  const auto omega = measured_variance_omega(reference, calib);
+
+  double prev_mse = -1.0;
+  double prev_omega = -1.0;
+  for (int bits : {8, 4, 3}) {
+    std::vector<int> plan(static_cast<std::size_t>(spec.layers), bits);
+    const ModelWeights quantized = build_random_model(spec, plan, 21);
+    const double mse = output_mse(reference, quantized, ps);
+    double omega_sum = 0.0;
+    for (const auto& row : omega)
+      omega_sum += row[static_cast<std::size_t>(bit_index(bits))];
+    EXPECT_GT(mse, prev_mse) << bits;      // lower bits -> more damage
+    EXPECT_GT(omega_sum, prev_omega) << bits;  // indicator agrees
+    prev_mse = mse;
+    prev_omega = omega_sum;
+  }
+}
+
+TEST(CalibrationRunner, RequiresFp16Master) {
+  const ModelSpec spec = tiny();
+  std::vector<int> bits(static_cast<std::size_t>(spec.layers), 4);
+  const ModelWeights mw = build_random_model(spec, bits, 3);
+  const auto calib = run_calibration(mw, prompts(spec, 2, 8, 4));
+  EXPECT_THROW(measured_variance_omega(mw, calib), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace llmpq {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    rs.add(u);
+  }
+  EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(rs.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.02);
+  EXPECT_NEAR(rs.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 6000; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(3);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, OlsRecoversExactLinearModel) {
+  // y = 3 + 2a - 0.5b, noiseless -> exact recovery.
+  Rng rng(13);
+  std::vector<std::vector<double>> feats;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0, 10), b = rng.uniform(0, 10);
+    feats.push_back({1.0, a, b});
+    ys.push_back(3.0 + 2.0 * a - 0.5 * b);
+  }
+  const OlsFit fit = ols_fit(feats, ys);
+  EXPECT_NEAR(fit.beta[0], 3.0, 1e-8);
+  EXPECT_NEAR(fit.beta[1], 2.0, 1e-8);
+  EXPECT_NEAR(fit.beta[2], -0.5, 1e-8);
+  EXPECT_GT(fit.r2, 0.999999);
+}
+
+TEST(Stats, OlsSurvivesCollinearFeatures) {
+  // Third feature duplicates the second: ridge fallback must not throw.
+  std::vector<std::vector<double>> feats;
+  std::vector<double> ys;
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    const double a = rng.uniform(0, 5);
+    feats.push_back({1.0, a, a});
+    ys.push_back(1.0 + 4.0 * a);
+  }
+  const OlsFit fit = ols_fit(feats, ys);
+  EXPECT_NEAR(fit.beta[1] + fit.beta[2], 4.0, 1e-4);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Matrix at = a.transposed();
+  const Matrix aat = Matrix::multiply(a, at);
+  EXPECT_DOUBLE_EQ(aat(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(aat(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(aat(1, 1), 77.0);
+}
+
+TEST(Matrix, SolveSpdRoundTrips) {
+  Matrix a(3, 3);
+  // SPD matrix A = M^T M + I.
+  a(0,0)=4; a(0,1)=1; a(0,2)=0;
+  a(1,0)=1; a(1,1)=3; a(1,2)=1;
+  a(2,0)=0; a(2,1)=1; a(2,2)=5;
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  std::vector<double> b(3, 0.0);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      b[static_cast<std::size_t>(i)] += a(static_cast<std::size_t>(i),
+                                          static_cast<std::size_t>(j)) *
+                                        x_true[static_cast<std::size_t>(j)];
+  const auto x = Matrix::solve_spd(a, b);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-10);
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, CloseDrainsThenReturnsNull) {
+  MpmcQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumers) {
+  MpmcQueue<int> q(16);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  for (int c = 0; c < 3; ++c)
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  for (int p = 0; p < kProducers; ++p)
+    threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(MpmcQueue, BoundedCapacityBlocksUntilPopped) {
+  MpmcQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    q.push(2);
+    pushed = true;
+  });
+  EXPECT_EQ(q.pop(), 1);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::fmt(1.5)});
+  t.add_row({"b", Table::fmt_ratio(2.875)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.88x"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsAritiyMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/adabits.hpp"
+#include "core/assigner.hpp"
+#include "core/bit_transfer.hpp"
+#include "core/estimator.hpp"
+#include "core/ilp_builder.hpp"
+#include "core/plan.hpp"
+#include "quant/quality.hpp"
+#include "solver/milp.hpp"
+
+namespace llmpq {
+namespace {
+
+ExecutionPlan simple_plan(const ModelSpec& m, const ClusterSpec& c,
+                          int bits = 8) {
+  ExecutionPlan plan;
+  plan.model_name = m.name;
+  plan.cluster_name = c.name;
+  plan.workload = Workload{};
+  const int N = c.num_devices();
+  for (int d = 0; d < N; ++d) plan.device_order.push_back(d);
+  plan.boundaries.assign(static_cast<std::size_t>(N) + 1, 0);
+  for (int p = 0; p < N; ++p)
+    plan.boundaries[static_cast<std::size_t>(p) + 1] =
+        std::min(m.layers, (p + 1) * ((m.layers + N - 1) / N));
+  plan.boundaries[static_cast<std::size_t>(N)] = m.layers;
+  plan.layer_bits.assign(static_cast<std::size_t>(m.layers), bits);
+  plan.prefill_micro_batch = 4;
+  plan.decode_micro_batch = 8;
+  return plan;
+}
+
+TEST(Plan, ValidateAcceptsConsistentPlan) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  const ExecutionPlan plan = simple_plan(m, cluster);
+  EXPECT_NO_THROW(plan.validate(m.layers, cluster.num_devices()));
+  EXPECT_EQ(plan.num_stages(), 4);
+  EXPECT_EQ(plan.stage_of_layer(0), 0);
+  EXPECT_EQ(plan.stage_of_layer(m.layers - 1), 3);
+  EXPECT_EQ(plan.prefill_microbatch_count(), 8);
+  EXPECT_EQ(plan.decode_microbatch_count(), 4);
+}
+
+TEST(Plan, ValidateRejectsBadShapes) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  ExecutionPlan plan = simple_plan(m, cluster);
+  plan.layer_bits[0] = 5;
+  EXPECT_THROW(plan.validate(m.layers, 4), InvalidArgumentError);
+  plan = simple_plan(m, cluster);
+  plan.device_order[1] = 0;  // duplicate
+  EXPECT_THROW(plan.validate(m.layers, 4), InvalidArgumentError);
+  plan = simple_plan(m, cluster);
+  plan.boundaries[2] = plan.boundaries[1] - 1;  // non-monotone
+  EXPECT_THROW(plan.validate(m.layers, 4), InvalidArgumentError);
+}
+
+TEST(Plan, SerializeRoundTrips) {
+  const auto [cluster, model_name] = paper_cluster(4);
+  const ModelSpec& m = model_registry_get(model_name);
+  ExecutionPlan plan = simple_plan(m, cluster, 4);
+  plan.layer_bits[7] = 16;
+  const ExecutionPlan back = ExecutionPlan::deserialize(plan.serialize());
+  EXPECT_EQ(back.model_name, plan.model_name);
+  EXPECT_EQ(back.boundaries, plan.boundaries);
+  EXPECT_EQ(back.layer_bits, plan.layer_bits);
+  EXPECT_EQ(back.device_order, plan.device_order);
+  EXPECT_EQ(back.prefill_micro_batch, plan.prefill_micro_batch);
+  EXPECT_EQ(back.workload.prompt_len, plan.workload.prompt_len);
+}
+
+TEST(Estimator, SingleStageFormulaExact) {
+  // One device: e2e = [sum_mb pre] + (n-1) * [sum_mb dec]; with one
+  // micro-batch each: pre + (n-1)*dec.
+  const auto [cluster, model_name] = paper_cluster(2);  // 1x A100, opt-13b
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  ExecutionPlan plan = simple_plan(m, cluster);
+  plan.prefill_micro_batch = 32;
+  plan.decode_micro_batch = 32;
+  const PlanEstimate est = estimate_plan(cost, plan);
+  ASSERT_TRUE(est.mem_feasible);
+  const double pre = est.stage_prefill_time[0];
+  const double dec = est.stage_decode_time[0];
+  EXPECT_NEAR(est.e2e_latency,
+              pre + (plan.workload.gen_tokens - 1) * dec, 1e-9);
+  EXPECT_GT(est.throughput_tokens_per_s, 0.0);
+}
+
+TEST(Estimator, DetectsOom) {
+  // FP16 OPT-30b cannot fit 3xP100(12G)+V100(32G) without quantization.
+  const auto [cluster, model_name] = paper_cluster(4);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const ExecutionPlan plan = simple_plan(m, cluster, 16);
+  const PlanEstimate est = estimate_plan(cost, plan);
+  EXPECT_FALSE(est.mem_feasible);
+  EXPECT_FALSE(est.infeasible_reason.empty());
+}
+
+TEST(Estimator, QualityPenaltyUsesIndicator) {
+  const auto [cluster, model_name] = paper_cluster(2);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan plan8 = simple_plan(m, cluster, 8);
+  const ExecutionPlan plan4 = simple_plan(m, cluster, 4);
+  const PlanEstimate e8 = estimate_plan(cost, plan8, &ind, 10.0);
+  const PlanEstimate e4 = estimate_plan(cost, plan4, &ind, 10.0);
+  EXPECT_LT(e8.quality_penalty, e4.quality_penalty);
+  // Penalty at uniform 4-bit is normalized to kOmegaScale * L.
+  EXPECT_NEAR(e4.quality_penalty, kOmegaScale * m.layers, 1e-6);
+  EXPECT_NEAR(e8.objective, e8.e2e_latency + 10.0 * e8.quality_penalty,
+              1e-9);
+}
+
+TEST(Adabits, ProducesFeasiblePlanOnCluster3) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan plan =
+      adabits_plan(cost, ind, {0, 1, 2, 3}, 4, 8);
+  plan.validate(m.layers, 4);
+  const PlanEstimate est = estimate_plan(cost, plan);
+  EXPECT_TRUE(est.mem_feasible) << est.infeasible_reason;
+  // The V100 (32G, device 3) should carry more layers than a T4 (16G).
+  EXPECT_GT(plan.stage_size(3), plan.stage_size(0));
+}
+
+TEST(Adabits, UsesHigherBitsWhenMemoryAllows) {
+  // Single A100-40G serving OPT-13b: plenty of memory -> high precision.
+  const auto [cluster, model_name] = paper_cluster(2);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan plan = adabits_plan(cost, ind, {0}, 4, 8);
+  double mean_bits = 0;
+  for (int b : plan.layer_bits) mean_bits += b;
+  mean_bits /= m.layers;
+  EXPECT_GE(mean_bits, 8.0);
+}
+
+TEST(Adabits, ThrowsWhenModelCannotFit) {
+  // OPT-66b on a single T4 (16 GB) is hopeless even at 3 bits.
+  const ClusterSpec tiny = make_cluster("tiny", {{"T4-16G", 1}});
+  const ModelSpec& m = model_registry_get("opt-66b");
+  CostProvider cost(m, tiny, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  EXPECT_THROW(adabits_plan(cost, ind, {0}, 4, 8), InfeasibleError);
+}
+
+TEST(BitTransfer, NeverWorsensObjective) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan seed = adabits_plan(cost, ind, {0, 1, 2, 3}, 4, 8);
+  const PlanEstimate seed_est = estimate_plan(cost, seed, &ind, 1.0);
+  BitTransferOptions opt;
+  opt.theta = 1.0;
+  const BitTransferResult r = bit_transfer(cost, ind, seed, opt);
+  EXPECT_TRUE(r.estimate.mem_feasible);
+  EXPECT_LE(r.estimate.objective, seed_est.objective + 1e-9);
+  r.plan.validate(m.layers, 4);
+}
+
+TEST(BitTransfer, ImprovesImbalancedStart) {
+  // Start with everything on the V100 and nothing on the T4s at 3 bits:
+  // the heuristic must migrate layers/precision and cut the objective.
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  ExecutionPlan start = adabits_plan(cost, ind, {0, 1, 2, 3}, 4, 8);
+  // Skew: give stage 0 as much as fits, starving the others.
+  start.boundaries = {0, 8, 16, 24, m.layers};
+  std::fill(start.layer_bits.begin(), start.layer_bits.end(), 3);
+  const PlanEstimate before = estimate_plan(cost, start, &ind, 1.0);
+  const BitTransferResult r = bit_transfer(cost, ind, start, {400, 1.0});
+  EXPECT_LT(r.estimate.objective, before.objective);
+  EXPECT_GT(r.moves_applied, 0);
+}
+
+TEST(IlpBuilder, ExtractEncodeRoundTrip) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan plan = adabits_plan(cost, ind, {0, 1, 2, 3}, 4, 8);
+  IlpBuilder builder(cost, ind, {0, 1, 2, 3}, 4, 8, 1.0, 1);
+  const auto x = builder.encode_plan(plan);
+  const ExecutionPlan back = builder.extract_plan(x);
+  EXPECT_EQ(back.boundaries, plan.boundaries);
+  EXPECT_EQ(back.layer_bits, plan.layer_bits);
+}
+
+TEST(IlpBuilder, WarmStartSatisfiesAllRows) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan seed = adabits_plan(cost, ind, {0, 1, 2, 3}, 4, 8);
+  const BitTransferResult r = bit_transfer(cost, ind, seed, {200, 1.0});
+  for (int group : {1, 2}) {
+    IlpBuilder builder(cost, ind, {0, 1, 2, 3}, 4, 8, 1.0, group);
+    const MilpProblem milp = builder.build();
+    const auto x = builder.encode_plan(r.plan);
+    for (const auto& row : milp.lp.rows()) {
+      double lhs = 0.0;
+      for (const auto& [col, coef] : row.coeffs)
+        lhs += coef * x[static_cast<std::size_t>(col)];
+      switch (row.type) {
+        case LpProblem::RowType::kLe:
+          EXPECT_LE(lhs, row.rhs + 1e-6);
+          break;
+        case LpProblem::RowType::kGe:
+          EXPECT_GE(lhs, row.rhs - 1e-6);
+          break;
+        case LpProblem::RowType::kEq:
+          EXPECT_NEAR(lhs, row.rhs, 1e-6);
+          break;
+      }
+    }
+  }
+}
+
+TEST(IlpBuilder, SolvedPlanBeatsOrMatchesWarmStart) {
+  // Single-device instance: small enough to solve to optimality.
+  const auto [cluster, model_name] = paper_cluster(1);  // 1x V100, opt-13b
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan seed = adabits_plan(cost, ind, {0}, 4, 16);
+  const BitTransferResult heur = bit_transfer(cost, ind, seed, {200, 1.0});
+  IlpBuilder builder(cost, ind, {0}, 4, 16, 1.0, 1);
+  MilpProblem milp = builder.build();
+  MilpOptions mo;
+  mo.time_limit_s = 20.0;
+  mo.warm_start = builder.encode_plan(heur.plan);
+  const MilpSolution sol = solve_milp(milp, mo);
+  ASSERT_TRUE(sol.status == MilpStatus::kOptimal ||
+              sol.status == MilpStatus::kFeasible);
+  const ExecutionPlan plan = builder.extract_plan(sol.x);
+  const PlanEstimate ilp_est = estimate_plan(cost, plan, &ind, 1.0);
+  EXPECT_TRUE(ilp_est.mem_feasible);
+  EXPECT_LE(ilp_est.objective, heur.estimate.objective * 1.001);
+}
+
+TEST(Assigner, OrderingEnumeration) {
+  const auto orders3 =
+      enumerate_device_orderings(paper_cluster(3).cluster, 24);
+  EXPECT_EQ(orders3.size(), 4u);  // multiset perms of {T4,T4,T4,V100}
+  const auto orders6 =
+      enumerate_device_orderings(paper_cluster(6).cluster, 24);
+  EXPECT_EQ(orders6.size(), 6u);  // C(4,2)
+  const auto capped =
+      enumerate_device_orderings(paper_cluster(7).cluster, 10);
+  EXPECT_EQ(capped.size(), 10u);  // C(8,4)=70 truncated
+  for (const auto& o : capped) {
+    std::vector<bool> seen(8, false);
+    for (int d : o) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(d)]);
+      seen[static_cast<std::size_t>(d)] = true;
+    }
+  }
+}
+
+TEST(Assigner, MicrobatchCandidates) {
+  Workload w;  // batch 32
+  const auto pre = prefill_microbatch_candidates(w, 8);
+  EXPECT_EQ(pre, (std::vector<int>{1, 2, 4, 8}));
+  const auto dec = decode_microbatch_candidates(w, 4);
+  for (int mb : dec) {
+    EXPECT_GE(mb, 1);
+    EXPECT_LE(mb, 32);
+  }
+}
+
+TEST(Assigner, HeuristicPlanBeatsUniformOnHeteroCluster) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  AssignerOptions opt;
+  opt.solver = SolverKind::kHeuristic;
+  const AssignerResult r = assign(cost, opt);
+  r.plan.validate(m.layers, 4);
+  EXPECT_TRUE(r.estimate.mem_feasible);
+  EXPECT_GT(r.stats.combos_tried, 1);
+  EXPECT_EQ(r.stats.solver_used, "heuristic");
+  // Must beat a uniform-8bit even split.
+  ExecutionPlan uniform = simple_plan(m, cluster, 8);
+  const PlanEstimate uni_est = estimate_plan(cost, uniform);
+  if (uni_est.mem_feasible)
+    EXPECT_LT(r.estimate.e2e_latency, uni_est.e2e_latency);
+}
+
+TEST(Assigner, ThetaTradesThroughputForQuality) {
+  // Fig 8 shape: larger theta -> better (lower) PPL, lower throughput.
+  const auto [cluster, model_name] = paper_cluster(9);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  AssignerOptions lo, hi;
+  lo.solver = hi.solver = SolverKind::kHeuristic;
+  lo.theta = 0.01;
+  hi.theta = 1000.0;
+  const AssignerResult rlo = assign(cost, lo);
+  const AssignerResult rhi = assign(cost, hi);
+  const double ppl_lo = plan_ppl(m, rlo.plan.layer_bits);
+  const double ppl_hi = plan_ppl(m, rhi.plan.layer_bits);
+  // The hidden per-layer quality jitter the indicator cannot observe allows
+  // sub-0.01 inversions; the trend must hold beyond that.
+  EXPECT_LE(ppl_hi, ppl_lo + 0.01);
+  EXPECT_GE(rlo.estimate.throughput_tokens_per_s,
+            rhi.estimate.throughput_tokens_per_s - 1e-9);
+  // The quality-weighted plan must carry at least as many high-precision
+  // layers (mean bits monotone in theta).
+  double bits_lo = 0, bits_hi = 0;
+  for (int b : rlo.plan.layer_bits) bits_lo += b;
+  for (int b : rhi.plan.layer_bits) bits_hi += b;
+  EXPECT_GE(bits_hi, bits_lo);
+}
+
+TEST(Assigner, InfeasibleClusterThrows) {
+  const ClusterSpec tiny = make_cluster("tiny", {{"P100-12G", 1}});
+  const ModelSpec& m = model_registry_get("opt-66b");
+  CostProvider cost(m, tiny, CostMode::kProfiled);
+  AssignerOptions opt;
+  opt.solver = SolverKind::kHeuristic;
+  EXPECT_THROW(assign(cost, opt), InfeasibleError);
+}
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "cost/cost_provider.hpp"
+#include "cost/ground_truth.hpp"
+#include "cost/latency_model.hpp"
+#include "cost/mem_model.hpp"
+#include "cost/profiler.hpp"
+
+namespace llmpq {
+namespace {
+
+TEST(MemModel, WeightBytesScaleWithBits) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  const auto b16 = layer_weight_bytes(m, 16);
+  const auto b8 = layer_weight_bytes(m, 8);
+  const auto b4 = layer_weight_bytes(m, 4);
+  const auto b3 = layer_weight_bytes(m, 3);
+  EXPECT_GT(b16, b8);
+  EXPECT_GT(b8, b4);
+  EXPECT_GT(b4, b3);
+  // Linear-dominated: 8-bit is within a few % of half of 16-bit.
+  EXPECT_NEAR(static_cast<double>(b8) / static_cast<double>(b16), 0.5, 0.02);
+}
+
+TEST(MemModel, TotalWeightsMatchNameplate) {
+  // OPT-30b at FP16: ~60 GB of decoder weights + embeddings.
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const double total_gb =
+      (static_cast<double>(m.layers) *
+           static_cast<double>(layer_weight_bytes(m, 16)) +
+       static_cast<double>(embedding_weight_bytes(m))) /
+      1e9;
+  EXPECT_GT(total_gb, 55.0);
+  EXPECT_LT(total_gb, 70.0);
+}
+
+TEST(MemModel, KvBytesFormula) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  // 2 (K,V) * batch * seq * hidden * 2 bytes.
+  EXPECT_EQ(layer_kv_bytes(m, 32, 612), 2LL * 32 * 612 * m.hidden * 2);
+}
+
+TEST(MemModel, StageMemoryAddsEmbeddingOnEdges) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  Workload w;
+  const std::vector<int> bits(4, 8);
+  const StageMemory mid = stage_memory(m, bits, w, 4, 8, false, false);
+  const StageMemory first = stage_memory(m, bits, w, 4, 8, true, false);
+  const StageMemory last = stage_memory(m, bits, w, 4, 8, false, true);
+  EXPECT_EQ(mid.embedding, 0);
+  EXPECT_EQ(first.embedding, embedding_weight_bytes(m));
+  EXPECT_EQ(last.embedding, lm_head_bytes(m));
+  EXPECT_GT(first.total(), mid.total());
+}
+
+TEST(MemModel, TempPeakGrowsWithMicrobatch) {
+  const ModelSpec& m = model_registry_get("opt-30b");
+  Workload w;
+  EXPECT_GT(temp_peak_bytes(m, w, 8, 8), temp_peak_bytes(m, w, 1, 8));
+}
+
+TEST(GroundTruth, P100PrefillRatioMatchesPaper) {
+  // Fig 3: FP16 prefill on P100 ~14.5x V100; decode ratio far smaller.
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const auto& p100 = gpu_registry_get("P100-12G");
+  const auto& v100 = gpu_registry_get("V100-32G");
+  const PhaseShape pre = prefill_shape(8, 512);
+  const double ratio_pre = layer_time_ground_truth(p100, m, pre, 16) /
+                           layer_time_ground_truth(v100, m, pre, 16);
+  EXPECT_GT(ratio_pre, 10.0);
+  EXPECT_LT(ratio_pre, 19.0);
+  const PhaseShape dec = decode_shape(8, 512);
+  const double ratio_dec = layer_time_ground_truth(p100, m, dec, 16) /
+                           layer_time_ground_truth(v100, m, dec, 16);
+  EXPECT_LT(ratio_dec, 2.0);
+  EXPECT_GT(ratio_dec, 1.0);
+}
+
+TEST(GroundTruth, V100Int8SlowerThanFp16BothPhases) {
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const auto& v100 = gpu_registry_get("V100-32G");
+  EXPECT_GT(layer_time_ground_truth(v100, m, prefill_shape(8, 512), 8),
+            layer_time_ground_truth(v100, m, prefill_shape(8, 512), 16));
+  EXPECT_GT(layer_time_ground_truth(v100, m, decode_shape(8, 512), 8),
+            layer_time_ground_truth(v100, m, decode_shape(8, 512), 16));
+}
+
+TEST(GroundTruth, T4Int8ComparableToFp16) {
+  // Paper Sec 2.5: T4's INT8 tensor cores make 8-bit ~ FP16.
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const auto& t4 = gpu_registry_get("T4-16G");
+  const double r8 = layer_time_ground_truth(t4, m, prefill_shape(8, 512), 8) /
+                    layer_time_ground_truth(t4, m, prefill_shape(8, 512), 16);
+  EXPECT_LT(r8, 1.15);
+  EXPECT_GT(r8, 0.5);
+}
+
+TEST(GroundTruth, WeightOnlyQuantFasterInDecodeSlowerInPrefill) {
+  // Fig 5 shape: 4-bit GPTQ kernels lose on compute-bound prefill, win on
+  // memory-bound decode.
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const auto& a100 = gpu_registry_get("A100-40G");
+  EXPECT_GT(layer_time_ground_truth(a100, m, prefill_shape(8, 512), 4),
+            layer_time_ground_truth(a100, m, prefill_shape(8, 512), 16));
+  EXPECT_LT(layer_time_ground_truth(a100, m, decode_shape(8, 512), 4),
+            layer_time_ground_truth(a100, m, decode_shape(8, 512), 16));
+}
+
+TEST(GroundTruth, ActivationBytes) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  EXPECT_DOUBLE_EQ(activation_bytes(m, prefill_shape(2, 128)),
+                   2.0 * 128 * m.hidden * 2);
+}
+
+TEST(Profiler, GridCoverageAndDeterminism) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  const auto& gpu = gpu_registry_get("V100-32G");
+  ProfilerOptions opt;
+  const auto r1 = profile_device(m, gpu, opt);
+  const auto r2 = profile_device(m, gpu, opt);
+  ASSERT_EQ(r1.size(), r2.size());
+  EXPECT_EQ(r1.size(), kBitCandidates.size() * opt.batches.size() *
+                           (opt.prompt_lens.size() + opt.contexts.size()));
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1[i].time_s, r2[i].time_s);
+  EXPECT_GT(profiling_cost_s(m, gpu, opt), 0.0);
+}
+
+TEST(LatencyModel, FitErrorWithinPaperBound) {
+  // Fig 7: average latency cost-model error < 6%.
+  const ModelSpec& m = model_registry_get("opt-30b");
+  LatencyModel lm(m);
+  std::vector<ProfileRecord> all;
+  for (const char* g : {"T4-16G", "V100-32G", "A100-40G"}) {
+    const auto r = profile_device(m, gpu_registry_get(g));
+    all.insert(all.end(), r.begin(), r.end());
+  }
+  lm.fit(all);
+  EXPECT_LT(lm.mean_rel_error(), 0.06);
+  EXPECT_LT(lm.worst_mean_rel_error(), 0.09);
+}
+
+TEST(LatencyModel, PredictsUnseenShapesWithinTolerance) {
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const auto& gpu = gpu_registry_get("V100-32G");
+  LatencyModel lm(m);
+  lm.fit(profile_device(m, gpu));
+  // Unseen workloads (paper Sec 6.2: batch 3/5/7, past 384/768).
+  for (int b : {3, 5, 7}) {
+    for (int ctx : {384, 768}) {
+      const double pred = lm.predict(gpu.name, 8, Phase::kDecode, b, ctx);
+      const double truth =
+          layer_time_ground_truth(gpu, m, decode_shape(b, ctx), 8);
+      EXPECT_NEAR(pred / truth, 1.0, 0.10) << "b=" << b << " ctx=" << ctx;
+    }
+    const double pred = lm.predict(gpu.name, 4, Phase::kPrefill, b, 384);
+    const double truth =
+        layer_time_ground_truth(gpu, m, prefill_shape(b, 384), 4);
+    EXPECT_NEAR(pred / truth, 1.0, 0.15);
+  }
+}
+
+TEST(LatencyModel, ThrowsForUnfittedKey) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  LatencyModel lm(m);
+  EXPECT_THROW(lm.predict("V100-32G", 8, Phase::kDecode, 4, 512),
+               InvalidArgumentError);
+}
+
+TEST(CostProvider, FittedAndProfiledModesAgreeApproximately) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider fitted(m, cluster, CostMode::kFitted);
+  CostProvider profiled(m, cluster, CostMode::kProfiled);
+  EXPECT_GT(fitted.build_cost_s(), 0.0);
+  EXPECT_EQ(profiled.build_cost_s(), 0.0);
+  for (int dev : {0, 3}) {
+    for (int bits : {4, 8, 16}) {
+      const double f = fitted.layer_time(dev, bits, Phase::kDecode, 8, 562);
+      const double p = profiled.layer_time(dev, bits, Phase::kDecode, 8, 562);
+      EXPECT_NEAR(f / p, 1.0, 0.12);
+    }
+  }
+}
+
+TEST(CostProvider, CommTimeZeroWithinDevice) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  CostProvider cost(model_registry_get(model_name), cluster,
+                    CostMode::kProfiled);
+  EXPECT_EQ(cost.comm_time(1, 1, Phase::kPrefill, 8), 0.0);
+  EXPECT_GT(cost.comm_time(0, 3, Phase::kPrefill, 8), 0.0);
+  // Prefill transfers are much larger than decode's single-token ones.
+  EXPECT_GT(cost.comm_time(0, 3, Phase::kPrefill, 8),
+            cost.comm_time(0, 3, Phase::kDecode, 8));
+}
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "solver/milp.hpp"
+
+namespace llmpq {
+namespace {
+
+/// Exhaustive 0/1 enumeration — the oracle the branch-and-bound must match
+/// on small instances.
+double brute_force_optimum(const MilpProblem& p) {
+  const int n = p.lp.num_vars();
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (int j = 0; j < n && ok; ++j) {
+      const double v = (mask >> j) & 1;
+      ok = v >= p.lp.lower()[static_cast<std::size_t>(j)] - 1e-9 &&
+           v <= p.lp.upper()[static_cast<std::size_t>(j)] + 1e-9;
+    }
+    for (const auto& row : p.lp.rows()) {
+      if (!ok) break;
+      double lhs = 0.0;
+      for (const auto& [col, coef] : row.coeffs)
+        lhs += coef * ((mask >> col) & 1);
+      switch (row.type) {
+        case LpProblem::RowType::kLe:
+          ok = lhs <= row.rhs + 1e-9;
+          break;
+        case LpProblem::RowType::kGe:
+          ok = lhs >= row.rhs - 1e-9;
+          break;
+        case LpProblem::RowType::kEq:
+          ok = std::fabs(lhs - row.rhs) <= 1e-9;
+          break;
+      }
+    }
+    if (!ok) continue;
+    double obj = 0.0;
+    for (int j = 0; j < n; ++j)
+      obj += p.lp.objective()[static_cast<std::size_t>(j)] *
+             ((mask >> j) & 1);
+    best = std::min(best, obj);
+  }
+  return best;
+}
+
+/// Random pure-binary programs with mixed <=, >= and = rows.
+MilpProblem random_binary_program(std::uint64_t seed, int vars, int rows) {
+  Rng rng(seed);
+  MilpProblem p;
+  for (int j = 0; j < vars; ++j) {
+    const int v = p.lp.add_binary(rng.uniform(-2.0, 2.0));
+    p.integer_vars.push_back(v);
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int j = 0; j < vars; ++j)
+      if (rng.uniform() < 0.5)
+        coeffs.push_back({j, std::floor(rng.uniform(-3.0, 4.0))});
+    if (coeffs.empty()) coeffs.push_back({0, 1.0});
+    const double roll = rng.uniform();
+    if (roll < 0.6)
+      p.lp.add_row(std::move(coeffs), LpProblem::RowType::kLe,
+                   std::floor(rng.uniform(0.0, 5.0)));
+    else if (roll < 0.9)
+      p.lp.add_row(std::move(coeffs), LpProblem::RowType::kGe,
+                   std::floor(rng.uniform(-4.0, 1.0)));
+    else
+      p.lp.add_row(std::move(coeffs), LpProblem::RowType::kEq,
+                   std::floor(rng.uniform(0.0, 2.0)));
+  }
+  return p;
+}
+
+class MilpBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpBruteForce, MatchesExhaustiveEnumeration) {
+  const int trial = GetParam();
+  const int vars = 4 + trial % 9;              // 4..12 binaries
+  const int rows = 2 + (trial * 7) % 6;        // 2..7 rows
+  const MilpProblem p =
+      random_binary_program(1000 + static_cast<std::uint64_t>(trial) * 37,
+                            vars, rows);
+  const double oracle = brute_force_optimum(p);
+  MilpOptions opt;
+  opt.time_limit_s = 20.0;
+  const MilpSolution sol = solve_milp(p, opt);
+  if (std::isinf(oracle)) {
+    EXPECT_EQ(sol.status, MilpStatus::kInfeasible)
+        << "vars=" << vars << " rows=" << rows;
+  } else {
+    ASSERT_EQ(sol.status, MilpStatus::kOptimal)
+        << "vars=" << vars << " rows=" << rows;
+    EXPECT_NEAR(sol.objective, oracle, 1e-6)
+        << "vars=" << vars << " rows=" << rows;
+    // The returned assignment must itself achieve the objective.
+    double check = 0.0;
+    for (int j = 0; j < p.lp.num_vars(); ++j)
+      check += p.lp.objective()[static_cast<std::size_t>(j)] *
+               sol.x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(check, oracle, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MilpBruteForce, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "hw/cluster.hpp"
+#include "hw/gpu_spec.hpp"
+#include "hw/trace.hpp"
+#include "model/flops.hpp"
+#include "model/model_spec.hpp"
+
+namespace llmpq {
+namespace {
+
+TEST(ModelSpec, RegistryLookup) {
+  const ModelSpec& m = model_registry_get("opt-30b");
+  EXPECT_EQ(m.hidden, 7168);
+  EXPECT_EQ(m.layers, 48);
+  EXPECT_EQ(m.family, "opt");
+  EXPECT_THROW(model_registry_get("gpt-5"), InvalidArgumentError);
+  EXPECT_GE(model_registry_names().size(), 10u);
+}
+
+TEST(ModelSpec, ParameterCountsMatchNominalSizes) {
+  // Each model's parameter count should be within ~15% of its nameplate.
+  const struct {
+    const char* name;
+    double billions;
+  } cases[] = {{"opt-1.3b", 1.3}, {"opt-13b", 13},   {"opt-30b", 30},
+               {"opt-66b", 66},   {"opt-175b", 175}, {"bloom-176b", 176}};
+  for (const auto& c : cases) {
+    const double params =
+        static_cast<double>(model_registry_get(c.name).total_params()) / 1e9;
+    EXPECT_GT(params, c.billions * 0.85) << c.name;
+    EXPECT_LT(params, c.billions * 1.2) << c.name;
+  }
+}
+
+TEST(ModelSpec, LlamaEntriesUseGatedMlp) {
+  const ModelSpec& m = model_registry_get("llama-7b");
+  EXPECT_TRUE(m.gated_mlp);
+  EXPECT_EQ(m.layer_linear_ops().size(), 5u);
+  EXPECT_EQ(m.ffn, 11008);
+  // Published LLaMA sizes within ~10% of nameplate.
+  const struct {
+    const char* name;
+    double billions;
+  } cases[] = {{"llama-7b", 6.7}, {"llama-13b", 13.0},
+               {"llama-30b", 32.5}, {"llama-65b", 65.2}};
+  for (const auto& c : cases) {
+    const double params =
+        static_cast<double>(model_registry_get(c.name).total_params()) / 1e9;
+    EXPECT_NEAR(params / c.billions, 1.0, 0.12) << c.name;
+  }
+  // OPT entries are unaffected by the gated-MLP refactor.
+  EXPECT_EQ(model_registry_get("opt-13b").layer_linear_ops().size(), 4u);
+}
+
+TEST(ModelSpec, LinearOpsCoverLayerParams) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  std::int64_t linear = 0;
+  for (const auto& op : m.layer_linear_ops()) linear += op.weight_params();
+  // Linears dominate the layer (> 99% of parameters).
+  EXPECT_GT(static_cast<double>(linear),
+            0.99 * static_cast<double>(m.layer_params()));
+}
+
+TEST(Flops, PrefillIsComputeBoundDecodeIsMemoryBound) {
+  // Paper Sec 4.1: OPT-30b at batch 32, s=512: prefill intensity in the
+  // thousands, decode intensity in the tens.
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const double pre =
+      layer_arithmetic_intensity(m, prefill_shape(32, 512), 2.0);
+  const double dec =
+      layer_arithmetic_intensity(m, decode_shape(32, 512), 2.0);
+  EXPECT_GT(pre, 1000.0);
+  EXPECT_LT(dec, 100.0);
+  EXPECT_GT(dec, 5.0);
+}
+
+TEST(Flops, ScalesLinearlyInBatch) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  const double f1 = layer_flops(m, prefill_shape(1, 256));
+  const double f4 = layer_flops(m, prefill_shape(4, 256));
+  EXPECT_NEAR(f4 / f1, 4.0, 1e-9);
+}
+
+TEST(Flops, DecodeFlopsGrowWithContext) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  EXPECT_GT(layer_flops(m, decode_shape(8, 1024)),
+            layer_flops(m, decode_shape(8, 128)));
+}
+
+TEST(GpuSpec, RegistryAndBitProfiles) {
+  const GpuSpec& t4 = gpu_registry_get("T4-16G");
+  EXPECT_EQ(t4.mem_bytes, gb_marketing(16));
+  EXPECT_THROW(gpu_registry_get("H100"), InvalidArgumentError);
+  EXPECT_EQ(gpu_registry_names().size(), 5u);
+  // T4 INT8 tensor cores: 8-bit compute throughput above FP16.
+  EXPECT_GT(t4.effective_flops(8), t4.effective_flops(16));
+  // V100 has no INT8 cores: slower in compute AND effective bandwidth.
+  const GpuSpec& v100 = gpu_registry_get("V100-32G");
+  EXPECT_LT(v100.effective_flops(8), v100.effective_flops(16));
+  EXPECT_LT(v100.effective_bandwidth(8), v100.effective_bandwidth(16));
+}
+
+TEST(GpuSpec, BytesPerParam) {
+  EXPECT_DOUBLE_EQ(bytes_per_param(16), 2.0);
+  EXPECT_DOUBLE_EQ(bytes_per_param(8), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_per_param(4), 0.5);
+  EXPECT_DOUBLE_EQ(bytes_per_param(3), 0.375);
+  EXPECT_THROW(bytes_per_param(5), InvalidArgumentError);
+  EXPECT_EQ(bit_index(3), 0);
+  EXPECT_EQ(bit_index(16), 3);
+  EXPECT_EQ(bit_index(7), -1);
+}
+
+TEST(Cluster, LinksDependOnNodeMembership) {
+  const ClusterSpec c =
+      make_cluster("t", {{"T4-16G", 2}, {"V100-32G", 1}}, 100);
+  EXPECT_EQ(c.num_devices(), 3);
+  // Devices 0,1 share a node (NVLink); 2 is on another node (Ethernet).
+  EXPECT_GT(c.link(0, 1).bytes_per_s, c.link(1, 2).bytes_per_s);
+  EXPECT_EQ(c.describe_devices(), "2xT4-16G + 1xV100-32G");
+  EXPECT_FALSE(c.homogeneous());
+}
+
+TEST(Cluster, TransferTimeIncludesLatency) {
+  const LinkSpec link{gbps(100), us(30)};
+  EXPECT_NEAR(link.transfer_time(0), us(30), 1e-12);
+  EXPECT_GT(link.transfer_time(1e9), 1e9 / gbps(100));
+}
+
+TEST(Cluster, PaperClustersMatchTable3) {
+  // Spot-check the Table 3 configurations.
+  EXPECT_EQ(paper_cluster(1).cluster.num_devices(), 1);
+  EXPECT_EQ(paper_cluster(1).model_name, "opt-13b");
+  EXPECT_EQ(paper_cluster(3).cluster.describe_devices(),
+            "3xT4-16G + 1xV100-32G");
+  EXPECT_EQ(paper_cluster(5).cluster.num_devices(), 6);
+  EXPECT_EQ(paper_cluster(5).model_name, "opt-66b");
+  EXPECT_EQ(paper_cluster(8).cluster.describe_devices(),
+            "4xV100-32G + 2xA800-80G");
+  EXPECT_TRUE(paper_cluster(9).cluster.homogeneous());
+  EXPECT_EQ(paper_cluster(11).model_name, "bloom-176b");
+  EXPECT_THROW(paper_cluster(0), InvalidArgumentError);
+  EXPECT_THROW(paper_cluster(12), InvalidArgumentError);
+}
+
+TEST(Cluster, ModelSizedToClusterMemory) {
+  // Table 3's rule: the non-quantized model roughly matches total memory.
+  for (int k = 3; k <= 8; ++k) {
+    const PaperCluster pc = paper_cluster(k);
+    const double weight_gb =
+        2.0 *
+        static_cast<double>(model_registry_get(pc.model_name).total_params()) /
+        1e9;
+    const double mem_gb =
+        static_cast<double>(pc.cluster.total_mem_bytes()) / 1e9;
+    EXPECT_GT(weight_gb, 0.4 * mem_gb) << "cluster " << k;
+    EXPECT_LT(weight_gb, 2.5 * mem_gb) << "cluster " << k;
+  }
+}
+
+TEST(Trace, SharesSumToOneAndShapeHolds) {
+  Rng rng(5);
+  const ClusterTrace trace = generate_cluster_trace(rng);
+  double total = 0.0;
+  for (const auto& s : trace.shares) total += s.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  const auto avg = average_utilization(trace);
+  double t4_share = 0, a100_share = 0, t4_util = 0, a100_util = 0;
+  for (const auto& s : avg) {
+    if (s.gpu_name == "T4-16G") {
+      t4_share = 0.46;
+      t4_util = s.mean_utilization;
+    }
+    if (s.gpu_name == "A100-40G") {
+      a100_share = 0.08;
+      a100_util = s.mean_utilization;
+    }
+  }
+  // Fig 1 shape: T4s dominate the fleet but idle; A100s scarce but busy.
+  EXPECT_GT(t4_share, a100_share);
+  EXPECT_GT(a100_util, 2.0 * t4_util);
+  EXPECT_EQ(trace.samples.size(), trace.shares.size() * 30);
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  Rng a(9), b(9);
+  const auto ta = generate_cluster_trace(a);
+  const auto tb = generate_cluster_trace(b);
+  ASSERT_EQ(ta.samples.size(), tb.samples.size());
+  for (std::size_t i = 0; i < ta.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(ta.samples[i].util, tb.samples[i].util);
+}
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "cost/ground_truth.hpp"
+#include "quant/quality.hpp"
+#include "quant/scheme.hpp"
+
+namespace llmpq {
+namespace {
+
+TEST(QuantScheme, TraitOrderings) {
+  for (int bits : {3, 4}) {
+    // AWQ kernels fastest, SpQR slowest.
+    EXPECT_GT(scheme_kernel_speedup(QuantScheme::kAwq, bits),
+              scheme_kernel_speedup(QuantScheme::kGptq, bits));
+    EXPECT_LT(scheme_kernel_speedup(QuantScheme::kSpqr, bits),
+              scheme_kernel_speedup(QuantScheme::kGptq, bits));
+    // SpQR best quality, then AWQ, then GPTQ.
+    EXPECT_LT(scheme_quality_factor(QuantScheme::kSpqr, bits),
+              scheme_quality_factor(QuantScheme::kAwq, bits));
+    EXPECT_LT(scheme_quality_factor(QuantScheme::kAwq, bits),
+              scheme_quality_factor(QuantScheme::kGptq, bits));
+    // Only SpQR pays a memory surcharge.
+    EXPECT_GT(scheme_memory_factor(QuantScheme::kSpqr, bits), 1.0);
+    EXPECT_EQ(scheme_memory_factor(QuantScheme::kAwq, bits), 1.0);
+  }
+  // 8-bit and above share the bitsandbytes path: all traits neutral.
+  for (int bits : {8, 16})
+    for (QuantScheme s :
+         {QuantScheme::kGptq, QuantScheme::kAwq, QuantScheme::kSpqr}) {
+      EXPECT_EQ(scheme_kernel_speedup(s, bits), 1.0);
+      EXPECT_EQ(scheme_quality_factor(s, bits), 1.0);
+    }
+}
+
+TEST(QuantScheme, GroundTruthReflectsKernelSpeed) {
+  const ModelSpec& m = model_registry_get("opt-30b");
+  const GpuSpec& v100 = gpu_registry_get("V100-32G");
+  const PhaseShape pre = prefill_shape(8, 512);
+  const double gptq =
+      layer_time_ground_truth(v100, m, pre, 4, QuantScheme::kGptq);
+  const double awq =
+      layer_time_ground_truth(v100, m, pre, 4, QuantScheme::kAwq);
+  const double spqr =
+      layer_time_ground_truth(v100, m, pre, 4, QuantScheme::kSpqr);
+  EXPECT_LT(awq, gptq);
+  EXPECT_GT(spqr, gptq);
+  // FP16 is scheme-independent.
+  EXPECT_EQ(layer_time_ground_truth(v100, m, pre, 16, QuantScheme::kAwq),
+            layer_time_ground_truth(v100, m, pre, 16, QuantScheme::kSpqr));
+}
+
+TEST(QuantScheme, PplImprovesUnderBetterSchemes) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  std::vector<int> bits(static_cast<std::size_t>(m.layers), 4);
+  const double gptq = plan_ppl(m, bits, QuantScheme::kGptq);
+  const double awq = plan_ppl(m, bits, QuantScheme::kAwq);
+  const double spqr = plan_ppl(m, bits, QuantScheme::kSpqr);
+  EXPECT_LT(spqr, awq);
+  EXPECT_LT(awq, gptq);
+  EXPECT_GT(spqr, m.ppl_fp16);  // still lossy
+  // Default overload is GPTQ.
+  EXPECT_DOUBLE_EQ(plan_ppl(m, bits), gptq);
+  // 8-bit plans are scheme-neutral.
+  std::vector<int> b8(static_cast<std::size_t>(m.layers), 8);
+  EXPECT_DOUBLE_EQ(plan_ppl(m, b8, QuantScheme::kSpqr),
+                   plan_ppl(m, b8, QuantScheme::kGptq));
+}
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/adabits.hpp"
+#include "core/estimator.hpp"
+#include "cost/cost_provider.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/offload_sim.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace llmpq {
+namespace {
+
+TEST(EventQueue, ProcessesInTimeOrderWithFifoTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&](double) { order.push_back(3); });
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(1.0, [&](double) { order.push_back(2); });  // tie: FIFO
+  const double end = q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 2.0);
+  EXPECT_EQ(q.events_processed(), 3u);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(double)> tick = [&](double now) {
+    if (++count < 5) q.schedule(now + 1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  EXPECT_DOUBLE_EQ(q.run(), 4.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, RejectsSchedulingIntoPast) {
+  EventQueue q;
+  q.schedule(5.0, [&](double) {
+    EXPECT_THROW(q.schedule(1.0, [](double) {}), InvalidArgumentError);
+  });
+  q.run();
+}
+
+ExecutionPlan plan_for(const ModelSpec& m, const ClusterSpec& c, int bits,
+                       int pre_mb, int dec_mb) {
+  ExecutionPlan plan;
+  plan.model_name = m.name;
+  plan.cluster_name = c.name;
+  const int N = c.num_devices();
+  for (int d = 0; d < N; ++d) plan.device_order.push_back(d);
+  plan.boundaries.assign(static_cast<std::size_t>(N) + 1, 0);
+  for (int p = 0; p < N; ++p)
+    plan.boundaries[static_cast<std::size_t>(p) + 1] =
+        std::min(m.layers, (p + 1) * ((m.layers + N - 1) / N));
+  plan.boundaries[static_cast<std::size_t>(N)] = m.layers;
+  plan.layer_bits.assign(static_cast<std::size_t>(m.layers), bits);
+  plan.prefill_micro_batch = pre_mb;
+  plan.decode_micro_batch = dec_mb;
+  return plan;
+}
+
+TEST(PipelineSim, SingleStageMatchesSerialSum) {
+  // One device, one micro-batch: no pipelining, latency is just the sum of
+  // all passes — the simulator must agree with hand arithmetic.
+  const auto [cluster, model_name] = paper_cluster(2);
+  const ModelSpec& m = model_registry_get(model_name);
+  ExecutionPlan plan = plan_for(m, cluster, 8, 32, 32);
+  const SimResult sim = simulate_plan(m, cluster, plan);
+  ASSERT_TRUE(sim.ok) << sim.error;
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const PlanEstimate est = estimate_plan(cost, plan);
+  // Single stage: analytic formula is exact, so sim == estimate.
+  EXPECT_NEAR(sim.e2e_latency_s / est.e2e_latency, 1.0, 1e-6);
+  EXPECT_NEAR(sim.stage_utilization[0], 1.0, 1e-6);
+}
+
+TEST(PipelineSim, DetectsOom) {
+  const auto [cluster, model_name] = paper_cluster(4);
+  const ModelSpec& m = model_registry_get(model_name);
+  const ExecutionPlan plan = plan_for(m, cluster, 16, 8, 8);
+  const SimResult sim = simulate_plan(m, cluster, plan);
+  EXPECT_FALSE(sim.ok);
+  EXPECT_NE(sim.error.find("OOM"), std::string::npos);
+}
+
+TEST(PipelineSim, EstimatorTracksSimulator) {
+  // The planner's analytic objective must stay within ~25% of the DES
+  // "measurement" for realistic multi-stage plans (it is intentionally a
+  // slightly conservative bound on bubbles).
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  const IndicatorResult ind = compute_indicator(m, IndicatorKind::kVariance);
+  const ExecutionPlan plan = adabits_plan(cost, ind, {0, 1, 2, 3}, 4, 8);
+  const PlanEstimate est = estimate_plan(cost, plan);
+  const SimResult sim = simulate_plan(m, cluster, plan);
+  ASSERT_TRUE(sim.ok) << sim.error;
+  EXPECT_GT(est.e2e_latency, 0.70 * sim.e2e_latency_s);
+  EXPECT_LT(est.e2e_latency, 1.60 * sim.e2e_latency_s);
+}
+
+TEST(PipelineSim, MoreMicrobatchesReducePrefillBubble) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  const SimResult one = simulate_plan(m, cluster, plan_for(m, cluster, 4, 32, 8));
+  const SimResult four = simulate_plan(m, cluster, plan_for(m, cluster, 4, 8, 8));
+  ASSERT_TRUE(one.ok && four.ok);
+  EXPECT_LT(four.prefill_latency_s, one.prefill_latency_s);
+}
+
+TEST(PipelineSim, UtilizationBoundedAndBusy) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  const SimResult sim = simulate_plan(m, cluster, plan_for(m, cluster, 4, 4, 8));
+  ASSERT_TRUE(sim.ok);
+  for (double u : sim.stage_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GT(sim.events_processed, 100u);
+}
+
+TEST(PipelineSim, EmptyStagesAreSkipped) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  ExecutionPlan plan = plan_for(m, cluster, 4, 8, 8);
+  // Put everything on devices 0 and 3.
+  plan.boundaries = {0, 24, 24, 24, m.layers};
+  const SimResult sim = simulate_plan(m, cluster, plan);
+  if (sim.ok) {
+    EXPECT_EQ(sim.stage_busy_s[1], 0.0);
+    EXPECT_EQ(sim.stage_busy_s[2], 0.0);
+    EXPECT_GT(sim.stage_busy_s[0], 0.0);
+  }
+}
+
+TEST(PipelineSim, JitterChangesTimingDeterministically) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  const ExecutionPlan plan = plan_for(m, cluster, 4, 8, 8);
+  SimOptions jitter;
+  jitter.jitter = 0.05;
+  const SimResult a = simulate_plan(m, cluster, plan, jitter);
+  const SimResult b = simulate_plan(m, cluster, plan, jitter);
+  const SimResult clean = simulate_plan(m, cluster, plan);
+  ASSERT_TRUE(a.ok && b.ok && clean.ok);
+  EXPECT_DOUBLE_EQ(a.e2e_latency_s, b.e2e_latency_s);  // same seed
+  EXPECT_NE(a.e2e_latency_s, clean.e2e_latency_s);
+  EXPECT_NEAR(a.e2e_latency_s / clean.e2e_latency_s, 1.0, 0.10);
+}
+
+TEST(OffloadSim, FitsEntirelyWhenMemoryAmple) {
+  const auto [cluster, model_name] = paper_cluster(2);  // A100-40G, 13b
+  const ModelSpec& m = model_registry_get(model_name);
+  Workload w;
+  const OffloadResult r = simulate_offload(m, cluster, w, 8);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.resident_fraction[0], 1.0, 1e-9);
+  EXPECT_GT(r.throughput_tokens_per_s, 0.0);
+}
+
+TEST(OffloadSim, SpillSlowsThroughput) {
+  // OPT-30b FP16 on 4x T4: heavy spill -> much slower than int8.
+  const auto [cluster, model_name] = paper_cluster(9);
+  const ModelSpec& m = model_registry_get(model_name);
+  Workload w;
+  const OffloadResult fp16 = simulate_offload(m, cluster, w, 16);
+  const OffloadResult int8 = simulate_offload(m, cluster, w, 8);
+  ASSERT_TRUE(fp16.ok && int8.ok);
+  EXPECT_LT(fp16.resident_fraction[0], 1.0);
+  EXPECT_GT(int8.throughput_tokens_per_s, fp16.throughput_tokens_per_s);
+}
+
+TEST(OffloadSim, ThroughputConsistentWithLatency) {
+  const auto [cluster, model_name] = paper_cluster(9);
+  const ModelSpec& m = model_registry_get(model_name);
+  Workload w;
+  const OffloadResult r = simulate_offload(m, cluster, w, 8);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.throughput_tokens_per_s,
+              static_cast<double>(w.total_generated_tokens()) /
+                  r.e2e_latency_s,
+              1e-9);
+}
+
+// Property sweep: for random feasible plans, the analytic estimate stays
+// within a fixed band of the discrete-event measurement, never reports a
+// *lower* prefill-phase cost than the pure serial lower bound, and the
+// simulator's throughput accounting is self-consistent.
+class RandomPlanFidelity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlanFidelity, EstimateTracksSimulation) {
+  Rng rng(900 + static_cast<std::uint64_t>(GetParam()));
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+
+  ExecutionPlan plan;
+  plan.model_name = m.name;
+  plan.cluster_name = cluster.name;
+  plan.device_order = {0, 1, 2, 3};
+  std::shuffle(plan.device_order.begin(), plan.device_order.end(), rng);
+  // Random non-degenerate boundaries.
+  std::vector<int> cuts;
+  for (int i = 0; i < 3; ++i)
+    cuts.push_back(static_cast<int>(rng.uniform_int(6, m.layers - 6)));
+  std::sort(cuts.begin(), cuts.end());
+  plan.boundaries = {0, cuts[0], cuts[1], cuts[2], m.layers};
+  plan.layer_bits.resize(static_cast<std::size_t>(m.layers));
+  for (auto& b : plan.layer_bits)
+    b = kBitCandidates[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+  plan.prefill_micro_batch = 1 << rng.uniform_int(0, 3);
+  plan.decode_micro_batch = 4 << rng.uniform_int(0, 2);
+
+  const PlanEstimate est = estimate_plan(cost, plan);
+  const SimResult sim = simulate_plan(m, cluster, plan);
+  ASSERT_EQ(est.mem_feasible, sim.ok) << sim.error;
+  if (!sim.ok) return;
+  EXPECT_GT(est.e2e_latency, 0.6 * sim.e2e_latency_s);
+  EXPECT_LT(est.e2e_latency, 1.7 * sim.e2e_latency_s);
+  EXPECT_NEAR(sim.throughput_tokens_per_s,
+              plan.workload.total_generated_tokens() / sim.e2e_latency_s,
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomPlanFidelity, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/simplex.hpp"
+
+namespace llmpq {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), obj 36.
+  LpProblem p;
+  const int x = p.add_var(0, kLpInf, -3.0);
+  const int y = p.add_var(0, kLpInf, -5.0);
+  p.add_row({{x, 1.0}}, LpProblem::RowType::kLe, 4.0);
+  p.add_row({{y, 2.0}}, LpProblem::RowType::kLe, 12.0);
+  p.add_row({{x, 3.0}, {y, 2.0}}, LpProblem::RowType::kLe, 18.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, HandlesEqualityAndGe) {
+  // min x + 2y s.t. x + y = 10, x >= 3, y >= 2 -> x=8, y=2, obj 12.
+  LpProblem p;
+  const int x = p.add_var(0, kLpInf, 1.0);
+  const int y = p.add_var(0, kLpInf, 2.0);
+  p.add_row({{x, 1.0}, {y, 1.0}}, LpProblem::RowType::kEq, 10.0);
+  p.add_row({{x, 1.0}}, LpProblem::RowType::kGe, 3.0);
+  p.add_row({{y, 1.0}}, LpProblem::RowType::kGe, 2.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 8.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, RespectsVariableUpperBounds) {
+  // min -x - y with x in [0, 3], y in [0, 2], x + y <= 4 -> obj -4 at
+  // any point on the segment; check bounds hold and objective is right.
+  LpProblem p;
+  const int x = p.add_var(0, 3, -1.0);
+  const int y = p.add_var(0, 2, -1.0);
+  p.add_row({{x, 1.0}, {y, 1.0}}, LpProblem::RowType::kLe, 4.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-7);
+  EXPECT_LE(s.x[0], 3.0 + 1e-9);
+  EXPECT_LE(s.x[1], 2.0 + 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblem p;
+  const int x = p.add_var(0, kLpInf, 1.0);
+  p.add_row({{x, 1.0}}, LpProblem::RowType::kLe, 1.0);
+  p.add_row({{x, 1.0}}, LpProblem::RowType::kGe, 2.0);
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblem p;
+  const int x = p.add_var(0, kLpInf, -1.0);  // minimize -x, x unbounded
+  p.add_row({{x, -1.0}}, LpProblem::RowType::kLe, 0.0);  // -x <= 0
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesNegativeLowerBounds) {
+  // min x with x in [-5, 5], x >= -3  ->  x = -3.
+  LpProblem p;
+  const int x = p.add_var(-5, 5, 1.0);
+  p.add_row({{x, 1.0}}, LpProblem::RowType::kGe, -3.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], -3.0, 1e-7);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min y s.t. y >= x - 2, y >= -x, x free in [-inf, inf].
+  // Optimum y = -1 at x = 1.
+  LpProblem p;
+  const int x = p.add_var(-kLpInf, kLpInf, 0.0);
+  const int y = p.add_var(-kLpInf, kLpInf, 1.0);
+  p.add_row({{y, 1.0}, {x, -1.0}}, LpProblem::RowType::kGe, -2.0);
+  p.add_row({{y, 1.0}, {x, 1.0}}, LpProblem::RowType::kGe, 0.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Highly degenerate: many redundant constraints through the origin.
+  LpProblem p;
+  const int x = p.add_var(0, kLpInf, -1.0);
+  const int y = p.add_var(0, kLpInf, -1.0);
+  for (int k = 1; k <= 8; ++k)
+    p.add_row({{x, static_cast<double>(k)}, {y, 1.0}},
+              LpProblem::RowType::kLe, static_cast<double>(k));
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Optimum: x=0,y=1 (obj -1)? check: constraint k: kx + y <= k. At x=1,y=0
+  // all hold (k <= k): obj -1 too. Optimum is max x+y on the polytope:
+  // vertex x=0,y=1 gives 1; x=1,y=0 gives 1; mixed k=1: x+y<=1. So -1.
+  EXPECT_NEAR(s.objective, -1.0, 1e-7);
+}
+
+// Property sweep: random LPs with a known feasible box interior point must
+// never report infeasible, and the returned solution must satisfy all rows.
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, SolutionsAreFeasible) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const int n = 3 + GetParam() % 5;
+  const int m = 2 + GetParam() % 7;
+  LpProblem p;
+  for (int j = 0; j < n; ++j)
+    p.add_var(0.0, rng.uniform(1.0, 5.0), rng.uniform(-2.0, 2.0));
+  // Rows a.x <= b with b chosen so x=0 is feasible (b >= 0).
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    std::vector<double> dense(static_cast<std::size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j) {
+      const double c = rng.uniform(-1.0, 1.0);
+      dense[static_cast<std::size_t>(j)] = c;
+      coeffs.push_back({j, c});
+    }
+    const double rhs = rng.uniform(0.5, 4.0);
+    rows.push_back(dense);
+    rows.back().push_back(rhs);
+    p.add_row(std::move(coeffs), LpProblem::RowType::kLe, rhs);
+  }
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  for (const auto& row : rows) {
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j)
+      lhs += row[static_cast<std::size_t>(j)] * s.x[static_cast<std::size_t>(j)];
+    EXPECT_LE(lhs, row.back() + 1e-6);
+  }
+  for (int j = 0; j < n; ++j) {
+    EXPECT_GE(s.x[static_cast<std::size_t>(j)], -1e-9);
+    EXPECT_LE(s.x[static_cast<std::size_t>(j)],
+              p.upper()[static_cast<std::size_t>(j)] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace llmpq

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/tensor_parallel.hpp"
+#include "cost/ground_truth.hpp"
+
+namespace llmpq {
+namespace {
+
+TEST(TpDevice, ScalesResourcesAndPaysSyncCost) {
+  const GpuSpec& base = gpu_registry_get("V100-32G");
+  const LinkSpec nvlink{gBps(300), us(5)};
+  const GpuSpec tp2 = make_tp_device(base, 2, nvlink);
+  EXPECT_EQ(tp2.mem_bytes, 2 * base.mem_bytes);
+  EXPECT_GT(tp2.effective_flops(16), base.effective_flops(16));
+  EXPECT_LT(tp2.effective_flops(16), 2.0 * base.effective_flops(16));
+  EXPECT_GT(tp2.kernel(16).overhead_s, base.kernel(16).overhead_s);
+  EXPECT_EQ(tp2.name, "2xV100-32G(TP)");
+  // Degree 1 is the identity.
+  EXPECT_EQ(make_tp_device(base, 1, nvlink).name, base.name);
+}
+
+TEST(TpDevice, LayerTimeImprovesForComputeBoundWork) {
+  // Prefill on a slow device should get meaningfully faster under TP2.
+  const ModelSpec& m = model_registry_get("opt-66b");
+  const GpuSpec& base = gpu_registry_get("V100-32G");
+  const GpuSpec tp2 = make_tp_device(base, 2, {gBps(300), us(5)});
+  const double t1 =
+      layer_time_ground_truth(base, m, prefill_shape(8, 512), 16);
+  const double t2 =
+      layer_time_ground_truth(tp2, m, prefill_shape(8, 512), 16);
+  EXPECT_LT(t2, t1);
+  EXPECT_GT(t2, t1 / 2.0);  // sub-linear because of sync costs
+}
+
+TEST(TpFolding, EnumeratesLegalMeshes) {
+  // Cluster 7: 4x V100 + 4x A100, one node each -> degrees {1,2,4} per
+  // type -> 9 meshes.
+  const auto meshes =
+      enumerate_tp_foldings(paper_cluster(7).cluster, {1, 2, 4});
+  EXPECT_EQ(meshes.size(), 9u);
+  // The unfolded mesh must be present (8 devices).
+  bool has_unfolded = false, has_tp4 = false;
+  for (const auto& mesh : meshes) {
+    if (mesh.num_devices() == 8) has_unfolded = true;
+    if (mesh.num_devices() == 2) has_tp4 = true;  // both types folded by 4
+    // Every folded cluster exposes valid GpuSpecs.
+    for (const auto& slot : mesh.devices) EXPECT_GT(slot.gpu().mem_bytes, 0);
+  }
+  EXPECT_TRUE(has_unfolded);
+  EXPECT_TRUE(has_tp4);
+}
+
+TEST(TpFolding, NonDividingDegreesAreDropped) {
+  // Cluster 3 has 3x T4: degree 2 does not divide 3, so T4 only folds at 1;
+  // V100 count is 1, so degrees {1}. Total meshes: 1.
+  const auto meshes =
+      enumerate_tp_foldings(paper_cluster(3).cluster, {2, 4});
+  ASSERT_EQ(meshes.size(), 1u);
+  EXPECT_EQ(meshes.front().num_devices(), 4);
+}
+
+TEST(TpAssign, NeverWorseThanPipelineOnly) {
+  const auto pc = paper_cluster(6);  // 2x V100 + 2x A100
+  const ModelSpec& model = model_registry_get(pc.model_name);
+  Workload w;
+  AssignerOptions opt;
+  opt.solver = SolverKind::kHeuristic;
+  opt.cost_mode = CostMode::kProfiled;
+  opt.max_orderings = 4;
+
+  CostProvider pp_cost(model, pc.cluster, CostMode::kProfiled);
+  pp_cost.set_workload(w);
+  const AssignerResult pp = assign(pp_cost, opt);
+
+  const TpAssignerResult tp =
+      assign_with_tensor_parallel(model, pc.cluster, w, opt, {1, 2});
+  EXPECT_GE(tp.meshes_tried, 2);
+  EXPECT_LE(tp.result.estimate.objective, pp.estimate.objective + 1e-6);
+}
+
+}  // namespace
+}  // namespace llmpq
