@@ -49,7 +49,12 @@ void BM_DequantizeRow(benchmark::State& state) {
 }
 BENCHMARK(BM_DequantizeRow)->Arg(3)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_Qgemm(benchmark::State& state) {
+// Threaded kernel (output-channel blocks across the shared ThreadPool)
+// vs the single-threaded seed kernel, at each candidate width. On a
+// multi-core host BM_Qgemm should beat BM_QgemmSerial by ~#cores on
+// this compute-bound shape; on one core it falls back to the serial path.
+template <bool kSerial>
+void BM_QgemmImpl(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));
   const std::size_t m = 8, k = 512, n = 512;
   const auto x = random_weights(m * k, 5);
@@ -59,13 +64,21 @@ void BM_Qgemm(benchmark::State& state) {
       QuantizedMatrix::quantize(w, n, k, bits, Rounding::kDeterministic, rng);
   std::vector<float> y(m * n);
   for (auto _ : state) {
-    qgemm(x, m, k, qw, {}, y);
+    if constexpr (kSerial)
+      qgemm_serial(x, m, k, qw, {}, y);
+    else
+      qgemm(x, m, k, qw, {}, y);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * m * k * n));
 }
+
+void BM_Qgemm(benchmark::State& state) { BM_QgemmImpl<false>(state); }
 BENCHMARK(BM_Qgemm)->Arg(3)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_QgemmSerial(benchmark::State& state) { BM_QgemmImpl<true>(state); }
+BENCHMARK(BM_QgemmSerial)->Arg(3)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 

@@ -79,5 +79,9 @@ int main() {
   std::printf("\nfirst sequence, generated token ids: ");
   for (TokenId t : generated.front()) std::printf("%d ", t);
   std::printf("\n");
+
+  // 6. Per-stage runtime metrics from the persistent engine.
+  std::printf("\nruntime metrics:\n%s",
+              format_engine_stats(engine.stats()).c_str());
   return identical ? 0 : 1;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sanitizer ctest pass for the threaded runtime: builds the tree twice
+# (ASan+UBSan, then TSan) and runs the concurrency-heavy test binaries —
+# common (queues, thread pool) and runtime (pipeline engine, threaded
+# qgemm) — under each. Run from the repo root:
+#
+#   scripts/check_sanitizers.sh [extra ctest -R pattern]
+#
+# CI should invoke this on every change to src/common or src/runtime.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+pattern="${1:-common|quant|runtime}"
+
+for mode in address thread; do
+  build="build-${mode}san"
+  echo "==== LLMPQ_SANITIZE=${mode} -> ${build} ===="
+  cmake -B "${build}" -S . -DLLMPQ_SANITIZE="${mode}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "${build}" -j \
+    --target llmpq_tests_common llmpq_tests_quant llmpq_tests_runtime
+  (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
+done
+
+echo "==== sanitizer pass clean (address+undefined, thread) ===="

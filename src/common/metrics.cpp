@@ -1,0 +1,64 @@
+#include "common/metrics.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace llmpq {
+
+namespace {
+
+double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+}  // namespace
+
+double StageStats::utilization() const {
+  const double total = busy_s + idle_s;
+  return total > 0.0 ? busy_s / total : 0.0;
+}
+
+double PhaseStats::tokens_per_s() const {
+  return seconds > 0.0 ? static_cast<double>(tokens) / seconds : 0.0;
+}
+
+StageStats StageMetrics::snapshot() const {
+  StageStats s;
+  s.busy_s = ns_to_s(busy_ns_.load(std::memory_order_relaxed));
+  s.idle_s = ns_to_s(idle_ns_.load(std::memory_order_relaxed));
+  s.qgemm_s = ns_to_s(qgemm_ns_.load(std::memory_order_relaxed));
+  s.attn_s = ns_to_s(attn_ns_.load(std::memory_order_relaxed));
+  s.microbatches = microbatches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+PhaseStats PhaseMetrics::snapshot() const {
+  PhaseStats s;
+  s.tokens = tokens_.load(std::memory_order_relaxed);
+  s.seconds = ns_to_s(ns_.load(std::memory_order_relaxed));
+  return s;
+}
+
+std::string format_engine_stats(const EngineStats& stats) {
+  std::ostringstream out;
+  Table t({"stage", "busy_ms", "idle_ms", "util", "qgemm_ms", "attn_ms",
+           "ubatches", "inbox_hw"});
+  for (std::size_t p = 0; p < stats.stages.size(); ++p) {
+    const StageStats& s = stats.stages[p];
+    t.add_row({std::to_string(p), Table::fmt(s.busy_s * 1e3),
+               Table::fmt(s.idle_s * 1e3), Table::fmt(s.utilization()),
+               Table::fmt(s.qgemm_s * 1e3), Table::fmt(s.attn_s * 1e3),
+               std::to_string(s.microbatches),
+               std::to_string(s.inbox_high_water)});
+  }
+  out << t.to_string();
+  out << "prefill: " << stats.prefill.tokens << " tokens in "
+      << Table::fmt(stats.prefill.seconds * 1e3) << " ms ("
+      << Table::fmt(stats.prefill.tokens_per_s()) << " tok/s)\n";
+  out << "decode:  " << stats.decode.tokens << " tokens in "
+      << Table::fmt(stats.decode.seconds * 1e3) << " ms ("
+      << Table::fmt(stats.decode.tokens_per_s()) << " tok/s)\n";
+  out << "generate() calls: " << stats.generate_calls << "\n";
+  return out.str();
+}
+
+}  // namespace llmpq

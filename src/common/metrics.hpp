@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llmpq {
+
+/// Lightweight runtime observability for the pipeline engine (and any other
+/// long-lived worker): lock-free accumulators written by worker threads and
+/// plain-value snapshots handed to callers. The shape mirrors what the
+/// paper's runtime reports per stage (busy/idle split, queue pressure,
+/// per-phase token throughput) and what `sim/` models analytically — so the
+/// real threaded runtime and the simulator can be compared on the same
+/// quantities.
+
+/// Monotonic nanosecond stopwatch (steady_clock).
+class StopwatchNs {
+ public:
+  StopwatchNs() : start_(std::chrono::steady_clock::now()) {}
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Snapshot of one pipeline stage's counters (plain values, safe to copy).
+struct StageStats {
+  double busy_s = 0.0;   ///< wall time inside decoder-layer compute
+  double idle_s = 0.0;   ///< wall time blocked on the stage inbox
+  double qgemm_s = 0.0;  ///< busy-time share spent in linear (qgemm) ops
+  double attn_s = 0.0;   ///< busy-time share spent in attention
+  std::uint64_t microbatches = 0;    ///< micro-batches processed
+  std::size_t inbox_high_water = 0;  ///< max queued micro-batches observed
+
+  /// busy / (busy + idle); 0 when the stage never ran.
+  double utilization() const;
+};
+
+/// Snapshot of one execution phase (prefill or decode).
+struct PhaseStats {
+  std::uint64_t tokens = 0;  ///< token positions pushed through the pipeline
+  double seconds = 0.0;      ///< wall time spent in this phase
+
+  double tokens_per_s() const;
+};
+
+/// Everything `PipelineEngine::stats()` exposes.
+struct EngineStats {
+  std::vector<StageStats> stages;
+  PhaseStats prefill;
+  PhaseStats decode;
+  std::uint64_t generate_calls = 0;  ///< completed generate() calls
+};
+
+/// Per-stage accumulator: written by exactly one worker thread, read
+/// concurrently by `stats()`. Relaxed atomics — each counter is independent
+/// and snapshots only need eventual per-counter consistency.
+class StageMetrics {
+ public:
+  void add_busy_ns(std::uint64_t ns) { busy_ns_ += ns; }
+  void add_idle_ns(std::uint64_t ns) { idle_ns_ += ns; }
+  void add_qgemm_ns(std::uint64_t ns) { qgemm_ns_ += ns; }
+  void add_attn_ns(std::uint64_t ns) { attn_ns_ += ns; }
+  void add_microbatch() { ++microbatches_; }
+
+  /// Consistent-enough copy for reporting (inbox high-water is filled in by
+  /// the engine, which owns the queues).
+  StageStats snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
+  std::atomic<std::uint64_t> qgemm_ns_{0};
+  std::atomic<std::uint64_t> attn_ns_{0};
+  std::atomic<std::uint64_t> microbatches_{0};
+};
+
+/// Per-phase accumulator (tokens + wall time across generate() calls).
+class PhaseMetrics {
+ public:
+  void add(std::uint64_t tokens, std::uint64_t ns) {
+    tokens_ += tokens;
+    ns_ += ns;
+  }
+
+  PhaseStats snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> tokens_{0};
+  std::atomic<std::uint64_t> ns_{0};
+};
+
+/// Human-readable multi-line report (used by the bench harness and the
+/// `llmpq-dist`-style launchers).
+std::string format_engine_stats(const EngineStats& stats);
+
+}  // namespace llmpq

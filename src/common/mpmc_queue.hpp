@@ -29,6 +29,7 @@ class MpmcQueue {
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -73,6 +74,13 @@ class MpmcQueue {
     return items_.size();
   }
 
+  /// Largest queue depth ever observed (backpressure indicator: a stage
+  /// whose inbox rides its high-water mark is the pipeline bottleneck).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
   bool closed() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
@@ -84,6 +92,7 @@ class MpmcQueue {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  std::size_t high_water_ = 0;
   bool closed_ = false;
 };
 

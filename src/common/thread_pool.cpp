@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 namespace llmpq {
@@ -11,12 +12,33 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   tasks_.close();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("LLMPQ_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }());
+  return pool;
+}
+
+namespace {
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+bool ThreadPool::inside_worker() { return t_inside_worker; }
+
 void ThreadPool::worker_loop() {
+  t_inside_worker = true;
   while (auto task = tasks_.pop()) (*task)();
 }
 

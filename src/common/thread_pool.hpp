@@ -7,14 +7,16 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/mpmc_queue.hpp"
 
 namespace llmpq {
 
 /// Fixed-size thread pool used for embarrassingly parallel sweeps (profiling
-/// grids, per-ordering planner solves). Tasks are type-erased closures; use
-/// submit() to get a future, or parallel_for for an indexed loop with static
-/// chunking (OpenMP-style "parallel for schedule(static)").
+/// grids, per-ordering planner solves) and the threaded qgemm kernel. Tasks
+/// are type-erased closures; use submit() to get a future, or parallel_for
+/// for an indexed loop with static chunking (OpenMP-style "parallel for
+/// schedule(static)").
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads =
@@ -26,19 +28,39 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Process-wide pool shared by every pipeline stage and planner sweep
+  /// (lazily created; sized from LLMPQ_THREADS or hardware_concurrency).
+  /// Sharing one pool keeps total CPU oversubscription bounded no matter
+  /// how many stages call into threaded kernels concurrently.
+  static ThreadPool& shared();
+
+  /// Throws Error if the pool has been shut down — a dropped task whose
+  /// future never becomes ready would deadlock the caller otherwise.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    tasks_.push([task] { (*task)(); });
+    if (!tasks_.push([task] { (*task)(); }))
+      throw Error("ThreadPool::submit: pool has been shut down");
     return fut;
   }
 
   /// Runs fn(i) for i in [0, n) across the pool; blocks until all complete.
   /// Exceptions from tasks propagate (the first one observed is rethrown).
+  /// The calling thread participates, so this is safe to invoke from
+  /// multiple threads concurrently (each call makes progress on its own).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Stops accepting tasks, drains the queue and joins the workers.
+  /// Idempotent; called by the destructor. Subsequent submit() calls throw.
+  void shutdown();
+
+  /// True when the calling thread is a pool worker (of any ThreadPool).
+  /// Nested parallel kernels use this to fall back to serial execution
+  /// instead of blocking on futures their own pool may never run.
+  static bool inside_worker();
 
  private:
   void worker_loop();

@@ -1,21 +1,32 @@
 #include "quant/qgemm.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace llmpq {
 
-void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
-           const QuantizedMatrix& w, std::span<const float> bias,
-           std::span<float> y) {
-  const std::size_t rows = w.rows();
-  check_arg(w.cols() == cols, "qgemm: inner dimension mismatch");
-  check_arg(x.size() == m * cols, "qgemm: x size mismatch");
-  check_arg(y.size() == m * rows, "qgemm: y size mismatch");
-  check_arg(bias.empty() || bias.size() == rows, "qgemm: bias size mismatch");
+namespace {
 
-  std::vector<float> wrow(cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    w.dequantize_row(r, wrow.data());
+/// Below this many multiply-accumulates the fork/join overhead of the pool
+/// outweighs the parallel speedup; measured on small CPU hosts.
+constexpr std::size_t kParallelWorkThreshold = 64 * 1024;
+
+/// Computes output channels [r0, r1). `scratch` (size cols) holds the
+/// dequantized row for packed matrices; 16-bit matrices are read in place
+/// via the fp-row cache (no copy).
+void qgemm_rows(std::span<const float> x, std::size_t m, std::size_t cols,
+                const QuantizedMatrix& w, std::span<const float> bias,
+                std::span<float> y, std::size_t r0, std::size_t r1,
+                float* scratch) {
+  const std::size_t rows = w.rows();
+  for (std::size_t r = r0; r < r1; ++r) {
+    const float* wrow = w.fp_row(r);
+    if (wrow == nullptr) {
+      w.dequantize_row(r, scratch);
+      wrow = scratch;
+    }
     const float b = bias.empty() ? 0.0f : bias[r];
     for (std::size_t i = 0; i < m; ++i) {
       const float* xi = x.data() + i * cols;
@@ -24,6 +35,51 @@ void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
       y[i * rows + r] = acc;
     }
   }
+}
+
+void check_qgemm_args(std::span<const float> x, std::size_t m,
+                      std::size_t cols, const QuantizedMatrix& w,
+                      std::span<const float> bias, std::span<float> y) {
+  check_arg(w.cols() == cols, "qgemm: inner dimension mismatch");
+  check_arg(x.size() == m * cols, "qgemm: x size mismatch");
+  check_arg(y.size() == m * w.rows(), "qgemm: y size mismatch");
+  check_arg(bias.empty() || bias.size() == w.rows(),
+            "qgemm: bias size mismatch");
+}
+
+}  // namespace
+
+void qgemm_serial(std::span<const float> x, std::size_t m, std::size_t cols,
+                  const QuantizedMatrix& w, std::span<const float> bias,
+                  std::span<float> y) {
+  check_qgemm_args(x, m, cols, w, bias, y);
+  std::vector<float> scratch(cols);
+  qgemm_rows(x, m, cols, w, bias, y, 0, w.rows(), scratch.data());
+}
+
+void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
+           const QuantizedMatrix& w, std::span<const float> bias,
+           std::span<float> y) {
+  check_qgemm_args(x, m, cols, w, bias, y);
+  const std::size_t rows = w.rows();
+  ThreadPool& pool = ThreadPool::shared();
+  if (pool.size() <= 1 || ThreadPool::inside_worker() ||
+      m * cols * rows < kParallelWorkThreshold) {
+    std::vector<float> scratch(cols);
+    qgemm_rows(x, m, cols, w, bias, y, 0, rows, scratch.data());
+    return;
+  }
+  // Output-channel blocks: disjoint writes, no synchronization inside the
+  // kernel. Oversplit relative to the pool so stages sharing it interleave.
+  const std::size_t blocks = std::min(rows, pool.size() * 4);
+  const std::size_t per = (rows + blocks - 1) / blocks;
+  pool.parallel_for(blocks, [&](std::size_t blk) {
+    thread_local std::vector<float> scratch;
+    if (scratch.size() < cols) scratch.resize(cols);
+    const std::size_t r0 = blk * per;
+    const std::size_t r1 = std::min(rows, r0 + per);
+    if (r0 < r1) qgemm_rows(x, m, cols, w, bias, y, r0, r1, scratch.data());
+  });
 }
 
 void gemm_f32(std::span<const float> x, std::size_t m, std::size_t cols,

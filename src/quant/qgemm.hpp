@@ -12,12 +12,22 @@ namespace llmpq {
 /// stored output-channel-major (each W row produces one output feature),
 /// matching the per-row quantization scales. `bias` (size rows) is optional.
 ///
-/// This is the CPU reference of the "weight-only kernel": dequantize one
-/// output channel at a time and accumulate in fp32. Correctness, not speed,
-/// is the point — kernel *timing* on GPUs is modelled in cost/.
+/// This is the CPU "weight-only kernel": each output channel is dequantized
+/// once per call and accumulated in fp32. Work is partitioned over output-
+/// channel blocks across the shared ThreadPool when the problem is large
+/// enough to amortize the fork/join (small problems and single-core hosts
+/// run the serial path). Every output element is produced by exactly one
+/// task with the same accumulation order as the serial kernel, so results
+/// are bit-for-bit identical regardless of thread count.
 void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
            const QuantizedMatrix& w, std::span<const float> bias,
            std::span<float> y);
+
+/// Single-threaded reference kernel (the seed implementation); kept as the
+/// comparison baseline for tests and `bench_micro_quant`.
+void qgemm_serial(std::span<const float> x, std::size_t m, std::size_t cols,
+                  const QuantizedMatrix& w, std::span<const float> bias,
+                  std::span<float> y);
 
 /// Plain fp32 GEMM with the same layout (used as the ground truth in tests).
 void gemm_f32(std::span<const float> x, std::size_t m, std::size_t cols,

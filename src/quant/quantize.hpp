@@ -38,6 +38,14 @@ class QuantizedMatrix {
   /// dequantize-then-GEMM kernel.
   void dequantize_row(std::size_t row, float* out) const;
 
+  /// Direct pointer to row `row`'s float data when bits() == 16 — the
+  /// stored fp matrix doubles as a per-layer dequantized-row cache, so the
+  /// 16-bit GEMM fast path reads weights in place instead of copying each
+  /// row per call. Returns nullptr for packed (bits < 16) matrices.
+  const float* fp_row(std::size_t row) const {
+    return bits_ == 16 ? fp_.data() + row * cols_ : nullptr;
+  }
+
   /// Raw quantized value at (row, col); only valid for bits < 16.
   std::int32_t quantized_at(std::size_t row, std::size_t col) const;
 

@@ -1,5 +1,8 @@
 #include "runtime/engine.hpp"
 
+#include <atomic>
+#include <exception>
+#include <memory>
 #include <thread>
 
 #include "common/error.hpp"
@@ -9,11 +12,16 @@ namespace llmpq {
 
 namespace {
 
+/// One micro-batch travelling down the pipeline. A message that hit an
+/// exception inside a stage carries the error instead of valid activations;
+/// downstream stages forward it untouched so the master's in-flight
+/// accounting stays exact and the pipeline never wedges.
 struct StageMsg {
   std::size_t batch_start = 0;
   std::size_t seqs = 0;
   std::size_t seq_len = 0;
   Tensor2D acts;
+  std::exception_ptr error;
 };
 
 }  // namespace
@@ -24,12 +32,28 @@ struct PipelineEngine::Impl {
   int prefill_mb;
   int decode_mb;
 
+  // Mailboxes live as long as the engine; they are closed exactly once, in
+  // shutdown(). Stage p owns (pops) inboxes[p]; the master owns the outbox.
   std::vector<std::unique_ptr<MpmcQueue<StageMsg>>> inboxes;
   std::unique_ptr<MpmcQueue<StageMsg>> outbox;
-  std::vector<std::thread> workers;
 
-  // Per stage, per local layer: KV caches (rebuilt each generate() call).
+  // Per stage, per local layer: KV caches. Allocated lazily on the first
+  // generate() and reused while (batch, max_seq) stay the same; only the
+  // position counters are reset between calls.
   std::vector<std::vector<KvCache>> caches;
+  std::size_t cache_batch = 0;
+  std::size_t cache_max_seq = 0;
+
+  // Observability (written by workers, read by stats()).
+  std::vector<std::unique_ptr<StageMetrics>> stage_metrics;
+  PhaseMetrics prefill_metrics;
+  PhaseMetrics decode_metrics;
+  std::atomic<std::uint64_t> generate_calls{0};
+
+  // Workers are started last in the constructor and joined in shutdown();
+  // the Impl destructor is the RAII joiner, so no exception path can leak a
+  // running std::thread (whose destructor would std::terminate).
+  std::vector<std::thread> workers;
 
   Impl(const ModelWeights& w, std::vector<std::pair<int, int>> ranges,
        int pre_mb, int dec_mb)
@@ -37,6 +61,8 @@ struct PipelineEngine::Impl {
         prefill_mb(pre_mb),
         decode_mb(dec_mb),
         outbox(std::make_unique<MpmcQueue<StageMsg>>(64)) {
+    check_arg(pre_mb >= 1 && dec_mb >= 1,
+              "PipelineEngine: micro-batch sizes must be >= 1");
     for (const auto& r : ranges) {
       check_arg(r.first >= 0 && r.second <= w.spec.layers &&
                     r.first <= r.second,
@@ -52,38 +78,83 @@ struct PipelineEngine::Impl {
     }
     check_arg(covered == w.spec.layers,
               "PipelineEngine: stage ranges must cover the model");
-    for (std::size_t p = 0; p < stages.size(); ++p)
-      inboxes.push_back(std::make_unique<MpmcQueue<StageMsg>>(64));
-    caches.resize(stages.size());
-  }
-
-  void start_workers() {
     for (std::size_t p = 0; p < stages.size(); ++p) {
-      workers.emplace_back([this, p] { stage_loop(p); });
+      inboxes.push_back(std::make_unique<MpmcQueue<StageMsg>>(64));
+      stage_metrics.push_back(std::make_unique<StageMetrics>());
     }
+    caches.resize(stages.size());
+    // Everything the workers touch is in place; start them last so a
+    // constructor failure above never leaves a thread running.
+    workers.reserve(stages.size());
+    for (std::size_t p = 0; p < stages.size(); ++p)
+      workers.emplace_back([this, p] { stage_loop(p); });
   }
 
-  void stop_workers() {
+  ~Impl() { shutdown(); }
+
+  /// Closes every mailbox and joins the workers. Idempotent.
+  void shutdown() noexcept {
     for (auto& inbox : inboxes) inbox->close();
-    for (auto& t : workers) t.join();
-    workers.clear();
+    outbox->close();
+    for (auto& t : workers)
+      if (t.joinable()) t.join();
+  }
+
+  /// Resets (or re-allocates) the per-stage KV caches for a generate()
+  /// call of shape (batch, max_seq).
+  void prepare_caches(std::size_t batch, std::size_t max_seq) {
+    if (batch == cache_batch && max_seq == cache_max_seq) {
+      for (auto& stage : caches)
+        for (KvCache& c : stage) c.reset();
+      return;
+    }
+    const std::size_t hidden = static_cast<std::size_t>(weights.spec.hidden);
+    for (std::size_t p = 0; p < stages.size(); ++p) {
+      caches[p].clear();
+      const auto [begin, end] = stages[p];
+      for (int layer = begin; layer < end; ++layer) {
+        (void)layer;
+        caches[p].emplace_back(batch, max_seq, hidden);
+      }
+    }
+    cache_batch = batch;
+    cache_max_seq = max_seq;
   }
 
   void stage_loop(std::size_t p) {
     auto& inbox = *inboxes[p];
-    while (auto msg = inbox.pop()) {
+    StageMetrics& metrics = *stage_metrics[p];
+    const auto [begin, end] = stages[p];
+    for (;;) {
+      StopwatchNs idle;
+      auto msg = inbox.pop();
+      if (!msg) break;  // inbox closed and drained: engine shutting down
+      metrics.add_idle_ns(idle.elapsed_ns());
       StageMsg m = std::move(*msg);
-      const auto [begin, end] = stages[p];
-      for (int layer = begin; layer < end; ++layer) {
-        decoder_layer_forward(
-            weights.spec, weights.layers[static_cast<std::size_t>(layer)],
-            m.acts, caches[p][static_cast<std::size_t>(layer - begin)],
-            m.batch_start, m.seqs, m.seq_len);
+      if (!m.error) {
+        StopwatchNs busy;
+        try {
+          for (int layer = begin; layer < end; ++layer) {
+            decoder_layer_forward(
+                weights.spec, weights.layers[static_cast<std::size_t>(layer)],
+                m.acts, caches[p][static_cast<std::size_t>(layer - begin)],
+                m.batch_start, m.seqs, m.seq_len, /*observer=*/nullptr,
+                /*layer_index=*/layer, &metrics);
+          }
+        } catch (...) {
+          // Poison the message instead of letting the exception escape the
+          // thread (which would std::terminate). The master rethrows it.
+          m.error = std::current_exception();
+        }
+        metrics.add_busy_ns(busy.elapsed_ns());
+        metrics.add_microbatch();
       }
+      // A failed push means the next mailbox was closed mid-shutdown;
+      // dropping the message is correct then — the master is gone.
       if (p + 1 < stages.size())
-        inboxes[p + 1]->push(std::move(m));
+        (void)inboxes[p + 1]->push(std::move(m));
       else
-        outbox->push(std::move(m));
+        (void)outbox->push(std::move(m));
     }
   }
 };
@@ -102,12 +173,29 @@ int PipelineEngine::num_stages() const {
   return static_cast<int>(impl_->stages.size());
 }
 
+EngineStats PipelineEngine::stats() const {
+  const Impl& im = *impl_;
+  EngineStats s;
+  s.stages.reserve(im.stages.size());
+  for (std::size_t p = 0; p < im.stages.size(); ++p) {
+    StageStats st = im.stage_metrics[p]->snapshot();
+    st.inbox_high_water = im.inboxes[p]->high_water();
+    s.stages.push_back(st);
+  }
+  s.prefill = im.prefill_metrics.snapshot();
+  s.decode = im.decode_metrics.snapshot();
+  s.generate_calls = im.generate_calls.load(std::memory_order_relaxed);
+  return s;
+}
+
 std::vector<std::vector<TokenId>> PipelineEngine::generate(
     const std::vector<std::vector<TokenId>>& prompts, int gen_tokens) {
-  check_arg(!prompts.empty() && gen_tokens >= 1,
-            "PipelineEngine::generate: bad arguments");
+  check_arg(!prompts.empty(), "PipelineEngine::generate: no prompts");
+  check_arg(gen_tokens >= 1, "PipelineEngine::generate: gen_tokens must be >= 1");
   const std::size_t batch = prompts.size();
   const std::size_t prompt_len = prompts.front().size();
+  check_arg(prompt_len >= 1,
+            "PipelineEngine::generate: zero-length prompts are not allowed");
   for (const auto& p : prompts)
     check_arg(p.size() == prompt_len,
               "PipelineEngine::generate: unpadded prompts");
@@ -116,87 +204,108 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
   const ModelWeights& mw = im.weights;
   const std::size_t max_seq = prompt_len + static_cast<std::size_t>(gen_tokens);
 
-  // Fresh preallocated caches for this call.
-  for (std::size_t p = 0; p < im.stages.size(); ++p) {
-    im.caches[p].clear();
-    const auto [begin, end] = im.stages[p];
-    for (int layer = begin; layer < end; ++layer) {
-      (void)layer;
-      im.caches[p].emplace_back(batch, max_seq,
-                                static_cast<std::size_t>(mw.spec.hidden));
-    }
-  }
+  im.prepare_caches(batch, max_seq);
 
-  im.start_workers();
+  // Exact in-flight accounting: every micro-batch pushed into the pipeline
+  // comes back on the outbox exactly once (worker exceptions travel as
+  // poisoned messages), so on any failure we can drain to a clean state and
+  // keep the engine usable.
+  std::size_t in_flight = 0;
+
+  auto push_msg = [&](StageMsg msg) {
+    if (!im.inboxes.front()->push(std::move(msg)))
+      throw Error("PipelineEngine: pipeline is shut down (mailbox closed)");
+    ++in_flight;
+  };
+  auto pop_msg = [&]() -> StageMsg {
+    auto out = im.outbox->pop();
+    if (!out) throw Error("PipelineEngine: pipeline closed early");
+    --in_flight;
+    StageMsg m = std::move(*out);
+    if (m.error) std::rethrow_exception(m.error);
+    return m;
+  };
 
   MicrobatchManager mbm(batch, static_cast<std::size_t>(im.prefill_mb),
                         static_cast<std::size_t>(im.decode_mb));
   std::vector<std::vector<TokenId>> generated(batch);
   std::vector<TokenId> last_token(batch);
 
-  // ---- Prefill: stream micro-batches through the pipeline.
-  mbm.begin_phase(mbm.prefill_slices().size());
-  for (const BatchSlice& slice : mbm.prefill_slices()) {
-    std::vector<TokenId> flat;
-    flat.reserve(slice.count * prompt_len);
-    for (std::size_t s = 0; s < slice.count; ++s) {
-      const auto& prompt = prompts[slice.start + s];
-      flat.insert(flat.end(), prompt.begin(), prompt.end());
-    }
-    StageMsg msg;
-    msg.batch_start = slice.start;
-    msg.seqs = slice.count;
-    msg.seq_len = prompt_len;
-    msg.acts = embed(mw, flat, slice.count, prompt_len, 0);
-    im.inboxes.front()->push(std::move(msg));
-  }
-  while (mbm.outstanding() > 0) {
-    auto out = im.outbox->pop();
-    check_arg(out.has_value(), "PipelineEngine: pipeline closed early");
-    const std::vector<TokenId> toks =
-        project_and_sample(mw, out->acts, out->seqs, out->seq_len);
-    for (std::size_t s = 0; s < out->seqs; ++s) {
-      generated[out->batch_start + s].push_back(toks[s]);
-      last_token[out->batch_start + s] = toks[s];
-    }
-    mbm.complete_one();
-  }
-
-  // ---- Decode rounds with re-sized micro-batches.
-  for (int step = 1; step < gen_tokens; ++step) {
-    const std::size_t pos = prompt_len + static_cast<std::size_t>(step) - 1;
-    mbm.begin_phase(mbm.decode_slices().size());
-    for (const BatchSlice& slice : mbm.decode_slices()) {
-      std::vector<TokenId> toks(last_token.begin() +
-                                    static_cast<std::ptrdiff_t>(slice.start),
-                                last_token.begin() +
-                                    static_cast<std::ptrdiff_t>(slice.start +
-                                                                slice.count));
+  try {
+    // ---- Prefill: stream micro-batches through the pipeline.
+    StopwatchNs prefill_timer;
+    mbm.begin_phase(mbm.prefill_slices().size());
+    for (const BatchSlice& slice : mbm.prefill_slices()) {
+      std::vector<TokenId> flat;
+      flat.reserve(slice.count * prompt_len);
+      for (std::size_t s = 0; s < slice.count; ++s) {
+        const auto& prompt = prompts[slice.start + s];
+        flat.insert(flat.end(), prompt.begin(), prompt.end());
+      }
       StageMsg msg;
       msg.batch_start = slice.start;
       msg.seqs = slice.count;
-      msg.seq_len = 1;
-      msg.acts = embed(mw, toks, slice.count, 1, pos);
-      im.inboxes.front()->push(std::move(msg));
+      msg.seq_len = prompt_len;
+      msg.acts = embed(mw, flat, slice.count, prompt_len, 0);
+      push_msg(std::move(msg));
     }
     while (mbm.outstanding() > 0) {
-      auto out = im.outbox->pop();
-      check_arg(out.has_value(), "PipelineEngine: pipeline closed early");
+      const StageMsg out = pop_msg();
       const std::vector<TokenId> toks =
-          project_and_sample(mw, out->acts, out->seqs, out->seq_len);
-      for (std::size_t s = 0; s < out->seqs; ++s) {
-        generated[out->batch_start + s].push_back(toks[s]);
-        last_token[out->batch_start + s] = toks[s];
+          project_and_sample(mw, out.acts, out.seqs, out.seq_len);
+      for (std::size_t s = 0; s < out.seqs; ++s) {
+        generated[out.batch_start + s].push_back(toks[s]);
+        last_token[out.batch_start + s] = toks[s];
       }
       mbm.complete_one();
     }
+    im.prefill_metrics.add(batch * prompt_len, prefill_timer.elapsed_ns());
+
+    // ---- Decode rounds with re-sized micro-batches.
+    StopwatchNs decode_timer;
+    for (int step = 1; step < gen_tokens; ++step) {
+      const std::size_t pos = prompt_len + static_cast<std::size_t>(step) - 1;
+      mbm.begin_phase(mbm.decode_slices().size());
+      for (const BatchSlice& slice : mbm.decode_slices()) {
+        std::vector<TokenId> toks(
+            last_token.begin() + static_cast<std::ptrdiff_t>(slice.start),
+            last_token.begin() +
+                static_cast<std::ptrdiff_t>(slice.start + slice.count));
+        StageMsg msg;
+        msg.batch_start = slice.start;
+        msg.seqs = slice.count;
+        msg.seq_len = 1;
+        msg.acts = embed(mw, toks, slice.count, 1, pos);
+        push_msg(std::move(msg));
+      }
+      while (mbm.outstanding() > 0) {
+        const StageMsg out = pop_msg();
+        const std::vector<TokenId> toks =
+            project_and_sample(mw, out.acts, out.seqs, out.seq_len);
+        for (std::size_t s = 0; s < out.seqs; ++s) {
+          generated[out.batch_start + s].push_back(toks[s]);
+          last_token[out.batch_start + s] = toks[s];
+        }
+        mbm.complete_one();
+      }
+    }
+    if (gen_tokens > 1)
+      im.decode_metrics.add(batch * static_cast<std::size_t>(gen_tokens - 1),
+                            decode_timer.elapsed_ns());
+  } catch (...) {
+    // Swallow every in-flight micro-batch (poisoned or not) so the next
+    // generate() starts from an empty pipeline. Workers forward each
+    // message exactly once, so this terminates; KV caches are reset at the
+    // top of the next call, so partial state cannot leak across calls.
+    while (in_flight > 0) {
+      auto out = im.outbox->pop();
+      if (!out) break;  // engine shut down concurrently
+      --in_flight;
+    }
+    throw;
   }
 
-  im.stop_workers();
-  // Reopen mailboxes for a potential next generate() call.
-  for (std::size_t p = 0; p < im.stages.size(); ++p)
-    im.inboxes[p] = std::make_unique<MpmcQueue<StageMsg>>(64);
-  im.outbox = std::make_unique<MpmcQueue<StageMsg>>(64);
+  im.generate_calls.fetch_add(1, std::memory_order_relaxed);
   return generated;
 }
 

@@ -3,21 +3,31 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "runtime/microbatch.hpp"
 #include "runtime/transformer.hpp"
 
 namespace llmpq {
 
 /// Distributed (multi-threaded) pipeline inference engine — the runtime
-/// half of LLM-PQ (paper Sec. 3/5), scaled to CPU threads: one worker
-/// thread per pipeline stage, message-passing via bounded mailboxes, a
-/// master engine handling embedding, logits and micro-batch sizing, and a
+/// half of LLM-PQ (paper Sec. 3/5), scaled to CPU threads: one persistent
+/// worker thread per pipeline stage, message-passing via bounded mailboxes,
+/// a master engine handling embedding, logits and micro-batch sizing, and a
 /// preallocated KV cache per stage. Token output is bit-for-bit identical
 /// to the single-threaded reference (tests enforce this).
+///
+/// Lifecycle: stage workers and mailboxes are created once in the
+/// constructor and joined in the destructor (RAII), so repeated generate()
+/// calls reuse threads and KV-cache allocations. generate() is
+/// exception-safe: an error in the master (bad token, cache overflow) or in
+/// any stage worker drains the in-flight micro-batches, rethrows to the
+/// caller, and leaves the engine ready for the next call — no terminate, no
+/// hang, no leaked threads.
 class PipelineEngine {
  public:
   /// `stage_layers[p]` = [begin, end) layer range of stage p (empty ranges
-  /// allowed and skipped). Weights are shared, not copied.
+  /// allowed and skipped). Weights are shared, not copied, and must outlive
+  /// the engine. Micro-batch sizes must be >= 1.
   PipelineEngine(const ModelWeights& weights,
                  std::vector<std::pair<int, int>> stage_layers,
                  int prefill_micro_batch, int decode_micro_batch);
@@ -26,12 +36,18 @@ class PipelineEngine {
   PipelineEngine(const PipelineEngine&) = delete;
   PipelineEngine& operator=(const PipelineEngine&) = delete;
 
-  /// Generates `gen_tokens` tokens per prompt (greedy). Prompts must share
-  /// one padded length. Reusable across calls (caches reset per call).
+  /// Generates `gen_tokens` tokens per prompt (greedy). Prompts must be
+  /// non-empty and share one padded length. Reusable across calls (caches
+  /// reset per call, buffers reused when the shape matches).
   std::vector<std::vector<TokenId>> generate(
       const std::vector<std::vector<TokenId>>& prompts, int gen_tokens);
 
   int num_stages() const;
+
+  /// Cumulative runtime metrics since construction: per-stage busy/idle
+  /// split, qgemm/attention breakdown, inbox high-water marks, and
+  /// per-phase token throughput. Safe to call concurrently with generate().
+  EngineStats stats() const;
 
  private:
   struct Impl;

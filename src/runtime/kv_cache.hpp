@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -28,6 +29,10 @@ class KvCache {
 
   /// Number of positions stored for sequence `b`.
   std::size_t filled(std::size_t b) const { return filled_[b]; }
+
+  /// Forgets every cached position while keeping the allocation — lets a
+  /// persistent engine reuse its K/V buffers across generate() calls.
+  void reset() { std::fill(filled_.begin(), filled_.end(), 0); }
 
   /// Appends one position's K/V vectors for sequence `b`.
   void append(std::size_t b, const float* k_vec, const float* v_vec) {

@@ -41,7 +41,22 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
                            Tensor2D& x, KvCache& cache,
                            std::size_t batch_start, std::size_t seqs,
                            std::size_t seq_len, ActivationObserver* observer,
-                           int layer_index) {
+                           int layer_index, StageMetrics* metrics) {
+  // Times one qgemm call (or the attention block) into `metrics`; a null
+  // metrics pointer compiles down to the plain call.
+  StopwatchNs sw;
+  auto timed_qgemm = [&](std::span<const float> in, std::size_t m,
+                         std::size_t k, const QuantizedMatrix& qw,
+                         std::span<const float> bias, std::span<float> out) {
+    if (metrics == nullptr) {
+      qgemm(in, m, k, qw, bias, out);
+      return;
+    }
+    sw.restart();
+    qgemm(in, m, k, qw, bias, out);
+    metrics->add_qgemm_ns(sw.elapsed_ns());
+  };
+
   const std::size_t h = static_cast<std::size_t>(spec.hidden);
   const std::size_t heads = static_cast<std::size_t>(spec.heads);
   const std::size_t dh = h / heads;
@@ -56,9 +71,10 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   if (observer != nullptr)
     observer->on_linear_input(layer_index, 0, normed.flat());
   Tensor2D qkv(rows, 3 * h);
-  qgemm(normed.flat(), rows, h, w.qkv, w.qkv_bias, qkv.flat());
+  timed_qgemm(normed.flat(), rows, h, w.qkv, w.qkv_bias, qkv.flat());
 
   // Append K/V to the cache, then attend over everything cached.
+  if (metrics != nullptr) sw.restart();
   Tensor2D attn_ctx(rows, h, 0.0f);
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
   std::vector<float> scores;
@@ -102,10 +118,12 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
     }
   }
 
+  if (metrics != nullptr) metrics->add_attn_ns(sw.elapsed_ns());
+
   if (observer != nullptr)
     observer->on_linear_input(layer_index, 1, attn_ctx.flat());
   Tensor2D attn_out(rows, h);
-  qgemm(attn_ctx.flat(), rows, h, w.out, w.out_bias, attn_out.flat());
+  timed_qgemm(attn_ctx.flat(), rows, h, w.out, w.out_bias, attn_out.flat());
   for (std::size_t r = 0; r < rows; ++r) {
     float* xr = x.row(r);
     const float* ar = attn_out.row(r);
@@ -118,11 +136,11 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   if (observer != nullptr)
     observer->on_linear_input(layer_index, 2, normed.flat());
   Tensor2D inter(rows, f);
-  qgemm(normed.flat(), rows, h, w.fc1, w.fc1_bias, inter.flat());
+  timed_qgemm(normed.flat(), rows, h, w.fc1, w.fc1_bias, inter.flat());
   if (spec.gated_mlp) {
     // SwiGLU: down(silu(gate(x)) * up(x)).
     Tensor2D up(rows, f);
-    qgemm(normed.flat(), rows, h, w.fc3, w.fc3_bias, up.flat());
+    timed_qgemm(normed.flat(), rows, h, w.fc3, w.fc3_bias, up.flat());
     auto gate = inter.flat();
     auto up_flat = up.flat();
     for (std::size_t i = 0; i < gate.size(); ++i)
@@ -133,7 +151,7 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   if (observer != nullptr)
     observer->on_linear_input(layer_index, 3, inter.flat());
   Tensor2D mlp_out(rows, h);
-  qgemm(inter.flat(), rows, f, w.fc2, w.fc2_bias, mlp_out.flat());
+  timed_qgemm(inter.flat(), rows, f, w.fc2, w.fc2_bias, mlp_out.flat());
   for (std::size_t r = 0; r < rows; ++r) {
     float* xr = x.row(r);
     const float* mr = mlp_out.row(r);

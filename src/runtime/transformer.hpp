@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "runtime/kv_cache.hpp"
 #include "runtime/tensor.hpp"
 #include "runtime/weights.hpp"
@@ -25,12 +26,16 @@ class ActivationObserver {
 /// token rows (sequence-major). For each sequence s (global index
 /// `batch_start + s`), the new K/V entries are appended to `cache`, and
 /// attention spans everything cached so far (causal by construction).
+/// A non-null `metrics` receives the layer's qgemm/attention time split
+/// (the per-stage instrumentation behind PipelineEngine::stats()); a null
+/// pointer costs nothing.
 void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
                            Tensor2D& x, KvCache& cache,
                            std::size_t batch_start, std::size_t seqs,
                            std::size_t seq_len,
                            ActivationObserver* observer = nullptr,
-                           int layer_index = -1);
+                           int layer_index = -1,
+                           StageMetrics* metrics = nullptr);
 
 /// Token + positional embedding for a batch slice. `tokens` is
 /// sequence-major [seqs x seq_len]; `pos_offset` is the position of the

@@ -228,6 +228,42 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // A silently dropped task would leave the returned future forever
+  // pending and deadlock the caller — the pool must fail loudly instead.
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), Error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, InsideWorkerVisibleFromTasks) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::inside_worker());
+  auto fut = pool.submit([] { return ThreadPool::inside_worker(); });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(MpmcQueue, TracksHighWaterMark) {
+  MpmcQueue<int> q(8);
+  EXPECT_EQ(q.high_water(), 0u);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.high_water(), 3u);
+  (void)q.pop();
+  (void)q.pop();
+  EXPECT_TRUE(q.push(4));
+  // Draining does not lower the mark; it is the historical maximum.
+  EXPECT_EQ(q.high_water(), 3u);
+}
+
+TEST(MpmcQueue, PushToClosedQueueFails) {
+  MpmcQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(7));
+}
+
 TEST(Table, RendersAlignedAndCsv) {
   Table t({"name", "value"});
   t.add_row({"alpha", Table::fmt(1.5)});

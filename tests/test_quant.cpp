@@ -116,6 +116,51 @@ TEST(Qgemm, MatchesFloatGemmAt16Bits) {
   for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
 }
 
+// ---- The threaded kernel must be bit-for-bit identical to the serial
+// seed kernel (each output element keeps its accumulation order) and, for
+// 16-bit, to the fp32 ground truth — across every width x rounding mode,
+// at a size large enough to actually engage the thread pool.
+struct QgemmCase {
+  int bits;
+  Rounding mode;
+};
+
+class QgemmEquivalence : public ::testing::TestWithParam<QgemmCase> {};
+
+TEST_P(QgemmEquivalence, ThreadedMatchesSerialAndF32) {
+  const QgemmCase c = GetParam();
+  Rng rng(900 + static_cast<std::uint64_t>(c.bits));
+  // Odd k stresses the bit-packing spill-word path; m*k*n > the kernel's
+  // parallel threshold so the pooled path runs (on multi-core hosts).
+  const std::size_t m = 5, k = 257, n = 96;
+  const auto x = random_weights(m * k, rng, 1.0f);
+  const auto w = random_weights(n * k, rng, 0.05f);
+  const auto bias = random_weights(n, rng, 0.2f);
+  const QuantizedMatrix qw =
+      QuantizedMatrix::quantize(w, n, k, c.bits, c.mode, rng);
+
+  std::vector<float> y_threaded(m * n), y_serial(m * n), y_f32(m * n);
+  qgemm(x, m, k, qw, bias, y_threaded);
+  qgemm_serial(x, m, k, qw, bias, y_serial);
+  gemm_f32(x, m, k, qw.dequantize(), n, bias, y_f32);
+  for (std::size_t i = 0; i < y_threaded.size(); ++i) {
+    EXPECT_EQ(y_threaded[i], y_serial[i]) << "i=" << i;
+    // Same dequantized weights, same accumulation order -> exact.
+    EXPECT_EQ(y_threaded[i], y_f32[i]) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QgemmEquivalence,
+    ::testing::Values(QgemmCase{3, Rounding::kDeterministic},
+                      QgemmCase{3, Rounding::kStochastic},
+                      QgemmCase{4, Rounding::kDeterministic},
+                      QgemmCase{4, Rounding::kStochastic},
+                      QgemmCase{8, Rounding::kDeterministic},
+                      QgemmCase{8, Rounding::kStochastic},
+                      QgemmCase{16, Rounding::kDeterministic},
+                      QgemmCase{16, Rounding::kStochastic}));
+
 TEST(Qgemm, QuantizedOutputCloseToFloat) {
   Rng rng(5);
   const std::size_t m = 4, k = 64, n = 16;

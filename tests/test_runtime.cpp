@@ -211,6 +211,138 @@ TEST(Engine, RejectsNonTilingRanges) {
   EXPECT_THROW(PipelineEngine(mw, {{0, 2}}, 2, 2), InvalidArgumentError);
 }
 
+TEST(Engine, RejectsBadGenerateArguments) {
+  const ModelSpec spec = tiny_spec(4, 32);
+  const std::vector<int> bits(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, bits, 5);
+  // Non-positive micro-batch sizes are a construction-time error.
+  EXPECT_THROW(PipelineEngine(mw, {{0, 2}, {2, 4}}, 0, 2),
+               InvalidArgumentError);
+  EXPECT_THROW(PipelineEngine(mw, {{0, 2}, {2, 4}}, 2, -1),
+               InvalidArgumentError);
+
+  PipelineEngine engine(mw, {{0, 2}, {2, 4}}, 2, 2);
+  EXPECT_THROW(engine.generate({}, 4), InvalidArgumentError);
+  // Zero-length prompts would otherwise slip through as prompt_len == 0.
+  std::vector<std::vector<TokenId>> empty_prompts(3);
+  EXPECT_THROW(engine.generate(empty_prompts, 4), InvalidArgumentError);
+  const auto prompts = make_prompts(spec, 3, 6, 9);
+  EXPECT_THROW(engine.generate(prompts, 0), InvalidArgumentError);
+  // The engine stays usable after rejected calls.
+  EXPECT_EQ(engine.generate(prompts, 4), reference_generate(mw, prompts, 4));
+}
+
+// ---- Exception safety: a throw mid-generate() (master side, while
+// micro-batches are in flight) must neither terminate nor hang, and the
+// same engine must produce correct tokens afterwards.
+TEST(Engine, CallerExceptionMidGenerateRecovers) {
+  const ModelSpec spec = tiny_spec(4, 32);
+  const std::vector<int> bits(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, bits, 21);
+  PipelineEngine engine(mw, {{0, 2}, {2, 4}}, 2, 2);
+
+  // Slice {0,2} embeds and enters the pipeline; slice {2,4} contains an
+  // out-of-range token, so embed() throws with one micro-batch in flight.
+  auto prompts = make_prompts(spec, 4, 6, 17);
+  prompts[2][3] = static_cast<TokenId>(spec.vocab);
+  EXPECT_THROW(engine.generate(prompts, 5), InvalidArgumentError);
+
+  // The pipeline drained: a clean call on the same engine is exact.
+  const auto good = make_prompts(spec, 4, 6, 18);
+  EXPECT_EQ(engine.generate(good, 5), reference_generate(mw, good, 5));
+}
+
+TEST(Engine, CallerExceptionMidDecodeRecovers) {
+  // Positions overflow max_pos during a late decode round, long after
+  // prefill succeeded — the engine must unwind from deep inside generate().
+  const ModelSpec spec = tiny_spec(4, 32);  // max_pos = 64
+  const std::vector<int> bits(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, bits, 23);
+  PipelineEngine engine(mw, {{0, 2}, {2, 4}}, 2, 2);
+  const auto prompts = make_prompts(spec, 4, 8, 19);
+  EXPECT_THROW(engine.generate(prompts, 60), InvalidArgumentError);
+  EXPECT_EQ(engine.generate(prompts, 6), reference_generate(mw, prompts, 6));
+}
+
+TEST(Engine, WorkerExceptionPropagatesAndRecovers) {
+  const ModelSpec spec = tiny_spec(4, 32);
+  const std::vector<int> bits(static_cast<std::size_t>(spec.layers), 16);
+  ModelWeights mw = build_random_model(spec, bits, 29);
+  PipelineEngine engine(mw, {{0, 2}, {2, 4}}, 2, 2);
+  const auto prompts = make_prompts(spec, 4, 6, 31);
+  const auto ref = reference_generate(mw, prompts, 5);
+
+  // Wipe stage 1's first layer: decoder_layer_forward now throws inside
+  // the worker thread; the poisoned micro-batch must carry the error back
+  // to the caller instead of terminating the process.
+  const LayerWeights saved = std::move(mw.layers[2]);
+  mw.layers[2] = LayerWeights{};
+  EXPECT_THROW(engine.generate(prompts, 5), Error);
+
+  // Restore the weights (shared, not copied) — the engine works again.
+  mw.layers[2] = saved;
+  EXPECT_EQ(engine.generate(prompts, 5), ref);
+}
+
+TEST(Engine, ReusableAcrossShapesAndResetsKvCaches) {
+  // Repeated generate() calls with different batch/prompt shapes on one
+  // persistent engine: caches must re-size or reset correctly every time.
+  const ModelSpec spec = tiny_spec(4, 32);
+  const std::vector<int> bits(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, bits, 37);
+  PipelineEngine engine(mw, {{0, 2}, {2, 4}}, 2, 2);
+  const auto a = make_prompts(spec, 4, 6, 41);
+  const auto b = make_prompts(spec, 3, 9, 43);
+  EXPECT_EQ(engine.generate(a, 4), reference_generate(mw, a, 4));
+  EXPECT_EQ(engine.generate(b, 5), reference_generate(mw, b, 5));  // resize
+  EXPECT_EQ(engine.generate(b, 5), reference_generate(mw, b, 5));  // reuse
+  EXPECT_EQ(engine.generate(a, 4), reference_generate(mw, a, 4));  // back
+}
+
+TEST(Engine, StatsReportPerStageAndPerPhaseProgress) {
+  const ModelSpec spec = tiny_spec(4, 32);
+  const std::vector<int> bits(static_cast<std::size_t>(spec.layers), 16);
+  const ModelWeights mw = build_random_model(spec, bits, 47);
+  PipelineEngine engine(mw, {{0, 2}, {2, 4}}, 2, 2);
+  const auto prompts = make_prompts(spec, 4, 6, 53);
+  (void)engine.generate(prompts, 5);
+  (void)engine.generate(prompts, 5);
+
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.generate_calls, 2u);
+  ASSERT_EQ(s.stages.size(), 2u);
+  for (const StageStats& st : s.stages) {
+    EXPECT_GT(st.busy_s, 0.0);
+    EXPECT_GT(st.microbatches, 0u);
+    EXPECT_GE(st.utilization(), 0.0);
+    EXPECT_LE(st.utilization(), 1.0);
+    // The busy split is itemized and cannot exceed the total.
+    EXPECT_LE(st.qgemm_s + st.attn_s, st.busy_s + 1e-3);
+  }
+  // 2 calls x 4 prompts x 6 prompt tokens / x 4 decoded tokens.
+  EXPECT_EQ(s.prefill.tokens, 2u * 4u * 6u);
+  EXPECT_EQ(s.decode.tokens, 2u * 4u * 4u);
+  EXPECT_GT(s.prefill.seconds, 0.0);
+  EXPECT_GT(s.decode.tokens_per_s(), 0.0);
+
+  const std::string report = format_engine_stats(s);
+  EXPECT_NE(report.find("prefill"), std::string::npos);
+  EXPECT_NE(report.find("generate() calls: 2"), std::string::npos);
+}
+
+TEST(KvCacheTest, ResetClearsFillKeepsCapacity) {
+  KvCache cache(2, 3, 4);
+  std::vector<float> kv(4, 1.0f);
+  cache.append(0, kv.data(), kv.data());
+  cache.append(1, kv.data(), kv.data());
+  cache.reset();
+  EXPECT_EQ(cache.filled(0), 0u);
+  EXPECT_EQ(cache.filled(1), 0u);
+  EXPECT_EQ(cache.max_seq(), 3u);
+  cache.append(0, kv.data(), kv.data());  // usable again after reset
+  EXPECT_EQ(cache.filled(0), 1u);
+}
+
 TEST(WeightsIo, ShardRoundTrips) {
   const ModelSpec spec = tiny_spec(2, 32);
   Rng rng(11);
