@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Sanitizer ctest pass for the threaded runtime: builds the tree twice
 # (ASan+UBSan, then TSan) and runs the concurrency-heavy test binaries —
-# common (queues, thread pool) and runtime (pipeline engine, threaded
-# qgemm) — under each. Run from the repo root:
+# common (queues, thread pool), runtime (pipeline engine, threaded qgemm)
+# and serve (online engine admission thread) — under each. Run from the
+# repo root:
 #
 #   scripts/check_sanitizers.sh [extra ctest -R pattern]
 #
-# CI should invoke this on every change to src/common or src/runtime.
+# CI invokes this via scripts/ci.sh, or register it as a labeled ctest
+# with -DLLMPQ_SANITIZE_TESTS=ON and run `ctest -L sanitize`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-pattern="${1:-common|quant|runtime}"
+pattern="${1:-common|quant|runtime|serve}"
 
 for mode in address thread; do
   build="build-${mode}san"
@@ -18,7 +20,8 @@ for mode in address thread; do
   cmake -B "${build}" -S . -DLLMPQ_SANITIZE="${mode}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j \
-    --target llmpq_tests_common llmpq_tests_quant llmpq_tests_runtime
+    --target llmpq_tests_common llmpq_tests_quant llmpq_tests_runtime \
+             llmpq_tests_serve
   (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
 done
 

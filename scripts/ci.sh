@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full CI gate: the tier-1 build + test sweep, then the sanitizer pass over
+# the concurrency-heavy suites. Run from anywhere:
+#
+#   scripts/ci.sh
+#
+# The tier-1 half is exactly ROADMAP.md's check; `-LE sanitize` keeps the
+# optional sanitizer ctest (registered with -DLLMPQ_SANITIZE_TESTS=ON) out
+# of the plain-build run — check_sanitizers.sh owns its own builds.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==== tier-1: configure + build ===="
+cmake -B build -S . > /dev/null
+cmake --build build -j
+
+echo "==== tier-1: ctest ===="
+(cd build && ctest --output-on-failure -j "$(nproc)" -LE sanitize)
+
+echo "==== sanitizers ===="
+scripts/check_sanitizers.sh
+
+echo "==== ci green ===="

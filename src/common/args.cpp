@@ -1,6 +1,7 @@
 #include "common/args.hpp"
 
 #include <algorithm>
+#include <climits>
 
 #include "common/error.hpp"
 
@@ -77,6 +78,21 @@ double ArgParser::get_double(const std::string& key, double fallback) const {
   } catch (const std::exception&) {
     throw InvalidArgumentError("--" + key + " expects a number, got " + *v);
   }
+}
+
+int parse_int_token(const std::string& token, const std::string& what) {
+  std::size_t used = 0;
+  long value = 0;
+  bool ok = true;
+  try {
+    value = std::stol(token, &used);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  if (!ok || used != token.size() || value < INT_MIN || value > INT_MAX)
+    throw InvalidArgumentError(what + ": expected an integer, got '" + token +
+                               "'");
+  return static_cast<int>(value);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {

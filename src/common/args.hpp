@@ -42,4 +42,11 @@ class ArgParser {
 /// Splits "a,b,c" into tokens (empty tokens dropped).
 std::vector<std::string> split_csv(const std::string& s);
 
+/// Strictly parses `token` as a base-10 integer (optional sign, no
+/// trailing junk, no overflow). Throws InvalidArgumentError naming both
+/// `what` and the offending token — CLI list options use this instead of
+/// raw std::stoi so "3,x" reports the bad token rather than aborting with
+/// an uncaught exception.
+int parse_int_token(const std::string& token, const std::string& what);
+
 }  // namespace llmpq

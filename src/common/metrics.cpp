@@ -1,7 +1,9 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/stats.hpp"
 #include "common/table.hpp"
 
 namespace llmpq {
@@ -58,6 +60,26 @@ std::string format_engine_stats(const EngineStats& stats) {
       << Table::fmt(stats.decode.seconds * 1e3) << " ms ("
       << Table::fmt(stats.decode.tokens_per_s()) << " tok/s)\n";
   out << "generate() calls: " << stats.generate_calls << "\n";
+  return out.str();
+}
+
+LatencySummary summarize_latency(std::vector<double> seconds) {
+  LatencySummary s;
+  s.count = seconds.size();
+  if (seconds.empty()) return s;
+  s.mean_s = mean(seconds);
+  s.max_s = *std::max_element(seconds.begin(), seconds.end());
+  s.p50_s = percentile(seconds, 50);
+  s.p95_s = percentile(std::move(seconds), 95);
+  return s;
+}
+
+std::string format_latency_summary(const LatencySummary& summary) {
+  std::ostringstream out;
+  out << "n=" << summary.count << " mean=" << Table::fmt(summary.mean_s)
+      << "s p50=" << Table::fmt(summary.p50_s) << "s p95="
+      << Table::fmt(summary.p95_s) << "s max=" << Table::fmt(summary.max_s)
+      << "s";
   return out.str();
 }
 

@@ -29,6 +29,10 @@ class StopwatchNs {
             .count());
   }
 
+  double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
   void restart() { start_ = std::chrono::steady_clock::now(); }
 
  private:
@@ -105,5 +109,22 @@ class PhaseMetrics {
 /// Human-readable multi-line report (used by the bench harness and the
 /// `llmpq-dist`-style launchers).
 std::string format_engine_stats(const EngineStats& stats);
+
+/// Five-number summary of a latency-like sample (seconds). Shared by the
+/// serving back-ends: the online simulator and the real `OnlineEngine`
+/// report request latency / queue delay / prefill time in this shape so
+/// the two can be compared side by side.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double max_s = 0.0;
+};
+
+LatencySummary summarize_latency(std::vector<double> seconds);
+
+/// One-line rendering: "n=12 mean=0.31s p50=0.25s p95=0.80s max=1.10s".
+std::string format_latency_summary(const LatencySummary& summary);
 
 }  // namespace llmpq

@@ -1,0 +1,258 @@
+#include "serve/online_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+namespace {
+
+/// Left-pads each row to `len` with its own first token: the engine needs
+/// one shared padded length, and left-padding keeps the sampled last
+/// position the request's true last token.
+std::vector<std::vector<TokenId>> pad_left(
+    const std::vector<std::vector<TokenId>>& rows, std::size_t len) {
+  std::vector<std::vector<TokenId>> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) {
+    check_arg(!r.empty() && r.size() <= len,
+              "OnlineEngine: sequence length exceeds the padded shape");
+    std::vector<TokenId> padded(len - r.size(), r.front());
+    padded.insert(padded.end(), r.begin(), r.end());
+    out.push_back(std::move(padded));
+  }
+  return out;
+}
+
+struct DecisionTiming {
+  double total_s = 0.0;
+  double prefill_s = -1.0;  ///< prefill share of a kPrefillPass decision
+};
+
+/// Executes one scheduler decision on the real engine. `prompts` and
+/// `generated` are indexed by request id; only entries named by the
+/// decision are touched (so live submissions may append concurrently —
+/// deque growth never invalidates existing elements).
+DecisionTiming run_decision(
+    PipelineEngine& engine, SchedulerPolicy policy,
+    const DispatchDecision& d,
+    const std::deque<std::pair<std::vector<TokenId>, int>>& prompts,
+    std::deque<std::vector<TokenId>>& generated) {
+  DecisionTiming timing;
+  StopwatchNs wall;
+  std::vector<std::vector<TokenId>> rows;
+  rows.reserve(d.request_ids.size());
+  if (d.phase == ServePhase::kPrefillPass) {
+    for (int id : d.request_ids)
+      rows.push_back(prompts[static_cast<std::size_t>(id)].first);
+    const auto padded = pad_left(rows, static_cast<std::size_t>(d.padded_prompt));
+    const int gen_call = policy == SchedulerPolicy::kStaticBatching
+                             ? std::max(1, d.padded_gen)
+                             : 1;
+    const double prefill_before = engine.stats().prefill.seconds;
+    const auto out = engine.generate(padded, gen_call);
+    timing.total_s = wall.elapsed_s();
+    timing.prefill_s =
+        std::max(0.0, engine.stats().prefill.seconds - prefill_before);
+    for (std::size_t i = 0; i < d.request_ids.size(); ++i) {
+      const std::size_t id = static_cast<std::size_t>(d.request_ids[i]);
+      const int want = policy == SchedulerPolicy::kStaticBatching
+                           ? prompts[id].second
+                           : std::min(1, prompts[id].second);
+      const std::size_t take =
+          std::min(out[i].size(), static_cast<std::size_t>(std::max(0, want)));
+      generated[id].insert(generated[id].end(), out[i].begin(),
+                           out[i].begin() + static_cast<std::ptrdiff_t>(take));
+    }
+  } else {
+    // Replay decode: re-run each active context for one token. Correct
+    // greedy continuation without a step-level engine API (see header).
+    for (int id : d.request_ids) {
+      const std::size_t sid = static_cast<std::size_t>(id);
+      std::vector<TokenId> seq = prompts[sid].first;
+      seq.insert(seq.end(), generated[sid].begin(), generated[sid].end());
+      rows.push_back(std::move(seq));
+    }
+    const auto padded = pad_left(rows, static_cast<std::size_t>(d.max_context));
+    const auto out = engine.generate(padded, 1);
+    timing.total_s = wall.elapsed_s();
+    for (std::size_t i = 0; i < d.request_ids.size(); ++i)
+      generated[static_cast<std::size_t>(d.request_ids[i])].push_back(
+          out[i].front());
+  }
+  return timing;
+}
+
+OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
+                          const std::deque<std::vector<TokenId>>& generated) {
+  OnlineReport rep;
+  rep.requests = scheduler.finished();
+  rep.decisions = scheduler.decision_log();
+  rep.completed = static_cast<int>(rep.requests.size());
+  rep.makespan_s = makespan_s;
+  std::int64_t tokens_out = 0;
+  std::vector<double> latencies, queue_delays, prefills;
+  latencies.reserve(rep.requests.size());
+  queue_delays.reserve(rep.requests.size());
+  prefills.reserve(rep.requests.size());
+  for (const RequestStats& r : rep.requests) {
+    tokens_out += r.gen_tokens;
+    latencies.push_back(r.finish_s - r.arrival_s);
+    queue_delays.push_back(r.queue_delay_s);
+    prefills.push_back(r.prefill_s);
+  }
+  rep.throughput_tokens_per_s =
+      makespan_s > 0.0 ? static_cast<double>(tokens_out) / makespan_s : 0.0;
+  rep.latency = summarize_latency(std::move(latencies));
+  rep.queue_delay = summarize_latency(std::move(queue_delays));
+  rep.prefill = summarize_latency(std::move(prefills));
+  rep.generated.assign(generated.begin(), generated.end());
+  return rep;
+}
+
+}  // namespace
+
+OnlineEngine::OnlineEngine(PipelineEngine& engine,
+                           const OnlineEngineOptions& options)
+    : engine_(engine), options_(options), scheduler_(options.scheduler) {
+  // Start the admission thread last so a constructor failure above never
+  // leaves it running (same RAII discipline as the pipeline engine).
+  server_ = std::thread([this] { serve_loop(); });
+}
+
+OnlineEngine::~OnlineEngine() {
+  close();
+  if (server_.joinable()) server_.join();
+}
+
+int OnlineEngine::submit(std::vector<TokenId> prompt, int gen_tokens) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const int id = static_cast<int>(prompts_.size());
+  ServeRequest r;
+  r.id = id;
+  r.arrival_s = clock_.elapsed_s();
+  r.prompt_len = static_cast<int>(prompt.size());
+  r.gen_tokens = gen_tokens;
+  scheduler_.submit(r);  // validates shape and stream state
+  prompts_.emplace_back(std::move(prompt), gen_tokens);
+  generated_.emplace_back();
+  lk.unlock();
+  cv_.notify_all();
+  return id;
+}
+
+void OnlineEngine::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    scheduler_.close();
+  }
+  cv_.notify_all();
+}
+
+OnlineReport OnlineEngine::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_arg(scheduler_.closed(), "OnlineEngine::wait(): close() first");
+  cv_.wait(lk, [&] { return done_; });
+  lk.unlock();
+  if (server_.joinable()) server_.join();
+  if (error_) std::rethrow_exception(error_);
+  return build_report(scheduler_, makespan_s_, generated_);
+}
+
+void OnlineEngine::serve_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    const double now = clock_.elapsed_s();
+    SchedulerAction a = scheduler_.next(now);
+    if (a.kind == SchedulerAction::Kind::kDone) break;
+    if (a.kind == SchedulerAction::Kind::kWait) {
+      // Either block for new submissions (unbounded wait) or sleep until
+      // the scheduler's deadline — the stale timer that bounds a lone
+      // request's wait at arrival + max_wait_s. Submissions wake us early.
+      if (std::isinf(a.wait_until))
+        cv_.wait(lk);
+      else
+        cv_.wait_for(lk, std::chrono::duration<double>(
+                             std::max(1e-4, a.wait_until - now)));
+      continue;
+    }
+    const DispatchDecision d = std::move(a.decision);
+    lk.unlock();
+    const double start = clock_.elapsed_s();
+    DecisionTiming timing;
+    try {
+      timing = run_decision(engine_, options_.scheduler.policy, d, prompts_,
+                            generated_);
+    } catch (...) {
+      // An engine failure poisons the serving loop; surface it on the next
+      // wait() rather than terminating the process from a thread.
+      lk.lock();
+      error_ = std::current_exception();
+      break;
+    }
+    lk.lock();
+    const double finish = clock_.elapsed_s();
+    const double prefill_end =
+        d.phase == ServePhase::kPrefillPass && timing.prefill_s >= 0.0
+            ? start + timing.prefill_s
+            : -1.0;
+    scheduler_.complete(d, finish, prefill_end);
+    makespan_s_ = finish;
+  }
+  done_ = true;
+  lk.unlock();
+  cv_.notify_all();
+}
+
+OnlineReport serve_trace(PipelineEngine& engine,
+                         const std::vector<OnlineTraceRequest>& trace,
+                         const OnlineEngineOptions& options) {
+  ServeScheduler scheduler(options.scheduler);
+  std::deque<std::pair<std::vector<TokenId>, int>> prompts;
+  std::deque<std::vector<TokenId>> generated;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const OnlineTraceRequest& t = trace[i];
+    ServeRequest r;
+    r.id = static_cast<int>(i);
+    r.arrival_s = t.arrival_s;
+    r.prompt_len = static_cast<int>(t.prompt.size());
+    r.gen_tokens = t.gen_tokens;
+    scheduler.submit(r);
+    prompts.emplace_back(t.prompt, t.gen_tokens);
+    generated.emplace_back();
+  }
+  scheduler.close();
+
+  // Virtual clock: arrivals advance it per the trace; each decision
+  // advances it by the measured wall time of the real engine call.
+  double t = 0.0;
+  for (;;) {
+    SchedulerAction a = scheduler.next(t);
+    if (a.kind == SchedulerAction::Kind::kDone) break;
+    if (a.kind == SchedulerAction::Kind::kWait) {
+      check_arg(std::isfinite(a.wait_until),
+                "serve_trace: scheduler blocked on a closed stream");
+      t = std::max(t, a.wait_until);
+      continue;
+    }
+    const DispatchDecision d = std::move(a.decision);
+    const DecisionTiming timing = run_decision(
+        engine, options.scheduler.policy, d, prompts, generated);
+    const double finish = t + timing.total_s;
+    const double prefill_end =
+        d.phase == ServePhase::kPrefillPass && timing.prefill_s >= 0.0
+            ? t + timing.prefill_s
+            : -1.0;
+    scheduler.complete(d, finish, prefill_end);
+    t = finish;
+  }
+  return build_report(scheduler, t, generated);
+}
+
+}  // namespace llmpq

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "runtime/engine.hpp"
+#include "serve/scheduler.hpp"
+
+namespace llmpq {
+
+/// Online serving loop over the real threaded `PipelineEngine`, driven by
+/// the same `ServeScheduler` the online *simulator* uses — the policy code
+/// (admission, batching, stale timer, queue-delay accounting) is shared,
+/// so a fix lands in both back-ends at once and the sim-vs-runtime parity
+/// test can assert identical admission order and batch composition on
+/// identical traces.
+///
+/// Execution mapping:
+///   * static batching — one dispatch = one padded `generate()` call
+///     (prefill + padded_gen tokens), exactly classic static batching;
+///   * iteration-level — prefill decisions run `generate(prompts, 1)`;
+///     each decode round re-runs the active set's full contexts for one
+///     token (replay decode). Token-wise this is the correct greedy
+///     continuation at batch granularity, but without incremental KV reuse
+///     across decisions it costs a prefill-shaped pass per round; a
+///     step-level engine session API is the planned optimization
+///     (DESIGN.md). Within a padded batch, shorter sequences are left-
+///     padded with their own first token so the sampled last position is
+///     the true last token.
+///
+/// Live mode: construct, submit() from any thread (arrival time = wall
+/// clock), close(), then wait() for the report. A dedicated admission
+/// thread owns the scheduler; submissions wake it through a condition
+/// variable, and a kWait action sleeps until the stale deadline — the
+/// scheduler's fixed timer is what bounds a lone request's wait at
+/// `arrival + max_wait_s`.
+///
+/// Trace mode (`serve_trace`): replays a timestamped trace on a virtual
+/// clock — arrivals advance it per the trace, executions advance it by the
+/// measured wall time of the real engine call. Deterministic in decision
+/// order for burst traces, which is what the parity test uses.
+
+struct OnlineEngineOptions {
+  SchedulerOptions scheduler;
+};
+
+struct OnlineTraceRequest {
+  double arrival_s = 0.0;
+  std::vector<TokenId> prompt;
+  int gen_tokens = 0;
+};
+
+struct OnlineReport {
+  int completed = 0;
+  double makespan_s = 0.0;
+  double throughput_tokens_per_s = 0.0;  ///< useful (unpadded) tokens
+  LatencySummary latency;      ///< arrival -> last token
+  LatencySummary queue_delay;  ///< arrival -> admission (no prefill inside)
+  LatencySummary prefill;      ///< prefill pass time per request
+  std::vector<RequestStats> requests;       ///< completion order
+  std::vector<DispatchDecision> decisions;  ///< dispatch order (parity key)
+  std::vector<std::vector<TokenId>> generated;  ///< indexed by request id
+};
+
+class OnlineEngine {
+ public:
+  OnlineEngine(PipelineEngine& engine, const OnlineEngineOptions& options);
+  ~OnlineEngine();
+
+  OnlineEngine(const OnlineEngine&) = delete;
+  OnlineEngine& operator=(const OnlineEngine&) = delete;
+
+  /// Enqueues a request (arrival = now on the engine's wall clock) and
+  /// wakes the admission thread. Returns the request id. Thread-safe.
+  int submit(std::vector<TokenId> prompt, int gen_tokens);
+
+  /// Declares the request stream finished; the admission thread exits once
+  /// everything queued has been served.
+  void close();
+
+  /// Blocks until the admission thread drains (requires close() first) and
+  /// returns the serving report.
+  OnlineReport wait();
+
+ private:
+  void serve_loop();
+
+  PipelineEngine& engine_;
+  OnlineEngineOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  ServeScheduler scheduler_;
+  std::deque<std::pair<std::vector<TokenId>, int>> prompts_;  ///< by id
+  std::deque<std::vector<TokenId>> generated_;                ///< by id
+  StopwatchNs clock_;
+  double makespan_s_ = 0.0;
+  bool done_ = false;
+  std::exception_ptr error_;  ///< engine failure, rethrown by wait()
+  std::thread server_;  ///< started last, joined in wait()/destructor
+};
+
+/// Replays `trace` against `engine` on a virtual clock (see above).
+OnlineReport serve_trace(PipelineEngine& engine,
+                         const std::vector<OnlineTraceRequest>& trace,
+                         const OnlineEngineOptions& options = {});
+
+}  // namespace llmpq

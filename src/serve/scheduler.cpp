@@ -1,0 +1,231 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* scheduler_policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kStaticBatching:
+      return "static-batching";
+    case SchedulerPolicy::kIterationLevel:
+      return "iteration-level";
+  }
+  return "?";
+}
+
+ServeScheduler::ServeScheduler(const SchedulerOptions& options)
+    : options_(options) {
+  check_arg(options_.max_batch >= 1 && options_.batch_size >= 1,
+            "ServeScheduler: batch limits must be positive");
+  check_arg(options_.max_wait_s >= 0.0,
+            "ServeScheduler: max_wait_s must be non-negative");
+}
+
+void ServeScheduler::submit(const ServeRequest& request) {
+  check_arg(!closed_, "ServeScheduler: submit() after close()");
+  check_arg(request.prompt_len >= 1 && request.gen_tokens >= 0,
+            "ServeScheduler: bad request shape");
+  bool queued_dup = false;
+  for (const ServeRequest& r : queue_) queued_dup |= r.id == request.id;
+  check_arg(!queued_dup && open_.find(request.id) == open_.end(),
+            "ServeScheduler: duplicate request id");
+  // Keep the queue sorted by (arrival, id) so trace replay can submit a
+  // whole workload up front in any order; live submissions (arrival = now)
+  // land at the back.
+  auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), request,
+      [](const ServeRequest& a, const ServeRequest& b) {
+        return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
+                                          : a.id < b.id;
+      });
+  queue_.insert(pos, request);
+}
+
+void ServeScheduler::close() { closed_ = true; }
+
+int ServeScheduler::arrived_count(double now) const {
+  int n = 0;
+  for (const ServeRequest& r : queue_) {
+    if (r.arrival_s > now) break;  // sorted: the rest are in the future
+    ++n;
+  }
+  return n;
+}
+
+DispatchDecision ServeScheduler::make_prefill_decision(double now, int take) {
+  DispatchDecision d;
+  d.seq = next_seq_++;
+  d.phase = ServePhase::kPrefillPass;
+  d.request_ids.reserve(static_cast<std::size_t>(take));
+  for (int i = 0; i < take; ++i) {
+    const ServeRequest r = queue_.front();
+    queue_.pop_front();
+    d.request_ids.push_back(r.id);
+    d.padded_prompt = std::max(d.padded_prompt, r.prompt_len);
+    d.padded_gen = std::max(d.padded_gen, r.gen_tokens);
+    // Admission is *now* — queue delay must not include the prefill pass
+    // the back-end is about to run (the old simulator's conflation bug).
+    RequestStats rs;
+    rs.id = r.id;
+    rs.arrival_s = r.arrival_s;
+    rs.admit_s = now;
+    rs.queue_delay_s = std::max(0.0, now - r.arrival_s);
+    rs.prompt_len = r.prompt_len;
+    rs.gen_tokens = r.gen_tokens;
+    open_.emplace(r.id, rs);
+  }
+  in_flight_ = true;
+  decision_log_.push_back(d);
+  return d;
+}
+
+SchedulerAction ServeScheduler::next(double now) {
+  check_arg(!in_flight_,
+            "ServeScheduler: next() called with a dispatch still in flight "
+            "(call complete() first)");
+  return options_.policy == SchedulerPolicy::kStaticBatching
+             ? next_static(now)
+             : next_iteration(now);
+}
+
+SchedulerAction ServeScheduler::next_static(double now) {
+  SchedulerAction a;
+  const int effective = std::min(options_.batch_size, options_.max_batch);
+  const int arrived = arrived_count(now);
+  if (arrived == 0) {
+    if (!queue_.empty()) {  // all queued arrivals are in the future
+      a.kind = SchedulerAction::Kind::kWait;
+      a.wait_until = queue_.front().arrival_s;
+    } else if (!closed_) {  // live stream: block until submit()/close()
+      a.kind = SchedulerAction::Kind::kWait;
+      a.wait_until = kInf;
+    } else {
+      a.kind = SchedulerAction::Kind::kDone;
+    }
+    return a;
+  }
+  const double stale_deadline = queue_.front().arrival_s + options_.max_wait_s;
+  if (arrived >= effective || now >= stale_deadline) {
+    a.kind = SchedulerAction::Kind::kDispatch;
+    a.decision = make_prefill_decision(now, std::min(arrived, effective));
+    return a;
+  }
+  // Not full, not stale: wait for whichever comes first — the next queued
+  // arrival or the oldest request going stale. The old simulator waited
+  // only for the next arrival, so a tail request with no successor (or a
+  // distant one) waited unboundedly instead of dispatching at
+  // `arrival + max_wait_s`.
+  a.kind = SchedulerAction::Kind::kWait;
+  a.wait_until = stale_deadline;
+  if (arrived < static_cast<int>(queue_.size()))
+    a.wait_until = std::min(
+        a.wait_until, queue_[static_cast<std::size_t>(arrived)].arrival_s);
+  return a;
+}
+
+SchedulerAction ServeScheduler::next_iteration(double now) {
+  SchedulerAction a;
+  const int capacity = options_.max_batch - static_cast<int>(active_.size());
+  const int arrived = arrived_count(now);
+  if (arrived > 0 && capacity > 0) {
+    a.kind = SchedulerAction::Kind::kDispatch;
+    a.decision = make_prefill_decision(now, std::min(arrived, capacity));
+    return a;
+  }
+  if (!active_.empty()) {
+    DispatchDecision d;
+    d.seq = next_seq_++;
+    d.phase = ServePhase::kDecodePass;
+    d.request_ids.reserve(active_.size());
+    for (const ActiveReq& r : active_) {
+      d.request_ids.push_back(r.id);
+      d.max_context = std::max(d.max_context, r.context);
+    }
+    in_flight_ = true;
+    decision_log_.push_back(d);
+    a.kind = SchedulerAction::Kind::kDispatch;
+    a.decision = std::move(d);
+    return a;
+  }
+  if (!queue_.empty()) {
+    a.kind = SchedulerAction::Kind::kWait;
+    a.wait_until = queue_.front().arrival_s;
+  } else if (!closed_) {
+    a.kind = SchedulerAction::Kind::kWait;
+    a.wait_until = kInf;
+  } else {
+    a.kind = SchedulerAction::Kind::kDone;
+  }
+  return a;
+}
+
+void ServeScheduler::complete(const DispatchDecision& decision,
+                              double finish_s, double prefill_end_s) {
+  check_arg(in_flight_, "ServeScheduler: complete() with nothing in flight");
+  check_arg(!decision_log_.empty() &&
+                decision.seq == decision_log_.back().seq,
+            "ServeScheduler: complete() for a decision that is not the "
+            "in-flight one");
+  in_flight_ = false;
+
+  if (decision.phase == ServePhase::kPrefillPass) {
+    for (int id : decision.request_ids) {
+      auto it = open_.find(id);
+      check_arg(it != open_.end(), "ServeScheduler: unknown request id");
+      RequestStats& rs = it->second;
+      const double prefill_s =
+          prefill_end_s >= 0.0
+              ? std::max(0.0, prefill_end_s - rs.admit_s)
+              : (options_.policy == SchedulerPolicy::kIterationLevel
+                     ? std::max(0.0, finish_s - rs.admit_s)
+                     : 0.0);
+      rs.prefill_s = prefill_s;
+      if (options_.policy == SchedulerPolicy::kStaticBatching) {
+        // The bundled padded run is over: everyone finishes together.
+        rs.finish_s = finish_s;
+        finished_.push_back(rs);
+        open_.erase(it);
+      } else if (rs.gen_tokens <= 1) {
+        // Prefill emits token 1; zero-remaining requests complete at
+        // admission and never enter the active set.
+        rs.finish_s = finish_s;
+        finished_.push_back(rs);
+        open_.erase(it);
+      } else {
+        ActiveReq ar;
+        ar.id = id;
+        ar.context = rs.prompt_len + 1;
+        ar.remaining = rs.gen_tokens - 1;
+        active_.push_back(ar);
+      }
+    }
+    return;
+  }
+
+  // Decode round: every active request advanced by one token.
+  check_arg(decision.request_ids.size() == active_.size(),
+            "ServeScheduler: decode completion does not match active set");
+  for (auto it = active_.begin(); it != active_.end();) {
+    ++it->context;
+    if (--it->remaining <= 0) {
+      auto sit = open_.find(it->id);
+      check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
+      sit->second.finish_s = finish_s;
+      finished_.push_back(sit->second);
+      open_.erase(sit);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace llmpq

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace llmpq {
+
+/// Shared serving scheduler (paper Sec. 2.3 / Sec. 7, and the ORCA/vLLM
+/// style systems the discussion defers to): *pure decision logic* for
+/// batching arriving requests, factored out of the online simulator so the
+/// exact same policy code drives both back-ends —
+///
+///   * `sim/online_sim.cpp` advances a virtual clock with analytic
+///     roofline pass times, and
+///   * `serve/online_engine.cpp` advances a wall clock with the real
+///     threaded `PipelineEngine`.
+///
+/// The scheduler consumes arrival events plus a caller-supplied clock and
+/// emits dispatch decisions (which requests, which phase, padded shapes).
+/// It never sleeps, never measures time, and touches no hardware, which is
+/// what makes it unit-testable and back-end independent. Two historical
+/// timing bugs live here *fixed once* for both back-ends:
+///
+///   1. Stale timer: with a non-empty, non-full queue the old simulator
+///      waited for the *next arrival*, so a tail request could wait
+///      unboundedly. The scheduler now emits a wait deadline of
+///      `min(next_arrival, oldest.arrival + max_wait_s)` and dispatches at
+///      the stale deadline.
+///   2. Queue delay: the old iteration-level path recorded
+///      `t_after_prefill - arrival`, silently folding prefill compute into
+///      queueing. The scheduler records `admit_time - arrival` and tracks
+///      prefill time as a separate per-request stat.
+
+struct ServeRequest {
+  int id = 0;           ///< caller-assigned, stable across back-ends
+  double arrival_s = 0.0;
+  int prompt_len = 0;
+  int gen_tokens = 0;
+};
+
+enum class SchedulerPolicy {
+  kStaticBatching,  ///< pad a batch, run it to the longest generation
+  kIterationLevel,  ///< ORCA: requests join/leave at token granularity
+};
+
+struct SchedulerOptions {
+  SchedulerPolicy policy = SchedulerPolicy::kIterationLevel;
+  /// Max concurrent sequences (bounded by the plan's preallocated KV).
+  int max_batch = 32;
+  /// Static batching: dispatch when this many requests are queued or the
+  /// oldest has waited `max_wait_s`.
+  int batch_size = 16;
+  double max_wait_s = 5.0;
+};
+
+enum class ServePhase { kPrefillPass, kDecodePass };
+
+/// One unit of work the back-end must execute. For static batching a
+/// prefill decision bundles the whole padded run (prefill + `padded_gen`
+/// generated tokens); for iteration-level scheduling prefill and each
+/// decode round are separate decisions so requests can join/leave between
+/// rounds.
+struct DispatchDecision {
+  int seq = 0;                    ///< decision index (parity-test key)
+  ServePhase phase = ServePhase::kPrefillPass;
+  std::vector<int> request_ids;   ///< admitted (prefill) or active (decode)
+  int padded_prompt = 0;          ///< prefill: batch max prompt length
+  int padded_gen = 0;             ///< static prefill: batch max generation
+  int max_context = 0;            ///< decode: longest context this round
+};
+
+/// What the back-end should do next, at the clock value it passed in.
+struct SchedulerAction {
+  enum class Kind {
+    kDispatch,  ///< execute `decision`, then report complete()
+    kWait,      ///< nothing to do before `wait_until` (+inf: block until
+                ///< submit()/close() — live back-ends wait on their queue)
+    kDone,      ///< stream closed and every request finished
+  };
+  Kind kind = Kind::kDone;
+  DispatchDecision decision;
+  double wait_until = 0.0;
+};
+
+/// Per-request serving record. `queue_delay_s` is admission latency only
+/// (arrival -> dispatch decision); `prefill_s` is the separate prefill pass
+/// time, no longer conflated with queueing.
+struct RequestStats {
+  int id = 0;
+  double arrival_s = 0.0;
+  double admit_s = 0.0;
+  double finish_s = 0.0;
+  double queue_delay_s = 0.0;  ///< admit_s - arrival_s
+  double prefill_s = 0.0;      ///< prefill pass duration (0 if unknown)
+  int prompt_len = 0;
+  int gen_tokens = 0;
+};
+
+class ServeScheduler {
+ public:
+  explicit ServeScheduler(const SchedulerOptions& options);
+
+  /// Adds a request to the arrival stream. Requests with `arrival_s` in
+  /// the future (relative to the clock passed to next()) are held until
+  /// their arrival time, which lets trace replay submit everything up
+  /// front; live back-ends submit with arrival_s = now. Not thread-safe —
+  /// callers serialize (the online engine holds its own lock).
+  void submit(const ServeRequest& request);
+
+  /// Declares the arrival stream finished: no further submit() calls.
+  /// Until close(), an empty queue yields kWait instead of kDone.
+  void close();
+  bool closed() const { return closed_; }
+
+  /// Core decision function. `now` must be non-decreasing across calls.
+  /// After a kDispatch action the caller must execute the decision and
+  /// report complete() before asking for the next action.
+  SchedulerAction next(double now);
+
+  /// Reports that `decision` finished executing at `finish_s` (same clock
+  /// as next()). `prefill_end_s`, when >= 0, is the time the prefill pass
+  /// of a kPrefillPass decision completed (for static batching back-ends
+  /// that can split the bundled run; pass -1 if unknown).
+  void complete(const DispatchDecision& decision, double finish_s,
+                double prefill_end_s = -1.0);
+
+  int pending() const { return static_cast<int>(queue_.size()); }
+  int active() const { return static_cast<int>(active_.size()); }
+  bool idle() const { return queue_.empty() && active_.empty() && !in_flight_; }
+
+  /// Requests that finished, in completion order.
+  const std::vector<RequestStats>& finished() const { return finished_; }
+
+  /// Every dispatch decision emitted, in order — the parity-test log: two
+  /// back-ends driving the same trace must produce identical logs.
+  const std::vector<DispatchDecision>& decision_log() const {
+    return decision_log_;
+  }
+
+ private:
+  struct ActiveReq {
+    int id = 0;
+    int context = 0;    ///< tokens in KV (prompt + generated so far)
+    int remaining = 0;  ///< tokens still to generate
+  };
+
+  SchedulerAction next_static(double now);
+  SchedulerAction next_iteration(double now);
+  DispatchDecision make_prefill_decision(double now, int take);
+  int arrived_count(double now) const;
+
+  SchedulerOptions options_;
+  std::deque<ServeRequest> queue_;  ///< sorted by (arrival_s, id)
+  std::vector<ActiveReq> active_;   ///< iteration-level in-generation set
+  std::unordered_map<int, RequestStats> open_;  ///< admitted, not finished
+  std::vector<RequestStats> finished_;
+  std::vector<DispatchDecision> decision_log_;
+  bool closed_ = false;
+  bool in_flight_ = false;  ///< a dispatch awaits complete()
+  int next_seq_ = 0;
+};
+
+const char* scheduler_policy_name(SchedulerPolicy policy);
+
+}  // namespace llmpq

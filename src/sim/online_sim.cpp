@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -85,13 +84,6 @@ double pass_time(const ModelSpec& model, const ClusterSpec& cluster,
   return total;
 }
 
-struct Active {
-  std::size_t idx;   ///< index into requests
-  int context;       ///< tokens currently in KV
-  int remaining;     ///< tokens still to generate
-  double admitted_at;
-};
-
 }  // namespace
 
 OnlineSimResult simulate_online(const ModelSpec& model,
@@ -101,8 +93,6 @@ OnlineSimResult simulate_online(const ModelSpec& model,
                                 const OnlineSimOptions& options) {
   OnlineSimResult result;
   plan.validate(model.layers, cluster.num_devices());
-  check_arg(options.max_batch >= 1 && options.batch_size >= 1,
-            "simulate_online: batch limits must be positive");
 
   // The plan's memory feasibility gates the run exactly like offline.
   {
@@ -113,131 +103,74 @@ OnlineSimResult simulate_online(const ModelSpec& model,
     }
   }
 
-  std::vector<OnlineRequest> sorted = requests;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const OnlineRequest& a, const OnlineRequest& b) {
-              return a.arrival_s < b.arrival_s;
-            });
+  // Same decision logic as the runtime back-end (serve/online_engine.cpp);
+  // only the cost of each dispatched pass differs — here it comes from the
+  // roofline ground truth instead of a wall clock.
+  ServeScheduler scheduler(options);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ServeRequest r;
+    r.id = static_cast<int>(i);  // ids index the input vector
+    r.arrival_s = requests[i].arrival_s;
+    r.prompt_len = requests[i].prompt_len;
+    r.gen_tokens = requests[i].gen_tokens;
+    scheduler.submit(r);
+  }
+  scheduler.close();
 
-  std::vector<double> latencies;
-  std::vector<double> queue_delays;
-  std::int64_t tokens_out = 0;
   double t = 0.0;
-  std::size_t next = 0;
-
-  if (options.policy == SchedulerPolicy::kStaticBatching) {
-    // Form batches of `batch_size` (or whatever is queued once the oldest
-    // waits too long); pad prompts and generations to the batch maxima.
-    std::deque<std::size_t> queue;
-    while (next < sorted.size() || !queue.empty()) {
-      // Fill the queue up to the current time.
-      while (next < sorted.size() && sorted[next].arrival_s <= t)
-        queue.push_back(next++);
-      if (queue.empty()) {
-        t = sorted[next].arrival_s;
-        continue;
-      }
-      const bool full =
-          static_cast<int>(queue.size()) >= options.batch_size;
-      const bool stale =
-          t - sorted[queue.front()].arrival_s >= options.max_wait_s;
-      if (!full && !stale && next < sorted.size()) {
-        t = std::max(t, sorted[next].arrival_s);  // wait for more arrivals
-        continue;
-      }
-      // Dispatch.
-      std::vector<std::size_t> batch;
-      while (!queue.empty() &&
-             static_cast<int>(batch.size()) <
-                 std::min(options.batch_size, options.max_batch)) {
-        batch.push_back(queue.front());
-        queue.pop_front();
-      }
-      int max_prompt = 0, max_gen = 0;
-      for (std::size_t idx : batch) {
-        max_prompt = std::max(max_prompt, sorted[idx].prompt_len);
-        max_gen = std::max(max_gen, sorted[idx].gen_tokens);
-      }
-      for (std::size_t idx : batch)
-        queue_delays.push_back(t - sorted[idx].arrival_s);
-      t += pass_time(model, cluster, plan, Phase::kPrefill,
-                     static_cast<int>(batch.size()), max_prompt);
-      for (int round = 1; round < max_gen; ++round)
-        t += pass_time(model, cluster, plan, Phase::kDecode,
-                       static_cast<int>(batch.size()), max_prompt + round);
-      for (std::size_t idx : batch) {
-        latencies.push_back(t - sorted[idx].arrival_s);
-        tokens_out += sorted[idx].gen_tokens;  // useful (unpadded) tokens
-      }
-      result.completed += static_cast<int>(batch.size());
+  for (;;) {
+    SchedulerAction a = scheduler.next(t);
+    if (a.kind == SchedulerAction::Kind::kDone) break;
+    if (a.kind == SchedulerAction::Kind::kWait) {
+      check_arg(std::isfinite(a.wait_until),
+                "simulate_online: scheduler blocked on a closed stream");
+      t = std::max(t, a.wait_until);
+      continue;
     }
-  } else {
-    // ORCA-style iteration-level scheduling: the active set changes at
-    // token granularity; new requests are prefilled as they are admitted.
-    std::vector<Active> active;
-    while (next < sorted.size() || !active.empty()) {
-      // Admit while capacity allows.
-      std::vector<std::size_t> admitted;
-      while (next < sorted.size() && sorted[next].arrival_s <= t &&
-             static_cast<int>(active.size() + admitted.size()) <
-                 options.max_batch)
-        admitted.push_back(next++);
-      if (!admitted.empty()) {
-        int max_prompt = 0;
-        for (std::size_t idx : admitted)
-          max_prompt = std::max(max_prompt, sorted[idx].prompt_len);
-        t += pass_time(model, cluster, plan, Phase::kPrefill,
-                       static_cast<int>(admitted.size()), max_prompt);
-        for (std::size_t idx : admitted) {
-          queue_delays.push_back(
-              std::max(0.0, t - sorted[idx].arrival_s));
-          Active a;
-          a.idx = idx;
-          a.context = sorted[idx].prompt_len + 1;  // prefill emits token 1
-          a.remaining = sorted[idx].gen_tokens - 1;
-          a.admitted_at = t;
-          if (a.remaining <= 0) {
-            latencies.push_back(t - sorted[idx].arrival_s);
-            tokens_out += sorted[idx].gen_tokens;
-            ++result.completed;
-          } else {
-            active.push_back(a);
-          }
-        }
-        continue;
+    const DispatchDecision d = std::move(a.decision);
+    const int batch = static_cast<int>(d.request_ids.size());
+    double finish;
+    double prefill_end = -1.0;
+    if (d.phase == ServePhase::kPrefillPass) {
+      prefill_end = t + pass_time(model, cluster, plan, Phase::kPrefill,
+                                  batch, d.padded_prompt);
+      finish = prefill_end;
+      if (options.policy == SchedulerPolicy::kStaticBatching) {
+        // Static batching runs the whole padded generation as one unit;
+        // the batch stays intact until its longest request finishes.
+        for (int round = 1; round < d.padded_gen; ++round)
+          finish += pass_time(model, cluster, plan, Phase::kDecode, batch,
+                              d.padded_prompt + round);
       }
-      if (active.empty()) {
-        t = sorted[next].arrival_s;
-        continue;
-      }
-      // One decode round over the current active set.
-      int max_ctx = 0;
-      for (const Active& a : active) max_ctx = std::max(max_ctx, a.context);
-      t += pass_time(model, cluster, plan, Phase::kDecode,
-                     static_cast<int>(active.size()), max_ctx);
-      for (auto it = active.begin(); it != active.end();) {
-        ++it->context;
-        if (--it->remaining <= 0) {
-          latencies.push_back(t - sorted[it->idx].arrival_s);
-          tokens_out += sorted[it->idx].gen_tokens;
-          ++result.completed;
-          it = active.erase(it);
-        } else {
-          ++it;
-        }
-      }
+    } else {
+      finish = t + pass_time(model, cluster, plan, Phase::kDecode, batch,
+                             d.max_context);
     }
+    scheduler.complete(d, finish, prefill_end);
+    t = finish;
   }
 
+  std::int64_t tokens_out = 0;
+  std::vector<double> latencies, queue_delays, prefills;
+  for (const RequestStats& r : scheduler.finished()) {
+    tokens_out += r.gen_tokens;  // useful (unpadded) tokens
+    latencies.push_back(r.finish_s - r.arrival_s);
+    queue_delays.push_back(r.queue_delay_s);
+    prefills.push_back(r.prefill_s);
+  }
   result.ok = true;
+  result.completed = static_cast<int>(scheduler.finished().size());
   result.makespan_s = t;
   result.throughput_tokens_per_s =
       t > 0.0 ? static_cast<double>(tokens_out) / t : 0.0;
   if (!latencies.empty()) {
     result.mean_latency_s = mean(latencies);
     result.p95_latency_s = percentile(latencies, 95);
+    result.mean_queue_delay_s = mean(queue_delays);
+    result.mean_prefill_s = mean(prefills);
   }
-  if (!queue_delays.empty()) result.mean_queue_delay_s = mean(queue_delays);
+  result.requests = scheduler.finished();
+  result.decisions = scheduler.decision_log();
   return result;
 }
 

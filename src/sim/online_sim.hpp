@@ -6,16 +6,20 @@
 #include "core/plan.hpp"
 #include "hw/cluster.hpp"
 #include "model/model_spec.hpp"
+#include "serve/scheduler.hpp"
 
 namespace llmpq {
 
 /// Online-serving extension (paper Sec. 2.3 / Sec. 7): LLM-PQ targets the
 /// offline task, but the discussion sketches applying its plans to
 /// ORCA/vLLM-style online serving, where requests arrive unpredictably
-/// with varying prompt and generation lengths. This module provides the
-/// missing pieces: a ShareGPT-shaped request generator and a scheduler
-/// simulator with both classic static batching and ORCA-style
-/// iteration-level scheduling, executing over an LLM-PQ execution plan.
+/// with varying prompt and generation lengths. This module provides a
+/// ShareGPT-shaped request generator and the *simulator back-end* for the
+/// shared serving scheduler (`serve/scheduler.hpp`): the same policy code
+/// that drives the real `PipelineEngine` in `serve/online_engine.cpp` is
+/// driven here with analytic roofline pass times, so the two back-ends
+/// make identical admission/batching decisions on identical traces (the
+/// sim-vs-runtime parity test asserts exactly that).
 
 struct OnlineRequest {
   double arrival_s = 0.0;
@@ -35,10 +39,9 @@ std::vector<OnlineRequest> generate_sharegpt_workload(Rng& rng, int count,
 /// observation).
 double fraction_below(const std::vector<OnlineRequest>& reqs, int threshold);
 
-enum class SchedulerPolicy {
-  kStaticBatching,    ///< pad a batch, run it to the longest generation
-  kIterationLevel,    ///< ORCA: requests join/leave at token granularity
-};
+/// The scheduling policy and its knobs live with the shared scheduler;
+/// the simulator keeps its historical option-struct name.
+using OnlineSimOptions = SchedulerOptions;
 
 struct OnlineSimResult {
   bool ok = false;
@@ -48,17 +51,14 @@ struct OnlineSimResult {
   double throughput_tokens_per_s = 0.0;
   double mean_latency_s = 0.0;   ///< arrival -> last token
   double p95_latency_s = 0.0;
-  double mean_queue_delay_s = 0.0;  ///< arrival -> first admission
-};
-
-struct OnlineSimOptions {
-  SchedulerPolicy policy = SchedulerPolicy::kIterationLevel;
-  /// Max concurrent sequences (bounded by the plan's preallocated KV).
-  int max_batch = 32;
-  /// Static batching: dispatch when this many requests are queued or the
-  /// oldest has waited `max_wait_s`.
-  int batch_size = 16;
-  double max_wait_s = 5.0;
+  double mean_queue_delay_s = 0.0;  ///< arrival -> admission decision
+  double mean_prefill_s = 0.0;      ///< prefill pass time, tracked apart
+                                    ///< from queueing (was conflated)
+  /// Per-request records in completion order (request ids index the input
+  /// vector) and the dispatch-decision log — the parity-test key shared
+  /// with the runtime back-end.
+  std::vector<RequestStats> requests;
+  std::vector<DispatchDecision> decisions;
 };
 
 /// Replays `requests` against the plan's pipeline on the simulated

@@ -187,8 +187,13 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
   result.ok = true;
   result.prefill_latency_s = prefill_done;
   result.e2e_latency_s = final_time;
+  // A degenerate workload (e.g. zero-cost passes or gen_tokens == 0 with
+  // instant prefill) can finish at t == 0; report zero throughput rather
+  // than dividing by it.
   result.throughput_tokens_per_s =
-      static_cast<double>(w.total_generated_tokens()) / final_time;
+      final_time > 0.0
+          ? static_cast<double>(w.total_generated_tokens()) / final_time
+          : 0.0;
   result.stage_busy_s.assign(static_cast<std::size_t>(plan.num_stages()), 0.0);
   result.stage_utilization.assign(static_cast<std::size_t>(plan.num_stages()),
                                   0.0);
@@ -197,7 +202,9 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
     result.stage_busy_s[static_cast<std::size_t>(p)] =
         stage_busy[static_cast<std::size_t>(si)];
     result.stage_utilization[static_cast<std::size_t>(p)] =
-        stage_busy[static_cast<std::size_t>(si)] / final_time;
+        final_time > 0.0
+            ? stage_busy[static_cast<std::size_t>(si)] / final_time
+            : 0.0;
   }
   result.events_processed = queue.events_processed();
   return result;

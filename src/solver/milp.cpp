@@ -93,6 +93,9 @@ MilpSolution solve_milp(const MilpProblem& problem,
   bool truncated = false;
   bool any_lp_feasible = false;
   double root_bound = -kLpInf;
+  // Minimum dual bound over nodes abandoned with their LP unsolved (iter
+  // limit): their subtrees are only covered by the parent objective.
+  double dropped_bound = kLpInf;
 
   while (!stack.empty()) {
     if (best.nodes_explored >= options.max_nodes ||
@@ -135,6 +138,7 @@ MilpSolution solve_milp(const MilpProblem& problem,
       throw Error("solve_milp: relaxation unbounded (missing bounds?)");
     if (relax.status == LpStatus::kIterLimit) {
       truncated = true;
+      dropped_bound = std::min(dropped_bound, node.parent_bound);
       continue;
     }
     any_lp_feasible = true;
@@ -188,7 +192,14 @@ MilpSolution solve_milp(const MilpProblem& problem,
   }
 
   best.solve_time_s = elapsed();
-  best.best_bound = root_bound;
+  // Tighten the dual bound past the root relaxation: every unexplored
+  // subtree is one of (a) an open node left on the stack at truncation,
+  // (b) a node dropped at the LP iteration limit, or (c) pruned against
+  // the incumbent — so min(frontier, incumbent) bounds the optimum, and
+  // it collapses to the incumbent itself when the search is exhaustive.
+  double frontier = dropped_bound;
+  for (const Node& n : stack) frontier = std::min(frontier, n.parent_bound);
+  best.best_bound = std::max(root_bound, std::min(frontier, best.objective));
   if (best.status == MilpStatus::kFeasible && !truncated)
     best.status = MilpStatus::kOptimal;
   if (best.status == MilpStatus::kNoSolution && !truncated &&

@@ -39,7 +39,10 @@ struct MilpSolution {
   std::vector<double> x;
   int nodes_explored = 0;
   double solve_time_s = 0.0;
-  double best_bound = -kLpInf;  ///< proven lower bound on the optimum
+  /// Proven lower bound on the optimum: the minimum over open subtrees
+  /// (nodes unexplored at truncation) clamped by the incumbent, never
+  /// looser than the root relaxation. Equals `objective` when optimal.
+  double best_bound = -kLpInf;
 };
 
 const char* milp_status_name(MilpStatus status);

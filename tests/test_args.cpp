@@ -50,5 +50,27 @@ TEST(SplitCsv, SplitsAndDropsEmpties) {
   EXPECT_TRUE(split_csv("").empty());
 }
 
+TEST(ParseIntToken, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_int_token("42", "--n"), 42);
+  EXPECT_EQ(parse_int_token("-3", "--n"), -3);
+  EXPECT_EQ(parse_int_token("+7", "--n"), 7);
+}
+
+TEST(ParseIntToken, RejectsJunkNamingTheToken) {
+  // Regression: llmpq-dist used raw std::stoi on --device_numbers tokens,
+  // so "3,x" died with an uncaught std::invalid_argument instead of a
+  // usage error naming the bad token.
+  for (const char* bad : {"x", "3x", "", "1.5", "99999999999999999999"}) {
+    try {
+      parse_int_token(bad, "--device_numbers");
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find("--device_numbers"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace llmpq

@@ -28,6 +28,38 @@ TEST(Milp, SolvesKnapsack) {
   ASSERT_EQ(s.status, MilpStatus::kOptimal);
   EXPECT_NEAR(s.objective, -21.0, 1e-6);
   EXPECT_NEAR(s.x[1] + s.x[2] + s.x[3], 3.0, 1e-6);
+  // Exhausted search: the dual bound collapses to the incumbent, not the
+  // (looser) root relaxation.
+  EXPECT_NEAR(s.best_bound, s.objective, 1e-6);
+}
+
+TEST(Milp, TruncatedSearchReportsTightenedBound) {
+  // 24-var knapsack, truncated after a few nodes: the bound must come from
+  // the explored frontier — finite, at least the root relaxation, and
+  // never above the incumbent.
+  MilpProblem p;
+  Rng rng(5);
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 24; ++i) {
+    const int v = p.lp.add_binary(-rng.uniform(1.0, 2.0));
+    p.integer_vars.push_back(v);
+    row.push_back({v, rng.uniform(1.0, 3.0)});
+  }
+  p.lp.add_row(std::move(row), LpProblem::RowType::kLe, 10.0);
+  MilpOptions opt;
+  opt.max_nodes = 5;
+  opt.warm_start = std::vector<double>(24, 0.0);
+  const MilpSolution s = solve_milp(p, opt);
+  ASSERT_EQ(s.status, MilpStatus::kFeasible);
+  EXPECT_GT(s.best_bound, -1e29);  // not the -inf sentinel
+  EXPECT_LE(s.best_bound, s.objective + 1e-9);
+
+  // The same problem solved to optimality proves the truncated bound was
+  // genuinely a lower bound on the optimum.
+  const MilpSolution full = solve_milp(p);
+  ASSERT_EQ(full.status, MilpStatus::kOptimal);
+  EXPECT_LE(s.best_bound, full.objective + 1e-9);
+  EXPECT_NEAR(full.best_bound, full.objective, 1e-6);
 }
 
 TEST(Milp, InfeasibleIntegerProblem) {

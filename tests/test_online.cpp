@@ -92,6 +92,55 @@ TEST_F(OnlineSimTest, OomPlanIsRejected) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST_F(OnlineSimTest, LoneRequestDispatchesAtStaleDeadline) {
+  // Regression (stale-timer bug): the old static-batching loop waited for
+  // the next arrival, so a lone request's wait was tied to traffic that
+  // never came. It must be admitted at exactly arrival + max_wait_s.
+  OnlineRequest r;
+  r.arrival_s = 1.5;
+  r.prompt_len = 64;
+  r.gen_tokens = 16;
+  OnlineSimOptions opt;
+  opt.policy = SchedulerPolicy::kStaticBatching;
+  opt.batch_size = 16;
+  opt.max_wait_s = 4.0;
+  const OnlineSimResult res = simulate_online(*model_, cluster_, plan_, {r}, opt);
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_EQ(res.requests.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.requests[0].admit_s, 5.5);  // arrival + max_wait_s
+  EXPECT_DOUBLE_EQ(res.requests[0].queue_delay_s, 4.0);
+  ASSERT_EQ(res.decisions.size(), 1u);
+  EXPECT_EQ(res.decisions[0].request_ids, std::vector<int>{0});
+}
+
+TEST_F(OnlineSimTest, QueueDelayNoLongerIncludesPrefill) {
+  // Regression (conflation bug): the old iteration-level path recorded
+  // t_after_prefill - arrival as "queue delay". A burst admitted instantly
+  // must show zero queue delay with the prefill cost reported separately.
+  std::vector<OnlineRequest> reqs;
+  for (int i = 0; i < 8; ++i) {
+    OnlineRequest r;
+    r.arrival_s = 0.0;
+    r.prompt_len = 128;
+    r.gen_tokens = 8;
+    reqs.push_back(r);
+  }
+  OnlineSimOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.max_batch = 8;
+  const OnlineSimResult res =
+      simulate_online(*model_, cluster_, plan_, reqs, opt);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.completed, 8);
+  EXPECT_NEAR(res.mean_queue_delay_s, 0.0, 1e-12);
+  EXPECT_GT(res.mean_prefill_s, 0.0);
+  for (const RequestStats& r : res.requests) {
+    EXPECT_DOUBLE_EQ(r.admit_s, 0.0);
+    EXPECT_GT(r.prefill_s, 0.0);
+    EXPECT_GE(r.finish_s, r.admit_s + r.prefill_s);
+  }
+}
+
 TEST_F(OnlineSimTest, HigherLoadRaisesLatency) {
   Rng a(3), b(3);
   const auto light = generate_sharegpt_workload(a, 50, 0.5, 512, 64);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "core/adabits.hpp"
 #include "core/estimator.hpp"
@@ -73,6 +75,22 @@ TEST(PipelineSim, SingleStageMatchesSerialSum) {
   // Single stage: analytic formula is exact, so sim == estimate.
   EXPECT_NEAR(sim.e2e_latency_s / est.e2e_latency, 1.0, 1e-6);
   EXPECT_NEAR(sim.stage_utilization[0], 1.0, 1e-6);
+}
+
+TEST(PipelineSim, ZeroGenerationWorkloadIsFinite) {
+  // gen_tokens == 0 is a prefill-only run: throughput is zero (no tokens
+  // generated) and no metric may divide by a zero final time.
+  const auto [cluster, model_name] = paper_cluster(2);
+  const ModelSpec& m = model_registry_get(model_name);
+  ExecutionPlan plan = plan_for(m, cluster, 8, 32, 32);
+  plan.workload.gen_tokens = 0;
+  const SimResult sim = simulate_plan(m, cluster, plan);
+  ASSERT_TRUE(sim.ok) << sim.error;
+  EXPECT_DOUBLE_EQ(sim.throughput_tokens_per_s, 0.0);
+  for (double u : sim.stage_utilization) {
+    EXPECT_TRUE(std::isfinite(u));
+    EXPECT_GE(u, 0.0);
+  }
 }
 
 TEST(PipelineSim, DetectsOom) {

@@ -65,8 +65,12 @@ int main(int argc, char** argv) {
               "--device_names and --device_numbers must be non-empty and "
               "of equal arity");
     std::vector<std::pair<std::string, int>> gpus;
-    for (std::size_t i = 0; i < names.size(); ++i)
-      gpus.emplace_back(names[i], std::stoi(numbers[i]));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const int count = parse_int_token(numbers[i], "--device_numbers");
+      check_arg(count >= 1, "--device_numbers: counts must be >= 1, got " +
+                                numbers[i]);
+      gpus.emplace_back(names[i], count);
+    }
     const ClusterSpec cluster = make_cluster("cli-cluster", gpus);
 
     // ---- Workload + options.
