@@ -15,7 +15,9 @@ namespace {
 
 /// Left-pads each row to `len` with its own first token: the engine needs
 /// one shared padded length, and left-padding keeps the sampled last
-/// position the request's true last token.
+/// position the request's true last token. The engine applies no attention
+/// masking, so pad tokens of shorter rows are attended to — see the
+/// mixed-length fidelity note in online_engine.hpp.
 std::vector<std::vector<TokenId>> pad_left(
     const std::vector<std::vector<TokenId>>& rows, std::size_t len) {
   std::vector<std::vector<TokenId>> out;
@@ -35,58 +37,85 @@ struct DecisionTiming {
   double prefill_s = -1.0;  ///< prefill share of a kPrefillPass decision
 };
 
-/// Executes one scheduler decision on the real engine. `prompts` and
-/// `generated` are indexed by request id; only entries named by the
-/// decision are touched (so live submissions may append concurrently —
-/// deque growth never invalidates existing elements).
-DecisionTiming run_decision(
-    PipelineEngine& engine, SchedulerPolicy policy,
-    const DispatchDecision& d,
+/// Engine input for one scheduler decision, snapshotted from the request
+/// tables: padded rows, the per-call generation length, and how many output
+/// tokens each row contributes to its request. Built while the request
+/// tables are stable — the live engine holds its lock, so concurrent
+/// submit() calls cannot touch the deques mid-read.
+struct DecisionInputs {
+  std::vector<std::vector<TokenId>> padded;
+  int gen_call = 1;
+  std::vector<std::size_t> take;  ///< per-row output tokens to keep
+};
+
+DecisionInputs prepare_decision(
+    SchedulerPolicy policy, const DispatchDecision& d,
     const std::deque<std::pair<std::vector<TokenId>, int>>& prompts,
-    std::deque<std::vector<TokenId>>& generated) {
-  DecisionTiming timing;
-  StopwatchNs wall;
+    const std::deque<std::vector<TokenId>>& generated) {
+  DecisionInputs in;
   std::vector<std::vector<TokenId>> rows;
   rows.reserve(d.request_ids.size());
+  in.take.reserve(d.request_ids.size());
   if (d.phase == ServePhase::kPrefillPass) {
-    for (int id : d.request_ids)
-      rows.push_back(prompts[static_cast<std::size_t>(id)].first);
-    const auto padded = pad_left(rows, static_cast<std::size_t>(d.padded_prompt));
-    const int gen_call = policy == SchedulerPolicy::kStaticBatching
-                             ? std::max(1, d.padded_gen)
-                             : 1;
-    const double prefill_before = engine.stats().prefill.seconds;
-    const auto out = engine.generate(padded, gen_call);
-    timing.total_s = wall.elapsed_s();
-    timing.prefill_s =
-        std::max(0.0, engine.stats().prefill.seconds - prefill_before);
-    for (std::size_t i = 0; i < d.request_ids.size(); ++i) {
-      const std::size_t id = static_cast<std::size_t>(d.request_ids[i]);
+    in.gen_call = policy == SchedulerPolicy::kStaticBatching
+                      ? std::max(1, d.padded_gen)
+                      : 1;
+    for (int id : d.request_ids) {
+      const auto& p = prompts[static_cast<std::size_t>(id)];
+      rows.push_back(p.first);
       const int want = policy == SchedulerPolicy::kStaticBatching
-                           ? prompts[id].second
-                           : std::min(1, prompts[id].second);
-      const std::size_t take =
-          std::min(out[i].size(), static_cast<std::size_t>(std::max(0, want)));
-      generated[id].insert(generated[id].end(), out[i].begin(),
-                           out[i].begin() + static_cast<std::ptrdiff_t>(take));
+                           ? p.second
+                           : std::min(1, p.second);
+      in.take.push_back(static_cast<std::size_t>(std::max(0, want)));
     }
+    in.padded = pad_left(rows, static_cast<std::size_t>(d.padded_prompt));
   } else {
-    // Replay decode: re-run each active context for one token. Correct
-    // greedy continuation without a step-level engine API (see header).
+    // Replay decode: re-run each active context for one token (see the
+    // execution-mapping and fidelity notes in the header).
     for (int id : d.request_ids) {
       const std::size_t sid = static_cast<std::size_t>(id);
       std::vector<TokenId> seq = prompts[sid].first;
       seq.insert(seq.end(), generated[sid].begin(), generated[sid].end());
       rows.push_back(std::move(seq));
+      in.take.push_back(1);
     }
-    const auto padded = pad_left(rows, static_cast<std::size_t>(d.max_context));
-    const auto out = engine.generate(padded, 1);
-    timing.total_s = wall.elapsed_s();
-    for (std::size_t i = 0; i < d.request_ids.size(); ++i)
-      generated[static_cast<std::size_t>(d.request_ids[i])].push_back(
-          out[i].front());
+    in.padded = pad_left(rows, static_cast<std::size_t>(d.max_context));
   }
-  return timing;
+  return in;
+}
+
+struct DecisionRun {
+  std::vector<std::vector<TokenId>> out;  ///< engine output, row-aligned
+  DecisionTiming timing;
+};
+
+/// Runs the engine on prepared inputs. Touches no request tables, so the
+/// live engine calls it with its lock released.
+DecisionRun execute_decision(PipelineEngine& engine, ServePhase phase,
+                             const DecisionInputs& in) {
+  DecisionRun run;
+  StopwatchNs wall;
+  const double prefill_before = engine.stats().prefill.seconds;
+  run.out = engine.generate(in.padded, in.gen_call);
+  run.timing.total_s = wall.elapsed_s();
+  if (phase == ServePhase::kPrefillPass)
+    run.timing.prefill_s =
+        std::max(0.0, engine.stats().prefill.seconds - prefill_before);
+  return run;
+}
+
+/// Appends each row's kept output tokens to its request's generated row.
+/// Called with the request tables stable again (the live engine re-takes
+/// its lock first).
+void commit_decision(const DispatchDecision& d, const DecisionInputs& in,
+                     const std::vector<std::vector<TokenId>>& out,
+                     std::deque<std::vector<TokenId>>& generated) {
+  for (std::size_t i = 0; i < d.request_ids.size(); ++i) {
+    const std::size_t id = static_cast<std::size_t>(d.request_ids[i]);
+    const std::size_t take = std::min(out[i].size(), in.take[i]);
+    generated[id].insert(generated[id].end(), out[i].begin(),
+                         out[i].begin() + static_cast<std::ptrdiff_t>(take));
+  }
 }
 
 OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
@@ -183,12 +212,17 @@ void OnlineEngine::serve_loop() {
       continue;
     }
     const DispatchDecision d = std::move(a.decision);
+    // Snapshot the engine inputs while still holding mu_: submit() may
+    // concurrently grow prompts_/generated_, and deque growth can
+    // reallocate the internal block map that operator[] traverses, so an
+    // unsynchronized read during emplace_back is a data race.
+    const DecisionInputs inputs =
+        prepare_decision(options_.scheduler.policy, d, prompts_, generated_);
     lk.unlock();
     const double start = clock_.elapsed_s();
-    DecisionTiming timing;
+    DecisionRun run;
     try {
-      timing = run_decision(engine_, options_.scheduler.policy, d, prompts_,
-                            generated_);
+      run = execute_decision(engine_, d.phase, inputs);
     } catch (...) {
       // An engine failure poisons the serving loop; surface it on the next
       // wait() rather than terminating the process from a thread.
@@ -197,10 +231,11 @@ void OnlineEngine::serve_loop() {
       break;
     }
     lk.lock();
+    commit_decision(d, inputs, run.out, generated_);
     const double finish = clock_.elapsed_s();
     const double prefill_end =
-        d.phase == ServePhase::kPrefillPass && timing.prefill_s >= 0.0
-            ? start + timing.prefill_s
+        d.phase == ServePhase::kPrefillPass && run.timing.prefill_s >= 0.0
+            ? start + run.timing.prefill_s
             : -1.0;
     scheduler_.complete(d, finish, prefill_end);
     makespan_s_ = finish;
@@ -242,12 +277,14 @@ OnlineReport serve_trace(PipelineEngine& engine,
       continue;
     }
     const DispatchDecision d = std::move(a.decision);
-    const DecisionTiming timing = run_decision(
-        engine, options.scheduler.policy, d, prompts, generated);
-    const double finish = t + timing.total_s;
+    const DecisionInputs inputs =
+        prepare_decision(options.scheduler.policy, d, prompts, generated);
+    const DecisionRun run = execute_decision(engine, d.phase, inputs);
+    commit_decision(d, inputs, run.out, generated);
+    const double finish = t + run.timing.total_s;
     const double prefill_end =
-        d.phase == ServePhase::kPrefillPass && timing.prefill_s >= 0.0
-            ? t + timing.prefill_s
+        d.phase == ServePhase::kPrefillPass && run.timing.prefill_s >= 0.0
+            ? t + run.timing.prefill_s
             : -1.0;
     scheduler.complete(d, finish, prefill_end);
     t = finish;

@@ -25,13 +25,19 @@ namespace llmpq {
 ///     (prefill + padded_gen tokens), exactly classic static batching;
 ///   * iteration-level — prefill decisions run `generate(prompts, 1)`;
 ///     each decode round re-runs the active set's full contexts for one
-///     token (replay decode). Token-wise this is the correct greedy
-///     continuation at batch granularity, but without incremental KV reuse
-///     across decisions it costs a prefill-shaped pass per round; a
-///     step-level engine session API is the planned optimization
-///     (DESIGN.md). Within a padded batch, shorter sequences are left-
-///     padded with their own first token so the sampled last position is
-///     the true last token.
+///     token (replay decode). Without incremental KV reuse across
+///     decisions this costs a prefill-shaped pass per round; a step-level
+///     engine session API is the planned optimization (DESIGN.md).
+///
+/// Mixed-length fidelity limit: within a padded batch, shorter sequences
+/// are left-padded with their own first token so the sampled last position
+/// is the true last token, but `PipelineEngine::generate` applies no
+/// attention masking, so those pad positions ARE attended to. Uniform-
+/// length batches reproduce each request's unbatched greedy continuation
+/// exactly (`ReplayDecodeMatchesReferenceGreedy` pins this); in mixed-
+/// length batches shorter requests' tokens can diverge from their
+/// unbatched continuation. Padding-aware masking (or length-grouped
+/// dispatch) is the planned fix, alongside the step-level session API.
 ///
 /// Live mode: construct, submit() from any thread (arrival time = wall
 /// clock), close(), then wait() for the report. A dedicated admission

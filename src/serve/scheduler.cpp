@@ -33,10 +33,12 @@ void ServeScheduler::submit(const ServeRequest& request) {
   check_arg(!closed_, "ServeScheduler: submit() after close()");
   check_arg(request.prompt_len >= 1 && request.gen_tokens >= 0,
             "ServeScheduler: bad request shape");
-  bool queued_dup = false;
-  for (const ServeRequest& r : queue_) queued_dup |= r.id == request.id;
-  check_arg(!queued_dup && open_.find(request.id) == open_.end(),
-            "ServeScheduler: duplicate request id");
+  // Ids are single-use for the scheduler's lifetime: back-ends index
+  // per-request buffers by id, so reusing a finished request's id would
+  // silently alias its slot. The ever-seen set also makes the duplicate
+  // check O(1) instead of an O(n) queue scan per submit.
+  check_arg(ids_.insert(request.id).second,
+            "ServeScheduler: duplicate request id (ids are single-use)");
   // Keep the queue sorted by (arrival, id) so trace replay can submit a
   // whole workload up front in any order; live submissions (arrival = now)
   // land at the back.

@@ -3,6 +3,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace llmpq {
@@ -105,8 +106,11 @@ class ServeScheduler {
   /// Adds a request to the arrival stream. Requests with `arrival_s` in
   /// the future (relative to the clock passed to next()) are held until
   /// their arrival time, which lets trace replay submit everything up
-  /// front; live back-ends submit with arrival_s = now. Not thread-safe —
-  /// callers serialize (the online engine holds its own lock).
+  /// front; live back-ends submit with arrival_s = now. Ids are single-use
+  /// for the scheduler's lifetime — reusing one, even after its request
+  /// finished, is rejected because back-ends index per-request buffers by
+  /// id. Not thread-safe — callers serialize (the online engine holds its
+  /// own lock).
   void submit(const ServeRequest& request);
 
   /// Declares the arrival stream finished: no further submit() calls.
@@ -152,6 +156,7 @@ class ServeScheduler {
   int arrived_count(double now) const;
 
   SchedulerOptions options_;
+  std::unordered_set<int> ids_;     ///< every id ever submitted (O(1) dups)
   std::deque<ServeRequest> queue_;  ///< sorted by (arrival_s, id)
   std::vector<ActiveReq> active_;   ///< iteration-level in-generation set
   std::unordered_map<int, RequestStats> open_;  ///< admitted, not finished

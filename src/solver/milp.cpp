@@ -96,6 +96,11 @@ MilpSolution solve_milp(const MilpProblem& problem,
   // Minimum dual bound over nodes abandoned with their LP unsolved (iter
   // limit): their subtrees are only covered by the parent objective.
   double dropped_bound = kLpInf;
+  // Minimum dual bound over nodes pruned against the incumbent. Pruning
+  // uses a gap_abs tolerance, so a pruned subtree may hold solutions up to
+  // gap_abs below the incumbent — its recorded bound, not the incumbent,
+  // is what is proven about it.
+  double pruned_bound = kLpInf;
 
   while (!stack.empty()) {
     if (best.nodes_explored >= options.max_nodes ||
@@ -105,7 +110,10 @@ MilpSolution solve_milp(const MilpProblem& problem,
     }
     Node node = std::move(stack.back());
     stack.pop_back();
-    if (node.parent_bound >= best.objective - options.gap_abs) continue;
+    if (node.parent_bound >= best.objective - options.gap_abs) {
+      pruned_bound = std::min(pruned_bound, node.parent_bound);
+      continue;
+    }
     ++best.nodes_explored;
 
     // Apply node bounds.
@@ -143,7 +151,10 @@ MilpSolution solve_milp(const MilpProblem& problem,
     }
     any_lp_feasible = true;
     if (node.depth == 0) root_bound = relax.objective;
-    if (relax.objective >= best.objective - options.gap_abs) continue;
+    if (relax.objective >= best.objective - options.gap_abs) {
+      pruned_bound = std::min(pruned_bound, relax.objective);
+      continue;
+    }
 
     // Find most fractional integer variable.
     int branch_var = -1;
@@ -195,9 +206,12 @@ MilpSolution solve_milp(const MilpProblem& problem,
   // Tighten the dual bound past the root relaxation: every unexplored
   // subtree is one of (a) an open node left on the stack at truncation,
   // (b) a node dropped at the LP iteration limit, or (c) pruned against
-  // the incumbent — so min(frontier, incumbent) bounds the optimum, and
-  // it collapses to the incumbent itself when the search is exhaustive.
-  double frontier = dropped_bound;
+  // the incumbent, with its dual bound recorded at prune time (possibly up
+  // to gap_abs below the incumbent). Every explored integral leaf is >=
+  // the incumbent by construction, so min(frontier, incumbent) is a proven
+  // bound; it collapses to the incumbent itself when the search exhausts
+  // without gap-tolerance pruning.
+  double frontier = std::min(dropped_bound, pruned_bound);
   for (const Node& n : stack) frontier = std::min(frontier, n.parent_bound);
   best.best_bound = std::max(root_bound, std::min(frontier, best.objective));
   if (best.status == MilpStatus::kFeasible && !truncated)

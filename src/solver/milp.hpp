@@ -39,9 +39,13 @@ struct MilpSolution {
   std::vector<double> x;
   int nodes_explored = 0;
   double solve_time_s = 0.0;
-  /// Proven lower bound on the optimum: the minimum over open subtrees
-  /// (nodes unexplored at truncation) clamped by the incumbent, never
-  /// looser than the root relaxation. Equals `objective` when optimal.
+  /// Proven lower bound on the optimum: the minimum dual bound over every
+  /// unexplored subtree — open nodes at truncation, nodes dropped at the
+  /// LP iteration limit, and nodes pruned against the incumbent (whose
+  /// bounds can sit up to `gap_abs` below it) — clamped by the incumbent
+  /// and never looser than the root relaxation. Within `gap_abs` of
+  /// `objective` when optimal; equals it when no gap-tolerance pruning
+  /// occurred.
   double best_bound = -kLpInf;
 };
 

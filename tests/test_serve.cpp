@@ -199,6 +199,22 @@ TEST(ServeScheduler, LiveStreamBlocksUntilSubmitOrClose) {
   EXPECT_EQ(s.next(0.0).kind, SchedulerAction::Kind::kDone);
 }
 
+TEST(ServeScheduler, RejectsReuseOfFinishedRequestId) {
+  // Ids are single-use for the scheduler's lifetime: back-ends index
+  // per-request buffers by id, so reusing a finished request's id would
+  // silently alias its slot. The old queue-scan check only caught ids
+  // still queued or open, not finished ones.
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  ServeScheduler s(opt);
+  s.submit(req(0, 0.0, 8, 1));
+  SchedulerAction a = s.next(0.0);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+  s.complete(a.decision, 0.5);  // gen=1: request 0 is now finished
+  ASSERT_EQ(s.finished().size(), 1u);
+  EXPECT_THROW(s.submit(req(0, 1.0, 8, 1)), InvalidArgumentError);
+}
+
 TEST(ServeScheduler, RejectsMisuse) {
   ServeScheduler s(SchedulerOptions{});
   s.submit(req(0, 0.0, 8, 2));
