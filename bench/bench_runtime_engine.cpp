@@ -5,11 +5,19 @@
 // per-phase tokens/s. Also times the threaded qgemm kernel against the
 // single-threaded seed kernel on a serving-sized layer so the speedup on a
 // multi-core host is visible in isolation.
+//
+// Flags:
+//   --json PATH    write the measurements as "llmpq-metrics/v1" JSON
+//   --trace PATH   record the engine's stage/qgemm/attention spans as
+//                  Chrome trace JSON (chrome://tracing / ui.perfetto.dev)
 #include <cstdio>
+#include <string>
 
+#include "common/args.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "quant/qgemm.hpp"
 #include "runtime/engine.hpp"
 
@@ -24,7 +32,7 @@ std::vector<float> random_values(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
-void bench_qgemm_kernel() {
+void bench_qgemm_kernel(MetricsRegistry& metrics) {
   // One OPT-350m-scale projection: [3h x h] at h = 1024, decode batch 8.
   const std::size_t m = 8, k = 1024, n = 3 * 1024;
   const auto x = random_values(m * k, 1);
@@ -47,10 +55,13 @@ void bench_qgemm_kernel() {
         static_cast<double>(threaded.elapsed_ns()) / 1e6 / reps;
     std::printf("  %2d-bit: serial %7.2f ms  threaded %7.2f ms  (%.2fx)\n",
                 bits, serial_ms, threaded_ms, serial_ms / threaded_ms);
+    const std::string prefix = "qgemm." + std::to_string(bits) + "bit.";
+    metrics.set_value(prefix + "serial_ms", serial_ms);
+    metrics.set_value(prefix + "threaded_ms", threaded_ms);
   }
 }
 
-void bench_engine() {
+void bench_engine(MetricsRegistry& metrics) {
   ModelSpec spec;
   spec.name = "bench-engine";
   spec.family = "opt";
@@ -84,12 +95,42 @@ void bench_engine() {
       "each -> %.1f generated tok/s end to end\n\n",
       requests, prompts.size(), gen_tokens, tok / total_s);
   std::printf("%s", format_engine_stats(engine.stats()).c_str());
+  metrics.set_value("engine.generated_tok_per_s", tok / total_s);
+  metrics.set_engine("pipeline", engine.stats());
 }
 
 }  // namespace
 
-int main() {
-  bench_qgemm_kernel();
-  bench_engine();
-  return 0;
+int main(int argc, char** argv) {
+  using namespace llmpq;
+  const ArgParser args(argc, argv);
+  for (const std::string& key : args.keys()) {
+    if (key != "json" && key != "trace") {
+      std::fprintf(stderr, "unknown option --%s (known: --json, --trace)\n",
+                   key.c_str());
+      return 2;
+    }
+  }
+  const auto trace_path = args.get("trace");
+  if (trace_path) TraceSession::instance().start();
+
+  MetricsRegistry metrics;
+  bench_qgemm_kernel(metrics);
+  bench_engine(metrics);
+
+  int rc = 0;
+  if (const auto json_path = args.get("json")) {
+    if (metrics.write_json_file(*json_path))
+      std::printf("\nwrote %s\n", json_path->c_str());
+    else
+      rc = 1;
+  }
+  if (trace_path) {
+    TraceSession::instance().stop();
+    if (TraceSession::instance().write_chrome_trace_file(*trace_path))
+      std::printf("wrote %s\n", trace_path->c_str());
+    else
+      rc = 1;
+  }
+  return rc;
 }

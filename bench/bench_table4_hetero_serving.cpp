@@ -2,20 +2,60 @@
 // 1-8 (PPL / end-to-end latency / token throughput for LLM-PQ vs PipeEdge,
 // Uniform, FlexGen and FlexGen-int8) under the default workload: prompts
 // padded to 512 tokens, batch 32, 100 generated tokens.
+//
+// Flags:
+//   --clusters 1,2,5   subset of paper clusters to run (default: 1-8)
+//   --json PATH        also write the rows as "llmpq-bench/v1" JSON — the
+//                      artifact CI's bench-regression gate diffs against
+//                      bench/baselines/ (scripts/check_bench_regression.py)
+//   --trace PATH       record the simulated timelines as Chrome trace JSON
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "common/args.hpp"
+#include "common/error.hpp"
+#include "common/trace.hpp"
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace llmpq;
   using namespace llmpq::bench;
+
+  const ArgParser args(argc, argv);
+  for (const std::string& key : args.keys()) {
+    if (key != "clusters" && key != "json" && key != "trace") {
+      std::fprintf(stderr,
+                   "unknown option --%s (known: --clusters, --json, "
+                   "--trace)\n",
+                   key.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<int> clusters;
+  if (const auto csv = args.get("clusters")) {
+    for (const std::string& tok : split_csv(*csv)) {
+      const int c = parse_int_token(tok, "--clusters");
+      check_arg(c >= 1 && c <= 11, "--clusters: cluster index out of range");
+      clusters.push_back(c);
+    }
+  } else {
+    for (int c = 1; c <= 8; ++c) clusters.push_back(c);
+  }
+
+  const auto trace_path = args.get("trace");
+  if (trace_path) TraceSession::instance().start();
+
   std::printf("=== Table 4: serving in heterogeneous clusters "
               "(s=512, n=100, batch=32) ===\n\n");
   Workload w;  // defaults match the paper
   double speedup_sum = 0.0;
   int speedup_n = 0;
-  for (int cluster = 1; cluster <= 8; ++cluster) {
-    const ClusterReport report = evaluate_cluster(cluster, w);
+  std::vector<ClusterReport> reports;
+  for (const int cluster : clusters) {
+    ClusterReport report = evaluate_cluster(cluster, w);
     print_report(report);
     const SchemeRow* pq = report.find("LLM-PQ");
     const SchemeRow* pe = report.find("PipeEdge");
@@ -23,10 +63,26 @@ int main() {
       speedup_sum += pq->throughput / pe->throughput;
       ++speedup_n;
     }
+    reports.push_back(std::move(report));
   }
   if (speedup_n > 0)
     std::printf("LLM-PQ mean throughput speedup vs PipeEdge over %d "
                 "clusters: %.2fx\n",
                 speedup_n, speedup_sum / speedup_n);
-  return 0;
+
+  int rc = 0;
+  if (const auto json_path = args.get("json")) {
+    if (write_reports_json(*json_path, "table4_hetero_serving", reports))
+      std::printf("wrote %s\n", json_path->c_str());
+    else
+      rc = 1;
+  }
+  if (trace_path) {
+    TraceSession::instance().stop();
+    if (TraceSession::instance().write_chrome_trace_file(*trace_path))
+      std::printf("wrote %s\n", trace_path->c_str());
+    else
+      rc = 1;
+  }
+  return rc;
 }

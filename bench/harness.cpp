@@ -1,8 +1,10 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/table.hpp"
 
 namespace llmpq::bench {
@@ -161,6 +163,54 @@ void print_report(const ClusterReport& report) {
                    Table::fmt(row.throughput), speedup});
   }
   std::printf("%s\n", table.to_string().c_str());
+}
+
+void write_json(JsonWriter& w, const SchemeRow& row) {
+  w.begin_object();
+  w.kv("scheme", row.scheme);
+  w.kv("ok", row.ok);
+  w.kv("note", row.note);
+  w.kv("ppl", row.ppl);
+  w.kv("latency_s", row.latency_s);
+  w.kv("throughput_tok_s", row.throughput);
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const ClusterReport& report) {
+  w.begin_object();
+  w.kv("cluster", report.cluster_index);
+  w.kv("model", report.model_name);
+  w.kv("devices", report.devices);
+  w.key("rows");
+  w.begin_array();
+  for (const SchemeRow& row : report.rows) write_json(w, row);
+  w.end_array();
+  w.end_object();
+}
+
+bool write_reports_json(const std::string& path, const std::string& bench_name,
+                        const std::vector<ClusterReport>& reports) {
+  std::ofstream os(path);
+  if (!os) {
+    LOG_WARN << "bench: cannot open " << path << " for writing";
+    return false;
+  }
+  JsonWriter w(os, /*indent=*/1);
+  w.begin_object();
+  w.kv("schema", "llmpq-bench/v1");
+  w.kv("bench", bench_name);
+  w.key("clusters");
+  w.begin_array();
+  for (const ClusterReport& r : reports) write_json(w, r);
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  os.flush();
+  if (!os) {
+    LOG_WARN << "bench: short write to " << path;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace llmpq::bench

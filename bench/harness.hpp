@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baselines/baselines.hpp"
+#include "common/json_writer.hpp"
 #include "core/assigner.hpp"
 #include "quant/quality.hpp"
 #include "sim/pipeline_sim.hpp"
@@ -53,5 +54,17 @@ ClusterReport evaluate_cluster(int cluster_index, const Workload& workload,
 /// Renders a report as paper-style table rows into stdout, with speedups
 /// computed against the PipeEdge row like Table 4.
 void print_report(const ClusterReport& report);
+
+/// JSON projections of the bench rows — the stable machine-readable schema
+/// ("llmpq-bench/v1") that CI's bench-regression gate diffs against the
+/// committed baselines (scripts/check_bench_regression.py). Field renames
+/// here are schema changes: bump the version and regenerate the baselines.
+void write_json(JsonWriter& w, const SchemeRow& row);
+void write_json(JsonWriter& w, const ClusterReport& report);
+
+/// Writes `{"schema":"llmpq-bench/v1","bench":<name>,"clusters":[...]}` to
+/// `path` (pretty-printed). Returns false on I/O failure.
+bool write_reports_json(const std::string& path, const std::string& bench_name,
+                        const std::vector<ClusterReport>& reports);
 
 }  // namespace llmpq::bench

@@ -4,9 +4,15 @@
 // batching vs ORCA-style iteration-level scheduling), then demos the live
 // path where requests are submitted from the caller's thread and admitted
 // by the engine's own serving loop.
+//
+// Pass --trace PATH to record the whole demo — engine stage spans, the
+// scheduler's dispatch passes and per-request lifecycles — as Chrome trace
+// JSON (open in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
 
+#include "common/args.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "runtime/weights.hpp"
 #include "serve/online_engine.hpp"
 
@@ -40,8 +46,12 @@ void print_report(const char* title, const llmpq::OnlineReport& rep) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace llmpq;
+
+  const ArgParser args(argc, argv);
+  const auto trace_path = args.get("trace");
+  if (trace_path) TraceSession::instance().start();
 
   // A laptop-sized decoder-only model; serving behavior is independent of
   // scale, so small sizes keep the demo instant.
@@ -93,5 +103,12 @@ int main() {
     server.submit(random_prompt(rng, 8 + i, spec.vocab), 3);
   server.close();
   print_report("live submissions (iteration-level):", server.wait());
+
+  if (trace_path) {
+    TraceSession::instance().stop();
+    if (!TraceSession::instance().write_chrome_trace_file(*trace_path))
+      return 1;
+    std::printf("wrote %s\n", trace_path->c_str());
+  }
   return 0;
 }

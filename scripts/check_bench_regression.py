@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a fresh "llmpq-bench/v1" artifact against a
+committed baseline.
+
+Usage:
+    scripts/check_bench_regression.py \
+        --baseline bench/baselines/table4_hetero_serving.json \
+        --current build/BENCH_table4_hetero_serving.json \
+        [--tolerance 0.15]
+
+The gated bench numbers come from the deterministic discrete-event
+simulator (jitter=0 roofline model), so on one toolchain the artifact
+reproduces the baseline bit-for-bit; the relative tolerance (default 15%)
+absorbs float variance across compilers and libm versions. Wall-clock
+benches are machine-dependent and must not be gated here.
+
+Checks, per (cluster, scheme) row of the *baseline*:
+  * the row exists in the current artifact;
+  * ok/OOM status matches (a scheme newly fitting or newly OOMing is a
+    behavior change, not noise);
+  * for ok rows, ppl / latency_s / throughput_tok_s are each within the
+    relative tolerance of the baseline value.
+
+Rows present only in the current artifact are reported but do not fail the
+gate (new clusters/schemes land first, the baseline is regenerated after).
+
+Stdlib only. Exit codes: 0 pass, 1 regression, 2 usage/bad input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "llmpq-bench/v1"
+METRICS = ("ppl", "latency_s", "throughput_tok_s")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r} "
+            "(regenerate the baseline after schema bumps)"
+        )
+    return doc
+
+
+def index_rows(doc):
+    """{(cluster_index, scheme): row} over every cluster in the artifact."""
+    rows = {}
+    for cluster in doc.get("clusters", []):
+        for row in cluster.get("rows", []):
+            rows[(cluster.get("cluster"), row.get("scheme"))] = row
+    return rows
+
+
+def rel_diff(base, cur):
+    denom = max(abs(base), 1e-12)
+    return abs(cur - base) / denom
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative drift per metric (default 0.15)")
+    args = ap.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        ap.error("--tolerance must be in [0, 1)")
+
+    baseline = index_rows(load(args.baseline))
+    current = index_rows(load(args.current))
+    if not baseline:
+        sys.exit(f"error: {args.baseline} contains no rows")
+
+    failures = []
+    checked = 0
+    for key, base_row in sorted(baseline.items()):
+        cluster, scheme = key
+        label = f"cluster {cluster} / {scheme}"
+        cur_row = current.get(key)
+        if cur_row is None:
+            failures.append(f"{label}: missing from current artifact")
+            continue
+        if bool(base_row.get("ok")) != bool(cur_row.get("ok")):
+            failures.append(
+                f"{label}: ok changed {base_row.get('ok')} -> "
+                f"{cur_row.get('ok')} (note: {cur_row.get('note')!r})"
+            )
+            continue
+        if not base_row.get("ok"):
+            checked += 1
+            continue
+        for metric in METRICS:
+            base_v = base_row.get(metric)
+            cur_v = cur_row.get(metric)
+            if not isinstance(base_v, (int, float)) or not isinstance(
+                    cur_v, (int, float)):
+                failures.append(f"{label}: {metric} is not numeric")
+                continue
+            d = rel_diff(base_v, cur_v)
+            if d > args.tolerance:
+                failures.append(
+                    f"{label}: {metric} drifted {d * 100:.1f}% "
+                    f"({base_v:.6g} -> {cur_v:.6g}, tol "
+                    f"{args.tolerance * 100:.0f}%)"
+                )
+        checked += 1
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"note: {len(extra)} row(s) not in baseline "
+              f"(regenerate it to gate them): "
+              + ", ".join(f"{c}/{s}" for c, s in extra))
+
+    if failures:
+        print(f"bench regression: {len(failures)} failure(s) "
+              f"vs {args.baseline}:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(f"bench regression: {checked} row(s) within "
+          f"{args.tolerance * 100:.0f}% of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

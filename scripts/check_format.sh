@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# clang-format gate over the tracked C++ sources (.clang-format at the repo
+# root pins the style). Skips with exit 0 when clang-format is not
+# installed, so scripts/ci.sh stays runnable in minimal containers; the CI
+# runners have the tool and enforce it.
+#
+#   scripts/check_format.sh         # check, fail on diffs
+#   FIX=1 scripts/check_format.sh   # rewrite files in place
+#
+# CLANG_FORMAT overrides the binary (e.g. CLANG_FORMAT=clang-format-18).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "${CLANG_FORMAT}" > /dev/null 2>&1; then
+  echo "check_format: ${CLANG_FORMAT} not found; skipping" \
+       "(install clang-format to enable this gate locally)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no tracked C++ files"
+  exit 0
+fi
+
+if [[ "${FIX:-0}" == "1" ]]; then
+  "${CLANG_FORMAT}" -i "${files[@]}"
+  echo "check_format: reformatted ${#files[@]} files"
+else
+  "${CLANG_FORMAT}" --dry-run -Werror "${files[@]}"
+  echo "check_format: ${#files[@]} files clean"
+fi

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer ctest pass for the threaded runtime: builds the tree twice
 # (ASan+UBSan, then TSan) and runs the concurrency-heavy test binaries —
-# common (queues, thread pool), runtime (pipeline engine, threaded qgemm)
-# and serve (online engine admission thread) — under each. Run from the
-# repo root:
+# common (queues, thread pool), runtime (pipeline engine, threaded qgemm),
+# serve (online engine admission thread) and trace (multi-threaded span
+# recording) — under each. Run from the repo root:
 #
 #   scripts/check_sanitizers.sh [extra ctest -R pattern]
 #
@@ -12,7 +12,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-pattern="${1:-common|quant|runtime|serve}"
+pattern="${1:-common|quant|runtime|serve|trace}"
 
 for mode in address thread; do
   build="build-${mode}san"
@@ -21,7 +21,7 @@ for mode in address thread; do
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j \
     --target llmpq_tests_common llmpq_tests_quant llmpq_tests_runtime \
-             llmpq_tests_serve
+             llmpq_tests_serve llmpq_tests_trace
   (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
 done
 

@@ -1,24 +1,105 @@
 #!/usr/bin/env bash
-# Full CI gate: the tier-1 build + test sweep, then the sanitizer pass over
-# the concurrency-heavy suites. Run from anywhere:
+# Staged CI gate. Run from anywhere:
 #
-#   scripts/ci.sh
+#   scripts/ci.sh [stage ...]
 #
-# The tier-1 half is exactly ROADMAP.md's check; `-LE sanitize` keeps the
-# optional sanitizer ctest (registered with -DLLMPQ_SANITIZE_TESTS=ON) out
-# of the plain-build run — check_sanitizers.sh owns its own builds.
+# Stages (default: all, in this order):
+#   build      configure + compile the tier-1 tree
+#   test       tier-1 ctest sweep (ROADMAP.md's check; -LE sanitize keeps
+#              the optional sanitizer ctest out of the plain-build run)
+#   format     clang-format gate (skips when the tool is absent)
+#   bench      run the JSON-emitting benches and diff the deterministic
+#              table4 rows against bench/baselines/ (±15%)
+#   sanitize   ASan+UBSan and TSan ctest passes (own build trees)
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build)
+#   JOBS        parallelism (default: online CPUs; nproc is Linux-only, so
+#               fall back to getconf, then 2)
+#   CMAKE_ARGS  extra configure arguments, e.g. -DCMAKE_BUILD_TYPE=Debug
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+BUILD_DIR="${BUILD_DIR:-build}"
+if [[ -z "${JOBS:-}" ]]; then
+  JOBS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)"
+fi
 
-echo "==== tier-1: configure + build ===="
-cmake -B build -S . > /dev/null
-cmake --build build -j
+configure() {
+  # A build tree copied from another checkout (or a renamed repo root)
+  # poisons every later cmake call with "the source directory does not
+  # appear to contain CMakeLists.txt"; detect the mismatch and start over.
+  local cache="${BUILD_DIR}/CMakeCache.txt"
+  if [[ -f "${cache}" ]]; then
+    local home
+    home="$(sed -n 's/^CMAKE_HOME_DIRECTORY:INTERNAL=//p' "${cache}")"
+    if [[ "${home}" != "${ROOT}" ]]; then
+      echo "stale build cache (${home:-unset} != ${ROOT}); wiping ${BUILD_DIR}"
+      rm -rf "${BUILD_DIR}"
+    fi
+  fi
+  # shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split.
+  cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-} > /dev/null
+}
 
-echo "==== tier-1: ctest ===="
-(cd build && ctest --output-on-failure -j "$(nproc)" -LE sanitize)
+stage_build() {
+  echo "==== build (${BUILD_DIR}, -j ${JOBS}) ===="
+  configure
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+}
 
-echo "==== sanitizers ===="
-scripts/check_sanitizers.sh
+stage_test() {
+  echo "==== test ===="
+  (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}" -LE sanitize)
+}
+
+stage_format() {
+  echo "==== format ===="
+  scripts/check_format.sh
+}
+
+stage_bench() {
+  echo "==== bench ===="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+    --target bench_table4_hetero_serving bench_runtime_engine
+  "${BUILD_DIR}/bench/bench_table4_hetero_serving" \
+    --json "${BUILD_DIR}/BENCH_table4_hetero_serving.json" > /dev/null
+  "${BUILD_DIR}/bench/bench_runtime_engine" \
+    --json "${BUILD_DIR}/BENCH_runtime_engine.json" > /dev/null
+  # Only the simulator-backed bench is gated: its numbers are deterministic
+  # (jitter=0 roofline model), so the committed baseline is reproducible.
+  # The runtime-engine artifact is wall-clock and machine-dependent — it is
+  # uploaded for inspection, not diffed.
+  python3 scripts/check_bench_regression.py \
+    --baseline bench/baselines/table4_hetero_serving.json \
+    --current "${BUILD_DIR}/BENCH_table4_hetero_serving.json"
+}
+
+stage_sanitize() {
+  echo "==== sanitize ===="
+  scripts/check_sanitizers.sh
+}
+
+run_stage() {
+  case "$1" in
+    build) stage_build ;;
+    test) stage_test ;;
+    format) stage_format ;;
+    bench) stage_bench ;;
+    sanitize) stage_sanitize ;;
+    all) stage_build; stage_test; stage_format; stage_bench; stage_sanitize ;;
+    *)
+      echo "unknown stage '$1' (known: build test format bench sanitize all)" >&2
+      exit 2
+      ;;
+  esac
+}
+
+if [[ $# -eq 0 ]]; then
+  run_stage all
+else
+  for s in "$@"; do run_stage "$s"; done
+fi
 
 echo "==== ci green ===="

@@ -1,0 +1,378 @@
+#include "common/json_writer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i)
+    os_ << ' ';
+}
+
+void JsonWriter::before_value(bool is_key) {
+  if (stack_.empty()) {
+    check_arg(!wrote_top_, "JsonWriter: more than one top-level value");
+    check_arg(!is_key, "JsonWriter: key outside an object");
+    return;
+  }
+  if (expect_value_) {
+    // A key was just written; only its value (or a container open) may
+    // follow, and no comma is needed.
+    check_arg(!is_key, "JsonWriter: key while a key's value is pending");
+    expect_value_ = false;
+    return;
+  }
+  check_arg(stack_.back() == Frame::kArray ? !is_key : is_key,
+            stack_.back() == Frame::kArray
+                ? "JsonWriter: key inside an array"
+                : "JsonWriter: object members need a key first");
+  if (frame_has_item_.back()) os_ << ',';
+  frame_has_item_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_value(false);
+  stack_.push_back(Frame::kObject);
+  frame_has_item_.push_back(false);
+  os_ << '{';
+}
+
+void JsonWriter::end_object() {
+  check_arg(!stack_.empty() && stack_.back() == Frame::kObject &&
+                !expect_value_,
+            "JsonWriter: unbalanced end_object");
+  const bool had_items = frame_has_item_.back();
+  stack_.pop_back();
+  frame_has_item_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value(false);
+  stack_.push_back(Frame::kArray);
+  frame_has_item_.push_back(false);
+  os_ << '[';
+}
+
+void JsonWriter::end_array() {
+  check_arg(!stack_.empty() && stack_.back() == Frame::kArray,
+            "JsonWriter: unbalanced end_array");
+  const bool had_items = frame_has_item_.back();
+  stack_.pop_back();
+  frame_has_item_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::key(std::string_view k) {
+  before_value(true);
+  write_escaped(k);
+  os_ << ':';
+  if (indent_ > 0) os_ << ' ';
+  expect_value_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value(false);
+  write_escaped(v);
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  before_value(false);
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value(false);
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no inf/nan spelling (see header)
+  } else {
+    // Shortest round-trippable decimal form.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os_ << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
+  }
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value(false);
+  os_ << v;
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value(false);
+  os_ << v;
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+void JsonWriter::null() {
+  before_value(false);
+  os_ << "null";
+  if (stack_.empty()) wrote_top_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+const JsonValue& JsonValue::at(const std::string& k) const {
+  check_arg(kind == Kind::kObject, "JsonValue::at: not an object");
+  const auto it = object.find(k);
+  check_arg(it != object.end(), "JsonValue::at: missing key: " + k);
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& k) const {
+  return kind == Kind::kObject && object.count(k) > 0;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("parse_json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.object.emplace(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v.array.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20)
+          fail("unescaped control character in string");
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unhandled —
+          // nothing we emit needs them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    const auto res =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v.number);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace llmpq

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmpq {
+
+/// Minimal streaming JSON writer for the export paths (Chrome traces,
+/// metrics registries, bench artifacts). No DOM is built: values stream to
+/// the ostream as they are written, so a multi-megabyte trace costs no
+/// intermediate allocation beyond the ostream's own buffer. The writer
+/// tracks the container stack and comma placement; misuse (a value where a
+/// key is required, unbalanced end_*) throws Error so schema bugs fail
+/// loudly in tests instead of emitting silently broken JSON.
+///
+/// Non-finite doubles have no JSON spelling; they are emitted as `null`,
+/// which keeps exported documents parseable everywhere (Python, browsers,
+/// jq) at the cost of losing the inf/nan distinction — acceptable for
+/// metrics, where a non-finite value is already a "no data" signal.
+class JsonWriter {
+ public:
+  /// `indent` = 0 writes compact one-line JSON; > 0 pretty-prints with that
+  /// many spaces per nesting level.
+  explicit JsonWriter(std::ostream& os, int indent = 0);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes an object key; the next call must write its value (or open a
+  /// container).
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once the single top-level value is complete and balanced.
+  bool done() const { return stack_.empty() && wrote_top_; }
+
+ private:
+  enum class Frame : char { kObject, kArray };
+
+  void before_value(bool is_key);
+  void newline_indent();
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  int indent_ = 0;
+  std::vector<Frame> stack_;
+  std::vector<bool> frame_has_item_;
+  bool expect_value_ = false;  ///< a key was written, its value is pending
+  bool wrote_top_ = false;
+};
+
+/// Parsed JSON document node — the reader half used by tests (trace and
+/// bench-schema round trips) and by any tool that needs to consume the
+/// exported artifacts in-process. Objects preserve key lookup via std::map;
+/// numbers are doubles (enough for every schema we emit).
+class JsonValue {
+ public:
+  enum class Kind : char { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member access; throws Error when absent or not an object.
+  const JsonValue& at(const std::string& k) const;
+  /// True when this is an object containing key `k`.
+  bool has(const std::string& k) const;
+};
+
+/// Strict recursive-descent parse of a complete JSON document (UTF-8 text,
+/// \uXXXX escapes decoded for the BMP). Throws Error with a byte offset on
+/// malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace llmpq

@@ -1,8 +1,11 @@
 #include "common/metrics.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
+#include "common/json_writer.hpp"
+#include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -81,6 +84,105 @@ std::string format_latency_summary(const LatencySummary& summary) {
       << Table::fmt(summary.p95_s) << "s max=" << Table::fmt(summary.max_s)
       << "s";
   return out.str();
+}
+
+void write_json(JsonWriter& w, const StageStats& s) {
+  w.begin_object();
+  w.kv("busy_s", s.busy_s);
+  w.kv("idle_s", s.idle_s);
+  w.kv("qgemm_s", s.qgemm_s);
+  w.kv("attn_s", s.attn_s);
+  w.kv("utilization", s.utilization());
+  w.kv("microbatches", s.microbatches);
+  w.kv("inbox_high_water", s.inbox_high_water);
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const PhaseStats& s) {
+  w.begin_object();
+  w.kv("tokens", s.tokens);
+  w.kv("seconds", s.seconds);
+  w.kv("tokens_per_s", s.tokens_per_s());
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const EngineStats& s) {
+  w.begin_object();
+  w.kv("generate_calls", s.generate_calls);
+  w.key("prefill");
+  write_json(w, s.prefill);
+  w.key("decode");
+  write_json(w, s.decode);
+  w.key("stages");
+  w.begin_array();
+  for (const StageStats& st : s.stages) write_json(w, st);
+  w.end_array();
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const LatencySummary& s) {
+  w.begin_object();
+  w.kv("count", s.count);
+  w.kv("mean_s", s.mean_s);
+  w.kv("p50_s", s.p50_s);
+  w.kv("p95_s", s.p95_s);
+  w.kv("max_s", s.max_s);
+  w.end_object();
+}
+
+void MetricsRegistry::set_value(const std::string& name, double value) {
+  values_[name] = value;
+}
+
+void MetricsRegistry::set_latency(const std::string& name,
+                                  const LatencySummary& summary) {
+  latencies_[name] = summary;
+}
+
+void MetricsRegistry::set_engine(const std::string& name,
+                                 const EngineStats& stats) {
+  engines_[name] = stats;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("schema", "llmpq-metrics/v1");
+  w.key("values");
+  w.begin_object();
+  for (const auto& [name, v] : values_) w.kv(name, v);
+  w.end_object();
+  w.key("latencies");
+  w.begin_object();
+  for (const auto& [name, s] : latencies_) {
+    w.key(name);
+    llmpq::write_json(w, s);
+  }
+  w.end_object();
+  w.key("engines");
+  w.begin_object();
+  for (const auto& [name, s] : engines_) {
+    w.key(name);
+    llmpq::write_json(w, s);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    LOG_WARN << "metrics: cannot open " << path << " for writing";
+    return false;
+  }
+  JsonWriter w(os, /*indent=*/1);
+  write_json(w);
+  os << '\n';
+  os.flush();
+  if (!os) {
+    LOG_WARN << "metrics: short write to " << path;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace llmpq

@@ -4,10 +4,13 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace llmpq {
+
+class JsonWriter;
 
 /// Lightweight runtime observability for the pipeline engine (and any other
 /// long-lived worker): lock-free accumulators written by worker threads and
@@ -126,5 +129,34 @@ LatencySummary summarize_latency(std::vector<double> seconds);
 
 /// One-line rendering: "n=12 mean=0.31s p50=0.25s p95=0.80s max=1.10s".
 std::string format_latency_summary(const LatencySummary& summary);
+
+/// JSON projections of the metric structs (objects with snake_case keys,
+/// derived rates included) — the machine-readable counterpart to the
+/// format_* renderers above, shared by the metrics registry, the bench
+/// artifacts and any launcher that wants to dump stats.
+void write_json(JsonWriter& w, const StageStats& s);
+void write_json(JsonWriter& w, const PhaseStats& s);
+void write_json(JsonWriter& w, const EngineStats& s);
+void write_json(JsonWriter& w, const LatencySummary& s);
+
+/// Named collection of metric snapshots exported as one JSON document
+/// (schema "llmpq-metrics/v1"): scalar gauges, latency summaries and full
+/// engine stats. Plain value type — fill it at report time from the lock-
+/// free accumulators above; it does no synchronization of its own.
+class MetricsRegistry {
+ public:
+  void set_value(const std::string& name, double value);
+  void set_latency(const std::string& name, const LatencySummary& summary);
+  void set_engine(const std::string& name, const EngineStats& stats);
+
+  void write_json(JsonWriter& w) const;
+  /// Serializes to `path`; false (with a log line) on I/O failure.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, double> values_;
+  std::map<std::string, LatencySummary> latencies_;
+  std::map<std::string, EngineStats> engines_;
+};
 
 }  // namespace llmpq

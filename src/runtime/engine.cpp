@@ -3,10 +3,13 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/trace.hpp"
 
 namespace llmpq {
 
@@ -127,11 +130,22 @@ struct PipelineEngine::Impl {
     const auto [begin, end] = stages[p];
     for (;;) {
       StopwatchNs idle;
-      auto msg = inbox.pop();
+      std::optional<StageMsg> msg;
+      {
+        // The mailbox wait is its own span so pipeline bubbles are visible
+        // on the stage track (long waits between requests included).
+        TRACE_SPAN("engine", "wait");
+        msg = inbox.pop();
+      }
       if (!msg) break;  // inbox closed and drained: engine shutting down
       metrics.add_idle_ns(idle.elapsed_ns());
       StageMsg m = std::move(*msg);
+      if (TraceSession::enabled())
+        TraceSession::set_thread_name("stage " + std::to_string(p));
       if (!m.error) {
+        TRACE_SPAN1("engine",
+                    m.seq_len == 1 ? "decode-microbatch" : "prefill-microbatch",
+                    "seqs", m.seqs);
         StopwatchNs busy;
         try {
           for (int layer = begin; layer < end; ++layer) {
@@ -231,8 +245,16 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
   std::vector<std::vector<TokenId>> generated(batch);
   std::vector<TokenId> last_token(batch);
 
+  if (TraceSession::enabled()) TraceSession::set_thread_name("master");
+  TRACE_SPAN1("engine", "generate", "batch", batch);
+
+  // Phase spans close mid-scope, so they live in optionals (reset = end).
+  std::optional<TraceSpan> phase_span;
+
   try {
     // ---- Prefill: stream micro-batches through the pipeline.
+    phase_span.emplace("engine", "prefill", "tokens",
+                       static_cast<double>(batch * prompt_len));
     StopwatchNs prefill_timer;
     mbm.begin_phase(mbm.prefill_slices().size());
     for (const BatchSlice& slice : mbm.prefill_slices()) {
@@ -260,11 +282,16 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
       mbm.complete_one();
     }
     im.prefill_metrics.add(batch * prompt_len, prefill_timer.elapsed_ns());
+    phase_span.reset();
 
     // ---- Decode rounds with re-sized micro-batches.
+    if (gen_tokens > 1)
+      phase_span.emplace("engine", "decode", "rounds",
+                         static_cast<double>(gen_tokens - 1));
     StopwatchNs decode_timer;
     for (int step = 1; step < gen_tokens; ++step) {
       const std::size_t pos = prompt_len + static_cast<std::size_t>(step) - 1;
+      TRACE_SPAN1("engine", "decode-round", "step", step);
       mbm.begin_phase(mbm.decode_slices().size());
       for (const BatchSlice& slice : mbm.decode_slices()) {
         std::vector<TokenId> toks(
@@ -292,6 +319,7 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
     if (gen_tokens > 1)
       im.decode_metrics.add(batch * static_cast<std::size_t>(gen_tokens - 1),
                             decode_timer.elapsed_ns());
+    phase_span.reset();
   } catch (...) {
     // Swallow every in-flight micro-batch (poisoned or not) so the next
     // generate() starts from an empty pipeline. Workers forward each

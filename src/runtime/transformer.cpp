@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "quant/qgemm.hpp"
 
 namespace llmpq {
@@ -48,6 +50,7 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   auto timed_qgemm = [&](std::span<const float> in, std::size_t m,
                          std::size_t k, const QuantizedMatrix& qw,
                          std::span<const float> bias, std::span<float> out) {
+    TRACE_SPAN1("engine", "qgemm", "n", qw.rows());
     if (metrics == nullptr) {
       qgemm(in, m, k, qw, bias, out);
       return;
@@ -74,6 +77,8 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   timed_qgemm(normed.flat(), rows, h, w.qkv, w.qkv_bias, qkv.flat());
 
   // Append K/V to the cache, then attend over everything cached.
+  std::optional<TraceSpan> attn_span;
+  attn_span.emplace("engine", "attn", "rows", static_cast<double>(rows));
   if (metrics != nullptr) sw.restart();
   Tensor2D attn_ctx(rows, h, 0.0f);
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
@@ -119,6 +124,7 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   }
 
   if (metrics != nullptr) metrics->add_attn_ns(sw.elapsed_ns());
+  attn_span.reset();
 
   if (observer != nullptr)
     observer->on_linear_input(layer_index, 1, attn_ctx.flat());

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace llmpq {
 
@@ -150,6 +151,9 @@ OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
 OnlineEngine::OnlineEngine(PipelineEngine& engine,
                            const OnlineEngineOptions& options)
     : engine_(engine), options_(options), scheduler_(options.scheduler) {
+  // The scheduler's clock (clock_) reads zero right now, so now_s() is the
+  // offset that aligns its lifecycle events with the wall-clock spans.
+  scheduler_.enable_trace(trace_pids::kServe, TraceSession::now_s());
   // Start the admission thread last so a constructor failure above never
   // leaves it running (same RAII discipline as the pipeline engine).
   server_ = std::thread([this] { serve_loop(); });
@@ -161,6 +165,7 @@ OnlineEngine::~OnlineEngine() {
 }
 
 int OnlineEngine::submit(std::vector<TokenId> prompt, int gen_tokens) {
+  TRACE_INSTANT("serve", "submit");
   std::unique_lock<std::mutex> lk(mu_);
   const int id = static_cast<int>(prompts_.size());
   ServeRequest r;
@@ -195,10 +200,12 @@ OnlineReport OnlineEngine::wait() {
 }
 
 void OnlineEngine::serve_loop() {
+  if (TraceSession::enabled()) TraceSession::set_thread_name("serve-loop");
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     const double now = clock_.elapsed_s();
     SchedulerAction a = scheduler_.next(now);
+    TRACE_COUNTER("serve", "pending", scheduler_.pending());
     if (a.kind == SchedulerAction::Kind::kDone) break;
     if (a.kind == SchedulerAction::Kind::kWait) {
       // Either block for new submissions (unbounded wait) or sleep until
@@ -222,6 +229,10 @@ void OnlineEngine::serve_loop() {
     const double start = clock_.elapsed_s();
     DecisionRun run;
     try {
+      TRACE_SPAN1("serve",
+                  d.phase == ServePhase::kPrefillPass ? "execute-prefill"
+                                                      : "execute-decode",
+                  "batch", d.request_ids.size());
       run = execute_decision(engine_, d.phase, inputs);
     } catch (...) {
       // An engine failure poisons the serving loop; surface it on the next
@@ -249,6 +260,9 @@ OnlineReport serve_trace(PipelineEngine& engine,
                          const std::vector<OnlineTraceRequest>& trace,
                          const OnlineEngineOptions& options) {
   ServeScheduler scheduler(options.scheduler);
+  // Trace-replay timestamps are virtual (the trace's own clock), so no
+  // offset: the serving tracks start at t=0 alongside the session.
+  scheduler.enable_trace(trace_pids::kServe, 0.0);
   std::deque<std::pair<std::vector<TokenId>, int>> prompts;
   std::deque<std::vector<TokenId>> generated;
   for (std::size_t i = 0; i < trace.size(); ++i) {

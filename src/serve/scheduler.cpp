@@ -85,8 +85,44 @@ DispatchDecision ServeScheduler::make_prefill_decision(double now, int take) {
     open_.emplace(r.id, rs);
   }
   in_flight_ = true;
+  dispatch_now_ = now;
   decision_log_.push_back(d);
   return d;
+}
+
+void ServeScheduler::enable_trace(std::uint32_t pid, double clock_offset_s) {
+  trace_ = true;
+  trace_pid_ = pid;
+  trace_offset_s_ = clock_offset_s;
+  TraceSession::instance().set_track_name(pid, 0, "dispatch");
+}
+
+/// Emits the finished request's queue→prefill→decode lifecycle as nested
+/// async spans keyed by the request id (scheduler clock + offset). Emitted
+/// retrospectively at completion, when every boundary is known — the trace
+/// is a rendering of RequestStats, so sim and runtime lifecycles are
+/// directly overlayable.
+void ServeScheduler::trace_request_lifecycle(const RequestStats& rs) const {
+  if (!trace_ || !TraceSession::enabled()) return;
+  const double off = trace_offset_s_;
+  const auto id = static_cast<std::uint64_t>(rs.id);
+  TraceSession::emit_async('b', "request", "queue", rs.arrival_s + off, id,
+                           trace_pid_);
+  TraceSession::emit_async('e', "request", "queue", rs.admit_s + off, id,
+                           trace_pid_);
+  const double prefill_end = rs.admit_s + rs.prefill_s;
+  if (rs.prefill_s > 0.0) {
+    TraceSession::emit_async('b', "request", "prefill", rs.admit_s + off, id,
+                             trace_pid_);
+    TraceSession::emit_async('e', "request", "prefill", prefill_end + off, id,
+                             trace_pid_);
+  }
+  if (rs.finish_s > prefill_end) {
+    TraceSession::emit_async('b', "request", "decode", prefill_end + off, id,
+                             trace_pid_);
+    TraceSession::emit_async('e', "request", "decode", rs.finish_s + off, id,
+                             trace_pid_);
+  }
 }
 
 SchedulerAction ServeScheduler::next(double now) {
@@ -152,6 +188,7 @@ SchedulerAction ServeScheduler::next_iteration(double now) {
       d.max_context = std::max(d.max_context, r.context);
     }
     in_flight_ = true;
+    dispatch_now_ = now;
     decision_log_.push_back(d);
     a.kind = SchedulerAction::Kind::kDispatch;
     a.decision = std::move(d);
@@ -178,6 +215,15 @@ void ServeScheduler::complete(const DispatchDecision& decision,
             "in-flight one");
   in_flight_ = false;
 
+  if (trace_ && TraceSession::enabled())
+    TraceSession::emit_complete(
+        "serve",
+        decision.phase == ServePhase::kPrefillPass ? "prefill-pass"
+                                                   : "decode-pass",
+        dispatch_now_ + trace_offset_s_,
+        std::max(0.0, finish_s - dispatch_now_), trace_pid_, /*tid=*/0,
+        "batch", static_cast<double>(decision.request_ids.size()));
+
   if (decision.phase == ServePhase::kPrefillPass) {
     for (int id : decision.request_ids) {
       auto it = open_.find(id);
@@ -193,12 +239,14 @@ void ServeScheduler::complete(const DispatchDecision& decision,
       if (options_.policy == SchedulerPolicy::kStaticBatching) {
         // The bundled padded run is over: everyone finishes together.
         rs.finish_s = finish_s;
+        trace_request_lifecycle(rs);
         finished_.push_back(rs);
         open_.erase(it);
       } else if (rs.gen_tokens <= 1) {
         // Prefill emits token 1; zero-remaining requests complete at
         // admission and never enter the active set.
         rs.finish_s = finish_s;
+        trace_request_lifecycle(rs);
         finished_.push_back(rs);
         open_.erase(it);
       } else {
@@ -221,6 +269,7 @@ void ServeScheduler::complete(const DispatchDecision& decision,
       auto sit = open_.find(it->id);
       check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
       sit->second.finish_s = finish_s;
+      trace_request_lifecycle(sit->second);
       finished_.push_back(sit->second);
       open_.erase(sit);
       it = active_.erase(it);

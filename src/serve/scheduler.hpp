@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/trace.hpp"
 
 namespace llmpq {
 
@@ -143,6 +146,15 @@ class ServeScheduler {
     return decision_log_;
   }
 
+  /// Arms trace emission: dispatch-execution spans on `pid`'s track and a
+  /// queue→prefill→decode async lifecycle per request (keyed by request
+  /// id), all timestamped on the scheduler's own clock. `clock_offset_s`
+  /// is added to every timestamp so a wall-clock back-end can align with
+  /// the trace session (pass TraceSession::now_s() captured when this
+  /// scheduler's clock read zero); virtual-clock back-ends pass 0. Events
+  /// are recorded only while the global TraceSession is enabled.
+  void enable_trace(std::uint32_t pid, double clock_offset_s);
+
  private:
   struct ActiveReq {
     int id = 0;
@@ -154,6 +166,7 @@ class ServeScheduler {
   SchedulerAction next_iteration(double now);
   DispatchDecision make_prefill_decision(double now, int take);
   int arrived_count(double now) const;
+  void trace_request_lifecycle(const RequestStats& rs) const;
 
   SchedulerOptions options_;
   std::unordered_set<int> ids_;     ///< every id ever submitted (O(1) dups)
@@ -164,7 +177,12 @@ class ServeScheduler {
   std::vector<DispatchDecision> decision_log_;
   bool closed_ = false;
   bool in_flight_ = false;  ///< a dispatch awaits complete()
+  double dispatch_now_ = 0.0;  ///< clock value of the in-flight dispatch
   int next_seq_ = 0;
+
+  bool trace_ = false;
+  std::uint32_t trace_pid_ = trace_pids::kServe;
+  double trace_offset_s_ = 0.0;
 };
 
 const char* scheduler_policy_name(SchedulerPolicy policy);

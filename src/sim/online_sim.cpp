@@ -107,6 +107,9 @@ OnlineSimResult simulate_online(const ModelSpec& model,
   // only the cost of each dispatched pass differs — here it comes from the
   // roofline ground truth instead of a wall clock.
   ServeScheduler scheduler(options);
+  // Simulated serving lifecycles land on the sim pid, so a sim run and a
+  // runtime run of the same trace are distinct tracks in one trace file.
+  scheduler.enable_trace(trace_pids::kSim, 0.0);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     ServeRequest r;
     r.id = static_cast<int>(i);  // ids index the input vector

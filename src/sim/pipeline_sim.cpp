@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "common/units.hpp"
 #include "core/estimator.hpp"
 #include "cost/ground_truth.hpp"
@@ -130,6 +131,12 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
     const double finish = start + pass;
     stage_free[static_cast<std::size_t>(si)] = finish;
     stage_busy[static_cast<std::size_t>(si)] += pass;
+    // The simulated schedule lands on the sim pid's per-stage tracks in the
+    // same trace format the real engine records, so a sim run and a runtime
+    // run of one plan overlay directly (cost-model fidelity, Fig. 7 style).
+    TraceSession::emit_complete("sim", "decode", start, pass, trace_pids::kSim,
+                                static_cast<std::uint32_t>(si), "round",
+                                round);
     if (si + 1 < S) {
       const double arrive = finish + comm(si, Phase::kDecode,
                                           plan.decode_micro_batch);
@@ -159,6 +166,9 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
     const double finish = start + pass;
     stage_free[static_cast<std::size_t>(si)] = finish;
     stage_busy[static_cast<std::size_t>(si)] += pass;
+    TraceSession::emit_complete("sim", "prefill", start, pass,
+                                trace_pids::kSim,
+                                static_cast<std::uint32_t>(si), "mb", m);
     if (si + 1 < S) {
       const double arrive =
           finish + comm(si, Phase::kPrefill, plan.prefill_micro_batch);
@@ -178,6 +188,18 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
       }
     }
   };
+
+  if (TraceSession::enabled()) {
+    for (int si = 0; si < S; ++si)
+      TraceSession::instance().set_track_name(
+          trace_pids::kSim, static_cast<std::uint32_t>(si),
+          "sim stage " +
+              std::to_string(active[static_cast<std::size_t>(si)]) +
+              " (dev " +
+              std::to_string(plan.device_order[static_cast<std::size_t>(
+                  active[static_cast<std::size_t>(si)])]) +
+              ")");
+  }
 
   for (int m = 0; m < m_pre; ++m)
     queue.schedule(0.0, [&, m](double t) { arrive_prefill(0, m, t); });
