@@ -8,9 +8,18 @@
 // Pass --trace PATH to record the whole demo — engine stage spans, the
 // scheduler's dispatch passes and per-request lifecycles — as Chrome trace
 // JSON (open in chrome://tracing or ui.perfetto.dev).
+//
+// Pass --faults PLAN.json to arm the process-wide fault injector with a
+// chaos plan (see common/fault.hpp for the JSON shape) and watch the
+// serving stack retry, restart and degrade its way through it; the report
+// then includes the outcome/recovery counters. --deadline-s, --capacity
+// and --max-retries expose the matching scheduler fault policy.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "common/args.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "runtime/weights.hpp"
@@ -41,7 +50,23 @@ void print_report(const char* title, const llmpq::OnlineReport& rep) {
     std::printf(" %s[%zu]",
                 d.phase == llmpq::ServePhase::kPrefillPass ? "P" : "D",
                 d.request_ids.size());
-  std::printf("\n\n");
+  std::printf("\n");
+  if (rep.timed_out || rep.rejected || rep.failed || rep.retries ||
+      rep.engine_restarts || rep.degrades || rep.mem_faults)
+    std::printf(
+        "  faults: %d timed out, %d rejected, %d failed, %d retries, "
+        "%d engine restarts, %d degrades, %d mem faults\n",
+        rep.timed_out, rep.rejected, rep.failed, rep.retries,
+        rep.engine_restarts, rep.degrades, rep.mem_faults);
+  std::printf("\n");
+}
+
+llmpq::FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw llmpq::Error("cannot open fault plan: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return llmpq::FaultPlan::from_json(text.str());
 }
 
 }  // namespace
@@ -52,6 +77,17 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const auto trace_path = args.get("trace");
   if (trace_path) TraceSession::instance().start();
+
+  // Chaos mode: arm the process-wide injector before the engine exists so
+  // every compiled-in fault site sees the plan.
+  if (const auto fault_path = args.get("faults")) {
+    try {
+      FaultInjector::instance().arm(load_fault_plan(*fault_path));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "online_serve: %s\n", e.what());
+      return 1;
+    }
+  }
 
   // A laptop-sized decoder-only model; serving behavior is independent of
   // scale, so small sizes keep the demo instant.
@@ -82,6 +118,15 @@ int main(int argc, char** argv) {
   }
 
   OnlineEngineOptions opts;
+  // Fault-tolerance knobs (defaults change nothing on a fault-free run).
+  opts.scheduler.deadline_s =
+      args.get_double("deadline-s", opts.scheduler.deadline_s);
+  opts.scheduler.admission_capacity = static_cast<int>(
+      args.get_long("capacity", opts.scheduler.admission_capacity));
+  opts.scheduler.max_retries =
+      static_cast<int>(args.get_long("max-retries", opts.scheduler.max_retries));
+  if (args.has("faults")) opts.dispatch_deadline_s = 2.0;  // bound hangs
+
   opts.scheduler.policy = SchedulerPolicy::kStaticBatching;
   opts.scheduler.batch_size = 4;
   opts.scheduler.max_wait_s = 0.05;
@@ -90,14 +135,16 @@ int main(int argc, char** argv) {
 
   opts.scheduler.policy = SchedulerPolicy::kIterationLevel;
   opts.scheduler.max_batch = 4;
+  if (!engine.healthy()) engine.restart();  // a chaos run may break it
   print_report("iteration-level scheduling (max_batch=4):",
                serve_trace(engine, trace, opts));
 
   // Live mode: the engine's admission thread owns the scheduler; the stale
   // timer bounds a lone request's wait at arrival + max_wait_s.
-  OnlineEngineOptions live;
+  OnlineEngineOptions live = opts;
   live.scheduler.policy = SchedulerPolicy::kIterationLevel;
   live.scheduler.max_batch = 4;
+  if (!engine.healthy()) engine.restart();
   OnlineEngine server(engine, live);
   for (int i = 0; i < 4; ++i)
     server.submit(random_prompt(rng, 8 + i, spec.vocab), 3);

@@ -2,8 +2,9 @@
 # Sanitizer ctest pass for the threaded runtime: builds the tree twice
 # (ASan+UBSan, then TSan) and runs the concurrency-heavy test binaries —
 # common (queues, thread pool), runtime (pipeline engine, threaded qgemm),
-# serve (online engine admission thread) and trace (multi-threaded span
-# recording) — under each. Run from the repo root:
+# serve (online engine admission thread), fault (chaos suite: injected
+# faults through the threaded engine and serving loop) and trace
+# (multi-threaded span recording) — under each. Run from the repo root:
 #
 #   scripts/check_sanitizers.sh [extra ctest -R pattern]
 #
@@ -12,7 +13,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-pattern="${1:-common|quant|runtime|serve|trace}"
+pattern="${1:-common|quant|runtime|serve|fault|trace}"
 
 for mode in address thread; do
   build="build-${mode}san"
@@ -21,7 +22,7 @@ for mode in address thread; do
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j \
     --target llmpq_tests_common llmpq_tests_quant llmpq_tests_runtime \
-             llmpq_tests_serve llmpq_tests_trace
+             llmpq_tests_serve llmpq_tests_fault llmpq_tests_trace
   (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
 done
 

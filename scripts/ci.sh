@@ -51,7 +51,11 @@ stage_build() {
 
 stage_test() {
   echo "==== test ===="
-  (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}" -LE sanitize)
+  # --timeout is the per-test hang guard: an injected fault (or a real
+  # deadlock) that wedges a suite fails it after 300s instead of hanging
+  # the whole pipeline. Suites with their own TIMEOUT property keep it.
+  (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}" -LE sanitize \
+    --timeout 300)
 }
 
 stage_format() {

@@ -63,21 +63,26 @@ std::vector<std::string> ArgParser::get_all(const std::string& key) const {
 long ArgParser::get_long(const std::string& key, long fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
+  // Strict: "5x" or "1e3" must be a usage error naming the token, not a
+  // silently truncated 5 or 1 (the historical std::stol behavior).
+  std::size_t used = 0;
+  long value = 0;
+  bool ok = true;
   try {
-    return std::stol(*v);
+    value = std::stol(*v, &used);
   } catch (const std::exception&) {
-    throw InvalidArgumentError("--" + key + " expects an integer, got " + *v);
+    ok = false;
   }
+  if (!ok || used != v->size())
+    throw InvalidArgumentError("--" + key + ": expected an integer, got '" +
+                               *v + "'");
+  return value;
 }
 
 double ArgParser::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  try {
-    return std::stod(*v);
-  } catch (const std::exception&) {
-    throw InvalidArgumentError("--" + key + " expects a number, got " + *v);
-  }
+  return parse_double_token(*v, "--" + key);
 }
 
 int parse_int_token(const std::string& token, const std::string& what) {
@@ -93,6 +98,21 @@ int parse_int_token(const std::string& token, const std::string& what) {
     throw InvalidArgumentError(what + ": expected an integer, got '" + token +
                                "'");
   return static_cast<int>(value);
+}
+
+double parse_double_token(const std::string& token, const std::string& what) {
+  std::size_t used = 0;
+  double value = 0.0;
+  bool ok = true;
+  try {
+    value = std::stod(token, &used);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  if (!ok || used != token.size())
+    throw InvalidArgumentError(what + ": expected a number, got '" + token +
+                               "'");
+  return value;
 }
 
 std::vector<std::string> split_csv(const std::string& s) {

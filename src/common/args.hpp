@@ -24,6 +24,10 @@ class ArgParser {
   /// All values passed for --key, in order.
   std::vector<std::string> get_all(const std::string& key) const;
 
+  /// Strictly parsed numeric flags: trailing junk ("5x", "0.1s") is a
+  /// usage error naming both the key and the offending token, matching
+  /// parse_int_token — a bad --seed or --max_wait_s must not silently
+  /// truncate to a prefix.
   long get_long(const std::string& key, long fallback) const;
   double get_double(const std::string& key, double fallback) const;
 
@@ -48,5 +52,9 @@ std::vector<std::string> split_csv(const std::string& s);
 /// raw std::stoi so "3,x" reports the bad token rather than aborting with
 /// an uncaught exception.
 int parse_int_token(const std::string& token, const std::string& what);
+
+/// Floating-point counterpart of parse_int_token (strict: whole token must
+/// parse, otherwise InvalidArgumentError naming `what` and the token).
+double parse_double_token(const std::string& token, const std::string& what);
 
 }  // namespace llmpq

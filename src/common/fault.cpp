@@ -1,0 +1,309 @@
+#include "common/fault.hpp"
+
+#include <chrono>
+#include <new>
+#include <sstream>
+#include <thread>
+
+#include "common/json_writer.hpp"
+#include "common/trace.hpp"
+
+namespace llmpq {
+
+namespace {
+
+/// splitmix64 finalizer — the per-evaluation hash that makes fire decisions
+/// a pure function of (seed, rule, evaluation index).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool site_matches(const std::string& pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*')
+    return site.substr(0, pattern.size() - 1) ==
+           std::string_view(pattern).substr(0, pattern.size() - 1);
+  return site == pattern;
+}
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  if (name == "throw") return FaultKind::kThrow;
+  if (name == "delay") return FaultKind::kDelay;
+  if (name == "alloc_fail") return FaultKind::kAllocFail;
+  if (name == "drop") return FaultKind::kDrop;
+  throw InvalidArgumentError("FaultPlan: unknown fault kind '" + name +
+                             "' (known: throw, delay, alloc_fail, drop)");
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kAllocFail:
+      return "alloc_fail";
+    case FaultKind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan JSON
+// ---------------------------------------------------------------------------
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/2);
+  w.begin_object();
+  w.kv("seed", static_cast<std::uint64_t>(seed));
+  w.key("rules");
+  w.begin_array();
+  for (const FaultRule& r : rules) {
+    w.begin_object();
+    w.kv("site", r.site);
+    w.kv("kind", fault_kind_name(r.kind));
+    w.kv("probability", r.probability);
+    w.kv("after", r.after);
+    if (r.max_fires != std::numeric_limits<int>::max())
+      w.kv("max_fires", r.max_fires);
+    if (r.delay_ms != 0.0) w.kv("delay_ms", r.delay_ms);
+    if (!r.message.empty()) w.kv("message", r.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+FaultPlan FaultPlan::from_json(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  check_arg(doc.is_object(), "FaultPlan: top level must be an object");
+  FaultPlan plan;
+  if (doc.has("seed")) {
+    const JsonValue& s = doc.at("seed");
+    check_arg(s.is_number() && s.number >= 0,
+              "FaultPlan: 'seed' must be a non-negative number");
+    plan.seed = static_cast<std::uint64_t>(s.number);
+  }
+  check_arg(doc.has("rules") && doc.at("rules").is_array(),
+            "FaultPlan: 'rules' array is required");
+  for (const JsonValue& jr : doc.at("rules").array) {
+    check_arg(jr.is_object(), "FaultPlan: each rule must be an object");
+    FaultRule r;
+    check_arg(jr.has("site") && jr.at("site").is_string() &&
+                  !jr.at("site").string.empty(),
+              "FaultPlan: rule 'site' (non-empty string) is required");
+    r.site = jr.at("site").string;
+    check_arg(jr.has("kind") && jr.at("kind").is_string(),
+              "FaultPlan: rule 'kind' (string) is required");
+    r.kind = fault_kind_from_name(jr.at("kind").string);
+    if (jr.has("probability")) {
+      const double p = jr.at("probability").number;
+      check_arg(jr.at("probability").is_number() && p >= 0.0 && p <= 1.0,
+                "FaultPlan: 'probability' must be in [0, 1]");
+      r.probability = p;
+    }
+    if (jr.has("after")) {
+      check_arg(jr.at("after").is_number() && jr.at("after").number >= 0,
+                "FaultPlan: 'after' must be a non-negative integer");
+      r.after = static_cast<int>(jr.at("after").number);
+    }
+    if (jr.has("max_fires")) {
+      check_arg(jr.at("max_fires").is_number() &&
+                    jr.at("max_fires").number >= 0,
+                "FaultPlan: 'max_fires' must be a non-negative integer");
+      r.max_fires = static_cast<int>(jr.at("max_fires").number);
+    }
+    if (jr.has("delay_ms")) {
+      check_arg(jr.at("delay_ms").is_number() &&
+                    jr.at("delay_ms").number >= 0.0,
+                "FaultPlan: 'delay_ms' must be non-negative");
+      r.delay_ms = jr.at("delay_ms").number;
+    }
+    if (jr.has("message")) {
+      check_arg(jr.at("message").is_string(),
+                "FaultPlan: 'message' must be a string");
+      r.message = jr.at("message").string;
+    }
+    check_arg(r.kind != FaultKind::kDelay || r.delay_ms > 0.0,
+              "FaultPlan: a delay rule needs delay_ms > 0");
+    plan.rules.push_back(std::move(r));
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// FaultLottery
+// ---------------------------------------------------------------------------
+
+struct FaultLottery::RuleState {
+  std::atomic<std::uint64_t> hits{0};   ///< evaluations of this rule
+  std::atomic<std::uint64_t> fires{0};  ///< decisions that fired
+};
+
+FaultLottery::FaultLottery() = default;
+FaultLottery::~FaultLottery() = default;
+FaultLottery::FaultLottery(FaultLottery&&) noexcept = default;
+FaultLottery& FaultLottery::operator=(FaultLottery&&) noexcept = default;
+
+FaultLottery::FaultLottery(FaultPlan plan) : plan_(std::move(plan)) {
+  states_.reserve(plan_.rules.size());
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i)
+    states_.push_back(std::make_unique<RuleState>());
+}
+
+FaultAction FaultLottery::check(std::string_view site) {
+  FaultAction action;
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (!site_matches(rule.site, site)) continue;
+    RuleState& st = *states_[i];
+    const std::uint64_t n = st.hits.fetch_add(1, std::memory_order_relaxed);
+    if (n < static_cast<std::uint64_t>(rule.after)) continue;
+    if (rule.probability < 1.0) {
+      // Counter-based hash, not a sequential RNG: the n-th evaluation's
+      // verdict is fixed by (seed, rule, n) no matter how threads
+      // interleave, so a seed sweep is reproducible.
+      const std::uint64_t h = mix64(plan_.seed ^ mix64(i + 1) ^ mix64(n));
+      const double u =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      if (u >= rule.probability) continue;
+    }
+    // Budget check last, so a skipped probability draw never burns a fire.
+    const std::uint64_t f = st.fires.fetch_add(1, std::memory_order_relaxed);
+    if (f >= static_cast<std::uint64_t>(rule.max_fires)) {
+      st.fires.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    action.kind = rule.kind;
+    action.delay_s = rule.delay_ms / 1e3;
+    action.rule = &rule;
+    return action;
+  }
+  return action;
+}
+
+std::uint64_t FaultLottery::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& st : states_)
+    total += st->fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t FaultLottery::rule_fires(std::size_t index) const {
+  check_arg(index < states_.size(), "FaultLottery: rule index out of range");
+  return states_[index]->fires.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  lottery_ = std::make_shared<FaultLottery>(plan);
+  fires_.store(0, std::memory_order_relaxed);
+  log_.clear();
+  log_next_ = 0;
+  armed_.store(!plan.empty(), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(mu_);
+  lottery_.reset();
+}
+
+FaultAction FaultInjector::check(const char* site) {
+  FaultInjector& in = instance();
+  std::shared_ptr<FaultLottery> lottery;
+  {
+    std::lock_guard<std::mutex> lk(in.mu_);
+    lottery = in.lottery_;
+  }
+  if (!lottery) return {};
+  FaultAction action = lottery->check(site);
+  if (action.kind != FaultKind::kNone) in.record(site, action.kind);
+  return action;
+}
+
+void FaultInjector::record(const char* site, FaultKind kind) {
+  const std::uint64_t seq = fires_.fetch_add(1, std::memory_order_relaxed);
+  TRACE_INSTANT("fault", "fire");
+  std::lock_guard<std::mutex> lk(mu_);
+  FaultFire fire;
+  fire.site = site;
+  fire.kind = kind;
+  fire.seq = seq;
+  if (log_.size() < kLogCap) {
+    log_.push_back(std::move(fire));
+  } else {
+    log_[log_next_] = std::move(fire);
+    log_next_ = (log_next_ + 1) % kLogCap;
+  }
+}
+
+std::uint64_t FaultInjector::fires() const {
+  return fires_.load(std::memory_order_relaxed);
+}
+
+std::vector<FaultFire> FaultInjector::fire_log() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<FaultFire> out;
+  out.reserve(log_.size());
+  // Ring order: log_next_ is the oldest entry once the ring has wrapped.
+  for (std::size_t i = 0; i < log_.size(); ++i)
+    out.push_back(log_[(log_next_ + i) % log_.size()]);
+  return out;
+}
+
+void fault_point_act(const char* site) {
+  const FaultAction action = FaultInjector::check(site);
+  switch (action.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kDrop:  // drop sites use FAULT_DROP
+      return;
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(action.delay_s));
+      return;
+    case FaultKind::kThrow:
+      throw InjectedFault(site, action.rule ? action.rule->message : "");
+    case FaultKind::kAllocFail:
+      throw std::bad_alloc();
+  }
+}
+
+bool fault_drop_check(const char* site) {
+  const FaultAction action = FaultInjector::check(site);
+  switch (action.kind) {
+    case FaultKind::kNone:
+      return false;
+    case FaultKind::kDrop:
+      return true;
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(action.delay_s));
+      return false;
+    case FaultKind::kThrow:
+      throw InjectedFault(site, action.rule ? action.rule->message : "");
+    case FaultKind::kAllocFail:
+      throw std::bad_alloc();
+  }
+  return false;
+}
+
+}  // namespace llmpq

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -40,6 +41,24 @@ class MpmcQueue {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocks up to `timeout` for an item. Returns nullopt on timeout *or*
+  /// when the queue is closed and drained — callers that need to tell the
+  /// two apart check closed() (a closed queue stays closed). This is the
+  /// primitive behind the engine's per-run deadline: the master polls the
+  /// outbox in bounded waits so a dropped or straggling message cannot
+  /// block generate() forever.
+  std::optional<T> pop_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // timeout, or closed+drained
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();

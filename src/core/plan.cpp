@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/args.hpp"
 #include "common/error.hpp"
 #include "hw/gpu_spec.hpp"
 
@@ -127,13 +128,21 @@ ExecutionPlan ExecutionPlan::deserialize(const std::string& text) {
   ExecutionPlan plan;
   std::istringstream is(text);
   std::string line;
-  auto parse_list = [](const std::string& s) {
+  // Strict parsing throughout: a corrupted strategy file ("gen_tokens=10x",
+  // "layer_bits=8,x") must surface as InvalidArgumentError naming the bad
+  // key/token, not silently truncate or abort with an uncaught std::stoi
+  // exception.
+  auto parse_list = [](const std::string& s, const std::string& key) {
     std::vector<int> xs;
     std::istringstream ls(s);
     std::string tok;
     while (std::getline(ls, tok, ','))
-      if (!tok.empty()) xs.push_back(std::stoi(tok));
+      if (!tok.empty())
+        xs.push_back(parse_int_token(tok, "plan deserialize: " + key));
     return xs;
+  };
+  auto parse_field = [](const std::string& value, const std::string& key) {
+    return parse_int_token(value, "plan deserialize: " + key);
   };
   while (std::getline(is, line)) {
     const auto eq = line.find('=');
@@ -142,14 +151,14 @@ ExecutionPlan ExecutionPlan::deserialize(const std::string& text) {
     const std::string value = line.substr(eq + 1);
     if (key == "model") plan.model_name = value;
     else if (key == "cluster") plan.cluster_name = value;
-    else if (key == "global_batch") plan.workload.global_batch = std::stoi(value);
-    else if (key == "prompt_len") plan.workload.prompt_len = std::stoi(value);
-    else if (key == "gen_tokens") plan.workload.gen_tokens = std::stoi(value);
-    else if (key == "prefill_micro_batch") plan.prefill_micro_batch = std::stoi(value);
-    else if (key == "decode_micro_batch") plan.decode_micro_batch = std::stoi(value);
-    else if (key == "device_order") plan.device_order = parse_list(value);
-    else if (key == "boundaries") plan.boundaries = parse_list(value);
-    else if (key == "layer_bits") plan.layer_bits = parse_list(value);
+    else if (key == "global_batch") plan.workload.global_batch = parse_field(value, key);
+    else if (key == "prompt_len") plan.workload.prompt_len = parse_field(value, key);
+    else if (key == "gen_tokens") plan.workload.gen_tokens = parse_field(value, key);
+    else if (key == "prefill_micro_batch") plan.prefill_micro_batch = parse_field(value, key);
+    else if (key == "decode_micro_batch") plan.decode_micro_batch = parse_field(value, key);
+    else if (key == "device_order") plan.device_order = parse_list(value, key);
+    else if (key == "boundaries") plan.boundaries = parse_list(value, key);
+    else if (key == "layer_bits") plan.layer_bits = parse_list(value, key);
     else throw InvalidArgumentError("plan deserialize: unknown key " + key);
   }
   return plan;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 
 namespace llmpq {
@@ -60,6 +61,10 @@ void qgemm_serial(std::span<const float> x, std::size_t m, std::size_t cols,
 void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
            const QuantizedMatrix& w, std::span<const float> bias,
            std::span<float> y) {
+  // Chaos-test checkpoint: a throw here exercises the stage workers'
+  // poisoned-message protocol from inside a kernel; a delay rule makes
+  // this stage a straggler. One relaxed load when no plan is armed.
+  FAULT_POINT("stage.qgemm");
   check_qgemm_args(x, m, cols, w, bias, y);
   const std::size_t rows = w.rows();
   ThreadPool& pool = ThreadPool::shared();

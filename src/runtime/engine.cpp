@@ -1,13 +1,19 @@
 #include "runtime/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/trace.hpp"
 
@@ -58,6 +64,14 @@ struct PipelineEngine::Impl {
   // running std::thread (whose destructor would std::terminate).
   std::vector<std::thread> workers;
 
+  // Broken = an abort (deadline/cancel) or failed drain left micro-batches
+  // stranded inside the pipeline; every generate() is rejected until
+  // restart() rebuilds the workers and mailboxes. `failure` describes the
+  // most recent failed call for callers that re-enqueue lost work.
+  std::atomic<bool> broken{false};
+  mutable std::mutex failure_mu;
+  EngineFailureInfo failure;
+
   Impl(const ModelWeights& w, std::vector<std::pair<int, int>> ranges,
        int pre_mb, int dec_mb)
       : weights(w),
@@ -88,12 +102,16 @@ struct PipelineEngine::Impl {
     caches.resize(stages.size());
     // Everything the workers touch is in place; start them last so a
     // constructor failure above never leaves a thread running.
+    launch_workers();
+  }
+
+  ~Impl() { shutdown(); }
+
+  void launch_workers() {
     workers.reserve(stages.size());
     for (std::size_t p = 0; p < stages.size(); ++p)
       workers.emplace_back([this, p] { stage_loop(p); });
   }
-
-  ~Impl() { shutdown(); }
 
   /// Closes every mailbox and joins the workers. Idempotent.
   void shutdown() noexcept {
@@ -106,6 +124,10 @@ struct PipelineEngine::Impl {
   /// Resets (or re-allocates) the per-stage KV caches for a generate()
   /// call of shape (batch, max_seq).
   void prepare_caches(std::size_t batch, std::size_t max_seq) {
+    // Chaos site for simulated allocation failure: an alloc_fail rule here
+    // surfaces as std::bad_alloc before any micro-batch is in flight, which
+    // is what drives the serving layer's graceful-degradation ladder.
+    FAULT_POINT("engine.kv_alloc");
     if (batch == cache_batch && max_seq == cache_max_seq) {
       for (auto& stage : caches)
         for (KvCache& c : stage) c.reset();
@@ -148,6 +170,7 @@ struct PipelineEngine::Impl {
                     "seqs", m.seqs);
         StopwatchNs busy;
         try {
+          FAULT_POINT("stage.work");
           for (int layer = begin; layer < end; ++layer) {
             decoder_layer_forward(
                 weights.spec, weights.layers[static_cast<std::size_t>(layer)],
@@ -163,6 +186,18 @@ struct PipelineEngine::Impl {
         metrics.add_busy_ns(busy.elapsed_ns());
         metrics.add_microbatch();
       }
+      // Chaos site for lost messages: a drop rule silently swallows the
+      // micro-batch (the master's deadline is the only way out — exactly
+      // the failure a flaky interconnect produces). The check runs inside
+      // its own try so a throw/alloc_fail rule on this site poisons the
+      // message instead of escaping the worker thread (std::terminate).
+      bool dropped = false;
+      try {
+        dropped = FAULT_DROP("engine.mailbox");
+      } catch (...) {
+        m.error = std::current_exception();
+      }
+      if (dropped) continue;
       // A failed push means the next mailbox was closed mid-shutdown;
       // dropping the message is correct then — the master is gone.
       if (p + 1 < stages.size())
@@ -202,8 +237,42 @@ EngineStats PipelineEngine::stats() const {
   return s;
 }
 
+bool PipelineEngine::healthy() const {
+  return !impl_->broken.load(std::memory_order_acquire);
+}
+
+EngineFailureInfo PipelineEngine::last_failure() const {
+  std::lock_guard<std::mutex> lock(impl_->failure_mu);
+  return impl_->failure;
+}
+
+void PipelineEngine::restart() {
+  Impl& im = *impl_;
+  // Joining first makes the mailbox swap below single-threaded: after
+  // shutdown() no worker can touch the old queues. Weights and KV caches
+  // are untouched — recovery never repeats the load or allocation work.
+  im.shutdown();
+  im.workers.clear();
+  for (auto& inbox : im.inboxes)
+    inbox = std::make_unique<MpmcQueue<StageMsg>>(64);
+  im.outbox = std::make_unique<MpmcQueue<StageMsg>>(64);
+  {
+    std::lock_guard<std::mutex> lock(im.failure_mu);
+    im.failure = EngineFailureInfo{};
+  }
+  im.broken.store(false, std::memory_order_release);
+  im.launch_workers();
+  TRACE_INSTANT("engine", "restart");
+}
+
 std::vector<std::vector<TokenId>> PipelineEngine::generate(
     const std::vector<std::vector<TokenId>>& prompts, int gen_tokens) {
+  return generate(prompts, gen_tokens, GenerateOptions{});
+}
+
+std::vector<std::vector<TokenId>> PipelineEngine::generate(
+    const std::vector<std::vector<TokenId>>& prompts, int gen_tokens,
+    const GenerateOptions& options) {
   check_arg(!prompts.empty(), "PipelineEngine::generate: no prompts");
   check_arg(gen_tokens >= 1, "PipelineEngine::generate: gen_tokens must be >= 1");
   const std::size_t batch = prompts.size();
@@ -215,29 +284,98 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
               "PipelineEngine::generate: unpadded prompts");
 
   Impl& im = *impl_;
+  if (im.broken.load(std::memory_order_acquire))
+    throw Error(
+        "PipelineEngine::generate: engine is broken after a fault; "
+        "restart() required");
   const ModelWeights& mw = im.weights;
   const std::size_t max_seq = prompt_len + static_cast<std::size_t>(gen_tokens);
 
+  // Throws before anything is in flight (std::bad_alloc under a simulated
+  // allocation failure), so the engine stays healthy — the serving layer
+  // turns repeated failures here into graceful bitwidth degradation.
   im.prepare_caches(batch, max_seq);
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const bool has_deadline = std::isfinite(options.deadline_s);
+  const Clock::time_point deadline_tp =
+      has_deadline ? start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     options.deadline_s < 0.0
+                                         ? 0.0
+                                         : options.deadline_s))
+                   : Clock::time_point::max();
+  // Poll granularity for the deadline/cancel checks in pop_msg; with no
+  // deadline and no cancel token armed we still use it so a cancel issued
+  // mid-wait is observed promptly.
+  constexpr std::chrono::milliseconds kPoll{20};
 
   // Exact in-flight accounting: every micro-batch pushed into the pipeline
   // comes back on the outbox exactly once (worker exceptions travel as
   // poisoned messages), so on any failure we can drain to a clean state and
-  // keep the engine usable.
+  // keep the engine usable. `pending` mirrors in_flight at slice
+  // granularity so a failure can report exactly which batch rows were lost.
   std::size_t in_flight = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> pending;  // (start, count)
+
+  auto record_failure = [&](const std::string& what, bool needs_restart) {
+    EngineFailureInfo info;
+    info.failed = true;
+    info.needs_restart = needs_restart;
+    info.what = what;
+    for (const auto& [s, n] : pending)
+      for (std::size_t r = 0; r < n; ++r)
+        info.lost_rows.push_back(static_cast<int>(s + r));
+    std::sort(info.lost_rows.begin(), info.lost_rows.end());
+    std::lock_guard<std::mutex> lock(im.failure_mu);
+    im.failure = std::move(info);
+  };
+  auto mark_broken = [&](const std::string& what) {
+    record_failure(what, /*needs_restart=*/true);
+    im.broken.store(true, std::memory_order_release);
+    TRACE_INSTANT("engine", "broken");
+  };
 
   auto push_msg = [&](StageMsg msg) {
+    const std::pair<std::size_t, std::size_t> slice{msg.batch_start, msg.seqs};
     if (!im.inboxes.front()->push(std::move(msg)))
       throw Error("PipelineEngine: pipeline is shut down (mailbox closed)");
+    pending.push_back(slice);
     ++in_flight;
   };
   auto pop_msg = [&]() -> StageMsg {
-    auto out = im.outbox->pop();
-    if (!out) throw Error("PipelineEngine: pipeline closed early");
-    --in_flight;
-    StageMsg m = std::move(*out);
-    if (m.error) std::rethrow_exception(m.error);
-    return m;
+    for (;;) {
+      if (options.cancel.cancelled()) {
+        mark_broken("PipelineEngine: generate cancelled");
+        throw PipelineAbortError("PipelineEngine: generate cancelled",
+                                 /*timed_out=*/false);
+      }
+      if (Clock::now() >= deadline_tp) {
+        mark_broken("PipelineEngine: generate deadline exceeded");
+        throw PipelineAbortError("PipelineEngine: generate deadline exceeded",
+                                 /*timed_out=*/true);
+      }
+      auto out = im.outbox->pop_for(kPoll);
+      if (!out) {
+        if (im.outbox->closed())
+          throw Error("PipelineEngine: pipeline closed early");
+        continue;  // timed out waiting; re-check deadline/cancel
+      }
+      --in_flight;
+      StageMsg m = std::move(*out);
+      // A poisoned message did come back, but its rows produced no usable
+      // output this round — keep its slice in `pending` so last_failure()
+      // reports those rows as lost alongside any still in flight.
+      if (m.error) std::rethrow_exception(m.error);
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->first == m.batch_start && it->second == m.seqs) {
+          pending.erase(it);
+          break;
+        }
+      }
+      return m;
+    }
   };
 
   MicrobatchManager mbm(batch, static_cast<std::size_t>(im.prefill_mb),
@@ -268,6 +406,7 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
       msg.batch_start = slice.start;
       msg.seqs = slice.count;
       msg.seq_len = prompt_len;
+      FAULT_POINT("engine.embed");
       msg.acts = embed(mw, flat, slice.count, prompt_len, 0);
       push_msg(std::move(msg));
     }
@@ -302,6 +441,7 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
         msg.batch_start = slice.start;
         msg.seqs = slice.count;
         msg.seq_len = 1;
+        FAULT_POINT("engine.embed");
         msg.acts = embed(mw, toks, slice.count, 1, pos);
         push_msg(std::move(msg));
       }
@@ -320,19 +460,51 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
       im.decode_metrics.add(batch * static_cast<std::size_t>(gen_tokens - 1),
                             decode_timer.elapsed_ns());
     phase_span.reset();
+  } catch (const PipelineAbortError&) {
+    // Deadline/cancel: micro-batches may be stuck inside the pipeline (or
+    // silently dropped), so draining could block forever. mark_broken
+    // already ran; restart() is the only road back.
+    throw;
   } catch (...) {
     // Swallow every in-flight micro-batch (poisoned or not) so the next
     // generate() starts from an empty pipeline. Workers forward each
-    // message exactly once, so this terminates; KV caches are reset at the
-    // top of the next call, so partial state cannot leak across calls.
+    // message exactly once, so this terminates unless a message was lost —
+    // the grace budget converts that hang into a broken engine instead.
+    std::string what = "unknown error";
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    const Clock::time_point grace = Clock::now() + std::chrono::seconds(2);
+    bool drained = true;
     while (in_flight > 0) {
-      auto out = im.outbox->pop();
-      if (!out) break;  // engine shut down concurrently
-      --in_flight;
+      auto out = im.outbox->pop_for(kPoll);
+      if (out) {
+        --in_flight;
+        continue;
+      }
+      if (im.outbox->closed()) break;  // engine shut down concurrently
+      if (Clock::now() >= grace) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) {
+      record_failure("PipelineEngine: generate failed: " + what,
+                     /*needs_restart=*/false);
+    } else {
+      mark_broken("PipelineEngine: drain after failure timed out (" + what +
+                  ")");
     }
     throw;
   }
 
+  {
+    std::lock_guard<std::mutex> lock(im.failure_mu);
+    im.failure = EngineFailureInfo{};
+  }
   im.generate_calls.fetch_add(1, std::memory_order_relaxed);
   return generated;
 }

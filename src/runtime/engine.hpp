@@ -1,13 +1,66 @@
 #pragma once
 
+#include <atomic>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "runtime/microbatch.hpp"
 #include "runtime/transformer.hpp"
 
 namespace llmpq {
+
+/// Shared-state cancellation handle: copy it into GenerateOptions, keep a
+/// copy, and cancel() from any thread to abort the in-flight generate().
+/// Cancellation (like a deadline) leaves micro-batches stranded inside the
+/// pipeline, so the engine marks itself broken and requires restart().
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  void reset() { flag_->store(false, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+struct GenerateOptions {
+  /// Wall-clock budget for the whole generate() call. On expiry the master
+  /// stops waiting for in-flight micro-batches and throws
+  /// PipelineAbortError (needs_restart) — the guard that converts a
+  /// dropped message or an unbounded straggler into a recoverable fault.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  CancelToken cancel;
+};
+
+/// generate() was aborted by its deadline or its cancel token. In-flight
+/// micro-batches may still be inside the pipeline, so the engine is broken
+/// until restart().
+class PipelineAbortError : public Error {
+ public:
+  PipelineAbortError(const std::string& what, bool timed_out)
+      : Error(what), timed_out_(timed_out) {}
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  bool timed_out_;
+};
+
+/// What the last failed generate() call lost, for callers (the serving
+/// loop) that re-enqueue work: `lost_rows` are the batch row indices whose
+/// in-progress round never completed — under the engine's all-or-nothing
+/// output contract every row of a failed call loses its output, but
+/// lost_rows pinpoints the micro-batches that were actually in flight.
+struct EngineFailureInfo {
+  bool failed = false;
+  bool needs_restart = false;  ///< restart() required before reuse
+  std::string what;
+  std::vector<int> lost_rows;
+};
 
 /// Distributed (multi-threaded) pipeline inference engine — the runtime
 /// half of LLM-PQ (paper Sec. 3/5), scaled to CPU threads: one persistent
@@ -41,6 +94,28 @@ class PipelineEngine {
   /// reset per call, buffers reused when the shape matches).
   std::vector<std::vector<TokenId>> generate(
       const std::vector<std::vector<TokenId>>& prompts, int gen_tokens);
+
+  /// As above, with a per-call deadline and cancellation token. Deadline
+  /// expiry or cancellation throws PipelineAbortError and leaves the
+  /// engine broken (healthy() == false) until restart(); ordinary stage
+  /// exceptions still drain and rethrow without breaking the engine.
+  std::vector<std::vector<TokenId>> generate(
+      const std::vector<std::vector<TokenId>>& prompts, int gen_tokens,
+      const GenerateOptions& options);
+
+  /// False after an abort (deadline/cancel) or a failed drain left
+  /// micro-batches stranded in the pipeline; generate() then throws until
+  /// restart() is called.
+  bool healthy() const;
+
+  /// Details of the most recent failed generate() (cleared by the next
+  /// successful call and by restart()).
+  EngineFailureInfo last_failure() const;
+
+  /// Tears down the stage workers and mailboxes and rebuilds them,
+  /// clearing the broken state. Loaded weights and KV-cache allocations
+  /// are reused — recovery does not repeat model load or cache setup.
+  void restart();
 
   int num_stages() const;
 

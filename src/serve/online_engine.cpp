@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdint>
 #include <exception>
+#include <new>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/trace.hpp"
 
 namespace llmpq {
@@ -93,16 +95,70 @@ struct DecisionRun {
 /// Runs the engine on prepared inputs. Touches no request tables, so the
 /// live engine calls it with its lock released.
 DecisionRun execute_decision(PipelineEngine& engine, ServePhase phase,
-                             const DecisionInputs& in) {
+                             const DecisionInputs& in,
+                             const GenerateOptions& gopts) {
+  // Chaos site for serving-layer faults (a throw here fails the dispatch
+  // without involving the pipeline at all).
+  FAULT_POINT("serve.dispatch");
   DecisionRun run;
   StopwatchNs wall;
   const double prefill_before = engine.stats().prefill.seconds;
-  run.out = engine.generate(in.padded, in.gen_call);
+  run.out = engine.generate(in.padded, in.gen_call, gopts);
   run.timing.total_s = wall.elapsed_s();
   if (phase == ServePhase::kPrefillPass)
     run.timing.prefill_s =
         std::max(0.0, engine.stats().prefill.seconds - prefill_before);
   return run;
+}
+
+/// Shared recovery policy for the live loop and trace replay: counts
+/// memory faults, walks the degradation ladder, and restarts a broken
+/// engine within the restart budget. Returns false when the budget is
+/// exhausted and the caller should surface the error.
+struct FailureGovernor {
+  const OnlineEngineOptions& options;
+  PipelineEngine* engine;
+  int engine_restarts = 0;
+  int degrades = 0;
+  int mem_faults = 0;  ///< since the last degrade step
+  int total_mem_faults = 0;
+  int degrade_level = 0;
+
+  bool handle(bool mem_fault) {
+    if (mem_fault) {
+      ++mem_faults;
+      ++total_mem_faults;
+      TRACE_INSTANT("serve", "mem-fault");
+      if (options.degrade &&
+          mem_faults >= options.degrade_after_mem_faults) {
+        if (PipelineEngine* next = options.degrade(++degrade_level)) {
+          // Step down the ladder (lower bitwidth / smaller micro-batch)
+          // and give the cheaper engine a fresh fault budget.
+          engine = next;
+          ++degrades;
+          mem_faults = 0;
+          TRACE_INSTANT("serve", "degrade");
+        }
+      }
+    }
+    if (!engine->healthy()) {
+      if (engine_restarts >= options.max_engine_restarts) return false;
+      engine->restart();
+      ++engine_restarts;
+      TRACE_INSTANT("serve", "engine-restart");
+    }
+    return true;
+  }
+};
+
+std::string describe_exception(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
 }
 
 /// Appends each row's kept output tokens to its request's generated row.
@@ -120,22 +176,37 @@ void commit_decision(const DispatchDecision& d, const DecisionInputs& in,
 }
 
 OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
-                          const std::deque<std::vector<TokenId>>& generated) {
+                          const std::deque<std::vector<TokenId>>& generated,
+                          const FailureGovernor* gov = nullptr) {
   OnlineReport rep;
   rep.requests = scheduler.finished();
   rep.decisions = scheduler.decision_log();
-  rep.completed = static_cast<int>(rep.requests.size());
   rep.makespan_s = makespan_s;
+  // Throughput and the latency summaries cover served requests only —
+  // folding rejected/timed-out requests in would make a lossy run look
+  // faster, not slower.
   std::int64_t tokens_out = 0;
   std::vector<double> latencies, queue_delays, prefills;
   latencies.reserve(rep.requests.size());
   queue_delays.reserve(rep.requests.size());
   prefills.reserve(rep.requests.size());
   for (const RequestStats& r : rep.requests) {
+    if (r.outcome != RequestOutcome::kCompleted) continue;
+    ++rep.completed;
     tokens_out += r.gen_tokens;
     latencies.push_back(r.finish_s - r.arrival_s);
     queue_delays.push_back(r.queue_delay_s);
     prefills.push_back(r.prefill_s);
+  }
+  const OutcomeCounts oc = scheduler.outcomes();
+  rep.timed_out = oc.timed_out;
+  rep.rejected = oc.rejected;
+  rep.failed = oc.failed;
+  rep.retries = oc.retries;
+  if (gov != nullptr) {
+    rep.engine_restarts = gov->engine_restarts;
+    rep.degrades = gov->degrades;
+    rep.mem_faults = gov->total_mem_faults;
   }
   rep.throughput_tokens_per_s =
       makespan_s > 0.0 ? static_cast<double>(tokens_out) / makespan_s : 0.0;
@@ -150,7 +221,7 @@ OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
 
 OnlineEngine::OnlineEngine(PipelineEngine& engine,
                            const OnlineEngineOptions& options)
-    : engine_(engine), options_(options), scheduler_(options.scheduler) {
+    : engine_(&engine), options_(options), scheduler_(options.scheduler) {
   // The scheduler's clock (clock_) reads zero right now, so now_s() is the
   // offset that aligns its lifecycle events with the wall-clock spans.
   scheduler_.enable_trace(trace_pids::kServe, TraceSession::now_s());
@@ -167,6 +238,11 @@ OnlineEngine::~OnlineEngine() {
 int OnlineEngine::submit(std::vector<TokenId> prompt, int gen_tokens) {
   TRACE_INSTANT("serve", "submit");
   std::unique_lock<std::mutex> lk(mu_);
+  // Fail fast once the serving loop has died: queueing more work would
+  // just strand it (nobody will ever dispatch), and the caller would only
+  // learn about the failure at wait().
+  if (error_)
+    throw Error("OnlineEngine::submit: serving loop failed: " + error_what_);
   const int id = static_cast<int>(prompts_.size());
   ServeRequest r;
   r.id = id;
@@ -193,14 +269,29 @@ OnlineReport OnlineEngine::wait() {
   std::unique_lock<std::mutex> lk(mu_);
   check_arg(scheduler_.closed(), "OnlineEngine::wait(): close() first");
   cv_.wait(lk, [&] { return done_; });
-  lk.unlock();
-  if (server_.joinable()) server_.join();
+  // Join exactly once, flagged under the lock: two threads calling wait()
+  // concurrently must not both reach std::thread::join() (UB on the
+  // second), and repeated waits after a failure must keep rethrowing the
+  // same error instead of tripping over a dead thread.
+  if (!joined_) {
+    joined_ = true;
+    lk.unlock();
+    server_.join();
+    lk.lock();
+  }
   if (error_) std::rethrow_exception(error_);
-  return build_report(scheduler_, makespan_s_, generated_);
+  FailureGovernor gov{options_, engine_};
+  gov.engine_restarts = engine_restarts_;
+  gov.degrades = degrades_;
+  gov.total_mem_faults = total_mem_faults_;
+  return build_report(scheduler_, makespan_s_, generated_, &gov);
 }
 
 void OnlineEngine::serve_loop() {
   if (TraceSession::enabled()) TraceSession::set_thread_name("serve-loop");
+  GenerateOptions gopts;
+  gopts.deadline_s = options_.dispatch_deadline_s;
+  FailureGovernor gov{options_, engine_};
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     const double now = clock_.elapsed_s();
@@ -210,7 +301,8 @@ void OnlineEngine::serve_loop() {
     if (a.kind == SchedulerAction::Kind::kWait) {
       // Either block for new submissions (unbounded wait) or sleep until
       // the scheduler's deadline — the stale timer that bounds a lone
-      // request's wait at arrival + max_wait_s. Submissions wake us early.
+      // request's wait at arrival + max_wait_s, or a retry-backoff or
+      // request-deadline wakeup. Submissions wake us early.
       if (std::isinf(a.wait_until))
         cv_.wait(lk);
       else
@@ -228,20 +320,40 @@ void OnlineEngine::serve_loop() {
     lk.unlock();
     const double start = clock_.elapsed_s();
     DecisionRun run;
+    bool mem_fault = false;
+    std::exception_ptr err;
     try {
       TRACE_SPAN1("serve",
                   d.phase == ServePhase::kPrefillPass ? "execute-prefill"
                                                       : "execute-decode",
                   "batch", d.request_ids.size());
-      run = execute_decision(engine_, d.phase, inputs);
+      run = execute_decision(*gov.engine, d.phase, inputs, gopts);
+    } catch (const std::bad_alloc&) {
+      mem_fault = true;
+      err = std::current_exception();
     } catch (...) {
-      // An engine failure poisons the serving loop; surface it on the next
-      // wait() rather than terminating the process from a thread.
-      lk.lock();
-      error_ = std::current_exception();
-      break;
+      err = std::current_exception();
     }
     lk.lock();
+    if (err) {
+      // Hand the failed dispatch back to the scheduler (retry with
+      // backoff, kFailed past the cap), then recover the engine: restart
+      // it if the fault broke it, step down the degradation ladder after
+      // repeated memory faults. Only an exhausted restart budget kills
+      // the loop — that terminal error is what submit()/wait() surface.
+      scheduler_.fail(d, clock_.elapsed_s());
+      const bool recovered = gov.handle(mem_fault);
+      engine_ = gov.engine;
+      engine_restarts_ = gov.engine_restarts;
+      degrades_ = gov.degrades;
+      total_mem_faults_ = gov.total_mem_faults;
+      if (!recovered) {
+        error_ = err;
+        error_what_ = describe_exception(err);
+        break;
+      }
+      continue;
+    }
     commit_decision(d, inputs, run.out, generated_);
     const double finish = clock_.elapsed_s();
     const double prefill_end =
@@ -280,6 +392,9 @@ OnlineReport serve_trace(PipelineEngine& engine,
 
   // Virtual clock: arrivals advance it per the trace; each decision
   // advances it by the measured wall time of the real engine call.
+  GenerateOptions gopts;
+  gopts.deadline_s = options.dispatch_deadline_s;
+  FailureGovernor gov{options, &engine};
   double t = 0.0;
   for (;;) {
     SchedulerAction a = scheduler.next(t);
@@ -293,7 +408,27 @@ OnlineReport serve_trace(PipelineEngine& engine,
     const DispatchDecision d = std::move(a.decision);
     const DecisionInputs inputs =
         prepare_decision(options.scheduler.policy, d, prompts, generated);
-    const DecisionRun run = execute_decision(engine, d.phase, inputs);
+    DecisionRun run;
+    bool mem_fault = false;
+    std::exception_ptr err;
+    StopwatchNs wall;
+    try {
+      run = execute_decision(*gov.engine, d.phase, inputs, gopts);
+    } catch (const std::bad_alloc&) {
+      mem_fault = true;
+      err = std::current_exception();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      // Same recovery policy as the live loop, on the virtual clock: the
+      // failed call's wall time still advances it so retried dispatches
+      // do not appear free.
+      t += wall.elapsed_s();
+      scheduler.fail(d, t);
+      if (!gov.handle(mem_fault)) std::rethrow_exception(err);
+      continue;
+    }
     commit_decision(d, inputs, run.out, generated);
     const double finish = t + run.timing.total_s;
     const double prefill_end =
@@ -303,7 +438,7 @@ OnlineReport serve_trace(PipelineEngine& engine,
     scheduler.complete(d, finish, prefill_end);
     t = finish;
   }
-  return build_report(scheduler, t, generated);
+  return build_report(scheduler, t, generated, &gov);
 }
 
 }  // namespace llmpq

@@ -3,7 +3,10 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <functional>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -53,6 +56,27 @@ namespace llmpq {
 
 struct OnlineEngineOptions {
   SchedulerOptions scheduler;
+
+  // ---- Fault-tolerance policy. Defaults change nothing: no dispatch
+  // deadline, and the recovery paths only run after a dispatch fails.
+
+  /// Wall-clock budget for each engine dispatch. On expiry the engine
+  /// aborts the call (PipelineAbortError), the serving loop restarts it,
+  /// and the scheduler retries/fails the affected requests. This is what
+  /// bounds the damage of a dropped mailbox message or a wedged stage.
+  double dispatch_deadline_s = std::numeric_limits<double>::infinity();
+  /// Engine restarts allowed before the loop gives up and surfaces the
+  /// last failure through wait().
+  int max_engine_restarts = 8;
+  /// Memory faults (std::bad_alloc from a dispatch) tolerated before the
+  /// degrade hook is consulted.
+  int degrade_after_mem_faults = 2;
+  /// Graceful-degradation ladder: called with level 1, 2, ... after
+  /// repeated memory faults; returns a replacement engine built from a
+  /// cheaper plan (next-lower bitwidth, halved micro-batch) or nullptr
+  /// when out of options. The caller retains ownership and must keep the
+  /// replacement alive until wait() returns.
+  std::function<PipelineEngine*(int level)> degrade;
 };
 
 struct OnlineTraceRequest {
@@ -62,15 +86,24 @@ struct OnlineTraceRequest {
 };
 
 struct OnlineReport {
-  int completed = 0;
+  int completed = 0;  ///< requests served normally (outcome kCompleted)
   double makespan_s = 0.0;
   double throughput_tokens_per_s = 0.0;  ///< useful (unpadded) tokens
-  LatencySummary latency;      ///< arrival -> last token
+  LatencySummary latency;      ///< arrival -> last token (completed only)
   LatencySummary queue_delay;  ///< arrival -> admission (no prefill inside)
   LatencySummary prefill;      ///< prefill pass time per request
   std::vector<RequestStats> requests;       ///< completion order
   std::vector<DispatchDecision> decisions;  ///< dispatch order (parity key)
   std::vector<std::vector<TokenId>> generated;  ///< indexed by request id
+
+  // ---- Fault accounting (all zero on a fault-free run).
+  int timed_out = 0;        ///< requests past deadline_s
+  int rejected = 0;         ///< bounced by the admission bound
+  int failed = 0;           ///< exhausted max_retries
+  int retries = 0;          ///< total dispatch retries consumed
+  int engine_restarts = 0;  ///< PipelineEngine::restart() invocations
+  int degrades = 0;         ///< degradation-ladder steps taken
+  int mem_faults = 0;       ///< std::bad_alloc dispatches observed
 };
 
 class OnlineEngine {
@@ -83,6 +116,9 @@ class OnlineEngine {
 
   /// Enqueues a request (arrival = now on the engine's wall clock) and
   /// wakes the admission thread. Returns the request id. Thread-safe.
+  /// Fails fast once the serving loop has died: after the loop stores its
+  /// terminal error, every submit() throws immediately (naming the
+  /// original failure) instead of silently queueing work no one will run.
   int submit(std::vector<TokenId> prompt, int gen_tokens);
 
   /// Declares the request stream finished; the admission thread exits once
@@ -90,13 +126,15 @@ class OnlineEngine {
   void close();
 
   /// Blocks until the admission thread drains (requires close() first) and
-  /// returns the serving report.
+  /// returns the serving report. Idempotent: safe to call repeatedly and
+  /// from multiple threads (the thread join happens exactly once); a
+  /// failed run rethrows the same error each time.
   OnlineReport wait();
 
  private:
   void serve_loop();
 
-  PipelineEngine& engine_;
+  PipelineEngine* engine_;  ///< degradation can swap in a replacement
   OnlineEngineOptions options_;
 
   std::mutex mu_;
@@ -107,7 +145,14 @@ class OnlineEngine {
   StopwatchNs clock_;
   double makespan_s_ = 0.0;
   bool done_ = false;
-  std::exception_ptr error_;  ///< engine failure, rethrown by wait()
+  bool joined_ = false;       ///< server_ join happened (wait idempotence)
+  std::exception_ptr error_;  ///< loop failure, rethrown by wait()
+  std::string error_what_;    ///< its message, for submit() fail-fast
+  int engine_restarts_ = 0;
+  int degrades_ = 0;
+  int mem_faults_ = 0;        ///< since the last degrade step
+  int total_mem_faults_ = 0;
+  int degrade_level_ = 0;
   std::thread server_;  ///< started last, joined in wait()/destructor
 };
 

@@ -21,12 +21,48 @@ const char* scheduler_policy_name(SchedulerPolicy policy) {
   return "?";
 }
 
+const char* request_outcome_name(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kCompleted:
+      return "completed";
+    case RequestOutcome::kTimedOut:
+      return "timed-out";
+    case RequestOutcome::kRejected:
+      return "rejected";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
 ServeScheduler::ServeScheduler(const SchedulerOptions& options)
     : options_(options) {
   check_arg(options_.max_batch >= 1 && options_.batch_size >= 1,
             "ServeScheduler: batch limits must be positive");
   check_arg(options_.max_wait_s >= 0.0,
             "ServeScheduler: max_wait_s must be non-negative");
+  check_arg(options_.deadline_s > 0.0,
+            "ServeScheduler: deadline_s must be positive");
+  check_arg(options_.admission_capacity >= 0,
+            "ServeScheduler: admission_capacity must be >= 0");
+  check_arg(options_.max_retries >= 0,
+            "ServeScheduler: max_retries must be >= 0");
+  check_arg(options_.retry_backoff_s >= 0.0 &&
+                options_.retry_backoff_max_s >= 0.0,
+            "ServeScheduler: retry backoff must be non-negative");
+}
+
+void ServeScheduler::enqueue(QueuedReq entry) {
+  // Keep the queue sorted by (eligible, id) so trace replay can submit a
+  // whole workload up front in any order; live submissions (arrival = now)
+  // land at the back and retries slot in at their backoff-release time.
+  auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), entry,
+      [](const QueuedReq& a, const QueuedReq& b) {
+        return a.eligible_s != b.eligible_s ? a.eligible_s < b.eligible_s
+                                            : a.req.id < b.req.id;
+      });
+  queue_.insert(pos, std::move(entry));
 }
 
 void ServeScheduler::submit(const ServeRequest& request) {
@@ -39,27 +75,129 @@ void ServeScheduler::submit(const ServeRequest& request) {
   // check O(1) instead of an O(n) queue scan per submit.
   check_arg(ids_.insert(request.id).second,
             "ServeScheduler: duplicate request id (ids are single-use)");
-  // Keep the queue sorted by (arrival, id) so trace replay can submit a
-  // whole workload up front in any order; live submissions (arrival = now)
-  // land at the back.
-  auto pos = std::upper_bound(
-      queue_.begin(), queue_.end(), request,
-      [](const ServeRequest& a, const ServeRequest& b) {
-        return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
-                                          : a.id < b.id;
-      });
-  queue_.insert(pos, request);
+  QueuedReq entry;
+  entry.req = request;
+  entry.eligible_s = request.arrival_s;
+  enqueue(std::move(entry));
 }
 
 void ServeScheduler::close() { closed_ = true; }
 
 int ServeScheduler::arrived_count(double now) const {
   int n = 0;
-  for (const ServeRequest& r : queue_) {
-    if (r.arrival_s > now) break;  // sorted: the rest are in the future
+  for (const QueuedReq& r : queue_) {
+    if (r.eligible_s > now) break;  // sorted: the rest are in the future
     ++n;
   }
   return n;
+}
+
+double ServeScheduler::backoff_s(int attempt) const {
+  double b = options_.retry_backoff_s;
+  for (int i = 1; i < attempt && b < options_.retry_backoff_max_s; ++i)
+    b *= 2.0;
+  return std::min(b, options_.retry_backoff_max_s);
+}
+
+void ServeScheduler::finish_unserved(const ServeRequest& r,
+                                     RequestOutcome outcome, double finish_s,
+                                     int retries) {
+  RequestStats rs;
+  rs.id = r.id;
+  rs.arrival_s = r.arrival_s;
+  rs.admit_s = finish_s;
+  rs.finish_s = finish_s;
+  rs.queue_delay_s = std::max(0.0, finish_s - r.arrival_s);
+  rs.prompt_len = r.prompt_len;
+  rs.gen_tokens = r.gen_tokens;
+  rs.outcome = outcome;
+  rs.retries = retries;
+  finished_.push_back(rs);
+  if (trace_ && TraceSession::enabled())
+    TraceSession::emit_complete("serve", request_outcome_name(outcome),
+                                finish_s + trace_offset_s_, /*dur_s=*/0.0,
+                                trace_pid_, /*tid=*/0, "id",
+                                static_cast<double>(r.id));
+}
+
+void ServeScheduler::process_arrivals(double now) {
+  // Hot path: with no deadline and no admission bound this is a no-op and
+  // the decision log matches the fault-oblivious scheduler exactly.
+  const bool has_deadline = options_.deadline_s != kInf;
+  if (!has_deadline && options_.admission_capacity <= 0) return;
+  // Expire first (including retries parked in backoff — their deadline
+  // keeps running) so a request is never rejected after it already timed
+  // out. Expiry is stamped at arrival + deadline, not now, so results are
+  // independent of how often the back-end polls next().
+  if (has_deadline) {
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      const double expiry = it->req.arrival_s + options_.deadline_s;
+      if (expiry <= now) {
+        finish_unserved(it->req, RequestOutcome::kTimedOut, expiry,
+                        it->attempts);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (options_.admission_capacity > 0) {
+    int waiting = 0;
+    for (const QueuedReq& e : queue_)
+      if (e.admitted) ++waiting;
+    // Fresh arrivals are examined in (arrival, id) order — the queue sort
+    // key — so rejection is deterministic and replay-independent.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->admitted) {
+        ++it;
+        continue;
+      }
+      if (it->eligible_s > now) break;  // fresh: eligible == arrival
+      if (waiting >= options_.admission_capacity) {
+        finish_unserved(it->req, RequestOutcome::kRejected,
+                        it->req.arrival_s, 0);
+        it = queue_.erase(it);
+      } else {
+        it->admitted = true;
+        ++waiting;
+        ++it;
+      }
+    }
+  }
+}
+
+void ServeScheduler::expire_active(double now) {
+  if (options_.deadline_s == kInf) return;
+  for (auto it = active_.begin(); it != active_.end();) {
+    auto sit = open_.find(it->id);
+    check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
+    if (sit->second.arrival_s + options_.deadline_s <= now) {
+      RequestStats rs = sit->second;
+      rs.finish_s = now;
+      rs.outcome = RequestOutcome::kTimedOut;
+      rs.retries = it->retries;
+      finished_.push_back(rs);
+      open_.erase(sit);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServeScheduler::fold_expiry_wakeups(SchedulerAction& a) const {
+  if (a.kind != SchedulerAction::Kind::kWait ||
+      options_.deadline_s == kInf)
+    return;
+  for (const QueuedReq& e : queue_)
+    a.wait_until =
+        std::min(a.wait_until, e.req.arrival_s + options_.deadline_s);
+  for (const ActiveReq& r : active_) {
+    const auto it = open_.find(r.id);
+    if (it != open_.end())
+      a.wait_until = std::min(
+          a.wait_until, it->second.arrival_s + options_.deadline_s);
+  }
 }
 
 DispatchDecision ServeScheduler::make_prefill_decision(double now, int take) {
@@ -68,8 +206,9 @@ DispatchDecision ServeScheduler::make_prefill_decision(double now, int take) {
   d.phase = ServePhase::kPrefillPass;
   d.request_ids.reserve(static_cast<std::size_t>(take));
   for (int i = 0; i < take; ++i) {
-    const ServeRequest r = queue_.front();
+    const QueuedReq q = queue_.front();
     queue_.pop_front();
+    const ServeRequest& r = q.req;
     d.request_ids.push_back(r.id);
     d.padded_prompt = std::max(d.padded_prompt, r.prompt_len);
     d.padded_gen = std::max(d.padded_gen, r.gen_tokens);
@@ -82,6 +221,7 @@ DispatchDecision ServeScheduler::make_prefill_decision(double now, int take) {
     rs.queue_delay_s = std::max(0.0, now - r.arrival_s);
     rs.prompt_len = r.prompt_len;
     rs.gen_tokens = r.gen_tokens;
+    rs.retries = q.attempts;
     open_.emplace(r.id, rs);
   }
   in_flight_ = true;
@@ -129,9 +269,25 @@ SchedulerAction ServeScheduler::next(double now) {
   check_arg(!in_flight_,
             "ServeScheduler: next() called with a dispatch still in flight "
             "(call complete() first)");
-  return options_.policy == SchedulerPolicy::kStaticBatching
-             ? next_static(now)
-             : next_iteration(now);
+  process_arrivals(now);
+  if (options_.policy == SchedulerPolicy::kIterationLevel)
+    expire_active(now);
+  // After a fail() the back-end just recovered (or is recovering); hold
+  // every dispatch until the backoff window elapses so a persistent fault
+  // does not spin the retry loop.
+  if (resume_not_before_ > now &&
+      (arrived_count(now) > 0 || !active_.empty())) {
+    SchedulerAction a;
+    a.kind = SchedulerAction::Kind::kWait;
+    a.wait_until = resume_not_before_;
+    fold_expiry_wakeups(a);
+    return a;
+  }
+  SchedulerAction a = options_.policy == SchedulerPolicy::kStaticBatching
+                          ? next_static(now)
+                          : next_iteration(now);
+  fold_expiry_wakeups(a);
+  return a;
 }
 
 SchedulerAction ServeScheduler::next_static(double now) {
@@ -141,7 +297,7 @@ SchedulerAction ServeScheduler::next_static(double now) {
   if (arrived == 0) {
     if (!queue_.empty()) {  // all queued arrivals are in the future
       a.kind = SchedulerAction::Kind::kWait;
-      a.wait_until = queue_.front().arrival_s;
+      a.wait_until = queue_.front().eligible_s;
     } else if (!closed_) {  // live stream: block until submit()/close()
       a.kind = SchedulerAction::Kind::kWait;
       a.wait_until = kInf;
@@ -150,7 +306,8 @@ SchedulerAction ServeScheduler::next_static(double now) {
     }
     return a;
   }
-  const double stale_deadline = queue_.front().arrival_s + options_.max_wait_s;
+  const double stale_deadline =
+      queue_.front().req.arrival_s + options_.max_wait_s;
   if (arrived >= effective || now >= stale_deadline) {
     a.kind = SchedulerAction::Kind::kDispatch;
     a.decision = make_prefill_decision(now, std::min(arrived, effective));
@@ -165,7 +322,7 @@ SchedulerAction ServeScheduler::next_static(double now) {
   a.wait_until = stale_deadline;
   if (arrived < static_cast<int>(queue_.size()))
     a.wait_until = std::min(
-        a.wait_until, queue_[static_cast<std::size_t>(arrived)].arrival_s);
+        a.wait_until, queue_[static_cast<std::size_t>(arrived)].eligible_s);
   return a;
 }
 
@@ -196,7 +353,7 @@ SchedulerAction ServeScheduler::next_iteration(double now) {
   }
   if (!queue_.empty()) {
     a.kind = SchedulerAction::Kind::kWait;
-    a.wait_until = queue_.front().arrival_s;
+    a.wait_until = queue_.front().eligible_s;
   } else if (!closed_) {
     a.kind = SchedulerAction::Kind::kWait;
     a.wait_until = kInf;
@@ -254,6 +411,7 @@ void ServeScheduler::complete(const DispatchDecision& decision,
         ar.id = id;
         ar.context = rs.prompt_len + 1;
         ar.remaining = rs.gen_tokens - 1;
+        ar.retries = rs.retries;  // prefill retries carry into decode
         active_.push_back(ar);
       }
     }
@@ -269,6 +427,7 @@ void ServeScheduler::complete(const DispatchDecision& decision,
       auto sit = open_.find(it->id);
       check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
       sit->second.finish_s = finish_s;
+      sit->second.retries = it->retries;
       trace_request_lifecycle(sit->second);
       finished_.push_back(sit->second);
       open_.erase(sit);
@@ -277,6 +436,96 @@ void ServeScheduler::complete(const DispatchDecision& decision,
       ++it;
     }
   }
+}
+
+void ServeScheduler::fail(const DispatchDecision& decision, double now) {
+  check_arg(in_flight_, "ServeScheduler: fail() with nothing in flight");
+  check_arg(!decision_log_.empty() &&
+                decision.seq == decision_log_.back().seq,
+            "ServeScheduler: fail() for a decision that is not the "
+            "in-flight one");
+  in_flight_ = false;
+  int max_attempt = 1;  // backoff window scales with the deepest retry
+
+  if (decision.phase == ServePhase::kPrefillPass) {
+    // The pass produced nothing: pull its requests back out of open_ and
+    // either re-enqueue them behind a backoff window or, past the retry
+    // cap, finish them as kFailed. Retries keep their original arrival
+    // (deadlines keep running) and their admission (no re-rejection).
+    for (int id : decision.request_ids) {
+      auto it = open_.find(id);
+      check_arg(it != open_.end(), "ServeScheduler: unknown request id");
+      const RequestStats rs = it->second;
+      open_.erase(it);
+      const int attempt = rs.retries + 1;
+      ServeRequest r;
+      r.id = rs.id;
+      r.arrival_s = rs.arrival_s;
+      r.prompt_len = rs.prompt_len;
+      r.gen_tokens = rs.gen_tokens;
+      if (attempt > options_.max_retries) {
+        finish_unserved(r, RequestOutcome::kFailed, now, rs.retries);
+        continue;
+      }
+      max_attempt = std::max(max_attempt, attempt);
+      QueuedReq q;
+      q.req = r;
+      q.eligible_s = now + backoff_s(attempt);
+      q.attempts = attempt;
+      q.admitted = true;
+      enqueue(std::move(q));
+    }
+  } else {
+    // Decode rounds are idempotent at the scheduler level (context and
+    // remaining advance only in complete()), so the round is simply
+    // retried wholesale; requests that exhaust the cap leave as kFailed.
+    for (auto it = active_.begin(); it != active_.end();) {
+      ++it->retries;
+      if (it->retries > options_.max_retries) {
+        auto sit = open_.find(it->id);
+        check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
+        RequestStats rs = sit->second;
+        rs.finish_s = now;
+        rs.outcome = RequestOutcome::kFailed;
+        rs.retries = it->retries - 1;
+        finished_.push_back(rs);
+        open_.erase(sit);
+        it = active_.erase(it);
+      } else {
+        max_attempt = std::max(max_attempt, it->retries);
+        ++it;
+      }
+    }
+  }
+  resume_not_before_ =
+      std::max(resume_not_before_, now + backoff_s(max_attempt));
+  if (trace_ && TraceSession::enabled())
+    TraceSession::emit_complete("serve", "dispatch-failed",
+                                now + trace_offset_s_, /*dur_s=*/0.0,
+                                trace_pid_, /*tid=*/0, "seq",
+                                static_cast<double>(decision.seq));
+}
+
+OutcomeCounts ServeScheduler::outcomes() const {
+  OutcomeCounts c;
+  for (const RequestStats& rs : finished_) {
+    switch (rs.outcome) {
+      case RequestOutcome::kCompleted:
+        ++c.completed;
+        break;
+      case RequestOutcome::kTimedOut:
+        ++c.timed_out;
+        break;
+      case RequestOutcome::kRejected:
+        ++c.rejected;
+        break;
+      case RequestOutcome::kFailed:
+        ++c.failed;
+        break;
+    }
+    c.retries += rs.retries;
+  }
+  return c;
 }
 
 }  // namespace llmpq

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -57,7 +58,41 @@ struct SchedulerOptions {
   /// oldest has waited `max_wait_s`.
   int batch_size = 16;
   double max_wait_s = 5.0;
+
+  // ---- Fault-tolerance policy (all defaults leave behavior unchanged:
+  // with no deadline, no admission bound and no fail() calls the decision
+  // log is identical to the pre-fault-tolerance scheduler, which the
+  // sim-vs-runtime parity test relies on).
+
+  /// Per-request service deadline measured from arrival. A request still
+  /// queued (or still generating, iteration-level) past
+  /// `arrival + deadline_s` finishes as kTimedOut. +inf disables.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Bounded admission queue: a fresh arrival that finds this many
+  /// requests already waiting is rejected on arrival (kRejected
+  /// backpressure). 0 = unbounded. Retries re-enter without re-admission.
+  int admission_capacity = 0;
+  /// Retry policy for requests of failed dispatches (see fail()): each
+  /// request is re-dispatched at most `max_retries` times, with
+  /// exponential backoff min(retry_backoff_s * 2^(attempt-1),
+  /// retry_backoff_max_s) between attempts; past the cap it finishes as
+  /// kFailed.
+  int max_retries = 2;
+  double retry_backoff_s = 0.05;
+  double retry_backoff_max_s = 2.0;
 };
+
+/// Terminal state of a request. Conservation invariant (chaos tests): every
+/// submitted id ends up in finished() exactly once, with exactly one of
+/// these outcomes.
+enum class RequestOutcome {
+  kCompleted,  ///< served normally
+  kTimedOut,   ///< deadline_s elapsed before service finished
+  kRejected,   ///< bounced by the admission bound on arrival
+  kFailed,     ///< dispatch failures exhausted max_retries
+};
+
+const char* request_outcome_name(RequestOutcome outcome);
 
 enum class ServePhase { kPrefillPass, kDecodePass };
 
@@ -100,6 +135,18 @@ struct RequestStats {
   double prefill_s = 0.0;      ///< prefill pass duration (0 if unknown)
   int prompt_len = 0;
   int gen_tokens = 0;
+  RequestOutcome outcome = RequestOutcome::kCompleted;
+  int retries = 0;  ///< failed-dispatch retries this request consumed
+};
+
+/// Tally of terminal outcomes across finished(), for reports and the
+/// conservation assertions in the chaos tests.
+struct OutcomeCounts {
+  int completed = 0;
+  int timed_out = 0;
+  int rejected = 0;
+  int failed = 0;
+  int retries = 0;  ///< total retries consumed by all finished requests
 };
 
 class ServeScheduler {
@@ -133,6 +180,18 @@ class ServeScheduler {
   void complete(const DispatchDecision& decision, double finish_s,
                 double prefill_end_s = -1.0);
 
+  /// Reports that `decision` FAILED at `now` (back-end fault) — the
+  /// error-path counterpart of complete(). Prefill: its requests re-enter
+  /// the queue with exponential backoff, finishing as kFailed once they
+  /// exhaust max_retries. Decode: the active set stays resident and the
+  /// round is retried after the backoff window; requests that exhaust
+  /// max_retries finish as kFailed. Either way dispatching pauses until
+  /// the backoff window elapses.
+  void fail(const DispatchDecision& decision, double now);
+
+  /// Outcome tally over finished().
+  OutcomeCounts outcomes() const;
+
   int pending() const { return static_cast<int>(queue_.size()); }
   int active() const { return static_cast<int>(active_.size()); }
   bool idle() const { return queue_.empty() && active_.empty() && !in_flight_; }
@@ -160,6 +219,17 @@ class ServeScheduler {
     int id = 0;
     int context = 0;    ///< tokens in KV (prompt + generated so far)
     int remaining = 0;  ///< tokens still to generate
+    int retries = 0;    ///< failed dispatches consumed so far
+  };
+
+  /// Queue entry: a waiting request plus its retry state. `eligible_s` is
+  /// the arrival time for fresh requests and the backoff-release time for
+  /// retries; the queue is sorted by (eligible_s, id).
+  struct QueuedReq {
+    ServeRequest req;
+    double eligible_s = 0.0;
+    int attempts = 0;      ///< failed dispatches so far
+    bool admitted = false; ///< passed the admission bound (retries keep it)
   };
 
   SchedulerAction next_static(double now);
@@ -167,10 +237,22 @@ class ServeScheduler {
   DispatchDecision make_prefill_decision(double now, int take);
   int arrived_count(double now) const;
   void trace_request_lifecycle(const RequestStats& rs) const;
+  void enqueue(QueuedReq entry);
+  /// Deterministic arrival-order pass: expire queued requests whose
+  /// deadline lapsed, then apply the admission bound to fresh arrivals.
+  void process_arrivals(double now);
+  /// Iteration-level deadline check over the in-generation set.
+  void expire_active(double now);
+  void finish_unserved(const ServeRequest& r, RequestOutcome outcome,
+                       double finish_s, int retries);
+  double backoff_s(int attempt) const;
+  /// Folds deadline-expiry wakeups into a kWait action so a waiting
+  /// back-end wakes in time to time requests out.
+  void fold_expiry_wakeups(SchedulerAction& a) const;
 
   SchedulerOptions options_;
   std::unordered_set<int> ids_;     ///< every id ever submitted (O(1) dups)
-  std::deque<ServeRequest> queue_;  ///< sorted by (arrival_s, id)
+  std::deque<QueuedReq> queue_;     ///< sorted by (eligible_s, id)
   std::vector<ActiveReq> active_;   ///< iteration-level in-generation set
   std::unordered_map<int, RequestStats> open_;  ///< admitted, not finished
   std::vector<RequestStats> finished_;
@@ -178,6 +260,7 @@ class ServeScheduler {
   bool closed_ = false;
   bool in_flight_ = false;  ///< a dispatch awaits complete()
   double dispatch_now_ = 0.0;  ///< clock value of the in-flight dispatch
+  double resume_not_before_ = 0.0;  ///< backoff window after a fail()
   int next_seq_ = 0;
 
   bool trace_ = false;

@@ -90,7 +90,8 @@ OnlineSimResult simulate_online(const ModelSpec& model,
                                 const ClusterSpec& cluster,
                                 const ExecutionPlan& plan,
                                 const std::vector<OnlineRequest>& requests,
-                                const OnlineSimOptions& options) {
+                                const OnlineSimOptions& options,
+                                const FaultPlan& faults) {
   OnlineSimResult result;
   plan.validate(model.layers, cluster.num_devices());
 
@@ -120,6 +121,13 @@ OnlineSimResult simulate_online(const ModelSpec& model,
   }
   scheduler.close();
 
+  // Virtual-clock mirror of the runtime fault injector (same plan format;
+  // local lottery, so concurrent sims never share state). One "sim.dispatch"
+  // draw per decision: a delay rule makes the dispatch a straggler, any
+  // other kind fails it and exercises the retry/backoff/kFailed machinery.
+  FaultLottery lottery(faults);
+  const bool faults_armed = !faults.empty();
+
   double t = 0.0;
   for (;;) {
     SchedulerAction a = scheduler.next(t);
@@ -132,11 +140,23 @@ OnlineSimResult simulate_online(const ModelSpec& model,
     }
     const DispatchDecision d = std::move(a.decision);
     const int batch = static_cast<int>(d.request_ids.size());
+    double straggle = 0.0;
+    if (faults_armed) {
+      const FaultAction fa = lottery.check("sim.dispatch");
+      if (fa.kind != FaultKind::kNone) ++result.fault_events;
+      if (fa.kind == FaultKind::kDelay) {
+        straggle = fa.delay_s;
+      } else if (fa.kind != FaultKind::kNone) {
+        scheduler.fail(d, t);
+        continue;
+      }
+    }
     double finish;
     double prefill_end = -1.0;
     if (d.phase == ServePhase::kPrefillPass) {
-      prefill_end = t + pass_time(model, cluster, plan, Phase::kPrefill,
-                                  batch, d.padded_prompt);
+      prefill_end = t + straggle +
+                    pass_time(model, cluster, plan, Phase::kPrefill, batch,
+                              d.padded_prompt);
       finish = prefill_end;
       if (options.policy == SchedulerPolicy::kStaticBatching) {
         // Static batching runs the whole padded generation as one unit;
@@ -146,23 +166,34 @@ OnlineSimResult simulate_online(const ModelSpec& model,
                               d.padded_prompt + round);
       }
     } else {
-      finish = t + pass_time(model, cluster, plan, Phase::kDecode, batch,
-                             d.max_context);
+      finish = t + straggle +
+               pass_time(model, cluster, plan, Phase::kDecode, batch,
+                         d.max_context);
     }
     scheduler.complete(d, finish, prefill_end);
     t = finish;
   }
 
+  // Served requests only: a run that times half its requests out must not
+  // report them as throughput (mirrors the runtime report).
   std::int64_t tokens_out = 0;
+  int completed = 0;
   std::vector<double> latencies, queue_delays, prefills;
   for (const RequestStats& r : scheduler.finished()) {
+    if (r.outcome != RequestOutcome::kCompleted) continue;
+    ++completed;
     tokens_out += r.gen_tokens;  // useful (unpadded) tokens
     latencies.push_back(r.finish_s - r.arrival_s);
     queue_delays.push_back(r.queue_delay_s);
     prefills.push_back(r.prefill_s);
   }
+  const OutcomeCounts oc = scheduler.outcomes();
+  result.timed_out = oc.timed_out;
+  result.rejected = oc.rejected;
+  result.failed = oc.failed;
+  result.retries = oc.retries;
   result.ok = true;
-  result.completed = static_cast<int>(scheduler.finished().size());
+  result.completed = completed;
   result.makespan_s = t;
   result.throughput_tokens_per_s =
       t > 0.0 ? static_cast<double>(tokens_out) / t : 0.0;

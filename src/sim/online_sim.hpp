@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "core/plan.hpp"
 #include "hw/cluster.hpp"
@@ -59,15 +60,30 @@ struct OnlineSimResult {
   /// with the runtime back-end.
   std::vector<RequestStats> requests;
   std::vector<DispatchDecision> decisions;
+
+  // ---- Fault accounting (all zero with an empty fault plan).
+  int timed_out = 0;     ///< requests past deadline_s
+  int rejected = 0;      ///< bounced by the admission bound
+  int failed = 0;        ///< exhausted max_retries
+  int retries = 0;       ///< total dispatch retries consumed
+  int fault_events = 0;  ///< "sim.dispatch" rule firings (delays included)
 };
 
 /// Replays `requests` against the plan's pipeline on the simulated
 /// cluster. Timing comes from the same roofline ground truth the offline
 /// simulator uses; memory feasibility of the plan is checked up front.
+///
+/// `faults` mirrors the runtime fault injector on the virtual clock: a
+/// `delay` rule on site "sim.dispatch" inflates that dispatch's pass time
+/// (straggler); any other rule kind fails the dispatch, exercising the
+/// scheduler's retry/backoff/kFailed path. The lottery is seeded by the
+/// plan alone, so identical (requests, options, faults) runs are
+/// bit-identical — chaos tests sweep seeds on top of this determinism.
 OnlineSimResult simulate_online(const ModelSpec& model,
                                 const ClusterSpec& cluster,
                                 const ExecutionPlan& plan,
                                 const std::vector<OnlineRequest>& requests,
-                                const OnlineSimOptions& options = {});
+                                const OnlineSimOptions& options = {},
+                                const FaultPlan& faults = {});
 
 }  // namespace llmpq

@@ -87,6 +87,24 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
                : t;
   };
 
+  // Virtual-clock mirror of the runtime fault injector: one lottery local
+  // to this run (the process-wide injector is for wall-clock code), with
+  // the same plan format and determinism guarantees. A delay rule on
+  // "sim.stage" makes that stage pass a straggler; any other rule kind
+  // fails the simulated run the way a poisoned micro-batch fails the
+  // runtime. The event cascade stops at the first failure.
+  FaultLottery lottery(options.faults);
+  const bool faults_armed = !options.faults.empty();
+  bool injected_failure = false;
+  // Returns the extra straggler seconds, or sets injected_failure.
+  auto stage_fault = [&]() -> double {
+    if (!faults_armed || injected_failure) return 0.0;
+    const FaultAction fa = lottery.check("sim.stage");
+    if (fa.kind == FaultKind::kDelay) return fa.delay_s;
+    if (fa.kind != FaultKind::kNone) injected_failure = true;
+    return 0.0;
+  };
+
   // Inter-stage transfer time from active stage si to si+1.
   auto comm = [&](int si, Phase phase, int micro_batch) {
     if (si + 1 >= S) return 0.0;
@@ -121,13 +139,18 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
   std::function<void(int, int, int, double)> arrive_decode;
 
   arrive_decode = [&](int si, int m, int round, double now) {
+    if (injected_failure) return;  // fault cascade already stopped the run
     const double start =
         std::max(now, stage_free[static_cast<std::size_t>(si)]);
     const int ctx = w.prompt_len + round;
-    const double pass = jittered(
-        stage_pass_time(model, cluster, plan, active[static_cast<std::size_t>(si)],
-                        Phase::kDecode, plan.decode_micro_batch, ctx, si == 0,
-                        options.scheme));
+    const double straggle = stage_fault();
+    if (injected_failure) return;
+    const double pass =
+        jittered(stage_pass_time(
+            model, cluster, plan, active[static_cast<std::size_t>(si)],
+            Phase::kDecode, plan.decode_micro_batch, ctx, si == 0,
+            options.scheme)) +
+        straggle;
     const double finish = start + pass;
     stage_free[static_cast<std::size_t>(si)] = finish;
     stage_busy[static_cast<std::size_t>(si)] += pass;
@@ -157,12 +180,17 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
 
   std::function<void(int, int, double)> arrive_prefill;
   arrive_prefill = [&](int si, int m, double now) {
+    if (injected_failure) return;  // fault cascade already stopped the run
     const double start =
         std::max(now, stage_free[static_cast<std::size_t>(si)]);
-    const double pass = jittered(stage_pass_time(
-        model, cluster, plan, active[static_cast<std::size_t>(si)],
-        Phase::kPrefill, plan.prefill_micro_batch, w.prompt_len, si == 0,
-        options.scheme));
+    const double straggle = stage_fault();
+    if (injected_failure) return;
+    const double pass =
+        jittered(stage_pass_time(
+            model, cluster, plan, active[static_cast<std::size_t>(si)],
+            Phase::kPrefill, plan.prefill_micro_batch, w.prompt_len, si == 0,
+            options.scheme)) +
+        straggle;
     const double finish = start + pass;
     stage_free[static_cast<std::size_t>(si)] = finish;
     stage_busy[static_cast<std::size_t>(si)] += pass;
@@ -205,6 +233,11 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
     queue.schedule(0.0, [&, m](double t) { arrive_prefill(0, m, t); });
 
   queue.run();
+
+  if (injected_failure) {
+    result.error = "injected stage failure (fault plan, site sim.stage)";
+    return result;
+  }
 
   result.ok = true;
   result.prefill_latency_s = prefill_done;

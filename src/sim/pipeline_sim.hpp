@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "core/plan.hpp"
 #include "hw/cluster.hpp"
 #include "model/model_spec.hpp"
@@ -34,6 +35,11 @@ struct SimOptions {
   std::uint64_t seed = 11;
   /// Weight-only kernel family used for sub-8-bit layers.
   QuantScheme scheme = QuantScheme::kGptq;
+  /// Deterministic fault plan mirroring the runtime's injector: `delay`
+  /// rules on site "sim.stage" inflate stage passes (stragglers), any
+  /// other rule kind fails the run (result.ok == false). Empty = no
+  /// faults, bit-identical to the fault-oblivious simulator.
+  FaultPlan faults;
 };
 
 /// Discrete-event simulation of pipelined two-phase generative inference:

@@ -72,5 +72,37 @@ TEST(ParseIntToken, RejectsJunkNamingTheToken) {
   }
 }
 
+TEST(ParseDoubleToken, AcceptsStandardFloatForms) {
+  EXPECT_DOUBLE_EQ(parse_double_token("2.5", "--theta"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double_token("-0.125", "--theta"), -0.125);
+  EXPECT_DOUBLE_EQ(parse_double_token("1e3", "--theta"), 1000.0);
+}
+
+TEST(ParseDoubleToken, RejectsTrailingJunkNamingTheToken) {
+  // Strictness regression: "0.1s" or "5%" must be a usage error naming
+  // the flag and token, not a silent prefix parse.
+  for (const char* bad : {"x", "0.1s", "5%", "", "1.2.3"}) {
+    try {
+      parse_double_token(bad, "--max_wait_s");
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find("--max_wait_s"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Args, NumericFlagsRejectTrailingJunk) {
+  // get_long/get_double share the strict token parsers: a typo'd unit
+  // suffix fails loudly instead of truncating ("5x" used to parse as 5).
+  EXPECT_THROW(parse({"--n", "5x"}).get_long("n", 0), InvalidArgumentError);
+  EXPECT_THROW(parse({"--n", "1e3"}).get_long("n", 0), InvalidArgumentError);
+  EXPECT_THROW(parse({"--t", "0.1s"}).get_double("t", 0.0),
+               InvalidArgumentError);
+  // Absent keys and bare flags still fall back instead of throwing.
+  EXPECT_EQ(parse({}).get_long("n", 7), 7);
+  EXPECT_DOUBLE_EQ(parse({"--flag"}).get_double("flag", 1.5), 1.5);
+}
+
 }  // namespace
 }  // namespace llmpq

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -262,6 +263,68 @@ TEST(MpmcQueue, PushToClosedQueueFails) {
   MpmcQueue<int> q(4);
   q.close();
   EXPECT_FALSE(q.push(7));
+}
+
+TEST(MpmcQueue, PopForTimesOutDistinctFromClosed) {
+  // pop_for returns nullopt on timeout AND on closed+drained; callers
+  // (the engine's deadline poll) tell the two apart via closed().
+  MpmcQueue<int> q;
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), std::nullopt);
+  EXPECT_FALSE(q.closed());
+  q.push(9);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), 9);
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(MpmcQueue, PopForDrainsRemainingItemsAfterClose) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), 1);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), 2);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), std::nullopt);
+}
+
+TEST(MpmcQueue, CloseReleasesBlockedPush) {
+  // A producer stuck on a full queue must not hang across close(): the
+  // push wakes up and reports failure. This is the engine-shutdown path —
+  // stage workers can be mid-push when the mailboxes close.
+  MpmcQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result = q.push(2); });
+  // Give the producer time to block on the full queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  EXPECT_EQ(q.pop(), 1);  // the accepted item still drains
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, ConcurrentCloseVersusPopLosesNoItems) {
+  // Race close() against a pool of poppers: every pushed item is popped
+  // exactly once, and every popper exits (no hang, no duplicate, no loss).
+  constexpr int kItems = 200;
+  MpmcQueue<int> q;
+  for (int i = 0; i < kItems; ++i) q.push(i);
+  std::atomic<int> popped{0};
+  std::atomic<long> sum{0};
+  std::vector<std::thread> poppers;
+  for (int c = 0; c < 4; ++c)
+    poppers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        ++popped;
+        sum += *v;
+      }
+    });
+  q.close();  // races the poppers mid-drain
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_EQ(sum.load(), static_cast<long>(kItems) * (kItems - 1) / 2);
 }
 
 TEST(Table, RendersAlignedAndCsv) {

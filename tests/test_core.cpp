@@ -72,6 +72,23 @@ TEST(Plan, SerializeRoundTrips) {
   EXPECT_EQ(back.workload.prompt_len, plan.workload.prompt_len);
 }
 
+TEST(Plan, DeserializeRejectsCorruptNumericFields) {
+  // A corrupted strategy file must surface as InvalidArgumentError naming
+  // the bad key — not truncate "10x" to 10 or abort on an uncaught
+  // std::stoi exception.
+  for (const char* bad : {"gen_tokens=10x", "layer_bits=8,x,8",
+                          "global_batch=", "boundaries=0,1.5"}) {
+    try {
+      ExecutionPlan::deserialize(bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find("plan deserialize"),
+                std::string::npos)
+          << bad;
+    }
+  }
+}
+
 TEST(Estimator, SingleStageFormulaExact) {
   // One device: e2e = [sum_mb pre] + (n-1) * [sum_mb dec]; with one
   // micro-batch each: pre + (n-1)*dec.
@@ -294,8 +311,9 @@ TEST(Assigner, HeuristicPlanBeatsUniformOnHeteroCluster) {
   // Must beat a uniform-8bit even split.
   ExecutionPlan uniform = simple_plan(m, cluster, 8);
   const PlanEstimate uni_est = estimate_plan(cost, uniform);
-  if (uni_est.mem_feasible)
+  if (uni_est.mem_feasible) {
     EXPECT_LT(r.estimate.e2e_latency, uni_est.e2e_latency);
+  }
 }
 
 TEST(Assigner, ThetaTradesThroughputForQuality) {

@@ -1,0 +1,839 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <new>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "cost/cost_provider.hpp"
+#include "hw/cluster.hpp"
+#include "model/model_spec.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/transformer.hpp"
+#include "serve/online_engine.hpp"
+#include "sim/online_sim.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace llmpq {
+namespace {
+
+FaultRule rule(std::string site, FaultKind kind, double probability = 1.0,
+               int max_fires = std::numeric_limits<int>::max(),
+               double delay_ms = 0.0) {
+  FaultRule r;
+  r.site = std::move(site);
+  r.kind = kind;
+  r.probability = probability;
+  r.max_fires = max_fires;
+  r.delay_ms = delay_ms;
+  return r;
+}
+
+/// Arms the process-wide injector for one test scope; always disarms, so a
+/// failing assertion cannot leak chaos into the next test.
+struct ArmedPlan {
+  explicit ArmedPlan(const FaultPlan& plan) {
+    FaultInjector::instance().arm(plan);
+  }
+  ~ArmedPlan() { FaultInjector::instance().disarm(); }
+};
+
+// ---------------------------------------------------------------------------
+// FaultLottery: the deterministic decision core.
+// ---------------------------------------------------------------------------
+
+TEST(FaultLottery, SameSeedSamePlanSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rules.push_back(rule("site.a", FaultKind::kThrow, 0.3));
+  FaultLottery a(plan), b(plan);
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(a.check("site.a").kind, b.check("site.a").kind) << "draw " << i;
+  EXPECT_EQ(a.total_fires(), b.total_fires());
+  EXPECT_GT(a.total_fires(), 0u);
+  EXPECT_LT(a.total_fires(), 500u);
+}
+
+TEST(FaultLottery, DifferentSeedsDiverge) {
+  FaultPlan p1, p2;
+  p1.seed = 1;
+  p2.seed = 2;
+  p1.rules.push_back(rule("s", FaultKind::kThrow, 0.5));
+  p2.rules = p1.rules;
+  FaultLottery a(p1), b(p2);
+  int diff = 0;
+  for (int i = 0; i < 200; ++i)
+    diff += a.check("s").kind != b.check("s").kind;
+  EXPECT_GT(diff, 0);
+}
+
+TEST(FaultLottery, ProbabilityRoughlyHonored) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rules.push_back(rule("s", FaultKind::kThrow, 0.25));
+  FaultLottery l(plan);
+  for (int i = 0; i < 10000; ++i) l.check("s");
+  const double rate = static_cast<double>(l.total_fires()) / 10000.0;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultLottery, AfterSkipsLeadingEvaluations) {
+  FaultPlan plan;
+  FaultRule r = rule("s", FaultKind::kThrow);
+  r.after = 3;
+  plan.rules.push_back(r);
+  FaultLottery l(plan);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(l.check("s").kind, FaultKind::kNone) << "warmup " << i;
+  EXPECT_EQ(l.check("s").kind, FaultKind::kThrow);
+}
+
+TEST(FaultLottery, MaxFiresBudgetIsExact) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("s", FaultKind::kThrow, 1.0, /*max_fires=*/2));
+  FaultLottery l(plan);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i)
+    fired += l.check("s").kind == FaultKind::kThrow;
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(l.rule_fires(0), 2u);
+}
+
+TEST(FaultLottery, PrefixWildcardMatchesSiteFamily) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("stage.*", FaultKind::kDelay, 1.0,
+                            std::numeric_limits<int>::max(), 5.0));
+  FaultLottery l(plan);
+  EXPECT_EQ(l.check("stage.work").kind, FaultKind::kDelay);
+  EXPECT_EQ(l.check("stage.qgemm").kind, FaultKind::kDelay);
+  EXPECT_EQ(l.check("engine.embed").kind, FaultKind::kNone);
+}
+
+TEST(FaultLottery, FirstMatchingRuleWins) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("s", FaultKind::kDelay, 1.0,
+                            std::numeric_limits<int>::max(), 5.0));
+  plan.rules.push_back(rule("s", FaultKind::kThrow));
+  FaultLottery l(plan);
+  EXPECT_EQ(l.check("s").kind, FaultKind::kDelay);
+}
+
+TEST(FaultLottery, ConcurrentChecksFireDeterministicCount) {
+  // The fire *count* is a pure function of (seed, rule, #evaluations) even
+  // when the evaluations race: each thread draws distinct counter values.
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.rules.push_back(rule("s", FaultKind::kThrow, 0.5));
+  std::uint64_t expected = 0;
+  {
+    FaultLottery serial(plan);
+    for (int i = 0; i < 4000; ++i) serial.check("s");
+    expected = serial.total_fires();
+  }
+  FaultLottery shared(plan);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) shared.check("s");
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(shared.total_fires(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan JSON round-trip and strict validation.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, JsonRoundTripPreservesEveryField) {
+  FaultPlan plan;
+  plan.seed = 123;
+  FaultRule r = rule("stage.work", FaultKind::kDelay, 0.25, 3, 12.5);
+  r.after = 2;
+  r.message = "chaos";
+  plan.rules.push_back(r);
+  plan.rules.push_back(rule("engine.mailbox", FaultKind::kDrop, 0.5));
+
+  const FaultPlan back = FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(back.seed, 123u);
+  ASSERT_EQ(back.rules.size(), 2u);
+  EXPECT_EQ(back.rules[0].site, "stage.work");
+  EXPECT_EQ(back.rules[0].kind, FaultKind::kDelay);
+  EXPECT_DOUBLE_EQ(back.rules[0].probability, 0.25);
+  EXPECT_EQ(back.rules[0].after, 2);
+  EXPECT_EQ(back.rules[0].max_fires, 3);
+  EXPECT_DOUBLE_EQ(back.rules[0].delay_ms, 12.5);
+  EXPECT_EQ(back.rules[0].message, "chaos");
+  EXPECT_EQ(back.rules[1].kind, FaultKind::kDrop);
+  EXPECT_EQ(back.rules[1].max_fires, std::numeric_limits<int>::max());
+}
+
+TEST(FaultPlan, FromJsonRejectsMalformedPlans) {
+  EXPECT_THROW(FaultPlan::from_json("[]"), InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::from_json("{}"), InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"rules":[{"site":"s","kind":"explode"}]})"),
+               InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"rules":[{"kind":"throw"}]})"),
+               InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"rules":[{"site":"s","kind":"throw","probability":1.5}]})"),
+               InvalidArgumentError);
+  // A delay rule without a positive delay_ms is a no-op plan bug.
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"rules":[{"site":"s","kind":"delay"}]})"),
+               InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector: the process-wide singleton behind FAULT_POINT/FAULT_DROP.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, DisarmedPointsAreNoops) {
+  ASSERT_FALSE(FaultInjector::armed());
+  FAULT_POINT("anything.at.all");
+  EXPECT_FALSE(FAULT_DROP("anything.at.all"));
+}
+
+TEST(FaultInjector, ArmFireDisarmRecordsLog) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("test.site", FaultKind::kThrow, 1.0, 1));
+  const std::uint64_t before = FaultInjector::instance().fires();
+  {
+    ArmedPlan armed(plan);
+    EXPECT_TRUE(FaultInjector::armed());
+    EXPECT_THROW(FAULT_POINT("test.site"), InjectedFault);
+    FAULT_POINT("test.site");  // budget exhausted: no-op
+    EXPECT_EQ(FaultInjector::instance().fires(), before + 1);
+    const std::vector<FaultFire> log = FaultInjector::instance().fire_log();
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.back().site, "test.site");
+    EXPECT_EQ(log.back().kind, FaultKind::kThrow);
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+}
+
+TEST(FaultInjector, InjectedFaultNamesItsSite) {
+  FaultPlan plan;
+  FaultRule r = rule("test.named", FaultKind::kThrow, 1.0, 1);
+  r.message = "boom";
+  plan.rules.push_back(r);
+  ArmedPlan armed(plan);
+  try {
+    FAULT_POINT("test.named");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), "test.named");
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler fault policy: deadlines, backpressure, retry/backoff.
+// ---------------------------------------------------------------------------
+
+ServeRequest req(int id, double arrival, int prompt, int gen) {
+  ServeRequest r;
+  r.id = id;
+  r.arrival_s = arrival;
+  r.prompt_len = prompt;
+  r.gen_tokens = gen;
+  return r;
+}
+
+TEST(SchedulerFaults, QueuedRequestTimesOutAtArrivalPlusDeadline) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.deadline_s = 5.0;
+  ServeScheduler s(opt);
+  s.submit(req(0, 0.0, 8, 2));
+  s.close();
+  // First poll lands long after the deadline: the request must expire
+  // stamped at arrival + deadline, not at the poll time.
+  EXPECT_EQ(s.next(10.0).kind, SchedulerAction::Kind::kDone);
+  ASSERT_EQ(s.finished().size(), 1u);
+  EXPECT_EQ(s.finished()[0].outcome, RequestOutcome::kTimedOut);
+  EXPECT_DOUBLE_EQ(s.finished()[0].finish_s, 5.0);
+  EXPECT_EQ(s.outcomes().timed_out, 1);
+}
+
+TEST(SchedulerFaults, WaitFoldsInDeadlineExpiryWakeup) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kStaticBatching;
+  opt.batch_size = 16;
+  opt.max_wait_s = 100.0;
+  opt.deadline_s = 5.0;
+  ServeScheduler s(opt);
+  s.submit(req(0, 0.0, 8, 2));
+  s.close();
+  // The stale timer alone would sleep to t=100 — past the request's
+  // deadline. The wait must wake in time to time it out.
+  const SchedulerAction a = s.next(0.0);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kWait);
+  EXPECT_DOUBLE_EQ(a.wait_until, 5.0);
+  EXPECT_EQ(s.next(6.0).kind, SchedulerAction::Kind::kDone);
+  EXPECT_EQ(s.outcomes().timed_out, 1);
+}
+
+TEST(SchedulerFaults, AdmissionBoundRejectsOverflowInArrivalOrder) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.admission_capacity = 2;
+  opt.max_batch = 2;
+  ServeScheduler s(opt);
+  for (int i = 0; i < 4; ++i) s.submit(req(i, 0.0, 8, 1));
+  s.close();
+
+  SchedulerAction a = s.next(0.0);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+  EXPECT_EQ(a.decision.request_ids, (std::vector<int>{0, 1}));
+  s.complete(a.decision, 1.0);
+  EXPECT_EQ(s.next(1.0).kind, SchedulerAction::Kind::kDone);
+
+  const OutcomeCounts oc = s.outcomes();
+  EXPECT_EQ(oc.completed, 2);
+  EXPECT_EQ(oc.rejected, 2);
+  // The overflow arrivals (ids 2, 3) bounced on arrival, at arrival time.
+  std::set<int> rejected_ids;
+  for (const RequestStats& r : s.finished())
+    if (r.outcome == RequestOutcome::kRejected) {
+      rejected_ids.insert(r.id);
+      EXPECT_DOUBLE_EQ(r.finish_s, 0.0);
+    }
+  EXPECT_EQ(rejected_ids, (std::set<int>{2, 3}));
+}
+
+TEST(SchedulerFaults, PrefillRetriesWithBackoffThenFails) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.max_retries = 1;
+  opt.retry_backoff_s = 0.05;
+  ServeScheduler s(opt);
+  s.submit(req(0, 0.0, 8, 2));
+  s.close();
+
+  SchedulerAction a = s.next(0.0);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+  s.fail(a.decision, 0.0);
+
+  // Backoff window: nothing dispatches before 0.05.
+  a = s.next(0.0);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kWait);
+  EXPECT_DOUBLE_EQ(a.wait_until, 0.05);
+
+  a = s.next(0.05);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+  EXPECT_EQ(a.decision.request_ids, std::vector<int>{0});
+  s.fail(a.decision, 0.05);  // second failure exhausts max_retries = 1
+
+  EXPECT_EQ(s.next(1.0).kind, SchedulerAction::Kind::kDone);
+  ASSERT_EQ(s.finished().size(), 1u);
+  EXPECT_EQ(s.finished()[0].outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(s.finished()[0].retries, 1);
+  EXPECT_EQ(s.outcomes().failed, 1);
+  EXPECT_EQ(s.outcomes().retries, 1);
+}
+
+TEST(SchedulerFaults, BackoffDoublesAndCaps) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.max_retries = 10;
+  opt.retry_backoff_s = 0.1;
+  opt.retry_backoff_max_s = 0.4;
+  ServeScheduler s(opt);
+  s.submit(req(0, 0.0, 8, 2));
+  s.close();
+
+  // Expected release times after each failure: 0.1, 0.2, 0.4, 0.4 (cap).
+  const double expected[] = {0.1, 0.2, 0.4, 0.4};
+  double t = 0.0;
+  for (double backoff : expected) {
+    SchedulerAction a = s.next(t);
+    ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+    s.fail(a.decision, t);
+    a = s.next(t);
+    ASSERT_EQ(a.kind, SchedulerAction::Kind::kWait);
+    EXPECT_NEAR(a.wait_until - t, backoff, 1e-12);
+    t = a.wait_until;
+  }
+}
+
+TEST(SchedulerFaults, DecodeRoundRetriedWholesale) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.max_retries = 2;
+  opt.retry_backoff_s = 0.05;
+  ServeScheduler s(opt);
+  s.submit(req(0, 0.0, 8, 3));
+  s.close();
+
+  SchedulerAction a = s.next(0.0);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+  ASSERT_EQ(a.decision.phase, ServePhase::kPrefillPass);
+  s.complete(a.decision, 1.0);
+
+  a = s.next(1.0);
+  ASSERT_EQ(a.decision.phase, ServePhase::kDecodePass);
+  const int ctx = a.decision.max_context;
+  s.fail(a.decision, 1.0);
+
+  // Decode rounds are idempotent at the scheduler level: after the backoff
+  // the SAME round (same context) is retried, and the request survives.
+  a = s.next(1.05);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+  ASSERT_EQ(a.decision.phase, ServePhase::kDecodePass);
+  EXPECT_EQ(a.decision.max_context, ctx);
+  s.complete(a.decision, 1.2);
+
+  a = s.next(1.2);
+  ASSERT_EQ(a.kind, SchedulerAction::Kind::kDispatch);
+  EXPECT_EQ(a.decision.max_context, ctx + 1);
+  s.complete(a.decision, 1.4);
+  EXPECT_EQ(s.next(1.4).kind, SchedulerAction::Kind::kDone);
+
+  ASSERT_EQ(s.finished().size(), 1u);
+  EXPECT_EQ(s.finished()[0].outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(s.finished()[0].retries, 1);
+}
+
+TEST(SchedulerFaults, ConservationAcrossMixedOutcomes) {
+  // Deadline + bounded admission + failures in one run: every submitted id
+  // must land in finished() exactly once.
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.deadline_s = 2.0;
+  opt.admission_capacity = 4;
+  opt.max_batch = 2;
+  opt.max_retries = 1;
+  opt.retry_backoff_s = 0.05;
+  ServeScheduler s(opt);
+  const int n = 8;
+  for (int i = 0; i < n; ++i)
+    s.submit(req(i, 0.1 * i, 8, 2));
+  s.close();
+
+  double t = 0.0;
+  int dispatches = 0;
+  for (;;) {
+    SchedulerAction a = s.next(t);
+    if (a.kind == SchedulerAction::Kind::kDone) break;
+    if (a.kind == SchedulerAction::Kind::kWait) {
+      ASSERT_TRUE(std::isfinite(a.wait_until));
+      t = std::max(t, a.wait_until);
+      continue;
+    }
+    // Fail every third dispatch to stir retries into the mix.
+    if (++dispatches % 3 == 0) {
+      s.fail(a.decision, t);
+    } else {
+      t += 0.3;
+      s.complete(a.decision, t);
+    }
+  }
+
+  std::set<int> seen;
+  for (const RequestStats& r : s.finished()) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "id finished twice: " << r.id;
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), n);
+  const OutcomeCounts oc = s.outcomes();
+  EXPECT_EQ(oc.completed + oc.timed_out + oc.rejected + oc.failed, n);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: fault recovery on the real threaded engine.
+// ---------------------------------------------------------------------------
+
+ModelSpec tiny_spec() {
+  ModelSpec m;
+  m.name = "tiny-fault";
+  m.family = "opt";
+  m.hidden = 32;
+  m.ffn = 128;
+  m.heads = 4;
+  m.layers = 6;
+  m.vocab = 96;
+  m.max_pos = 64;
+  return m;
+}
+
+std::vector<TokenId> make_prompt(Rng& rng, const ModelSpec& m, int len) {
+  std::vector<TokenId> p;
+  for (int t = 0; t < len; ++t)
+    p.push_back(static_cast<TokenId>(rng.uniform_int(0, m.vocab - 1)));
+  return p;
+}
+
+class EngineFaultTest : public ::testing::Test {
+ protected:
+  EngineFaultTest()
+      : spec_(tiny_spec()),
+        weights_(build_random_model(
+            spec_, std::vector<int>(static_cast<std::size_t>(spec_.layers), 8),
+            2024)),
+        engine_(weights_, {{0, 3}, {3, 6}}, 2, 2) {
+    Rng rng(3);
+    for (int i = 0; i < 3; ++i) prompts_.push_back(make_prompt(rng, spec_, 8));
+    reference_ = reference_generate(weights_, prompts_, 4);
+  }
+  ModelSpec spec_;
+  ModelWeights weights_;
+  PipelineEngine engine_;
+  std::vector<std::vector<TokenId>> prompts_;
+  std::vector<std::vector<TokenId>> reference_;
+};
+
+TEST_F(EngineFaultTest, StageThrowDrainsReportsLostRowsStaysHealthy) {
+  FaultPlan plan;
+  FaultRule r = rule("stage.work", FaultKind::kThrow, 1.0, 1);
+  r.message = "chaos";
+  plan.rules.push_back(r);
+  {
+    ArmedPlan armed(plan);
+    EXPECT_THROW(engine_.generate(prompts_, 4), InjectedFault);
+  }
+  // Poisoned-message protocol: the failure drained, the engine is reusable
+  // without restart(), and the failure report names the lost rows.
+  EXPECT_TRUE(engine_.healthy());
+  const EngineFailureInfo info = engine_.last_failure();
+  EXPECT_TRUE(info.failed);
+  EXPECT_FALSE(info.needs_restart);
+  EXPECT_NE(info.what.find("stage.work"), std::string::npos);
+  ASSERT_FALSE(info.lost_rows.empty());
+  for (int row : info.lost_rows) {
+    EXPECT_GE(row, 0);
+    EXPECT_LT(row, static_cast<int>(prompts_.size()));
+  }
+  EXPECT_EQ(engine_.generate(prompts_, 4), reference_);
+  EXPECT_FALSE(engine_.last_failure().failed);  // success clears the report
+}
+
+TEST_F(EngineFaultTest, QgemmFaultTravelsThePoisonedMessagePath) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("stage.qgemm", FaultKind::kThrow, 1.0, 1));
+  {
+    ArmedPlan armed(plan);
+    EXPECT_THROW(engine_.generate(prompts_, 4), InjectedFault);
+  }
+  EXPECT_TRUE(engine_.healthy());
+  EXPECT_EQ(engine_.generate(prompts_, 4), reference_);
+}
+
+TEST_F(EngineFaultTest, DroppedMailboxMessageHitsDeadlineRestartRecovers) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("engine.mailbox", FaultKind::kDrop, 1.0, 1));
+  GenerateOptions gopts;
+  gopts.deadline_s = 0.3;
+  {
+    ArmedPlan armed(plan);
+    try {
+      engine_.generate(prompts_, 4, gopts);
+      FAIL() << "expected PipelineAbortError";
+    } catch (const PipelineAbortError& e) {
+      EXPECT_TRUE(e.timed_out());
+    }
+  }
+  EXPECT_FALSE(engine_.healthy());
+  EXPECT_TRUE(engine_.last_failure().needs_restart);
+  // A broken engine refuses work until restarted.
+  EXPECT_THROW(engine_.generate(prompts_, 4), Error);
+  // restart() rebuilds workers/mailboxes but reuses weights and KV
+  // allocations — the recovered output must be reference-exact.
+  engine_.restart();
+  EXPECT_TRUE(engine_.healthy());
+  EXPECT_FALSE(engine_.last_failure().failed);
+  EXPECT_EQ(engine_.generate(prompts_, 4), reference_);
+}
+
+TEST_F(EngineFaultTest, CancelTokenAbortsWithoutTimeout) {
+  GenerateOptions gopts;
+  gopts.cancel.cancel();  // pre-cancelled: abort at the first poll
+  try {
+    engine_.generate(prompts_, 4, gopts);
+    FAIL() << "expected PipelineAbortError";
+  } catch (const PipelineAbortError& e) {
+    EXPECT_FALSE(e.timed_out());
+  }
+  EXPECT_FALSE(engine_.healthy());
+  engine_.restart();
+  EXPECT_EQ(engine_.generate(prompts_, 4), reference_);
+}
+
+TEST_F(EngineFaultTest, KvAllocFailureSurfacesBeforeAnyInFlightWork) {
+  FaultPlan plan;
+  plan.rules.push_back(
+      rule("engine.kv_alloc", FaultKind::kAllocFail, 1.0, 1));
+  {
+    ArmedPlan armed(plan);
+    EXPECT_THROW(engine_.generate(prompts_, 4), std::bad_alloc);
+  }
+  // Cache (re)allocation precedes any micro-batch push, so the engine is
+  // still healthy — this is the memory-pressure signal the serving loop's
+  // degradation ladder consumes.
+  EXPECT_TRUE(engine_.healthy());
+  EXPECT_EQ(engine_.generate(prompts_, 4), reference_);
+}
+
+TEST_F(EngineFaultTest, StageDelayIsAStragglerNotAFailure) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("stage.work", FaultKind::kDelay, 1.0, 1, 50.0));
+  ArmedPlan armed(plan);
+  EXPECT_EQ(engine_.generate(prompts_, 4), reference_);
+  EXPECT_TRUE(engine_.healthy());
+}
+
+// ---------------------------------------------------------------------------
+// Serving resilience: retry/backoff, degradation, and live fail-fast.
+// ---------------------------------------------------------------------------
+
+class ServeFaultTest : public EngineFaultTest {
+ protected:
+  std::vector<OnlineTraceRequest> burst_trace(int n, int gen) {
+    Rng rng(11);
+    std::vector<OnlineTraceRequest> trace;
+    for (int i = 0; i < n; ++i) {
+      OnlineTraceRequest t;
+      t.prompt = make_prompt(rng, spec_, 8);
+      t.gen_tokens = gen;
+      trace.push_back(std::move(t));
+    }
+    return trace;
+  }
+};
+
+TEST_F(ServeFaultTest, DispatchFaultRetriedToCompletion) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("serve.dispatch", FaultKind::kThrow, 1.0, 1));
+  OnlineEngineOptions opt;
+  opt.scheduler.policy = SchedulerPolicy::kIterationLevel;
+  opt.scheduler.max_retries = 3;
+  opt.scheduler.retry_backoff_s = 0.001;
+  ArmedPlan armed(plan);
+  const OnlineReport rep = serve_trace(engine_, burst_trace(3, 3), opt);
+  EXPECT_EQ(rep.completed, 3);
+  EXPECT_EQ(rep.failed, 0);
+  EXPECT_GE(rep.retries, 1);
+  EXPECT_EQ(rep.engine_restarts, 0);  // the engine itself never faulted
+}
+
+TEST_F(ServeFaultTest, MemFaultsWalkTheDegradationLadder) {
+  FaultPlan plan;
+  plan.rules.push_back(
+      rule("engine.kv_alloc", FaultKind::kAllocFail, 1.0, 2));
+  // The replacement engine models the next rung down the ladder: same
+  // weights, halved micro-batches (a lower-bitwidth plan works the same
+  // way — any cheaper engine the caller can build).
+  PipelineEngine fallback(weights_, {{0, 3}, {3, 6}}, 1, 1);
+  OnlineEngineOptions opt;
+  opt.scheduler.policy = SchedulerPolicy::kIterationLevel;
+  opt.scheduler.max_retries = 4;
+  opt.scheduler.retry_backoff_s = 0.001;
+  opt.degrade_after_mem_faults = 2;
+  opt.degrade = [&](int level) -> PipelineEngine* {
+    return level == 1 ? &fallback : nullptr;
+  };
+  ArmedPlan armed(plan);
+  const OnlineReport rep = serve_trace(engine_, burst_trace(3, 3), opt);
+  EXPECT_EQ(rep.completed, 3);
+  EXPECT_EQ(rep.mem_faults, 2);
+  EXPECT_EQ(rep.degrades, 1);
+  EXPECT_GE(rep.retries, 1);
+}
+
+TEST_F(ServeFaultTest, ChaosSweepConservesEveryRequest) {
+  // The headline chaos invariant, swept across seeds: under probabilistic
+  // multi-site faults every submitted request terminates exactly once as
+  // completed/timed-out/rejected/failed, and the run finishes (bounded
+  // wall-clock — enforced by the suite's ctest timeout).
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.rules.push_back(rule("stage.work", FaultKind::kThrow, 0.4, 2));
+    plan.rules.push_back(rule("serve.dispatch", FaultKind::kThrow, 0.2, 2));
+    plan.rules.push_back(rule("engine.mailbox", FaultKind::kDrop, 0.5, 1));
+
+    OnlineEngineOptions opt;
+    opt.scheduler.policy = SchedulerPolicy::kIterationLevel;
+    opt.scheduler.max_batch = 4;
+    opt.scheduler.max_retries = 4;
+    opt.scheduler.retry_backoff_s = 0.001;
+    opt.dispatch_deadline_s = 0.3;  // converts a dropped message into a
+                                    // restartable fault
+    const int n = 5;
+    OnlineReport rep;
+    {
+      ArmedPlan armed(plan);
+      rep = serve_trace(engine_, burst_trace(n, 3), opt);
+    }
+    if (!engine_.healthy()) engine_.restart();
+
+    ASSERT_EQ(static_cast<int>(rep.requests.size()), n);
+    std::set<int> seen;
+    for (const RequestStats& r : rep.requests)
+      EXPECT_TRUE(seen.insert(r.id).second) << "id finished twice: " << r.id;
+    EXPECT_EQ(rep.completed + rep.timed_out + rep.rejected + rep.failed, n);
+    // Completed requests must carry real output.
+    for (const RequestStats& r : rep.requests) {
+      if (r.outcome == RequestOutcome::kCompleted) {
+        EXPECT_EQ(rep.generated[static_cast<std::size_t>(r.id)].size(), 3u);
+      }
+    }
+  }
+}
+
+TEST_F(ServeFaultTest, LiveLoopSurvivesInjectedDispatchFaults) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("stage.work", FaultKind::kThrow, 1.0, 1));
+  OnlineEngineOptions opt;
+  opt.scheduler.policy = SchedulerPolicy::kIterationLevel;
+  opt.scheduler.max_retries = 3;
+  opt.scheduler.retry_backoff_s = 0.001;
+  ArmedPlan armed(plan);
+  OnlineEngine server(engine_, opt);
+  Rng rng(5);
+  for (int i = 0; i < 2; ++i) server.submit(make_prompt(rng, spec_, 8), 3);
+  server.close();
+  const OnlineReport rep = server.wait();
+  EXPECT_EQ(rep.completed, 2);
+  EXPECT_GE(rep.retries, 1);
+}
+
+TEST_F(ServeFaultTest, LiveLoopDeathFailsFastAndWaitIsIdempotent) {
+  // One dropped message + a zero restart budget kills the serving loop:
+  // wait() must rethrow the same error every time (no double-join UB) and
+  // submit() must fail fast instead of queueing work nobody will run.
+  FaultPlan plan;
+  plan.rules.push_back(rule("engine.mailbox", FaultKind::kDrop, 1.0, 1));
+  OnlineEngineOptions opt;
+  opt.scheduler.policy = SchedulerPolicy::kIterationLevel;
+  opt.dispatch_deadline_s = 0.2;
+  opt.max_engine_restarts = 0;
+  ArmedPlan armed(plan);
+  OnlineEngine server(engine_, opt);
+  Rng rng(5);
+  server.submit(make_prompt(rng, spec_, 8), 3);
+  server.close();
+  EXPECT_THROW(server.wait(), PipelineAbortError);
+  EXPECT_THROW(server.wait(), PipelineAbortError);  // same error, no UB
+  EXPECT_THROW(server.submit(make_prompt(rng, spec_, 8), 3), Error);
+  // The engine is broken (abort path) but recoverable for the next test.
+  engine_.restart();
+}
+
+TEST_F(ServeFaultTest, WaitIsIdempotentOnSuccess) {
+  OnlineEngineOptions opt;
+  opt.scheduler.policy = SchedulerPolicy::kIterationLevel;
+  OnlineEngine server(engine_, opt);
+  Rng rng(5);
+  for (int i = 0; i < 2; ++i) server.submit(make_prompt(rng, spec_, 8), 3);
+  server.close();
+  const OnlineReport r1 = server.wait();
+  const OnlineReport r2 = server.wait();
+  EXPECT_EQ(r1.completed, 2);
+  EXPECT_EQ(r2.completed, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Simulators: the same FaultPlan on a virtual clock.
+// ---------------------------------------------------------------------------
+
+struct SimSetup {
+  PaperCluster pc = paper_cluster(3);
+  const ModelSpec& model = model_registry_get(pc.model_name);
+  CostProvider cost{model, pc.cluster, CostMode::kProfiled};
+  ExecutionPlan plan = pipeedge_plan(cost);
+};
+
+TEST(SimFaults, OnlineSimChaosIsDeterministicAndConserving) {
+  SimSetup s;
+  Rng rng(21);
+  const std::vector<OnlineRequest> reqs =
+      generate_sharegpt_workload(rng, 20, 4.0);
+
+  OnlineSimOptions opt;
+  opt.policy = SchedulerPolicy::kIterationLevel;
+  opt.deadline_s = 60.0;
+  opt.max_retries = 2;
+  opt.retry_backoff_s = 0.01;
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.rules.push_back(rule("sim.dispatch", FaultKind::kThrow, 0.3));
+  plan.rules.push_back(rule("sim.dispatch", FaultKind::kDelay, 0.2,
+                            std::numeric_limits<int>::max(), 40.0));
+
+  const OnlineSimResult a =
+      simulate_online(s.model, s.pc.cluster, s.plan, reqs, opt, plan);
+  const OnlineSimResult b =
+      simulate_online(s.model, s.pc.cluster, s.plan, reqs, opt, plan);
+  ASSERT_TRUE(a.ok) << a.error;
+
+  // Bit-identical replay: the lottery is seeded by the plan alone.
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+
+  // Conservation under chaos, on the virtual clock.
+  EXPECT_EQ(a.completed + a.timed_out + a.rejected + a.failed, 20);
+  EXPECT_GT(a.fault_events, 0);
+  std::set<int> seen;
+  for (const RequestStats& r : a.requests)
+    EXPECT_TRUE(seen.insert(r.id).second);
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(SimFaults, OnlineSimFaultFreePlanChangesNothing) {
+  SimSetup s;
+  Rng rng(21);
+  const std::vector<OnlineRequest> reqs =
+      generate_sharegpt_workload(rng, 10, 4.0);
+  OnlineSimOptions opt;
+  const OnlineSimResult base =
+      simulate_online(s.model, s.pc.cluster, s.plan, reqs, opt);
+  const OnlineSimResult with_empty =
+      simulate_online(s.model, s.pc.cluster, s.plan, reqs, opt, FaultPlan{});
+  ASSERT_TRUE(base.ok);
+  EXPECT_EQ(base.completed, with_empty.completed);
+  EXPECT_DOUBLE_EQ(base.makespan_s, with_empty.makespan_s);
+  EXPECT_EQ(with_empty.fault_events, 0);
+  EXPECT_EQ(base.decisions.size(), with_empty.decisions.size());
+}
+
+TEST(SimFaults, PipelineSimStragglerInflatesLatency) {
+  SimSetup s;
+  const SimResult base = simulate_plan(s.model, s.pc.cluster, s.plan);
+  ASSERT_TRUE(base.ok) << base.error;
+
+  SimOptions opt;
+  opt.faults.rules.push_back(
+      rule("sim.stage", FaultKind::kDelay, 1.0, 1, 1000.0));
+  const SimResult slow = simulate_plan(s.model, s.pc.cluster, s.plan, opt);
+  ASSERT_TRUE(slow.ok) << slow.error;
+  // A one-second straggler on the first stage pass sits on the critical
+  // path, so end-to-end latency absorbs (at least most of) it.
+  EXPECT_GE(slow.e2e_latency_s, base.e2e_latency_s + 0.9);
+}
+
+TEST(SimFaults, PipelineSimInjectedFailureFailsTheRun) {
+  SimSetup s;
+  SimOptions opt;
+  opt.faults.rules.push_back(rule("sim.stage", FaultKind::kThrow, 1.0, 1));
+  const SimResult r = simulate_plan(s.model, s.pc.cluster, s.plan, opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("injected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llmpq
