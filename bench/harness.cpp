@@ -173,6 +173,7 @@ void write_json(JsonWriter& w, const SchemeRow& row) {
   w.kv("ppl", row.ppl);
   w.kv("latency_s", row.latency_s);
   w.kv("throughput_tok_s", row.throughput);
+  w.kv("solve_s", row.solve_s);
   w.end_object();
 }
 

@@ -25,6 +25,10 @@ struct SchemeRow {
   double ppl = 0.0;
   double latency_s = 0.0;
   double throughput = 0.0;
+  /// Planner wall-clock overhead (Table 8). Informational: exported to
+  /// JSON as `solve_s` but never gated by check_bench_regression.py —
+  /// wall-clock is machine-dependent, unlike the simulated metrics above.
+  double solve_s = 0.0;
 };
 
 struct ClusterReport {

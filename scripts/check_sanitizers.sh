@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Sanitizer ctest pass for the threaded runtime: builds the tree twice
 # (ASan+UBSan, then TSan) and runs the concurrency-heavy test binaries —
-# common (queues, thread pool), runtime (pipeline engine, threaded qgemm),
-# serve (online engine admission thread), fault (chaos suite: injected
-# faults through the threaded engine and serving loop) and trace
-# (multi-threaded span recording) — under each. Run from the repo root:
+# common (queues, thread pool), core (parallel assigner search incl. the
+# shared-incumbent ILP refinements and the CostProvider layer-time cache),
+# runtime (pipeline engine, threaded qgemm), serve (online engine admission
+# thread), fault (chaos suite: injected faults through the threaded engine
+# and serving loop) and trace (multi-threaded span recording) — under each.
+# Run from the repo root:
 #
 #   scripts/check_sanitizers.sh [extra ctest -R pattern]
 #
@@ -13,7 +15,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-pattern="${1:-common|quant|runtime|serve|fault|trace}"
+pattern="${1:-common|^core$|quant|runtime|serve|fault|trace}"
 
 for mode in address thread; do
   build="build-${mode}san"
@@ -21,8 +23,9 @@ for mode in address thread; do
   cmake -B "${build}" -S . -DLLMPQ_SANITIZE="${mode}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j \
-    --target llmpq_tests_common llmpq_tests_quant llmpq_tests_runtime \
-             llmpq_tests_serve llmpq_tests_fault llmpq_tests_trace
+    --target llmpq_tests_common llmpq_tests_core llmpq_tests_quant \
+             llmpq_tests_runtime llmpq_tests_serve llmpq_tests_fault \
+             llmpq_tests_trace
   (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
 done
 

@@ -1,12 +1,15 @@
 #include "core/assigner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <set>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "core/adabits.hpp"
 #include "core/ilp_builder.hpp"
 #include "solver/milp.hpp"
@@ -96,6 +99,22 @@ struct SolverChoice {
   }
 };
 
+/// Runs fn(i) for i in [0, n): on the shared pool when the options ask for
+/// parallel search (and the pool has more than one worker), else serially
+/// on the calling thread — the bit-identical baseline the determinism
+/// tests compare against.
+template <typename Fn>
+int run_indexed(int num_threads, std::size_t n, const Fn& fn) {
+  const bool serial = num_threads == 1 || ThreadPool::inside_worker() ||
+                      ThreadPool::shared().size() <= 1;
+  if (serial) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return 1;
+  }
+  ThreadPool::shared().parallel_for(n, fn);
+  return static_cast<int>(ThreadPool::shared().size());
+}
+
 SolverChoice pick_solver(const AssignerOptions& opt, int layers,
                          int devices) {
   if (opt.solver == SolverKind::kHeuristic)
@@ -116,6 +135,7 @@ SolverChoice pick_solver(const AssignerOptions& opt, int layers,
 
 AssignerResult assign(const CostProvider& cost,
                       const AssignerOptions& options) {
+  TRACE_SPAN("planner", "assign");
   using clock = std::chrono::steady_clock;
   const auto start = clock::now();
 
@@ -143,79 +163,117 @@ AssignerResult assign(const CostProvider& cost,
   const auto decode_cands =
       decode_microbatch_candidates(workload, cluster.num_devices());
 
-  // ---- Pass 1: score every combo with the cheap heuristic.
+  // ---- Pass 1: score every (ordering, mb_pre, mb_dec) combo with the
+  // cheap heuristic. Each combo is a pure function of its inputs (the
+  // shared CostProvider is const-thread-safe), so the combos fan out over
+  // the shared pool; the reduction below walks the results in combo order,
+  // which makes the outcome bit-identical to the serial sweep.
   struct Combo {
     std::vector<int> ordering;
     int mb_pre, mb_dec;
     ExecutionPlan plan;
     PlanEstimate est;
+    bool feasible = false;
+    std::string infeasible_reason;
   };
-  std::vector<Combo> feasible;
-  std::string last_infeasible = "no combination tried";
-  for (const auto& ordering : orderings) {
-    for (int mb_pre : prefill_cands) {
-      for (int mb_dec : decode_cands) {
-        ++best.stats.combos_tried;
+  std::vector<Combo> combos;
+  for (const auto& ordering : orderings)
+    for (int mb_pre : prefill_cands)
+      for (int mb_dec : decode_cands)
+        combos.push_back({ordering, mb_pre, mb_dec, {}, {}, false, {}});
+  best.stats.combos_tried = static_cast<int>(combos.size());
+
+  best.stats.search_threads =
+      run_indexed(options.num_threads, combos.size(), [&](std::size_t i) {
+        TRACE_SPAN("planner", "pass1.combo");
+        Combo& combo = combos[i];
         try {
-          const ExecutionPlan seed =
-              adabits_plan(cost, indicator, ordering, mb_pre, mb_dec);
+          const ExecutionPlan seed = adabits_plan(
+              cost, indicator, combo.ordering, combo.mb_pre, combo.mb_dec);
           BitTransferOptions bt;
           bt.theta = options.theta;
           BitTransferResult bt_result =
               bit_transfer(cost, indicator, seed, bt);
           if (!bt_result.estimate.mem_feasible) {
-            last_infeasible = bt_result.estimate.infeasible_reason;
-            continue;
+            combo.infeasible_reason = bt_result.estimate.infeasible_reason;
+            return;
           }
-          feasible.push_back({ordering, mb_pre, mb_dec,
-                              std::move(bt_result.plan), bt_result.estimate});
+          combo.plan = std::move(bt_result.plan);
+          combo.est = bt_result.estimate;
+          combo.feasible = true;
         } catch (const InfeasibleError& e) {
-          last_infeasible = e.what();
-          continue;
+          combo.infeasible_reason = e.what();
         }
-      }
+      });
+
+  std::string last_infeasible = "no combination tried";
+  std::vector<const Combo*> feasible;
+  for (const Combo& combo : combos) {
+    if (combo.feasible)
+      feasible.push_back(&combo);
+    else
+      last_infeasible = combo.infeasible_reason;
+  }
+  std::stable_sort(feasible.begin(), feasible.end(),
+                   [](const Combo* a, const Combo* b) {
+                     return a->est.objective < b->est.objective;
+                   });
+
+  for (const Combo* combo : feasible) {
+    if (combo->est.objective < best_obj) {
+      best_obj = combo->est.objective;
+      best.plan = combo->plan;
+      best.estimate = combo->est;
     }
   }
-  std::sort(feasible.begin(), feasible.end(),
-            [](const Combo& a, const Combo& b) {
-              return a.est.objective < b.est.objective;
-            });
 
-  for (const auto& combo : feasible) {
-    if (combo.est.objective < best_obj) {
-      best_obj = combo.est.objective;
-      best.plan = combo.plan;
-      best.estimate = combo.est;
-    }
-  }
-
-  // ---- Pass 2: ILP refinement of the leading combos only.
-  if (solver.kind == SolverKind::kIlp) {
+  // ---- Pass 2: ILP refinement of the leading combos only. The
+  // refinements run concurrently, pooling their incumbents through one
+  // atomic objective: every solver prunes against the best integral
+  // solution found by ANY of them (all refined combos minimize the same
+  // latency + theta * penalty objective). Sharing is strictly-greater /
+  // publish-min, so the pooled best is schedule-independent (see
+  // MilpOptions::shared_incumbent); the reduction walks results in combo
+  // order.
+  if (solver.kind == SolverKind::kIlp && !feasible.empty()) {
     const int refine =
         std::min<int>(static_cast<int>(feasible.size()),
                       std::max(1, options.ilp_refine_top));
-    for (int c = 0; c < refine; ++c) {
-      const Combo& combo = feasible[static_cast<std::size_t>(c)];
+    std::atomic<double> incumbent{kLpInf};
+    struct Refinement {
+      MilpSolution sol;
+      ExecutionPlan plan;
+      PlanEstimate est;
+      bool has_plan = false;
+    };
+    std::vector<Refinement> refinements(static_cast<std::size_t>(refine));
+    run_indexed(options.num_threads, refinements.size(), [&](std::size_t c) {
+      TRACE_SPAN("planner", "pass2.ilp_refine");
+      const Combo& combo = *feasible[c];
+      Refinement& out = refinements[c];
       IlpBuilder builder(cost, indicator, combo.ordering, combo.mb_pre,
                          combo.mb_dec, options.theta, solver.group_size);
       MilpProblem milp = builder.build();
       MilpOptions mopt;
-      mopt.time_limit_s = options.ilp_time_limit_s /
-                          static_cast<double>(refine);
+      mopt.time_limit_s =
+          options.ilp_time_limit_s / static_cast<double>(refine);
       mopt.warm_start = builder.encode_plan(combo.plan);
-      const MilpSolution sol = solve_milp(milp, mopt);
+      mopt.shared_incumbent = &incumbent;
+      out.sol = solve_milp(milp, mopt);
+      if (out.sol.status == MilpStatus::kOptimal ||
+          out.sol.status == MilpStatus::kFeasible) {
+        out.plan = builder.extract_plan(out.sol.x);
+        out.est = estimate_plan(cost, out.plan, &indicator, options.theta);
+        out.has_plan = true;
+      }
+    });
+    for (Refinement& r : refinements) {
       ++best.stats.ilp_solves;
-      best.stats.ilp_nodes += sol.nodes_explored;
-      if (sol.status == MilpStatus::kOptimal ||
-          sol.status == MilpStatus::kFeasible) {
-        ExecutionPlan ilp_plan = builder.extract_plan(sol.x);
-        const PlanEstimate ilp_est =
-            estimate_plan(cost, ilp_plan, &indicator, options.theta);
-        if (ilp_est.mem_feasible && ilp_est.objective < best_obj) {
-          best_obj = ilp_est.objective;
-          best.plan = std::move(ilp_plan);
-          best.estimate = ilp_est;
-        }
+      best.stats.ilp_nodes += r.sol.nodes_explored;
+      if (r.has_plan && r.est.mem_feasible && r.est.objective < best_obj) {
+        best_obj = r.est.objective;
+        best.plan = std::move(r.plan);
+        best.estimate = r.est;
       }
     }
   }

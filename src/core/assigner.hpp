@@ -31,6 +31,13 @@ struct AssignerOptions {
   int prefill_mb_limit = 8;    ///< xi: prefill micro-batch enumerated in [1, xi]
   CostMode cost_mode = CostMode::kFitted;
   std::uint64_t seed = 7;
+  /// Worker threads for the combo search (Pass 1) and the concurrent ILP
+  /// refinements (Pass 2): 0 = the shared process pool (LLMPQ_THREADS /
+  /// hardware concurrency), 1 = fully serial baseline. Pass 1 tasks are
+  /// pure and reduced in combo order, and Pass 2's shared-incumbent
+  /// pruning is tie-safe, so the returned plan does not depend on the
+  /// thread count (see DESIGN.md "Planner performance & parallel search").
+  int num_threads = 0;
 };
 
 struct AssignerStats {
@@ -41,6 +48,7 @@ struct AssignerStats {
   double indicator_overhead_s = 0;  ///< modelled indicator build cost
   double profiling_overhead_s = 0;  ///< modelled profiling sweep cost
   std::string solver_used;          ///< "ilp(group=2)", "heuristic", ...
+  int search_threads = 1;           ///< workers the search ran on
 };
 
 struct AssignerResult {

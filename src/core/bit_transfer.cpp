@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 #include "hw/gpu_spec.hpp"
 
 namespace llmpq {
@@ -22,13 +23,30 @@ int higher_bits(int bits) {
              : -1;
 }
 
-/// Objective of a candidate, or nullopt if memory-infeasible.
-std::optional<double> score(const CostProvider& cost,
-                            const IndicatorResult& indicator, double theta,
-                            const ExecutionPlan& plan) {
-  const PlanEstimate est = estimate_plan(cost, plan, &indicator, theta);
-  if (!est.mem_feasible) return std::nullopt;
-  return est.objective;
+/// One candidate move of the local search, replayable onto a plan. The
+/// search scores moves through the IncrementalPlanEvaluator (O(1) each)
+/// and only materializes the winning plan once per iteration.
+struct Move {
+  enum Kind { kBitChange, kBoundaryShift } kind = kBitChange;
+  int layer = -1;     ///< kBitChange: layer re-quantized
+  int bits = -1;      ///< new bitwidth (kBoundaryShift: < 0 keeps bits)
+  int boundary = -1;  ///< kBoundaryShift: boundary between p and p+1
+  int delta = 0;      ///< kBoundaryShift: -1 last of p -> p+1, +1 reverse
+};
+
+ExecutionPlan apply_move(const ExecutionPlan& plan, const Move& move) {
+  ExecutionPlan next = plan;
+  if (move.kind == Move::kBitChange) {
+    next.layer_bits[static_cast<std::size_t>(move.layer)] = move.bits;
+    return next;
+  }
+  const std::size_t b = static_cast<std::size_t>(move.boundary) + 1;
+  const int moved =
+      move.delta < 0 ? next.boundaries[b] - 1 : next.boundaries[b];
+  next.boundaries[b] += move.delta < 0 ? -1 : 1;
+  if (move.bits > 0)
+    next.layer_bits[static_cast<std::size_t>(moved)] = move.bits;
+  return next;
 }
 
 }  // namespace
@@ -37,28 +55,30 @@ BitTransferResult bit_transfer(const CostProvider& cost,
                                const IndicatorResult& indicator,
                                ExecutionPlan start,
                                const BitTransferOptions& options) {
+  TRACE_SPAN("planner", "bit_transfer");
   BitTransferResult result;
   result.plan = std::move(start);
-
-  auto current = score(cost, indicator, options.theta, result.plan);
-  // An infeasible start can happen when adabits packs a stage right at its
-  // KV + weight budget but the temp workspace pushes it over; the moves
-  // below can repair it, so give such starts a pessimistic score.
-  double current_obj = current.value_or(1e18);
 
   const int N = result.plan.num_stages();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
-    ExecutionPlan best_plan;
-    double best_obj = current_obj;
-    bool found = false;
+    // Rebuilt once per iteration (O(L)); every candidate below re-scores
+    // against it in O(1) + an O(N) totals reduction.
+    const IncrementalPlanEvaluator eval(cost, &indicator, options.theta,
+                                        result.plan);
+    // An infeasible current plan can happen when adabits packs a stage
+    // right at its KV + weight budget but the temp workspace pushes it
+    // over; the moves below can repair it, so give it a pessimistic score.
+    const double current_obj =
+        eval.base().feasible ? eval.base().objective : 1e18;
 
-    auto consider = [&](const ExecutionPlan& cand) {
-      const auto s = score(cost, indicator, options.theta, cand);
-      if (s && *s < best_obj - 1e-9) {
-        best_obj = *s;
-        best_plan = cand;
-        found = true;
+    std::optional<Move> best_move;
+    double best_obj = current_obj;
+    auto consider = [&](const IncrementalPlanEvaluator::Score& s,
+                        const Move& move) {
+      if (s.feasible && s.objective < best_obj - 1e-9) {
+        best_obj = s.objective;
+        best_move = move;
       }
     };
 
@@ -67,48 +87,48 @@ BitTransferResult bit_transfer(const CostProvider& cost,
       const int bits = result.plan.layer_bits[static_cast<std::size_t>(i)];
       for (int nb : {lower_bits(bits), higher_bits(bits)}) {
         if (nb < 0) continue;
-        ExecutionPlan cand = result.plan;
-        cand.layer_bits[static_cast<std::size_t>(i)] = nb;
-        consider(cand);
+        consider(eval.score_bit_change(i, nb),
+                 {Move::kBitChange, i, nb, -1, 0});
       }
     }
 
     // ---- Boundary migrations: move one layer across each boundary, both
     // directions, optionally re-quantizing the moved layer one step down
-    // so it fits the receiving device.
+    // so it fits the receiving device. Moves that change a stage's
+    // emptiness fall back to the full estimator (the incremental path
+    // cannot patch the embedding/comm structure).
+    auto consider_shift = [&](int p, int delta, int nb) {
+      const Move move{Move::kBoundaryShift, -1, nb, p, delta};
+      if (const auto s = eval.score_boundary_shift(p, delta, nb)) {
+        consider(*s, move);
+        return;
+      }
+      const ExecutionPlan cand = apply_move(result.plan, move);
+      const PlanEstimate est =
+          estimate_plan(cost, cand, &indicator, options.theta);
+      consider({est.mem_feasible, est.objective}, move);
+    };
     for (int p = 0; p + 1 < N; ++p) {
-      const int boundary = result.plan.boundaries[static_cast<std::size_t>(p) + 1];
+      const int boundary =
+          result.plan.boundaries[static_cast<std::size_t>(p) + 1];
       // Last layer of stage p -> stage p+1.
       if (result.plan.stage_size(p) > 0) {
-        ExecutionPlan cand = result.plan;
-        --cand.boundaries[static_cast<std::size_t>(p) + 1];
-        consider(cand);
-        const int moved = boundary - 1;
-        const int nb =
-            lower_bits(cand.layer_bits[static_cast<std::size_t>(moved)]);
-        if (nb > 0) {
-          cand.layer_bits[static_cast<std::size_t>(moved)] = nb;
-          consider(cand);
-        }
+        consider_shift(p, -1, -1);
+        const int nb = lower_bits(
+            result.plan.layer_bits[static_cast<std::size_t>(boundary - 1)]);
+        if (nb > 0) consider_shift(p, -1, nb);
       }
       // First layer of stage p+1 -> stage p.
-      if (p + 1 < N && result.plan.stage_size(p + 1) > 0) {
-        ExecutionPlan cand = result.plan;
-        ++cand.boundaries[static_cast<std::size_t>(p) + 1];
-        consider(cand);
-        const int moved = boundary;
-        const int nb =
-            lower_bits(cand.layer_bits[static_cast<std::size_t>(moved)]);
-        if (nb > 0) {
-          cand.layer_bits[static_cast<std::size_t>(moved)] = nb;
-          consider(cand);
-        }
+      if (result.plan.stage_size(p + 1) > 0) {
+        consider_shift(p, 1, -1);
+        const int nb = lower_bits(
+            result.plan.layer_bits[static_cast<std::size_t>(boundary)]);
+        if (nb > 0) consider_shift(p, 1, nb);
       }
     }
 
-    if (!found) break;
-    result.plan = std::move(best_plan);
-    current_obj = best_obj;
+    if (!best_move) break;
+    result.plan = apply_move(result.plan, *best_move);
     ++result.moves_applied;
   }
 

@@ -124,13 +124,20 @@ PlanEstimate estimate_plan(const CostProvider& cost,
   // round costs the larger of one chain's full traversal (sum of stages)
   // and the bottleneck stage serving every chain (m_dec * max). This
   // refines the paper's additive eq. (4) bound, which can misrank plans
-  // against the discrete-event simulator.
+  // against the discrete-event simulator. The first token comes out of
+  // prefill, so only gen_tokens - 1 decode rounds run — clamped at zero:
+  // a prefill-only workload (gen_tokens ∈ {0, 1}) has no decode phase,
+  // not a negative one (mirrors simulate_plan's zero-gen guard).
   est.decode_total =
-      static_cast<double>(w.gen_tokens - 1) *
+      static_cast<double>(std::max(0, w.gen_tokens - 1)) *
       std::max(dec_sum, static_cast<double>(m_dec) * dec_max);
   est.e2e_latency = est.prefill_total + est.decode_total;
+  // Degenerate zero-cost plans can finish at t == 0; report zero
+  // throughput rather than dividing by it.
   est.throughput_tokens_per_s =
-      static_cast<double>(w.total_generated_tokens()) / est.e2e_latency;
+      est.e2e_latency > 0.0
+          ? static_cast<double>(w.total_generated_tokens()) / est.e2e_latency
+          : 0.0;
 
   if (indicator != nullptr) {
     for (int i = 0; i < model.layers; ++i)
@@ -139,6 +146,233 @@ PlanEstimate estimate_plan(const CostProvider& cost,
   }
   est.objective = est.e2e_latency + theta * est.quality_penalty;
   return est;
+}
+
+IncrementalPlanEvaluator::IncrementalPlanEvaluator(
+    const CostProvider& cost, const IndicatorResult* indicator, double theta,
+    const ExecutionPlan& plan)
+    : cost_(cost), indicator_(indicator), plan_(plan), theta_(theta) {
+  const ModelSpec& model = cost.model();
+  const ClusterSpec& cluster = cost.cluster();
+  const Workload& w = plan.workload;
+  plan.validate(model.layers, cluster.num_devices());
+
+  num_stages_ = plan.num_stages();
+  decode_rounds_ = std::max(0, w.gen_tokens - 1);
+  m_pre_ = plan.prefill_microbatch_count();
+  m_dec_ = plan.decode_microbatch_count();
+  dec_ctx_ = w.prompt_len + w.gen_tokens / 2;
+  kv_per_layer_ = layer_kv_bytes(model, w.global_batch, w.max_seq_len());
+  for (std::size_t bi = 0; bi < kBitCandidates.size(); ++bi)
+    weight_bytes_[bi] = layer_weight_bytes(model, kBitCandidates[bi]);
+
+  const std::size_t ns = static_cast<std::size_t>(num_stages_);
+  comp_pre_.assign(ns, 0.0);
+  comp_dec_.assign(ns, 0.0);
+  extra_pre_.assign(ns, 0.0);
+  extra_dec_.assign(ns, 0.0);
+  weights_.assign(ns, 0);
+  fixed_mem_.assign(ns, 0);
+  budget_.assign(ns, 0);
+  size_.assign(ns, 0);
+  stage_feasible_.assign(ns, true);
+  time_cache_.assign(ns * kBitCandidates.size() * 2, -1.0);
+  stage_of_layer_.assign(static_cast<std::size_t>(plan.num_layers()), 0);
+  for (int i = 0; i < plan.num_layers(); ++i)
+    stage_of_layer_[static_cast<std::size_t>(i)] = plan.stage_of_layer(i);
+
+  int first_stage = -1, last_stage = -1;
+  for (int p = 0; p < num_stages_; ++p) {
+    if (plan.stage_size(p) > 0) {
+      if (first_stage < 0) first_stage = p;
+      last_stage = p;
+    }
+  }
+  check_arg(first_stage >= 0,
+            "IncrementalPlanEvaluator: plan assigns no layers");
+
+  const std::int64_t temp =
+      temp_peak_bytes(model, w, plan.prefill_micro_batch,
+                      plan.decode_micro_batch);
+  for (int p = 0; p < num_stages_; ++p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    const int dev = plan.device_order[sp];
+    size_[sp] = plan.stage_size(p);
+    budget_[sp] =
+        cluster.devices[static_cast<std::size_t>(dev)].gpu().mem_bytes -
+        device_memory_reserve();
+    fixed_mem_[sp] = temp;
+    if (p == first_stage) fixed_mem_[sp] += embedding_weight_bytes(model);
+    if (p == last_stage && p != first_stage)
+      fixed_mem_[sp] += lm_head_bytes(model);
+    for (int bits : plan.stage_bits(p)) {
+      comp_pre_[sp] += layer_time_cached(p, bits, Phase::kPrefill);
+      comp_dec_[sp] += layer_time_cached(p, bits, Phase::kDecode);
+      weights_[sp] += weight_bytes_[static_cast<std::size_t>(bit_index(bits))];
+    }
+    if (size_[sp] > 0) {
+      if (p == first_stage) {
+        extra_pre_[sp] += cost.embedding_time(dev, plan.prefill_micro_batch,
+                                              w.prompt_len);
+        extra_dec_[sp] +=
+            cost.embedding_time(dev, plan.decode_micro_batch, 1);
+      }
+      int q = p + 1;
+      while (q < num_stages_ && plan.stage_size(q) == 0) ++q;
+      if (q < num_stages_) {
+        const int dev_q = plan.device_order[static_cast<std::size_t>(q)];
+        extra_pre_[sp] += cost.comm_time(dev, dev_q, Phase::kPrefill,
+                                         plan.prefill_micro_batch);
+        extra_dec_[sp] += cost.comm_time(dev, dev_q, Phase::kDecode,
+                                         plan.decode_micro_batch);
+      }
+      const std::int64_t mem = weights_[sp] +
+                               static_cast<std::int64_t>(size_[sp]) *
+                                   kv_per_layer_ +
+                               fixed_mem_[sp];
+      stage_feasible_[sp] = mem <= budget_[sp];
+      if (!stage_feasible_[sp]) ++infeasible_stages_;
+    }
+  }
+
+  if (indicator_ != nullptr) {
+    for (int i = 0; i < plan.num_layers(); ++i)
+      penalty_ +=
+          indicator_->at(i, plan.layer_bits[static_cast<std::size_t>(i)]);
+  }
+  base_ = reduce({}, {}, penalty_);
+}
+
+double IncrementalPlanEvaluator::layer_time_cached(int p, int bits,
+                                                   Phase phase) const {
+  const std::size_t slot =
+      (static_cast<std::size_t>(p) * kBitCandidates.size() +
+       static_cast<std::size_t>(bit_index(bits))) *
+          2 +
+      (phase == Phase::kDecode ? 1 : 0);
+  if (time_cache_[slot] < 0.0) {
+    const int dev = plan_.device_order[static_cast<std::size_t>(p)];
+    time_cache_[slot] =
+        phase == Phase::kPrefill
+            ? cost_.layer_time(dev, bits, Phase::kPrefill,
+                               plan_.prefill_micro_batch,
+                               plan_.workload.prompt_len)
+            : cost_.layer_time(dev, bits, Phase::kDecode,
+                               plan_.decode_micro_batch, dec_ctx_);
+  }
+  return time_cache_[slot];
+}
+
+IncrementalPlanEvaluator::Score IncrementalPlanEvaluator::reduce(
+    const StagePatch& a, const StagePatch& b, double penalty) const {
+  double pre_sum = 0.0, pre_max = 0.0, dec_sum = 0.0, dec_max = 0.0;
+  int infeasible = infeasible_stages_;
+  for (int p = 0; p < num_stages_; ++p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    double pre = comp_pre_[sp] + extra_pre_[sp];
+    double dec = comp_dec_[sp] + extra_dec_[sp];
+    bool feasible = stage_feasible_[sp];
+    if (p == a.p) {
+      pre = a.pre + extra_pre_[sp];
+      dec = a.dec + extra_dec_[sp];
+      feasible = a.feasible;
+    } else if (p == b.p) {
+      pre = b.pre + extra_pre_[sp];
+      dec = b.dec + extra_dec_[sp];
+      feasible = b.feasible;
+    }
+    if ((p == a.p || p == b.p) && feasible != stage_feasible_[sp])
+      infeasible += feasible ? -1 : 1;
+    pre_sum += pre;
+    pre_max = std::max(pre_max, pre);
+    dec_sum += dec;
+    dec_max = std::max(dec_max, dec);
+  }
+  Score s;
+  s.feasible = infeasible == 0;
+  const double prefill_total =
+      pre_sum + static_cast<double>(m_pre_ - 1) * pre_max;
+  const double decode_total =
+      static_cast<double>(decode_rounds_) *
+      std::max(dec_sum, static_cast<double>(m_dec_) * dec_max);
+  s.objective = prefill_total + decode_total + theta_ * penalty;
+  return s;
+}
+
+IncrementalPlanEvaluator::Score IncrementalPlanEvaluator::score_bit_change(
+    int layer, int new_bits) const {
+  const std::size_t sl = static_cast<std::size_t>(layer);
+  const int p = stage_of_layer_[sl];
+  const std::size_t sp = static_cast<std::size_t>(p);
+  const int old_bits = plan_.layer_bits[sl];
+
+  StagePatch patch;
+  patch.p = p;
+  patch.pre = comp_pre_[sp] - layer_time_cached(p, old_bits, Phase::kPrefill) +
+              layer_time_cached(p, new_bits, Phase::kPrefill);
+  patch.dec = comp_dec_[sp] - layer_time_cached(p, old_bits, Phase::kDecode) +
+              layer_time_cached(p, new_bits, Phase::kDecode);
+  const std::int64_t new_weights =
+      weights_[sp] -
+      weight_bytes_[static_cast<std::size_t>(bit_index(old_bits))] +
+      weight_bytes_[static_cast<std::size_t>(bit_index(new_bits))];
+  patch.feasible =
+      size_[sp] == 0 ||
+      new_weights + static_cast<std::int64_t>(size_[sp]) * kv_per_layer_ +
+              fixed_mem_[sp] <=
+          budget_[sp];
+
+  double penalty = penalty_;
+  if (indicator_ != nullptr)
+    penalty += indicator_->at(layer, new_bits) -
+               indicator_->at(layer, old_bits);
+  return reduce(patch, {}, penalty);
+}
+
+std::optional<IncrementalPlanEvaluator::Score>
+IncrementalPlanEvaluator::score_boundary_shift(int p, int delta,
+                                               int new_bits) const {
+  const int src = delta < 0 ? p : p + 1;
+  const int dst = delta < 0 ? p + 1 : p;
+  const std::size_t ss = static_cast<std::size_t>(src);
+  const std::size_t sd = static_cast<std::size_t>(dst);
+  // Emptiness changes reshape the embedding/comm structure: bail out.
+  if (size_[ss] <= 1 || size_[sd] == 0) return std::nullopt;
+
+  const int moved = delta < 0
+                        ? plan_.boundaries[static_cast<std::size_t>(p) + 1] - 1
+                        : plan_.boundaries[static_cast<std::size_t>(p) + 1];
+  const int old_bits = plan_.layer_bits[static_cast<std::size_t>(moved)];
+  const int bits = new_bits < 0 ? old_bits : new_bits;
+
+  StagePatch a;  // source stage loses the layer
+  a.p = src;
+  a.pre = comp_pre_[ss] - layer_time_cached(src, old_bits, Phase::kPrefill);
+  a.dec = comp_dec_[ss] - layer_time_cached(src, old_bits, Phase::kDecode);
+  const std::int64_t src_weights =
+      weights_[ss] -
+      weight_bytes_[static_cast<std::size_t>(bit_index(old_bits))];
+  a.feasible = src_weights + static_cast<std::int64_t>(size_[ss] - 1) *
+                                 kv_per_layer_ +
+                   fixed_mem_[ss] <=
+               budget_[ss];
+
+  StagePatch b;  // destination stage gains it (possibly re-quantized)
+  b.p = dst;
+  b.pre = comp_pre_[sd] + layer_time_cached(dst, bits, Phase::kPrefill);
+  b.dec = comp_dec_[sd] + layer_time_cached(dst, bits, Phase::kDecode);
+  const std::int64_t dst_weights =
+      weights_[sd] + weight_bytes_[static_cast<std::size_t>(bit_index(bits))];
+  b.feasible = dst_weights + static_cast<std::int64_t>(size_[sd] + 1) *
+                                 kv_per_layer_ +
+                   fixed_mem_[sd] <=
+               budget_[sd];
+
+  double penalty = penalty_;
+  if (indicator_ != nullptr && bits != old_bits)
+    penalty +=
+        indicator_->at(moved, bits) - indicator_->at(moved, old_bits);
+  return reduce(a, b, penalty);
 }
 
 }  // namespace llmpq

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +40,76 @@ PlanEstimate estimate_plan(const CostProvider& cost,
                            const ExecutionPlan& plan,
                            const IndicatorResult* indicator = nullptr,
                            double theta = 0.0);
+
+/// Incremental re-estimate path for the bitwidth-transfer inner loop: built
+/// once per base plan (O(L)), it re-scores a single-move candidate — one
+/// layer's bitwidth changed, or one layer shifted across a stage boundary —
+/// in O(1) plus an O(num_stages) totals reduction, instead of re-running
+/// the full O(L) estimate_plan. Memory deltas are integer-exact; time
+/// deltas differ from a from-scratch estimate only in floating-point
+/// summation order. The evaluator snapshots the plan at construction: it
+/// must be rebuilt after a move is applied (bit_transfer rebuilds once per
+/// accepted move, keeping each search iteration amortized O(L + N)).
+class IncrementalPlanEvaluator {
+ public:
+  /// `indicator` may be null (no quality term). References must outlive
+  /// the evaluator.
+  IncrementalPlanEvaluator(const CostProvider& cost,
+                           const IndicatorResult* indicator, double theta,
+                           const ExecutionPlan& plan);
+
+  struct Score {
+    bool feasible = false;   ///< every non-empty stage fits its device
+    double objective = 0.0;  ///< e2e latency + theta * quality penalty
+  };
+
+  /// Score of the unmodified base plan (same algebra as the candidate
+  /// scores, so comparisons against it are consistent).
+  const Score& base() const { return base_; }
+
+  /// Candidate: layer `layer` re-quantized to `new_bits`.
+  Score score_bit_change(int layer, int new_bits) const;
+
+  /// Candidate: the boundary between stages p and p+1 shifted by one
+  /// layer. delta = -1 moves stage p's last layer into p+1; delta = +1
+  /// moves stage p+1's first layer into p. `new_bits` re-quantizes the
+  /// moved layer (< 0 keeps its bits). Returns nullopt when the move
+  /// changes a stage's emptiness — that reshapes embedding/comm structure,
+  /// so the caller must fall back to the full estimate_plan.
+  std::optional<Score> score_boundary_shift(int p, int delta,
+                                            int new_bits) const;
+
+ private:
+  double layer_time_cached(int p, int bits, Phase phase) const;
+  struct StagePatch {
+    int p = -1;
+    double pre = 0.0, dec = 0.0;  ///< replacement compute sums
+    bool feasible = true;
+  };
+  Score reduce(const StagePatch& a, const StagePatch& b,
+               double penalty) const;
+
+  const CostProvider& cost_;
+  const IndicatorResult* indicator_;
+  const ExecutionPlan& plan_;
+  double theta_;
+  int num_stages_ = 0;
+  int decode_rounds_ = 0;  ///< max(0, gen_tokens - 1)
+  int m_pre_ = 1, m_dec_ = 1;
+  int dec_ctx_ = 0;
+  std::int64_t kv_per_layer_ = 0;
+  std::array<std::int64_t, kBitCandidates.size()> weight_bytes_{};
+  std::vector<int> stage_of_layer_;
+  std::vector<double> comp_pre_, comp_dec_;    ///< per-stage layer-time sums
+  std::vector<double> extra_pre_, extra_dec_;  ///< embed + outbound comm
+  std::vector<std::int64_t> weights_, fixed_mem_, budget_;
+  std::vector<int> size_;
+  std::vector<bool> stage_feasible_;
+  int infeasible_stages_ = 0;
+  double penalty_ = 0.0;
+  mutable std::vector<double> time_cache_;  ///< (stage, bits, phase) memo
+  Score base_;
+};
 
 /// Memory headroom reserved per device for allocator slack / runtime
 /// context (bytes).

@@ -1,5 +1,6 @@
 #include "cost/cost_provider.hpp"
 
+#include <mutex>
 #include <set>
 
 #include "common/error.hpp"
@@ -24,8 +25,55 @@ CostProvider::CostProvider(const ModelSpec& model, const ClusterSpec& cluster,
   }
 }
 
+namespace {
+
+/// Packs a layer_time query into one cache key. Fields comfortably cover
+/// the planner's ranges (devices < 2^8, 4 bit candidates, 2 phases,
+/// micro-batch < 2^16, context < 2^32); out-of-range queries return 0 and
+/// bypass the cache.
+std::uint64_t pack_layer_query(int dev, int bit_idx, Phase phase,
+                               int micro_batch, int seq_or_ctx) {
+  if (dev < 0 || dev >= 256 || bit_idx < 0 || micro_batch < 0 ||
+      micro_batch >= (1 << 16) || seq_or_ctx < 0)
+    return 0;
+  return (static_cast<std::uint64_t>(dev) << 56) |
+         (static_cast<std::uint64_t>(bit_idx) << 54) |
+         (static_cast<std::uint64_t>(phase == Phase::kDecode ? 1 : 0) << 53) |
+         (static_cast<std::uint64_t>(micro_batch) << 37) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(seq_or_ctx)) |
+          (1ull << 36));
+}
+
+}  // namespace
+
 double CostProvider::layer_time(int dev, int bits, Phase phase,
                                 int micro_batch, int seq_or_ctx) const {
+  const std::uint64_t key =
+      pack_layer_query(dev, bit_index(bits), phase, micro_batch, seq_or_ctx);
+  if (key == 0)
+    return layer_time_uncached(dev, bits, phase, micro_batch, seq_or_ctx);
+  {
+    std::shared_lock lock(cache_mu_);
+    const auto it = layer_time_cache_.find(key);
+    if (it != layer_time_cache_.end()) return it->second;
+  }
+  const double t =
+      layer_time_uncached(dev, bits, phase, micro_batch, seq_or_ctx);
+  {
+    std::unique_lock lock(cache_mu_);
+    layer_time_cache_.emplace(key, t);
+  }
+  return t;
+}
+
+std::size_t CostProvider::layer_time_cache_size() const {
+  std::shared_lock lock(cache_mu_);
+  return layer_time_cache_.size();
+}
+
+double CostProvider::layer_time_uncached(int dev, int bits, Phase phase,
+                                         int micro_batch,
+                                         int seq_or_ctx) const {
   check_arg(dev >= 0 && dev < cluster_.num_devices(),
             "CostProvider::layer_time: bad device");
   const auto& slot = cluster_.devices[static_cast<std::size_t>(dev)];

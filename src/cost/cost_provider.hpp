@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "cost/latency_model.hpp"
 #include "hw/cluster.hpp"
@@ -16,6 +19,14 @@ namespace llmpq {
 ///               noiseless ground truth), the "use profiled result" path.
 enum class CostMode { kFitted, kProfiled };
 
+/// Thread-safety contract: every const member is safe to call from any
+/// number of threads concurrently (the planner's parallel combo search
+/// shares one provider across all workers). layer_time() memoizes its
+/// answers in an internal cache guarded by a shared_mutex — the function
+/// is pure in its arguments, so the cache never needs invalidation and is
+/// shared across every (ordering, micro-batch) combo of a search.
+/// set_workload() is NOT thread-safe and must happen-before any concurrent
+/// queries.
 class CostProvider {
  public:
   CostProvider(const ModelSpec& model, const ClusterSpec& cluster,
@@ -23,9 +34,14 @@ class CostProvider {
                const ProfilerOptions& options = {});
 
   /// Predicted time of ONE decoder layer at `bits` on device `dev` of the
-  /// cluster for a micro-batch of the given size.
+  /// cluster for a micro-batch of the given size. Memoized per
+  /// (device, bits, phase, micro_batch, seq_or_ctx); thread-safe.
   double layer_time(int dev, int bits, Phase phase, int micro_batch,
                     int seq_or_ctx) const;
+
+  /// Cache observability for tests/benches: number of memoized layer-time
+  /// entries currently held.
+  std::size_t layer_time_cache_size() const;
 
   /// Predicted master-engine (embedding + LM head) time per micro-batch,
   /// charged to the first device.
@@ -47,12 +63,21 @@ class CostProvider {
   const LatencyModel& latency_model() const { return latency_model_; }
 
  private:
+  double layer_time_uncached(int dev, int bits, Phase phase, int micro_batch,
+                             int seq_or_ctx) const;
+
   ModelSpec model_;
   ClusterSpec cluster_;
   CostMode mode_;
   Workload workload_;
   LatencyModel latency_model_;
   double build_cost_s_ = 0.0;
+
+  // Memoized layer_time answers, keyed by the packed query tuple. Mutable
+  // because memoization is not observable state; guarded by cache_mu_
+  // (shared for lookups, exclusive for inserts).
+  mutable std::shared_mutex cache_mu_;
+  mutable std::unordered_map<std::uint64_t, double> layer_time_cache_;
 };
 
 }  // namespace llmpq

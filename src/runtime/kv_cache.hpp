@@ -28,7 +28,10 @@ class KvCache {
   std::size_t hidden() const { return hidden_; }
 
   /// Number of positions stored for sequence `b`.
-  std::size_t filled(std::size_t b) const { return filled_[b]; }
+  std::size_t filled(std::size_t b) const {
+    check_arg(b < batch_, "KvCache::filled: sequence id out of range");
+    return filled_[b];
+  }
 
   /// Forgets every cached position while keeping the allocation — lets a
   /// persistent engine reuse its K/V buffers across generate() calls.
@@ -36,6 +39,7 @@ class KvCache {
 
   /// Appends one position's K/V vectors for sequence `b`.
   void append(std::size_t b, const float* k_vec, const float* v_vec) {
+    check_arg(b < batch_, "KvCache::append: sequence id out of range");
     check_arg(filled_[b] < max_seq_, "KvCache: overflow");
     const std::size_t off = (b * max_seq_ + filled_[b]) * hidden_;
     std::copy(k_vec, k_vec + hidden_, k_.begin() + static_cast<std::ptrdiff_t>(off));

@@ -10,6 +10,7 @@ namespace llmpq {
 MckpResult solve_mckp(const std::vector<std::vector<MckpOption>>& items,
                       std::int64_t capacity, int buckets) {
   check_arg(buckets >= 1, "solve_mckp: buckets must be positive");
+  check_arg(buckets <= 32767, "solve_mckp: buckets exceeds backtrack range");
   MckpResult result;
   if (items.empty()) {
     result.feasible = capacity >= 0;
@@ -23,35 +24,49 @@ MckpResult solve_mckp(const std::vector<std::vector<MckpOption>>& items,
       std::max<std::int64_t>(1, (capacity + buckets - 1) / buckets);
   const int cap_buckets = static_cast<int>(capacity / bucket_size);
 
-  // Bucketized (rounded-up) weights; options that alone exceed capacity are
-  // marked unusable.
+  // DP over the bucketized *cumulative* weight. Each state carries the
+  // exact weight of its representative selection, so (a) feasibility is
+  // checked against the true capacity, never a rounded one — per-option
+  // ceil-rounding used to lose up to n * bucket_size of capacity and
+  // reject feasible near-capacity assignments — and (b) the reported
+  // total_weight is exact. States falling in the same bucket are merged
+  // keeping the min value (ties: min exact weight), which is where the
+  // bounded discretization error lives.
   const double kInf = std::numeric_limits<double>::infinity();
   const std::size_t n = items.size();
   const std::size_t width = static_cast<std::size_t>(cap_buckets) + 1;
 
-  std::vector<double> dp(width, kInf);
-  std::vector<double> next(width, kInf);
-  // choice_at[i][c] = option chosen for item i when ending at bucket c.
-  std::vector<std::vector<std::int16_t>> choice_at(
-      n, std::vector<std::int16_t>(width, -1));
+  struct State {
+    double value;
+    std::int64_t weight;  ///< exact cumulative weight of the representative
+  };
+  std::vector<State> dp(width, {kInf, 0});
+  std::vector<State> next(width, {kInf, 0});
+  // Backtrack info per (item, end bucket): the chosen option and the
+  // predecessor bucket (no longer derivable from the option weight alone).
+  struct Step {
+    std::int16_t choice = -1;
+    std::int16_t prev = -1;
+  };
+  std::vector<std::vector<Step>> step_at(n, std::vector<Step>(width));
 
-  dp[0] = 0.0;
-  // dp over prefix of items; dp[c] = min value with total bucketized
-  // weight exactly... no — "at most c" formulation: we propagate minima.
+  dp[0] = {0.0, 0};
   for (std::size_t i = 0; i < n; ++i) {
-    std::fill(next.begin(), next.end(), kInf);
+    std::fill(next.begin(), next.end(), State{kInf, 0});
     for (std::size_t c = 0; c < width; ++c) {
-      if (dp[c] == kInf) continue;
+      if (dp[c].value == kInf) continue;
       for (std::size_t o = 0; o < items[i].size(); ++o) {
         const auto& opt = items[i][o];
         check_arg(opt.weight >= 0, "solve_mckp: negative weight");
-        const std::int64_t wb = (opt.weight + bucket_size - 1) / bucket_size;
-        const std::size_t nc = c + static_cast<std::size_t>(wb);
-        if (nc >= width) continue;
-        const double val = dp[c] + opt.value;
-        if (val < next[nc]) {
-          next[nc] = val;
-          choice_at[i][nc] = static_cast<std::int16_t>(o);
+        const std::int64_t nw = dp[c].weight + opt.weight;
+        if (nw > capacity) continue;
+        const std::size_t nc = static_cast<std::size_t>(nw / bucket_size);
+        const double val = dp[c].value + opt.value;
+        if (val < next[nc].value ||
+            (val == next[nc].value && nw < next[nc].weight)) {
+          next[nc] = {val, nw};
+          step_at[i][nc] = {static_cast<std::int16_t>(o),
+                            static_cast<std::int16_t>(c)};
         }
       }
     }
@@ -62,23 +77,22 @@ MckpResult solve_mckp(const std::vector<std::vector<MckpOption>>& items,
   double best = kInf;
   std::size_t best_c = 0;
   for (std::size_t c = 0; c < width; ++c) {
-    if (dp[c] < best) {
-      best = dp[c];
+    if (dp[c].value < best) {
+      best = dp[c].value;
       best_c = c;
     }
   }
   if (best == kInf) return result;
 
-  // Backtrack. Recompute predecessor buckets from the stored choices.
+  // Backtrack along the stored (choice, predecessor-bucket) chain.
   result.choice.assign(n, -1);
   std::size_t c = best_c;
   for (std::size_t ii = n; ii-- > 0;) {
-    const int o = choice_at[ii][c];
-    check_arg(o >= 0, "solve_mckp: backtrack failure");
-    result.choice[ii] = o;
-    const auto& opt = items[ii][static_cast<std::size_t>(o)];
-    const std::int64_t wb = (opt.weight + bucket_size - 1) / bucket_size;
-    c -= static_cast<std::size_t>(wb);
+    const Step step = step_at[ii][c];
+    check_arg(step.choice >= 0, "solve_mckp: backtrack failure");
+    result.choice[ii] = step.choice;
+    const auto& opt = items[ii][static_cast<std::size_t>(step.choice)];
+    c = static_cast<std::size_t>(step.prev);
     result.total_weight += opt.weight;
     result.total_value += opt.value;
   }

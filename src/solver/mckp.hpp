@@ -22,9 +22,12 @@ struct MckpResult {
   std::vector<int> choice;  ///< option index per item
 };
 
-/// Exact DP over discretized capacity. `buckets` trades precision for
-/// speed; weights are rounded *up* to bucket granularity so the returned
-/// selection never exceeds `capacity` in true weight.
+/// DP over the bucketized *cumulative* weight. `buckets` trades precision
+/// for speed: each DP state carries the exact weight of its representative
+/// selection, so feasibility is always checked against the true capacity
+/// (the returned selection never exceeds `capacity`, and near-capacity
+/// selections are not rejected by rounding — the discretization only
+/// merges same-bucket states, keeping the min-value / min-weight one).
 MckpResult solve_mckp(const std::vector<std::vector<MckpOption>>& items,
                       std::int64_t capacity, int buckets = 2048);
 

@@ -79,11 +79,32 @@ MilpSolution solve_milp(const MilpProblem& problem,
   MilpSolution best;
   best.objective = std::numeric_limits<double>::infinity();
 
+  // Cross-solver incumbent pool (see MilpOptions::shared_incumbent):
+  // relaxed atomics suffice — the value only ever decreases, and a stale
+  // read merely prunes less.
+  auto shared_value = [&] {
+    return options.shared_incumbent
+               ? options.shared_incumbent->load(std::memory_order_relaxed)
+               : kLpInf;
+  };
+  auto publish_incumbent = [&](double obj) {
+    if (options.shared_incumbent == nullptr) return;
+    double cur = options.shared_incumbent->load(std::memory_order_relaxed);
+    while (obj < cur && !options.shared_incumbent->compare_exchange_weak(
+                            cur, obj, std::memory_order_relaxed))
+      ;
+  };
+  // Min dual bound among subtrees pruned by the *shared* incumbent while
+  // it sat below this solver's own: those subtrees could have held a
+  // better own solution, so optimality can no longer be claimed.
+  double shared_pruned_min = kLpInf;
+
   if (options.warm_start &&
       warm_start_feasible(problem, *options.warm_start, options.int_tol)) {
     best.status = MilpStatus::kFeasible;
     best.x = *options.warm_start;
     best.objective = objective_of(problem.lp, best.x);
+    publish_incumbent(best.objective);
   }
 
   LpProblem work = problem.lp;  // bounds mutated per node, restored after
@@ -112,6 +133,15 @@ MilpSolution solve_milp(const MilpProblem& problem,
     stack.pop_back();
     if (node.parent_bound >= best.objective - options.gap_abs) {
       pruned_bound = std::min(pruned_bound, node.parent_bound);
+      continue;
+    }
+    // Shared-incumbent pruning is strictly-greater on purpose: a subtree
+    // whose bound ties the pooled best may still hold the solution that
+    // *is* the pooled best, and must stay searchable for determinism.
+    if (node.parent_bound > shared_value()) {
+      pruned_bound = std::min(pruned_bound, node.parent_bound);
+      if (node.parent_bound < best.objective)
+        shared_pruned_min = std::min(shared_pruned_min, node.parent_bound);
       continue;
     }
     ++best.nodes_explored;
@@ -155,6 +185,12 @@ MilpSolution solve_milp(const MilpProblem& problem,
       pruned_bound = std::min(pruned_bound, relax.objective);
       continue;
     }
+    if (relax.objective > shared_value()) {
+      pruned_bound = std::min(pruned_bound, relax.objective);
+      if (relax.objective < best.objective)
+        shared_pruned_min = std::min(shared_pruned_min, relax.objective);
+      continue;
+    }
 
     // Find most fractional integer variable.
     int branch_var = -1;
@@ -177,6 +213,7 @@ MilpSolution solve_milp(const MilpProblem& problem,
         v = std::round(v);
       }
       best.status = MilpStatus::kFeasible;
+      publish_incumbent(best.objective);
       continue;
     }
 
@@ -214,7 +251,11 @@ MilpSolution solve_milp(const MilpProblem& problem,
   double frontier = std::min(dropped_bound, pruned_bound);
   for (const Node& n : stack) frontier = std::min(frontier, n.parent_bound);
   best.best_bound = std::max(root_bound, std::min(frontier, best.objective));
-  if (best.status == MilpStatus::kFeasible && !truncated)
+  // A subtree shared-pruned below our own incumbent might have held a
+  // better own solution — the pooled search covers it, but *this* solve
+  // cannot claim optimality for its subproblem.
+  if (best.status == MilpStatus::kFeasible && !truncated &&
+      shared_pruned_min >= best.objective)
     best.status = MilpStatus::kOptimal;
   if (best.status == MilpStatus::kNoSolution && !truncated &&
       !any_lp_feasible)

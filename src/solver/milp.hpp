@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -24,6 +25,20 @@ struct MilpOptions {
   /// incumbent so branch-and-bound can prune immediately — this is how the
   /// assigner warm-starts the ILP from the bitwidth-transfer heuristic.
   std::optional<std::vector<double>> warm_start;
+  /// Optional cross-solver incumbent objective, shared by concurrent
+  /// solves of *comparable* problems (the assigner's parallel Pass 2:
+  /// every refined combo minimizes the same latency + theta * penalty
+  /// scale). Each solver publishes improving incumbents into it and
+  /// additionally prunes nodes whose dual bound is *strictly above* the
+  /// shared value. The strict comparison is what keeps the pooled search
+  /// deterministic in its outcome: a subtree containing a solution equal
+  /// to the global optimum can never be shared-pruned (its bound is <=
+  /// the optimum <= the shared value), so the best objective across the
+  /// pool is schedule-independent even though per-solver node counts are
+  /// not. When shared pruning discards a subtree that could have beaten
+  /// this solver's own incumbent, the solver reports kFeasible rather
+  /// than claiming optimality. nullptr disables sharing.
+  std::atomic<double>* shared_incumbent = nullptr;
 };
 
 enum class MilpStatus {

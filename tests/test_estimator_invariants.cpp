@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/estimator.hpp"
 #include "cost/cost_provider.hpp"
 
@@ -91,6 +93,76 @@ TEST_F(EstimatorInvariants, ObjectiveLinearInTheta) {
   EXPECT_DOUBLE_EQ(e1.quality_penalty, e10.quality_penalty);
   EXPECT_NEAR(e10.objective - e10.e2e_latency,
               10.0 * (e1.objective - e1.e2e_latency), 1e-9);
+}
+
+TEST_F(EstimatorInvariants, ZeroGenerationClampsDecodeAndThroughput) {
+  // Regression: decode_total used to scale by (gen_tokens - 1), so a
+  // prefill-only workload produced a NEGATIVE decode time and e2e latency
+  // (the simulator already guards this — PipelineSim.ZeroGeneration*).
+  for (int gen : {0, 1}) {
+    ExecutionPlan plan = base_plan();
+    plan.workload.gen_tokens = gen;
+    const PlanEstimate est = estimate_plan(*cost_, plan);
+    ASSERT_TRUE(est.mem_feasible);
+    EXPECT_EQ(est.decode_total, 0.0) << "gen_tokens=" << gen;
+    EXPECT_GT(est.prefill_total, 0.0);
+    EXPECT_DOUBLE_EQ(est.e2e_latency, est.prefill_total);
+    EXPECT_GE(est.throughput_tokens_per_s, 0.0);
+    EXPECT_TRUE(std::isfinite(est.throughput_tokens_per_s));
+    EXPECT_GE(est.objective, 0.0);
+  }
+}
+
+TEST_F(EstimatorInvariants, IncrementalScoresMatchFullEstimate) {
+  // The bitwidth-transfer inner loop scores candidates with
+  // IncrementalPlanEvaluator instead of a from-scratch estimate_plan; the
+  // two must agree to floating-point summation order on every move kind.
+  const auto ind = compute_indicator(*model_, IndicatorKind::kVariance);
+  const double theta = 2.0;
+  const ExecutionPlan plan = base_plan(8);
+  const IncrementalPlanEvaluator eval(*cost_, &ind, theta, plan);
+
+  const PlanEstimate base = estimate_plan(*cost_, plan, &ind, theta);
+  ASSERT_TRUE(base.mem_feasible);
+  ASSERT_TRUE(eval.base().feasible);
+  EXPECT_NEAR(eval.base().objective, base.objective,
+              1e-9 * base.objective);
+
+  for (int layer : {0, 9, 10, 21, 33, model_->layers - 1}) {
+    for (int bits : kBitCandidates) {
+      ExecutionPlan cand = plan;
+      cand.layer_bits[static_cast<std::size_t>(layer)] = bits;
+      const PlanEstimate full = estimate_plan(*cost_, cand, &ind, theta);
+      const auto s = eval.score_bit_change(layer, bits);
+      EXPECT_EQ(s.feasible, full.mem_feasible)
+          << "layer " << layer << " -> " << bits << " bits";
+      if (full.mem_feasible)
+        EXPECT_NEAR(s.objective, full.objective, 1e-9 * full.objective)
+            << "layer " << layer << " -> " << bits << " bits";
+    }
+  }
+
+  for (int p = 0; p + 1 < 4; ++p) {
+    for (int delta : {-1, +1}) {
+      for (int new_bits : {-1, 4}) {
+        const auto s = eval.score_boundary_shift(p, delta, new_bits);
+        ASSERT_TRUE(s.has_value());  // no stage is near-empty here
+        ExecutionPlan cand = plan;
+        const int moved = delta < 0
+                              ? cand.boundaries[static_cast<std::size_t>(p) + 1] - 1
+                              : cand.boundaries[static_cast<std::size_t>(p) + 1];
+        cand.boundaries[static_cast<std::size_t>(p) + 1] += delta;
+        if (new_bits > 0)
+          cand.layer_bits[static_cast<std::size_t>(moved)] = new_bits;
+        const PlanEstimate full = estimate_plan(*cost_, cand, &ind, theta);
+        EXPECT_EQ(s->feasible, full.mem_feasible)
+            << "boundary " << p << " delta " << delta;
+        if (full.mem_feasible)
+          EXPECT_NEAR(s->objective, full.objective, 1e-9 * full.objective)
+              << "boundary " << p << " delta " << delta;
+      }
+    }
+  }
 }
 
 TEST_F(EstimatorInvariants, DecodeRoundBoundIsMaxOfSumAndBottleneck) {

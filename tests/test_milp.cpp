@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -167,6 +168,44 @@ TEST(DpPartition, MinSumMatchesGreedyOnSeparableCosts) {
   EXPECT_EQ(r.boundaries[1], 0);
 }
 
+TEST(Milp, SharedIncumbentSeededAtOptimumIsNotPruned) {
+  // Tie-safety of the cross-solver incumbent pool: pruning is *strictly*
+  // greater-than, so seeding the shared value with the exact optimum must
+  // not prune the subtree containing it — the solver still returns it.
+  MilpProblem p;
+  const int x0 = p.lp.add_binary(1.0);
+  const int x1 = p.lp.add_binary(2.0);
+  p.integer_vars = {x0, x1};
+  p.lp.add_row({{x0, 1.0}, {x1, 1.0}}, LpProblem::RowType::kGe, 1.0);
+  std::atomic<double> incumbent{1.0};  // the known optimum (x0 = 1)
+  MilpOptions opt;
+  opt.shared_incumbent = &incumbent;
+  const MilpSolution s = solve_milp(p, opt);
+  ASSERT_TRUE(s.status == MilpStatus::kOptimal ||
+              s.status == MilpStatus::kFeasible);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x0)], 1.0, 1e-6);
+  EXPECT_LE(incumbent.load(), 1.0 + 1e-9);  // solver published its find
+}
+
+TEST(Milp, SharedIncumbentBelowOptimumPrunesSearch) {
+  // A shared value strictly below anything achievable prunes every
+  // subtree: another solver already holds a better plan, so this one
+  // reports no solution instead of wasting its budget.
+  MilpProblem p;
+  const int x0 = p.lp.add_binary(1.0);
+  const int x1 = p.lp.add_binary(2.0);
+  p.integer_vars = {x0, x1};
+  p.lp.add_row({{x0, 1.0}, {x1, 1.0}}, LpProblem::RowType::kGe, 1.0);
+  std::atomic<double> incumbent{0.5};
+  MilpOptions opt;
+  opt.shared_incumbent = &incumbent;
+  const MilpSolution s = solve_milp(p, opt);
+  EXPECT_NE(s.status, MilpStatus::kOptimal);
+  EXPECT_NE(s.status, MilpStatus::kFeasible);
+  EXPECT_NEAR(incumbent.load(), 0.5, 1e-12);  // nothing better published
+}
+
 TEST(Mckp, PicksCheapestFeasibleCombination) {
   // Two items; capacity forces one small option.
   std::vector<std::vector<MckpOption>> items = {
@@ -179,6 +218,29 @@ TEST(Mckp, PicksCheapestFeasibleCombination) {
   EXPECT_EQ(r.choice[0], 1);
   EXPECT_EQ(r.choice[1], 0);
   EXPECT_NEAR(r.total_value, 10.0, 1e-9);
+}
+
+TEST(Mckp, CumulativeRoundingKeepsNearCapacityFeasible) {
+  // Regression: six mandatory options of weight 150 under capacity 1000
+  // (total 900) are feasible, but per-option ceil-rounding at bucket_size
+  // 100 used to charge each option 2 buckets — 12 > 10 — and reject the
+  // assignment. The DP must bucketize the cumulative weight instead.
+  std::vector<std::vector<MckpOption>> items(6, {{150, 1.0}});
+  const MckpResult r = solve_mckp(items, 1000, 10);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.total_weight, 900);
+  EXPECT_NEAR(r.total_value, 6.0, 1e-12);
+}
+
+TEST(Mckp, CoarseBucketsStillFindNearCapacityOptimum) {
+  // The cheap options only fit because feasibility checks exact weights:
+  // 3 x 330 = 990 <= 1000, yet each 330 straddles bucket_size 125.
+  std::vector<std::vector<MckpOption>> items(
+      3, {{330, 1.0}, {50, 10.0}});
+  const MckpResult r = solve_mckp(items, 1000, 8);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.total_weight, 990);
+  EXPECT_NEAR(r.total_value, 3.0, 1e-12);
 }
 
 TEST(Mckp, InfeasibleWhenEverythingTooHeavy) {

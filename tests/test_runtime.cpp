@@ -104,6 +104,18 @@ TEST(KvCacheTest, OverflowThrows) {
   EXPECT_THROW(cache.append(0, kv, kv), Error);
 }
 
+TEST(KvCacheTest, OutOfRangeSequenceIdThrows) {
+  // Regression: append/filled used to index filled_[b] before validating
+  // b, so an out-of-range sequence id read past the vector instead of
+  // throwing.
+  KvCache cache(2, 4, 3);
+  const float kv[3] = {0, 0, 0};
+  EXPECT_THROW(cache.append(2, kv, kv), InvalidArgumentError);
+  EXPECT_THROW((void)cache.filled(2), InvalidArgumentError);
+  KvCache empty;
+  EXPECT_THROW((void)empty.filled(0), InvalidArgumentError);
+}
+
 TEST(MicrobatchManagerTest, SlicesCoverBatch) {
   MicrobatchManager mbm(10, 4, 3);
   std::size_t covered = 0;
