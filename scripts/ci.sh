@@ -67,7 +67,7 @@ stage_bench() {
   echo "==== bench ===="
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
     --target bench_table4_hetero_serving bench_table8_optimizer_speed \
-             bench_runtime_engine
+             bench_ext_online_serving bench_runtime_engine
   "${BUILD_DIR}/bench/bench_table4_hetero_serving" \
     --json "${BUILD_DIR}/BENCH_table4_hetero_serving.json" > /dev/null
   # Table 8's gated artifact keeps the heuristic rows only: they are
@@ -76,6 +76,11 @@ stage_bench() {
   "${BUILD_DIR}/bench/bench_table8_optimizer_speed" \
     --methods heuristic \
     --json "${BUILD_DIR}/BENCH_table8_optimizer_speed.json" > /dev/null
+  # Continuous-batching serving: the replay-vs-session decode comparison
+  # over the paged KV cache. Sim-backed and deterministic, so every row
+  # (including the session speedup the KV work is gated on) is diffed.
+  "${BUILD_DIR}/bench/bench_ext_online_serving" \
+    --json "${BUILD_DIR}/BENCH_ext_online_serving.json" > /dev/null
   "${BUILD_DIR}/bench/bench_runtime_engine" \
     --json "${BUILD_DIR}/BENCH_runtime_engine.json" > /dev/null
   # Only the simulator-backed benches are gated: their numbers are
@@ -89,6 +94,9 @@ stage_bench() {
   python3 scripts/check_bench_regression.py \
     --baseline bench/baselines/table8_optimizer_speed.json \
     --current "${BUILD_DIR}/BENCH_table8_optimizer_speed.json"
+  python3 scripts/check_bench_regression.py \
+    --baseline bench/baselines/ext_online_serving.json \
+    --current "${BUILD_DIR}/BENCH_ext_online_serving.json"
 }
 
 stage_sanitize() {

@@ -31,4 +31,11 @@ inline void check_arg(bool cond, const std::string& msg) {
   if (!cond) throw InvalidArgumentError(msg);
 }
 
+/// Literal-message overload: avoids constructing a std::string (a heap
+/// allocation for most messages) on the success path of checks that sit
+/// inside per-token loops (KV-cache reads, appends).
+inline void check_arg(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgumentError(msg);
+}
+
 }  // namespace llmpq

@@ -10,28 +10,44 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/trace.hpp"
+#include "runtime/kv_cache_manager.hpp"
 
 namespace llmpq {
 
 namespace {
 
-/// One micro-batch travelling down the pipeline. A message that hit an
-/// exception inside a stage carries the error instead of valid activations;
-/// downstream stages forward it untouched so the master's in-flight
-/// accounting stays exact and the pipeline never wedges.
+using Clock = std::chrono::steady_clock;
+
+/// One micro-batch travelling down the pipeline. `spans` names the cache
+/// sequences the rows belong to (ragged: spans may have different lengths);
+/// `batch_start` is the first row's index within the pass's session list,
+/// which is what the master's in-flight accounting and lost-row reporting
+/// key on. A message that hit an exception inside a stage carries the
+/// error instead of valid activations; downstream stages forward it
+/// untouched so the accounting stays exact and the pipeline never wedges.
 struct StageMsg {
   std::size_t batch_start = 0;
   std::size_t seqs = 0;
-  std::size_t seq_len = 0;
+  bool decode = false;  ///< decode round (one token per span)
+  std::vector<SeqSpan> spans;
   Tensor2D acts;
   std::exception_ptr error;
 };
+
+Clock::time_point deadline_from(const GenerateOptions& options,
+                                Clock::time_point start) {
+  if (!std::isfinite(options.deadline_s)) return Clock::time_point::max();
+  return start + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(
+                         options.deadline_s < 0.0 ? 0.0 : options.deadline_s));
+}
 
 }  // namespace
 
@@ -46,12 +62,30 @@ struct PipelineEngine::Impl {
   std::vector<std::unique_ptr<MpmcQueue<StageMsg>>> inboxes;
   std::unique_ptr<MpmcQueue<StageMsg>> outbox;
 
-  // Per stage, per local layer: KV caches. Allocated lazily on the first
-  // generate() and reused while (batch, max_seq) stay the same; only the
-  // position counters are reset between calls.
-  std::vector<std::vector<KvCache>> caches;
-  std::size_t cache_batch = 0;
-  std::size_t cache_max_seq = 0;
+  // Per stage, per local layer: paged KV pools. Sequences are session ids;
+  // the pool is unbounded here because plan feasibility was already gated
+  // by the planner's memory model — eviction/preemption is exercised at
+  // the KvCacheManager level (capped pools) by its unit suite.
+  std::vector<std::vector<KvCacheManager>> kv;
+
+  /// Master-side session table. `tokens` is prompt + committed sampled
+  /// tokens; `committed` counts KV positions present in every manager.
+  /// Invariant after a successful prefill/decode pass:
+  /// tokens.size() == committed + 1 (the last token is sampled but not yet
+  /// fed back).
+  struct Session {
+    std::vector<TokenId> tokens;
+    std::size_t committed = 0;
+  };
+  std::unordered_map<int, Session> sessions;
+  int next_session = 1;
+
+  // KV mutations that must wait for restart(): while the engine is broken,
+  // stranded workers may still be touching the caches, so truncation
+  // (rollback of a half-appended pass) and page frees are queued here and
+  // applied after the workers are joined.
+  std::vector<std::pair<int, std::size_t>> deferred_truncate;
+  std::vector<int> deferred_free;
 
   // Observability (written by workers, read by stats()).
   std::vector<std::unique_ptr<StageMetrics>> stage_metrics;
@@ -95,11 +129,14 @@ struct PipelineEngine::Impl {
     }
     check_arg(covered == w.spec.layers,
               "PipelineEngine: stage ranges must cover the model");
+    const std::size_t hidden = static_cast<std::size_t>(w.spec.hidden);
+    kv.resize(stages.size());
     for (std::size_t p = 0; p < stages.size(); ++p) {
       inboxes.push_back(std::make_unique<MpmcQueue<StageMsg>>(64));
       stage_metrics.push_back(std::make_unique<StageMetrics>());
+      const int layers = stages[p].second - stages[p].first;
+      for (int l = 0; l < layers; ++l) kv[p].emplace_back(hidden);
     }
-    caches.resize(stages.size());
     // Everything the workers touch is in place; start them last so a
     // constructor failure above never leaves a thread running.
     launch_workers();
@@ -121,30 +158,79 @@ struct PipelineEngine::Impl {
       if (t.joinable()) t.join();
   }
 
-  /// Resets (or re-allocates) the per-stage KV caches for a generate()
-  /// call of shape (batch, max_seq).
-  void prepare_caches(std::size_t batch, std::size_t max_seq) {
-    // Chaos site for simulated allocation failure: an alloc_fail rule here
-    // surfaces as std::bad_alloc before any micro-batch is in flight, which
-    // is what drives the serving layer's graceful-degradation ladder.
-    FAULT_POINT("engine.kv_alloc");
-    if (batch == cache_batch && max_seq == cache_max_seq) {
-      for (auto& stage : caches)
-        for (KvCache& c : stage) c.reset();
-      return;
-    }
-    const std::size_t hidden = static_cast<std::size_t>(weights.spec.hidden);
-    for (std::size_t p = 0; p < stages.size(); ++p) {
-      caches[p].clear();
-      const auto [begin, end] = stages[p];
-      for (int layer = begin; layer < end; ++layer) {
-        (void)layer;
-        caches[p].emplace_back(batch, max_seq, hidden);
-      }
-    }
-    cache_batch = batch;
-    cache_max_seq = max_seq;
+  // ---- Session/KV plumbing (master thread only; the workers never touch
+  // the session table, only the managers through in-flight messages).
+
+  void throw_if_broken() const {
+    if (broken.load(std::memory_order_acquire))
+      throw Error(
+          "PipelineEngine::generate: engine is broken after a fault; "
+          "restart() required");
   }
+
+  Session& session_at(int id) {
+    auto it = sessions.find(id);
+    check_arg(it != sessions.end(), "PipelineEngine: unknown session id");
+    return it->second;
+  }
+  const Session& session_at(int id) const {
+    auto it = sessions.find(id);
+    check_arg(it != sessions.end(), "PipelineEngine: unknown session id");
+    return it->second;
+  }
+
+  int create_session(std::vector<TokenId> prompt) {
+    const int id = next_session++;
+    for (auto& stage : kv)
+      for (KvCacheManager& m : stage) {
+        m.begin_seq(id);
+        m.pin(id);  // engine sessions are never evictable
+      }
+    Session s;
+    s.tokens = std::move(prompt);
+    sessions.emplace(id, std::move(s));
+    return id;
+  }
+
+  void reserve_session(int id, std::size_t target_len) {
+    for (auto& stage : kv)
+      for (KvCacheManager& m : stage) m.reserve(id, target_len);
+  }
+
+  void free_session_pages(int id) {
+    for (auto& stage : kv)
+      for (KvCacheManager& m : stage)
+        if (m.has_seq(id)) m.free_seq(id);
+  }
+
+  void truncate_session(int id, std::size_t len) {
+    for (auto& stage : kv)
+      for (KvCacheManager& m : stage)
+        if (m.has_seq(id) && m.filled(id) > len) m.truncate(id, len);
+  }
+
+  /// Erases the session entry now; frees (or defers freeing) its pages.
+  void release_session(int id) {
+    sessions.erase(id);
+    if (broken.load(std::memory_order_acquire))
+      deferred_free.push_back(id);
+    else
+      free_session_pages(id);
+  }
+
+  /// Applies rollbacks/frees queued while the engine was broken. Only safe
+  /// with the workers joined (restart() calls this after shutdown()).
+  void apply_deferred() {
+    for (const auto& [id, len] : deferred_truncate) truncate_session(id, len);
+    deferred_truncate.clear();
+    for (int id : deferred_free) free_session_pages(id);
+    deferred_free.clear();
+  }
+
+  std::vector<TokenId> run_pass(const std::vector<int>& ids,
+                                bool decode_phase,
+                                Clock::time_point deadline_tp,
+                                const CancelToken& cancel);
 
   void stage_loop(std::size_t p) {
     auto& inbox = *inboxes[p];
@@ -166,7 +252,7 @@ struct PipelineEngine::Impl {
         TraceSession::set_thread_name("stage " + std::to_string(p));
       if (!m.error) {
         TRACE_SPAN1("engine",
-                    m.seq_len == 1 ? "decode-microbatch" : "prefill-microbatch",
+                    m.decode ? "decode-microbatch" : "prefill-microbatch",
                     "seqs", m.seqs);
         StopwatchNs busy;
         try {
@@ -174,8 +260,8 @@ struct PipelineEngine::Impl {
           for (int layer = begin; layer < end; ++layer) {
             decoder_layer_forward(
                 weights.spec, weights.layers[static_cast<std::size_t>(layer)],
-                m.acts, caches[p][static_cast<std::size_t>(layer - begin)],
-                m.batch_start, m.seqs, m.seq_len, /*observer=*/nullptr,
+                m.acts, kv[p][static_cast<std::size_t>(layer - begin)],
+                m.spans, /*observer=*/nullptr,
                 /*layer_index=*/layer, &metrics);
           }
         } catch (...) {
@@ -207,6 +293,211 @@ struct PipelineEngine::Impl {
     }
   }
 };
+
+/// One ragged pass (prefill: each session's pending tokens; decode: one
+/// token per session) through the pipeline. Returns one sampled token per
+/// session in `ids` order and commits it (tokens/committed advance) only
+/// after every micro-batch came back clean. On failure, every
+/// participating session's KV is truncated back to its committed length —
+/// immediately when the pipeline drained (engine stays healthy), deferred
+/// to restart() when it did not.
+std::vector<TokenId> PipelineEngine::Impl::run_pass(
+    const std::vector<int>& ids, bool decode_phase,
+    Clock::time_point deadline_tp, const CancelToken& cancel) {
+  // Poll granularity for the deadline/cancel checks in pop_msg; with no
+  // deadline and no cancel token armed we still use it so a cancel issued
+  // mid-wait is observed promptly.
+  constexpr std::chrono::milliseconds kPoll{20};
+
+  // Exact in-flight accounting: every micro-batch pushed into the pipeline
+  // comes back on the outbox exactly once (worker exceptions travel as
+  // poisoned messages), so on any failure we can drain to a clean state and
+  // keep the engine usable. `pending` mirrors in_flight at slice
+  // granularity so a failure can report exactly which rows were lost.
+  std::size_t in_flight = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> pending;  // (start, count)
+
+  auto record_failure = [&](const std::string& what, bool needs_restart) {
+    EngineFailureInfo info;
+    info.failed = true;
+    info.needs_restart = needs_restart;
+    info.what = what;
+    for (const auto& [s, n] : pending)
+      for (std::size_t r = 0; r < n; ++r)
+        info.lost_rows.push_back(static_cast<int>(s + r));
+    std::sort(info.lost_rows.begin(), info.lost_rows.end());
+    std::lock_guard<std::mutex> lock(failure_mu);
+    failure = std::move(info);
+  };
+  auto mark_broken = [&](const std::string& what) {
+    record_failure(what, /*needs_restart=*/true);
+    broken.store(true, std::memory_order_release);
+    TRACE_INSTANT("engine", "broken");
+  };
+  auto rollback = [&](bool immediate) {
+    for (int id : ids) {
+      auto it = sessions.find(id);
+      if (it == sessions.end()) continue;
+      if (immediate)
+        truncate_session(id, it->second.committed);
+      else
+        deferred_truncate.emplace_back(id, it->second.committed);
+    }
+  };
+
+  auto push_msg = [&](StageMsg msg) {
+    const std::pair<std::size_t, std::size_t> slice{msg.batch_start, msg.seqs};
+    if (!inboxes.front()->push(std::move(msg)))
+      throw Error("PipelineEngine: pipeline is shut down (mailbox closed)");
+    pending.push_back(slice);
+    ++in_flight;
+  };
+  auto pop_msg = [&]() -> StageMsg {
+    for (;;) {
+      if (cancel.cancelled()) {
+        mark_broken("PipelineEngine: generate cancelled");
+        throw PipelineAbortError("PipelineEngine: generate cancelled",
+                                 /*timed_out=*/false);
+      }
+      if (Clock::now() >= deadline_tp) {
+        mark_broken("PipelineEngine: generate deadline exceeded");
+        throw PipelineAbortError("PipelineEngine: generate deadline exceeded",
+                                 /*timed_out=*/true);
+      }
+      auto out = outbox->pop_for(kPoll);
+      if (!out) {
+        if (outbox->closed())
+          throw Error("PipelineEngine: pipeline closed early");
+        continue;  // timed out waiting; re-check deadline/cancel
+      }
+      --in_flight;
+      StageMsg m = std::move(*out);
+      // A poisoned message did come back, but its rows produced no usable
+      // output this round — keep its slice in `pending` so last_failure()
+      // reports those rows as lost alongside any still in flight.
+      if (m.error) std::rethrow_exception(m.error);
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->first == m.batch_start && it->second == m.seqs) {
+          pending.erase(it);
+          break;
+        }
+      }
+      return m;
+    }
+  };
+
+  MicrobatchManager mbm(ids.size(), static_cast<std::size_t>(prefill_mb),
+                        static_cast<std::size_t>(decode_mb));
+  std::vector<TokenId> out(ids.size());
+  if (TraceSession::enabled()) TraceSession::set_thread_name("master");
+
+  try {
+    const std::vector<BatchSlice> slices =
+        decode_phase ? mbm.decode_slices() : mbm.prefill_slices();
+    StopwatchNs pass_timer;
+    std::size_t pass_tokens = 0;
+    std::optional<TraceSpan> phase_span;
+    phase_span.emplace("engine", decode_phase ? "decode-round" : "prefill",
+                       "seqs", static_cast<double>(ids.size()));
+    mbm.begin_phase(slices.size());
+    for (const BatchSlice& slice : slices) {
+      StageMsg msg;
+      msg.batch_start = slice.start;
+      msg.seqs = slice.count;
+      msg.decode = decode_phase;
+      msg.spans.reserve(slice.count);
+      std::vector<TokenId> flat;
+      std::vector<std::size_t> offsets;
+      offsets.reserve(slice.count);
+      for (std::size_t s = 0; s < slice.count; ++s) {
+        const int id = ids[slice.start + s];
+        const Session& sess = session_at(id);
+        if (decode_phase) {
+          msg.spans.push_back(SeqSpan{id, 1});
+          flat.push_back(sess.tokens.back());
+        } else {
+          msg.spans.push_back(
+              SeqSpan{id, sess.tokens.size() - sess.committed});
+          flat.insert(flat.end(),
+                      sess.tokens.begin() +
+                          static_cast<std::ptrdiff_t>(sess.committed),
+                      sess.tokens.end());
+        }
+        offsets.push_back(sess.committed);
+      }
+      pass_tokens += flat.size();
+      FAULT_POINT("engine.embed");
+      msg.acts = embed(weights, flat, msg.spans, offsets);
+      push_msg(std::move(msg));
+    }
+    while (mbm.outstanding() > 0) {
+      const StageMsg m = pop_msg();
+      const std::vector<TokenId> toks =
+          project_and_sample(weights, m.acts, m.spans);
+      for (std::size_t s = 0; s < m.seqs; ++s) out[m.batch_start + s] = toks[s];
+      mbm.complete_one();
+    }
+    (decode_phase ? decode_metrics : prefill_metrics)
+        .add(pass_tokens, pass_timer.elapsed_ns());
+    phase_span.reset();
+  } catch (const PipelineAbortError&) {
+    // Deadline/cancel: micro-batches may be stuck inside the pipeline (or
+    // silently dropped), so draining could block forever and the caches
+    // cannot be touched yet. mark_broken already ran; the rollback waits
+    // for restart(), the only road back.
+    rollback(/*immediate=*/false);
+    throw;
+  } catch (...) {
+    // Swallow every in-flight micro-batch (poisoned or not) so the next
+    // pass starts from an empty pipeline. Workers forward each message
+    // exactly once, so this terminates unless a message was lost — the
+    // grace budget converts that hang into a broken engine instead.
+    std::string what = "unknown error";
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    const Clock::time_point grace = Clock::now() + std::chrono::seconds(2);
+    bool drained = true;
+    while (in_flight > 0) {
+      auto out_msg = outbox->pop_for(kPoll);
+      if (out_msg) {
+        --in_flight;
+        continue;
+      }
+      if (outbox->closed()) break;  // engine shut down concurrently
+      if (Clock::now() >= grace) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) {
+      record_failure("PipelineEngine: generate failed: " + what,
+                     /*needs_restart=*/false);
+      rollback(/*immediate=*/true);
+    } else {
+      mark_broken("PipelineEngine: drain after failure timed out (" + what +
+                  ")");
+      rollback(/*immediate=*/false);
+    }
+    throw;
+  }
+
+  // Commit: the pass fully succeeded, so every session's KV now holds its
+  // processed tokens; record that and append the sampled token.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Session& sess = session_at(ids[i]);
+    sess.committed = sess.tokens.size();
+    sess.tokens.push_back(out[i]);
+  }
+  {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    failure = EngineFailureInfo{};
+  }
+  return out;
+}
 
 PipelineEngine::PipelineEngine(const ModelWeights& weights,
                                std::vector<std::pair<int, int>> stage_layers,
@@ -249,10 +540,13 @@ EngineFailureInfo PipelineEngine::last_failure() const {
 void PipelineEngine::restart() {
   Impl& im = *impl_;
   // Joining first makes the mailbox swap below single-threaded: after
-  // shutdown() no worker can touch the old queues. Weights and KV caches
-  // are untouched — recovery never repeats the load or allocation work.
+  // shutdown() no worker can touch the old queues or the KV pools. Weights
+  // and surviving sessions' KV pages are untouched — recovery never
+  // repeats the load or prefill work; only rollbacks/frees that were
+  // deferred while workers could still be running are applied now.
   im.shutdown();
   im.workers.clear();
+  im.apply_deferred();
   for (auto& inbox : im.inboxes)
     inbox = std::make_unique<MpmcQueue<StageMsg>>(64);
   im.outbox = std::make_unique<MpmcQueue<StageMsg>>(64);
@@ -264,6 +558,85 @@ void PipelineEngine::restart() {
   im.launch_workers();
   TRACE_INSTANT("engine", "restart");
 }
+
+// ---- Step-level session API.
+
+int PipelineEngine::begin_session(std::vector<TokenId> prompt) {
+  check_arg(!prompt.empty(),
+            "PipelineEngine::begin_session: empty prompt");
+  impl_->throw_if_broken();
+  return impl_->create_session(std::move(prompt));
+}
+
+void PipelineEngine::end_session(int session) {
+  Impl& im = *impl_;
+  check_arg(im.sessions.count(session) != 0,
+            "PipelineEngine::end_session: unknown session id");
+  im.release_session(session);
+}
+
+bool PipelineEngine::has_session(int session) const {
+  return impl_->sessions.count(session) != 0;
+}
+
+std::size_t PipelineEngine::session_length(int session) const {
+  return impl_->session_at(session).tokens.size();
+}
+
+std::size_t PipelineEngine::session_committed(int session) const {
+  return impl_->session_at(session).committed;
+}
+
+TokenId PipelineEngine::session_back(int session) const {
+  return impl_->session_at(session).tokens.back();
+}
+
+std::size_t PipelineEngine::kv_footprint_bytes() const {
+  std::size_t total = 0;
+  for (const auto& stage : impl_->kv)
+    for (const KvCacheManager& m : stage) total += m.footprint_bytes();
+  return total;
+}
+
+std::vector<TokenId> PipelineEngine::prefill(const std::vector<int>& sessions,
+                                             const GenerateOptions& options) {
+  Impl& im = *impl_;
+  check_arg(!sessions.empty(), "PipelineEngine::prefill: no sessions");
+  im.throw_if_broken();
+  for (int id : sessions) {
+    const Impl::Session& s = im.session_at(id);
+    check_arg(s.committed == 0,
+              "PipelineEngine::prefill: session already prefilled");
+  }
+  // Reservation is the allocation choke point: it throws (std::bad_alloc
+  // under a simulated allocation failure) before anything is in flight,
+  // so the engine stays healthy — the serving layer turns repeated
+  // failures here into graceful bitwidth degradation.
+  FAULT_POINT("engine.kv_alloc");
+  for (int id : sessions)
+    im.reserve_session(id, im.session_at(id).tokens.size());
+  return im.run_pass(sessions, /*decode_phase=*/false,
+                     deadline_from(options, Clock::now()), options.cancel);
+}
+
+std::vector<TokenId> PipelineEngine::decode_step(
+    const std::vector<int>& sessions, const GenerateOptions& options) {
+  Impl& im = *impl_;
+  check_arg(!sessions.empty(), "PipelineEngine::decode_step: no sessions");
+  im.throw_if_broken();
+  for (int id : sessions) {
+    const Impl::Session& s = im.session_at(id);
+    check_arg(s.committed + 1 == s.tokens.size(),
+              "PipelineEngine::decode_step: session not prefilled");
+  }
+  FAULT_POINT("engine.kv_alloc");
+  for (int id : sessions)
+    im.reserve_session(id, im.session_at(id).committed + 1);
+  return im.run_pass(sessions, /*decode_phase=*/true,
+                     deadline_from(options, Clock::now()), options.cancel);
+}
+
+// ---- Batch generate(), expressed over ephemeral sessions.
 
 std::vector<std::vector<TokenId>> PipelineEngine::generate(
     const std::vector<std::vector<TokenId>>& prompts, int gen_tokens) {
@@ -284,227 +657,48 @@ std::vector<std::vector<TokenId>> PipelineEngine::generate(
               "PipelineEngine::generate: unpadded prompts");
 
   Impl& im = *impl_;
-  if (im.broken.load(std::memory_order_acquire))
-    throw Error(
-        "PipelineEngine::generate: engine is broken after a fault; "
-        "restart() required");
-  const ModelWeights& mw = im.weights;
+  im.throw_if_broken();
   const std::size_t max_seq = prompt_len + static_cast<std::size_t>(gen_tokens);
 
-  // Throws before anything is in flight (std::bad_alloc under a simulated
-  // allocation failure), so the engine stays healthy — the serving layer
-  // turns repeated failures here into graceful bitwidth degradation.
-  im.prepare_caches(batch, max_seq);
-
-  using Clock = std::chrono::steady_clock;
-  const Clock::time_point start = Clock::now();
-  const bool has_deadline = std::isfinite(options.deadline_s);
-  const Clock::time_point deadline_tp =
-      has_deadline ? start + std::chrono::duration_cast<Clock::duration>(
-                                 std::chrono::duration<double>(
-                                     options.deadline_s < 0.0
-                                         ? 0.0
-                                         : options.deadline_s))
-                   : Clock::time_point::max();
-  // Poll granularity for the deadline/cancel checks in pop_msg; with no
-  // deadline and no cancel token armed we still use it so a cancel issued
-  // mid-wait is observed promptly.
-  constexpr std::chrono::milliseconds kPoll{20};
-
-  // Exact in-flight accounting: every micro-batch pushed into the pipeline
-  // comes back on the outbox exactly once (worker exceptions travel as
-  // poisoned messages), so on any failure we can drain to a clean state and
-  // keep the engine usable. `pending` mirrors in_flight at slice
-  // granularity so a failure can report exactly which batch rows were lost.
-  std::size_t in_flight = 0;
-  std::vector<std::pair<std::size_t, std::size_t>> pending;  // (start, count)
-
-  auto record_failure = [&](const std::string& what, bool needs_restart) {
-    EngineFailureInfo info;
-    info.failed = true;
-    info.needs_restart = needs_restart;
-    info.what = what;
-    for (const auto& [s, n] : pending)
-      for (std::size_t r = 0; r < n; ++r)
-        info.lost_rows.push_back(static_cast<int>(s + r));
-    std::sort(info.lost_rows.begin(), info.lost_rows.end());
-    std::lock_guard<std::mutex> lock(im.failure_mu);
-    im.failure = std::move(info);
-  };
-  auto mark_broken = [&](const std::string& what) {
-    record_failure(what, /*needs_restart=*/true);
-    im.broken.store(true, std::memory_order_release);
-    TRACE_INSTANT("engine", "broken");
-  };
-
-  auto push_msg = [&](StageMsg msg) {
-    const std::pair<std::size_t, std::size_t> slice{msg.batch_start, msg.seqs};
-    if (!im.inboxes.front()->push(std::move(msg)))
-      throw Error("PipelineEngine: pipeline is shut down (mailbox closed)");
-    pending.push_back(slice);
-    ++in_flight;
-  };
-  auto pop_msg = [&]() -> StageMsg {
-    for (;;) {
-      if (options.cancel.cancelled()) {
-        mark_broken("PipelineEngine: generate cancelled");
-        throw PipelineAbortError("PipelineEngine: generate cancelled",
-                                 /*timed_out=*/false);
-      }
-      if (Clock::now() >= deadline_tp) {
-        mark_broken("PipelineEngine: generate deadline exceeded");
-        throw PipelineAbortError("PipelineEngine: generate deadline exceeded",
-                                 /*timed_out=*/true);
-      }
-      auto out = im.outbox->pop_for(kPoll);
-      if (!out) {
-        if (im.outbox->closed())
-          throw Error("PipelineEngine: pipeline closed early");
-        continue;  // timed out waiting; re-check deadline/cancel
-      }
-      --in_flight;
-      StageMsg m = std::move(*out);
-      // A poisoned message did come back, but its rows produced no usable
-      // output this round — keep its slice in `pending` so last_failure()
-      // reports those rows as lost alongside any still in flight.
-      if (m.error) std::rethrow_exception(m.error);
-      for (auto it = pending.begin(); it != pending.end(); ++it) {
-        if (it->first == m.batch_start && it->second == m.seqs) {
-          pending.erase(it);
-          break;
-        }
-      }
-      return m;
+  // Ephemeral sessions with the whole shape reserved up front. Throws
+  // before anything is in flight (std::bad_alloc under a simulated
+  // allocation failure), leaving the engine healthy with no sessions —
+  // same pre-flight contract the old monolithic KV reservation had.
+  std::vector<int> ids;
+  ids.reserve(batch);
+  try {
+    FAULT_POINT("engine.kv_alloc");
+    for (const auto& p : prompts) {
+      const int id = im.create_session(p);
+      ids.push_back(id);
+      im.reserve_session(id, max_seq);
     }
-  };
+  } catch (...) {
+    for (int id : ids) im.release_session(id);
+    throw;
+  }
 
-  MicrobatchManager mbm(batch, static_cast<std::size_t>(im.prefill_mb),
-                        static_cast<std::size_t>(im.decode_mb));
-  std::vector<std::vector<TokenId>> generated(batch);
-  std::vector<TokenId> last_token(batch);
+  const Clock::time_point deadline_tp =
+      deadline_from(options, Clock::now());
 
   if (TraceSession::enabled()) TraceSession::set_thread_name("master");
   TRACE_SPAN1("engine", "generate", "batch", batch);
 
-  // Phase spans close mid-scope, so they live in optionals (reset = end).
-  std::optional<TraceSpan> phase_span;
-
+  std::vector<std::vector<TokenId>> generated(batch);
   try {
-    // ---- Prefill: stream micro-batches through the pipeline.
-    phase_span.emplace("engine", "prefill", "tokens",
-                       static_cast<double>(batch * prompt_len));
-    StopwatchNs prefill_timer;
-    mbm.begin_phase(mbm.prefill_slices().size());
-    for (const BatchSlice& slice : mbm.prefill_slices()) {
-      std::vector<TokenId> flat;
-      flat.reserve(slice.count * prompt_len);
-      for (std::size_t s = 0; s < slice.count; ++s) {
-        const auto& prompt = prompts[slice.start + s];
-        flat.insert(flat.end(), prompt.begin(), prompt.end());
-      }
-      StageMsg msg;
-      msg.batch_start = slice.start;
-      msg.seqs = slice.count;
-      msg.seq_len = prompt_len;
-      FAULT_POINT("engine.embed");
-      msg.acts = embed(mw, flat, slice.count, prompt_len, 0);
-      push_msg(std::move(msg));
-    }
-    while (mbm.outstanding() > 0) {
-      const StageMsg out = pop_msg();
-      const std::vector<TokenId> toks =
-          project_and_sample(mw, out.acts, out.seqs, out.seq_len);
-      for (std::size_t s = 0; s < out.seqs; ++s) {
-        generated[out.batch_start + s].push_back(toks[s]);
-        last_token[out.batch_start + s] = toks[s];
-      }
-      mbm.complete_one();
-    }
-    im.prefill_metrics.add(batch * prompt_len, prefill_timer.elapsed_ns());
-    phase_span.reset();
-
-    // ---- Decode rounds with re-sized micro-batches.
-    if (gen_tokens > 1)
-      phase_span.emplace("engine", "decode", "rounds",
-                         static_cast<double>(gen_tokens - 1));
-    StopwatchNs decode_timer;
+    std::vector<TokenId> toks =
+        im.run_pass(ids, /*decode_phase=*/false, deadline_tp, options.cancel);
+    for (std::size_t b = 0; b < batch; ++b) generated[b].push_back(toks[b]);
     for (int step = 1; step < gen_tokens; ++step) {
-      const std::size_t pos = prompt_len + static_cast<std::size_t>(step) - 1;
-      TRACE_SPAN1("engine", "decode-round", "step", step);
-      mbm.begin_phase(mbm.decode_slices().size());
-      for (const BatchSlice& slice : mbm.decode_slices()) {
-        std::vector<TokenId> toks(
-            last_token.begin() + static_cast<std::ptrdiff_t>(slice.start),
-            last_token.begin() +
-                static_cast<std::ptrdiff_t>(slice.start + slice.count));
-        StageMsg msg;
-        msg.batch_start = slice.start;
-        msg.seqs = slice.count;
-        msg.seq_len = 1;
-        FAULT_POINT("engine.embed");
-        msg.acts = embed(mw, toks, slice.count, 1, pos);
-        push_msg(std::move(msg));
-      }
-      while (mbm.outstanding() > 0) {
-        const StageMsg out = pop_msg();
-        const std::vector<TokenId> toks =
-            project_and_sample(mw, out.acts, out.seqs, out.seq_len);
-        for (std::size_t s = 0; s < out.seqs; ++s) {
-          generated[out.batch_start + s].push_back(toks[s]);
-          last_token[out.batch_start + s] = toks[s];
-        }
-        mbm.complete_one();
-      }
+      toks =
+          im.run_pass(ids, /*decode_phase=*/true, deadline_tp, options.cancel);
+      for (std::size_t b = 0; b < batch; ++b) generated[b].push_back(toks[b]);
     }
-    if (gen_tokens > 1)
-      im.decode_metrics.add(batch * static_cast<std::size_t>(gen_tokens - 1),
-                            decode_timer.elapsed_ns());
-    phase_span.reset();
-  } catch (const PipelineAbortError&) {
-    // Deadline/cancel: micro-batches may be stuck inside the pipeline (or
-    // silently dropped), so draining could block forever. mark_broken
-    // already ran; restart() is the only road back.
-    throw;
   } catch (...) {
-    // Swallow every in-flight micro-batch (poisoned or not) so the next
-    // generate() starts from an empty pipeline. Workers forward each
-    // message exactly once, so this terminates unless a message was lost —
-    // the grace budget converts that hang into a broken engine instead.
-    std::string what = "unknown error";
-    try {
-      throw;
-    } catch (const std::exception& e) {
-      what = e.what();
-    } catch (...) {
-    }
-    const Clock::time_point grace = Clock::now() + std::chrono::seconds(2);
-    bool drained = true;
-    while (in_flight > 0) {
-      auto out = im.outbox->pop_for(kPoll);
-      if (out) {
-        --in_flight;
-        continue;
-      }
-      if (im.outbox->closed()) break;  // engine shut down concurrently
-      if (Clock::now() >= grace) {
-        drained = false;
-        break;
-      }
-    }
-    if (drained) {
-      record_failure("PipelineEngine: generate failed: " + what,
-                     /*needs_restart=*/false);
-    } else {
-      mark_broken("PipelineEngine: drain after failure timed out (" + what +
-                  ")");
-    }
+    for (int id : ids) im.release_session(id);
     throw;
   }
-
-  {
-    std::lock_guard<std::mutex> lock(im.failure_mu);
-    im.failure = EngineFailureInfo{};
-  }
+  for (int id : ids) im.release_session(id);
   im.generate_calls.fetch_add(1, std::memory_order_relaxed);
   return generated;
 }

@@ -66,8 +66,29 @@ struct EngineFailureInfo {
 /// half of LLM-PQ (paper Sec. 3/5), scaled to CPU threads: one persistent
 /// worker thread per pipeline stage, message-passing via bounded mailboxes,
 /// a master engine handling embedding, logits and micro-batch sizing, and a
-/// preallocated KV cache per stage. Token output is bit-for-bit identical
-/// to the single-threaded reference (tests enforce this).
+/// paged KV cache (`KvCacheManager`) per stage and layer. Token output is
+/// bit-for-bit identical to the single-threaded reference (tests enforce
+/// this).
+///
+/// Two execution surfaces share one pipeline:
+///   * generate() — the batch call: ephemeral sessions are created for the
+///     prompts, prefilled, decoded `gen_tokens - 1` further rounds, and
+///     released. Prompts must share one padded length (legacy contract).
+///   * the step-level session API — begin_session / prefill / decode_step /
+///     end_session: sessions persist across calls with their KV pages
+///     intact, so a serving loop can advance the *active set* one token per
+///     iteration with KV reuse instead of replaying full contexts, and
+///     sessions of different lengths batch together exactly (ragged
+///     passes have no pad tokens to attend to).
+///
+/// Session calls are master-side: they must come from one thread at a time
+/// (the serving loop owns its engine). Failure semantics match generate():
+/// an ordinary stage error drains in-flight work, rolls every
+/// participating session's KV back to its last committed length, and
+/// rethrows with the engine healthy; deadline/cancel marks the engine
+/// broken and defers the same rollback to restart(). Tokens are committed
+/// to a session only after its pass fully succeeds, so a retried pass
+/// never double-advances a session.
 ///
 /// Lifecycle: stage workers and mailboxes are created once in the
 /// constructor and joined in the destructor (RAII), so repeated generate()
@@ -102,6 +123,50 @@ class PipelineEngine {
   std::vector<std::vector<TokenId>> generate(
       const std::vector<std::vector<TokenId>>& prompts, int gen_tokens,
       const GenerateOptions& options);
+
+  // ---- Step-level session API (continuous batching). Sessions keep
+  // their KV pages across calls and across restart(); only pages a failed
+  // pass partially appended are rolled back.
+
+  /// Registers a session holding `prompt` (non-empty) and reserves nothing
+  /// yet — pages are reserved by prefill()/decode_step(). Returns the
+  /// session id.
+  int begin_session(std::vector<TokenId> prompt);
+
+  /// Releases a session and returns its KV pages to the pool (deferred to
+  /// restart() while the engine is broken, when stranded workers may still
+  /// touch the caches).
+  void end_session(int session);
+
+  bool has_session(int session) const;
+  /// Tokens the session holds (prompt + sampled): committed KV plus the
+  /// one sampled-but-not-yet-fed token after a successful pass.
+  std::size_t session_length(int session) const;
+  /// Tokens whose KV is materialized (0 until prefill succeeds). Together
+  /// with session_length this tells a retrying caller exactly where a
+  /// session stands: committed == 0 needs prefill, length == committed + 1
+  /// is mid-generation.
+  std::size_t session_committed(int session) const;
+  /// The session's most recent token (the one decode_step would feed).
+  TokenId session_back(int session) const;
+
+  /// Runs each session's full pending prompt through the pipeline (ragged:
+  /// sessions need not share a length) and returns one greedily sampled
+  /// token per session, in `sessions` order. Sessions must be freshly
+  /// begun (nothing committed). On failure no session advances.
+  std::vector<TokenId> prefill(const std::vector<int>& sessions,
+                               const GenerateOptions& options = {});
+
+  /// Advances each prefilled session by one token: feeds its last token at
+  /// its committed position, reusing all cached KV, and returns the next
+  /// sampled token per session. On failure no session advances — a retry
+  /// repeats the same round exactly.
+  std::vector<TokenId> decode_step(const std::vector<int>& sessions,
+                                   const GenerateOptions& options = {});
+
+  /// Bytes held by the paged KV pools across all stages and layers
+  /// (monotonic; pages return to the pool, not the OS).
+  std::size_t kv_footprint_bytes() const;
 
   /// False after an abort (deadline/cancel) or a failed drain left
   /// micro-batches stranded in the pipeline; generate() then throws until

@@ -47,11 +47,18 @@ class KvCache {
     ++filled_[b];
   }
 
-  /// K/V vector of sequence `b` at position `pos` (pos < filled(b)).
+  /// K/V vector of sequence `b` at position `pos`. Only written positions
+  /// are readable (`pos < filled(b)`): an out-of-range read would silently
+  /// return zeros (or another sequence's entries), so it is rejected with
+  /// the same check_arg contract append()/filled() follow.
   const float* k_at(std::size_t b, std::size_t pos) const {
+    check_arg(b < batch_, "KvCache::k_at: sequence id out of range");
+    check_arg(pos < filled_[b], "KvCache::k_at: position not filled");
     return k_.data() + (b * max_seq_ + pos) * hidden_;
   }
   const float* v_at(std::size_t b, std::size_t pos) const {
+    check_arg(b < batch_, "KvCache::v_at: sequence id out of range");
+    check_arg(pos < filled_[b], "KvCache::v_at: position not filled");
     return v_.data() + (b * max_seq_ + pos) * hidden_;
   }
 

@@ -39,11 +39,17 @@ void apply_rope(float* v, std::size_t dh, std::size_t pos) {
 
 }  // namespace
 
-void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
-                           Tensor2D& x, KvCache& cache,
-                           std::size_t batch_start, std::size_t seqs,
-                           std::size_t seq_len, ActivationObserver* observer,
-                           int layer_index, StageMetrics* metrics) {
+/// Shared layer body for the uniform (KvCache, [batch, max_seq] slots) and
+/// ragged (KvCacheManager, per-sequence page tables) paths. `Cache` only
+/// needs filled/append/k_at/v_at; per-sequence K/V pointers are gathered
+/// once per sequence so the per-head inner loops cost the same for both
+/// backends (the paged lookup is a map find, not pointer arithmetic).
+template <typename Cache>
+void layer_forward_core(const ModelSpec& spec, const LayerWeights& w,
+                        Tensor2D& x, Cache& cache,
+                        std::span<const SeqSpan> spans,
+                        ActivationObserver* observer, int layer_index,
+                        StageMetrics* metrics) {
   // Times one qgemm call (or the attention block) into `metrics`; a null
   // metrics pointer compiles down to the plain call.
   StopwatchNs sw;
@@ -64,7 +70,8 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   const std::size_t heads = static_cast<std::size_t>(spec.heads);
   const std::size_t dh = h / heads;
   const std::size_t f = static_cast<std::size_t>(spec.ffn);
-  const std::size_t rows = seqs * seq_len;
+  std::size_t rows = 0;
+  for (const SeqSpan& sp : spans) rows += sp.len;
   check_arg(x.rows() == rows && x.cols() == h,
             "decoder_layer_forward: activation shape mismatch");
 
@@ -76,51 +83,62 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   Tensor2D qkv(rows, 3 * h);
   timed_qgemm(normed.flat(), rows, h, w.qkv, w.qkv_bias, qkv.flat());
 
-  // Append K/V to the cache, then attend over everything cached.
+  // Append K/V to the cache, then attend over everything cached. Each
+  // sequence attends only over its own filled positions — a ragged batch
+  // has no pad rows, so there is nothing wrong to attend to.
   std::optional<TraceSpan> attn_span;
   attn_span.emplace("engine", "attn", "rows", static_cast<double>(rows));
   if (metrics != nullptr) sw.restart();
   Tensor2D attn_ctx(rows, h, 0.0f);
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
   std::vector<float> scores;
-  for (std::size_t s = 0; s < seqs; ++s) {
-    const std::size_t gb = batch_start + s;
-    for (std::size_t t = 0; t < seq_len; ++t) {
-      float* qkv_row = qkv.row(s * seq_len + t);
+  std::vector<const float*> k_rows, v_rows;
+  std::size_t row_base = 0;
+  for (const SeqSpan& sp : spans) {
+    const auto sid = sp.seq;
+    for (std::size_t t = 0; t < sp.len; ++t) {
+      float* qkv_row = qkv.row(row_base + t);
       if (spec.use_rope) {
-        const std::size_t pos = cache.filled(gb);  // this token's position
+        const std::size_t pos = cache.filled(sid);  // this token's position
         for (std::size_t head = 0; head < heads; ++head) {
           apply_rope(qkv_row + head * dh, dh, pos);          // q
           apply_rope(qkv_row + h + head * dh, dh, pos);      // k
         }
       }
-      cache.append(gb, qkv_row + h, qkv_row + 2 * h);
+      cache.append(sid, qkv_row + h, qkv_row + 2 * h);
     }
-    const std::size_t ctx_len = cache.filled(gb);
-    for (std::size_t t = 0; t < seq_len; ++t) {
-      const std::size_t row = s * seq_len + t;
+    const std::size_t ctx_len = cache.filled(sid);
+    k_rows.resize(ctx_len);
+    v_rows.resize(ctx_len);
+    for (std::size_t p = 0; p < ctx_len; ++p) {
+      k_rows[p] = cache.k_at(sid, p);
+      v_rows[p] = cache.v_at(sid, p);
+    }
+    for (std::size_t t = 0; t < sp.len; ++t) {
+      const std::size_t row = row_base + t;
       const float* q = qkv.row(row);
       // Causal span: this token may attend to cache positions
-      // [0, ctx_len - seq_len + t].
-      const std::size_t span = ctx_len - seq_len + t + 1;
+      // [0, ctx_len - sp.len + t].
+      const std::size_t span = ctx_len - sp.len + t + 1;
       scores.resize(span);
       float* ctx_out = attn_ctx.row(row);
       for (std::size_t head = 0; head < heads; ++head) {
         const std::size_t off = head * dh;
         for (std::size_t p = 0; p < span; ++p) {
-          const float* k = cache.k_at(gb, p) + off;
+          const float* k = k_rows[p] + off;
           float dot = 0.0f;
           for (std::size_t d = 0; d < dh; ++d) dot += q[off + d] * k[d];
           scores[p] = dot * inv_sqrt_dh;
         }
         softmax(std::span<float>(scores.data(), span));
         for (std::size_t p = 0; p < span; ++p) {
-          const float* v = cache.v_at(gb, p) + off;
-          const float sp = scores[p];
-          for (std::size_t d = 0; d < dh; ++d) ctx_out[off + d] += sp * v[d];
+          const float* v = v_rows[p] + off;
+          const float sp_w = scores[p];
+          for (std::size_t d = 0; d < dh; ++d) ctx_out[off + d] += sp_w * v[d];
         }
       }
     }
+    row_base += sp.len;
   }
 
   if (metrics != nullptr) metrics->add_attn_ns(sw.elapsed_ns());
@@ -165,18 +183,52 @@ void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
   }
 }
 
+/// Uniform spans for the legacy [batch_start, seqs, seq_len] calling
+/// convention: sequence s maps to cache slot batch_start + s.
+std::vector<SeqSpan> uniform_spans(std::size_t batch_start, std::size_t seqs,
+                                   std::size_t seq_len) {
+  std::vector<SeqSpan> spans(seqs);
+  for (std::size_t s = 0; s < seqs; ++s)
+    spans[s] = SeqSpan{static_cast<int>(batch_start + s), seq_len};
+  return spans;
+}
+
+void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
+                           Tensor2D& x, KvCache& cache,
+                           std::size_t batch_start, std::size_t seqs,
+                           std::size_t seq_len, ActivationObserver* observer,
+                           int layer_index, StageMetrics* metrics) {
+  const std::vector<SeqSpan> spans =
+      uniform_spans(batch_start, seqs, seq_len);
+  layer_forward_core(spec, w, x, cache, spans, observer, layer_index,
+                     metrics);
+}
+
+void decoder_layer_forward(const ModelSpec& spec, const LayerWeights& w,
+                           Tensor2D& x, KvCacheManager& cache,
+                           std::span<const SeqSpan> spans,
+                           ActivationObserver* observer, int layer_index,
+                           StageMetrics* metrics) {
+  layer_forward_core(spec, w, x, cache, spans, observer, layer_index,
+                     metrics);
+}
+
 Tensor2D embed(const ModelWeights& mw, const std::vector<TokenId>& tokens,
-               std::size_t seqs, std::size_t seq_len,
-               std::size_t pos_offset) {
+               std::span<const SeqSpan> spans,
+               std::span<const std::size_t> pos_offsets) {
   const std::size_t h = static_cast<std::size_t>(mw.spec.hidden);
-  check_arg(tokens.size() == seqs * seq_len, "embed: token count mismatch");
-  Tensor2D x(seqs * seq_len, h);
-  for (std::size_t s = 0; s < seqs; ++s) {
-    for (std::size_t t = 0; t < seq_len; ++t) {
-      const std::size_t row = s * seq_len + t;
+  check_arg(spans.size() == pos_offsets.size(),
+            "embed: spans/pos_offsets size mismatch");
+  std::size_t rows = 0;
+  for (const SeqSpan& sp : spans) rows += sp.len;
+  check_arg(tokens.size() == rows, "embed: token count mismatch");
+  Tensor2D x(rows, h);
+  std::size_t row = 0;
+  for (std::size_t s = 0; s < spans.size(); ++s) {
+    for (std::size_t t = 0; t < spans[s].len; ++t, ++row) {
       const TokenId tok = tokens[row];
       check_arg(tok >= 0 && tok < mw.spec.vocab, "embed: token out of range");
-      const std::size_t pos = pos_offset + t;
+      const std::size_t pos = pos_offsets[s] + t;
       check_arg(pos < static_cast<std::size_t>(mw.spec.max_pos),
                 "embed: position out of range");
       const float* te =
@@ -194,18 +246,29 @@ Tensor2D embed(const ModelWeights& mw, const std::vector<TokenId>& tokens,
   return x;
 }
 
+Tensor2D embed(const ModelWeights& mw, const std::vector<TokenId>& tokens,
+               std::size_t seqs, std::size_t seq_len,
+               std::size_t pos_offset) {
+  const std::vector<SeqSpan> spans = uniform_spans(0, seqs, seq_len);
+  const std::vector<std::size_t> offsets(seqs, pos_offset);
+  return embed(mw, tokens, spans, offsets);
+}
+
 std::vector<TokenId> project_and_sample(const ModelWeights& mw,
                                         const Tensor2D& hidden,
-                                        std::size_t seqs,
-                                        std::size_t seq_len) {
+                                        std::span<const SeqSpan> spans) {
   const std::size_t h = static_cast<std::size_t>(mw.spec.hidden);
   const std::size_t vocab = static_cast<std::size_t>(mw.spec.vocab);
+  const std::size_t seqs = spans.size();
   std::vector<TokenId> out(seqs);
-  // Final norm applied to a copy of each sequence's last row only.
+  // Final norm applied to a copy of each span's last row only.
   Tensor2D last(seqs, h);
+  std::size_t row_base = 0;
   for (std::size_t s = 0; s < seqs; ++s) {
-    const float* src = hidden.row(s * seq_len + (seq_len - 1));
+    check_arg(spans[s].len >= 1, "project_and_sample: empty span");
+    const float* src = hidden.row(row_base + spans[s].len - 1);
     std::copy(src, src + h, last.row(s));
+    row_base += spans[s].len;
   }
   if (mw.spec.use_rms_norm)
     rms_norm(last, mw.final_gamma);
@@ -227,6 +290,13 @@ std::vector<TokenId> project_and_sample(const ModelWeights& mw,
     out[s] = static_cast<TokenId>(best);
   }
   return out;
+}
+
+std::vector<TokenId> project_and_sample(const ModelWeights& mw,
+                                        const Tensor2D& hidden,
+                                        std::size_t seqs,
+                                        std::size_t seq_len) {
+  return project_and_sample(mw, hidden, uniform_spans(0, seqs, seq_len));
 }
 
 std::vector<std::vector<TokenId>> reference_generate(

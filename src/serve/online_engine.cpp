@@ -16,11 +16,12 @@ namespace llmpq {
 
 namespace {
 
-/// Left-pads each row to `len` with its own first token: the engine needs
-/// one shared padded length, and left-padding keeps the sampled last
-/// position the request's true last token. The engine applies no attention
-/// masking, so pad tokens of shorter rows are attended to — see the
-/// mixed-length fidelity note in online_engine.hpp.
+/// Left-pads each row to `len` with its own first token (replay execution
+/// only): generate() needs one shared padded length, and left-padding
+/// keeps the sampled last position the request's true last token. The
+/// padded positions ARE attended to, which is the mixed-length fidelity
+/// gap the session path closes — see the execution-mapping note in
+/// online_engine.hpp.
 std::vector<std::vector<TokenId>> pad_left(
     const std::vector<std::vector<TokenId>>& rows, std::size_t len) {
   std::vector<std::vector<TokenId>> out;
@@ -41,23 +42,25 @@ struct DecisionTiming {
 };
 
 /// Engine input for one scheduler decision, snapshotted from the request
-/// tables: padded rows, the per-call generation length, and how many output
-/// tokens each row contributes to its request. Built while the request
-/// tables are stable — the live engine holds its lock, so concurrent
-/// submit() calls cannot touch the deques mid-read.
+/// tables: the unpadded per-request rows (prompt for a prefill pass, full
+/// context for a replay decode round), their padded counterpart when the
+/// execution mode needs one, and how many output tokens each row
+/// contributes to its request. Built while the request tables are stable —
+/// the live engine holds its lock, so concurrent submit() calls cannot
+/// touch the deques mid-read.
 struct DecisionInputs {
-  std::vector<std::vector<TokenId>> padded;
-  int gen_call = 1;
+  std::vector<std::vector<TokenId>> rows;    ///< unpadded, row-aligned
+  std::vector<std::vector<TokenId>> padded;  ///< replay execution only
+  int gen_call = 1;                          ///< replay: generate() length
   std::vector<std::size_t> take;  ///< per-row output tokens to keep
 };
 
 DecisionInputs prepare_decision(
-    SchedulerPolicy policy, const DispatchDecision& d,
+    SchedulerPolicy policy, DecodeExec exec, const DispatchDecision& d,
     const std::deque<std::pair<std::vector<TokenId>, int>>& prompts,
     const std::deque<std::vector<TokenId>>& generated) {
   DecisionInputs in;
-  std::vector<std::vector<TokenId>> rows;
-  rows.reserve(d.request_ids.size());
+  in.rows.reserve(d.request_ids.size());
   in.take.reserve(d.request_ids.size());
   if (d.phase == ServePhase::kPrefillPass) {
     in.gen_call = policy == SchedulerPolicy::kStaticBatching
@@ -65,24 +68,26 @@ DecisionInputs prepare_decision(
                       : 1;
     for (int id : d.request_ids) {
       const auto& p = prompts[static_cast<std::size_t>(id)];
-      rows.push_back(p.first);
+      in.rows.push_back(p.first);
       const int want = policy == SchedulerPolicy::kStaticBatching
                            ? p.second
                            : std::min(1, p.second);
       in.take.push_back(static_cast<std::size_t>(std::max(0, want)));
     }
-    in.padded = pad_left(rows, static_cast<std::size_t>(d.padded_prompt));
+    if (exec == DecodeExec::kReplay)
+      in.padded = pad_left(in.rows, static_cast<std::size_t>(d.padded_prompt));
   } else {
-    // Replay decode: re-run each active context for one token (see the
-    // execution-mapping and fidelity notes in the header).
+    // Decode round: each row's full context so far. The session path needs
+    // it only to rebuild a lost session; replay re-runs it wholesale.
     for (int id : d.request_ids) {
       const std::size_t sid = static_cast<std::size_t>(id);
       std::vector<TokenId> seq = prompts[sid].first;
       seq.insert(seq.end(), generated[sid].begin(), generated[sid].end());
-      rows.push_back(std::move(seq));
+      in.rows.push_back(std::move(seq));
       in.take.push_back(1);
     }
-    in.padded = pad_left(rows, static_cast<std::size_t>(d.max_context));
+    if (exec == DecodeExec::kReplay)
+      in.padded = pad_left(in.rows, static_cast<std::size_t>(d.max_context));
   }
   return in;
 }
@@ -92,9 +97,162 @@ struct DecisionRun {
   DecisionTiming timing;
 };
 
-/// Runs the engine on prepared inputs. Touches no request tables, so the
+/// Maps request ids to persistent engine sessions for the iteration-level
+/// session path. Prefill decisions begin sessions; every decode round
+/// advances them by one token with the KV cache intact. Retries are
+/// idempotent: the decision's per-request `contexts` say exactly how far
+/// each session should be, so a row whose session already advanced past a
+/// half-failed round reuses its sampled token instead of advancing twice,
+/// and a row whose session is gone (degrade step swapped the engine) is
+/// rebuilt from its full context — prefilling that context yields exactly
+/// the round's greedy token.
+class SessionExecutor {
+ public:
+  /// Points the executor at (a possibly new) engine. A swap releases every
+  /// session held on the previous engine — its KV is useless to the
+  /// replacement — and the map starts empty, so the next decision rebuilds
+  /// sessions from request contexts.
+  void bind(PipelineEngine* engine) {
+    if (engine_ == engine) return;
+    release_all();
+    engine_ = engine;
+  }
+
+  /// Ends sessions of requests that reached a terminal outcome since the
+  /// last call (completed, timed out, failed), returning their KV pages.
+  /// `finished` is the scheduler's append-only completion log.
+  void reconcile(const std::vector<RequestStats>& finished) {
+    for (; finished_seen_ < finished.size(); ++finished_seen_) {
+      auto it = sessions_.find(finished[finished_seen_].id);
+      if (it == sessions_.end()) continue;
+      if (engine_->has_session(it->second)) engine_->end_session(it->second);
+      sessions_.erase(it);
+    }
+  }
+
+  void release_all() {
+    if (engine_ != nullptr)
+      for (const auto& [rid, sid] : sessions_)
+        if (engine_->has_session(sid)) engine_->end_session(sid);
+    sessions_.clear();
+  }
+
+  /// Executes one decision, returning one token per row. At most two
+  /// ragged engine calls: one prefill over rows that need their context
+  /// materialized, one decode_step over rows advancing by a token.
+  std::vector<TokenId> run(const DispatchDecision& d,
+                           const DecisionInputs& in,
+                           const GenerateOptions& gopts) {
+    const std::size_t n = d.request_ids.size();
+    std::vector<TokenId> out(n, 0);
+    std::vector<int> prefill_sids, step_sids;
+    std::vector<std::size_t> prefill_rows, step_rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int rid = d.request_ids[i];
+      const auto ctx = static_cast<std::size_t>(d.contexts[i]);
+      auto it = sessions_.find(rid);
+      if (it != sessions_.end() && !engine_->has_session(it->second)) {
+        sessions_.erase(it);
+        it = sessions_.end();
+      }
+      if (it == sessions_.end()) {
+        const int sid = engine_->begin_session(in.rows[i]);
+        sessions_.emplace(rid, sid);
+        prefill_sids.push_back(sid);
+        prefill_rows.push_back(i);
+        continue;
+      }
+      const int sid = it->second;
+      const std::size_t len = engine_->session_length(sid);
+      if (len == ctx + 1) {
+        // This round already advanced the session (a later group of the
+        // same decision failed, and the scheduler is retrying the round):
+        // its token was sampled last time — reuse it.
+        out[i] = engine_->session_back(sid);
+      } else if (len == ctx && engine_->session_committed(sid) == 0) {
+        prefill_sids.push_back(sid);  // begun but never prefilled (retry)
+        prefill_rows.push_back(i);
+      } else if (len == ctx) {
+        step_sids.push_back(sid);
+        step_rows.push_back(i);
+      } else {
+        // Inconsistent with the scheduler's view (should not happen):
+        // rebuild from the authoritative request tables.
+        engine_->end_session(sid);
+        const int fresh = engine_->begin_session(in.rows[i]);
+        sessions_[rid] = fresh;
+        prefill_sids.push_back(fresh);
+        prefill_rows.push_back(i);
+      }
+    }
+    if (!prefill_sids.empty()) {
+      const std::vector<TokenId> toks = engine_->prefill(prefill_sids, gopts);
+      for (std::size_t j = 0; j < toks.size(); ++j)
+        out[prefill_rows[j]] = toks[j];
+    }
+    if (!step_sids.empty()) {
+      const std::vector<TokenId> toks = engine_->decode_step(step_sids, gopts);
+      for (std::size_t j = 0; j < toks.size(); ++j) out[step_rows[j]] = toks[j];
+    }
+    return out;
+  }
+
+ private:
+  PipelineEngine* engine_ = nullptr;
+  std::unordered_map<int, int> sessions_;  ///< request id -> session id
+  std::size_t finished_seen_ = 0;          ///< reconcile() cursor
+};
+
+/// Static batching over ephemeral sessions: one ragged prefill for the
+/// whole batch, then one decode round per outstanding token with only the
+/// rows that still owe output participating. Each row gets its own exact
+/// (unpadded) continuation and stops at its own generation length — no
+/// padded-shape decode work at all.
+std::vector<std::vector<TokenId>> run_static_session(
+    PipelineEngine& engine, const DecisionInputs& in,
+    const GenerateOptions& gopts) {
+  const std::size_t n = in.rows.size();
+  std::vector<std::vector<TokenId>> out(n);
+  std::vector<int> sids;
+  sids.reserve(n);
+  try {
+    for (const auto& r : in.rows) sids.push_back(engine.begin_session(r));
+    std::size_t max_take = 0;
+    for (std::size_t t : in.take) max_take = std::max(max_take, t);
+    if (max_take > 0) {
+      const std::vector<TokenId> first = engine.prefill(sids, gopts);
+      for (std::size_t i = 0; i < n; ++i) out[i].push_back(first[i]);
+      for (std::size_t round = 2; round <= max_take; ++round) {
+        std::vector<int> live;
+        std::vector<std::size_t> live_rows;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (in.take[i] < round) continue;
+          live.push_back(sids[i]);
+          live_rows.push_back(i);
+        }
+        const std::vector<TokenId> toks = engine.decode_step(live, gopts);
+        for (std::size_t j = 0; j < toks.size(); ++j)
+          out[live_rows[j]].push_back(toks[j]);
+      }
+    }
+  } catch (...) {
+    // The dispatch failed as a unit (the scheduler will retry it whole);
+    // the sessions are this call's own, so tear them down — on a broken
+    // engine end_session defers the page frees to restart().
+    for (int sid : sids)
+      if (engine.has_session(sid)) engine.end_session(sid);
+    throw;
+  }
+  for (int sid : sids) engine.end_session(sid);
+  return out;
+}
+
+/// Runs the engine on prepared inputs. `sessions` is non-null exactly for
+/// the iteration-level session path. Touches no request tables, so the
 /// live engine calls it with its lock released.
-DecisionRun execute_decision(PipelineEngine& engine, ServePhase phase,
+DecisionRun execute_decision(PipelineEngine& engine,
+                             SessionExecutor* sessions, ServePhase phase,
+                             const DispatchDecision& d,
                              const DecisionInputs& in,
                              const GenerateOptions& gopts) {
   // Chaos site for serving-layer faults (a throw here fails the dispatch
@@ -103,7 +261,15 @@ DecisionRun execute_decision(PipelineEngine& engine, ServePhase phase,
   DecisionRun run;
   StopwatchNs wall;
   const double prefill_before = engine.stats().prefill.seconds;
-  run.out = engine.generate(in.padded, in.gen_call, gopts);
+  if (sessions != nullptr) {
+    const std::vector<TokenId> toks = sessions->run(d, in, gopts);
+    run.out.reserve(toks.size());
+    for (TokenId t : toks) run.out.push_back({t});
+  } else if (!in.padded.empty()) {
+    run.out = engine.generate(in.padded, in.gen_call, gopts);
+  } else {
+    run.out = run_static_session(engine, in, gopts);
+  }
   run.timing.total_s = wall.elapsed_s();
   if (phase == ServePhase::kPrefillPass)
     run.timing.prefill_s =
@@ -237,6 +403,11 @@ OnlineEngine::~OnlineEngine() {
 
 int OnlineEngine::submit(std::vector<TokenId> prompt, int gen_tokens) {
   TRACE_INSTANT("serve", "submit");
+  // Boundary guard: an empty prompt has no last token to sample from and
+  // nothing to prefill; reject it here with a precise message instead of
+  // letting it surface later as a mid-dispatch engine error.
+  check_arg(!prompt.empty(),
+            "OnlineEngine::submit: zero-length prompts are not allowed");
   std::unique_lock<std::mutex> lk(mu_);
   // Fail fast once the serving loop has died: queueing more work would
   // just strand it (nobody will ever dispatch), and the caller would only
@@ -292,10 +463,18 @@ void OnlineEngine::serve_loop() {
   GenerateOptions gopts;
   gopts.deadline_s = options_.dispatch_deadline_s;
   FailureGovernor gov{options_, engine_};
+  const bool session_iter =
+      options_.scheduler.policy == SchedulerPolicy::kIterationLevel &&
+      options_.scheduler.exec == DecodeExec::kSession;
+  SessionExecutor sessions;
+  sessions.bind(engine_);
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     const double now = clock_.elapsed_s();
     SchedulerAction a = scheduler_.next(now);
+    // Deadline expiry inside next() can finish active requests; return
+    // their KV pages promptly.
+    if (session_iter) sessions.reconcile(scheduler_.finished());
     TRACE_COUNTER("serve", "pending", scheduler_.pending());
     if (a.kind == SchedulerAction::Kind::kDone) break;
     if (a.kind == SchedulerAction::Kind::kWait) {
@@ -315,8 +494,9 @@ void OnlineEngine::serve_loop() {
     // concurrently grow prompts_/generated_, and deque growth can
     // reallocate the internal block map that operator[] traverses, so an
     // unsynchronized read during emplace_back is a data race.
-    const DecisionInputs inputs =
-        prepare_decision(options_.scheduler.policy, d, prompts_, generated_);
+    const DecisionInputs inputs = prepare_decision(
+        options_.scheduler.policy, options_.scheduler.exec, d, prompts_,
+        generated_);
     lk.unlock();
     const double start = clock_.elapsed_s();
     DecisionRun run;
@@ -327,7 +507,8 @@ void OnlineEngine::serve_loop() {
                   d.phase == ServePhase::kPrefillPass ? "execute-prefill"
                                                       : "execute-decode",
                   "batch", d.request_ids.size());
-      run = execute_decision(*gov.engine, d.phase, inputs, gopts);
+      run = execute_decision(*gov.engine, session_iter ? &sessions : nullptr,
+                             d.phase, d, inputs, gopts);
     } catch (const std::bad_alloc&) {
       mem_fault = true;
       err = std::current_exception();
@@ -347,6 +528,13 @@ void OnlineEngine::serve_loop() {
       engine_restarts_ = gov.engine_restarts;
       degrades_ = gov.degrades;
       total_mem_faults_ = gov.total_mem_faults;
+      if (session_iter) {
+        // A degrade step swaps the engine: rebind (dropping sessions whose
+        // KV lives on the old engine) and release sessions of requests the
+        // failure finished for good.
+        sessions.bind(gov.engine);
+        sessions.reconcile(scheduler_.finished());
+      }
       if (!recovered) {
         error_ = err;
         error_what_ = describe_exception(err);
@@ -361,8 +549,10 @@ void OnlineEngine::serve_loop() {
             ? start + run.timing.prefill_s
             : -1.0;
     scheduler_.complete(d, finish, prefill_end);
+    if (session_iter) sessions.reconcile(scheduler_.finished());
     makespan_s_ = finish;
   }
+  sessions.release_all();
   done_ = true;
   lk.unlock();
   cv_.notify_all();
@@ -379,6 +569,8 @@ OnlineReport serve_trace(PipelineEngine& engine,
   std::deque<std::vector<TokenId>> generated;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const OnlineTraceRequest& t = trace[i];
+    check_arg(!t.prompt.empty(),
+              "serve_trace: zero-length prompts are not allowed");
     ServeRequest r;
     r.id = static_cast<int>(i);
     r.arrival_s = t.arrival_s;
@@ -395,9 +587,15 @@ OnlineReport serve_trace(PipelineEngine& engine,
   GenerateOptions gopts;
   gopts.deadline_s = options.dispatch_deadline_s;
   FailureGovernor gov{options, &engine};
+  const bool session_iter =
+      options.scheduler.policy == SchedulerPolicy::kIterationLevel &&
+      options.scheduler.exec == DecodeExec::kSession;
+  SessionExecutor sessions;
+  sessions.bind(&engine);
   double t = 0.0;
   for (;;) {
     SchedulerAction a = scheduler.next(t);
+    if (session_iter) sessions.reconcile(scheduler.finished());
     if (a.kind == SchedulerAction::Kind::kDone) break;
     if (a.kind == SchedulerAction::Kind::kWait) {
       check_arg(std::isfinite(a.wait_until),
@@ -406,14 +604,16 @@ OnlineReport serve_trace(PipelineEngine& engine,
       continue;
     }
     const DispatchDecision d = std::move(a.decision);
-    const DecisionInputs inputs =
-        prepare_decision(options.scheduler.policy, d, prompts, generated);
+    const DecisionInputs inputs = prepare_decision(
+        options.scheduler.policy, options.scheduler.exec, d, prompts,
+        generated);
     DecisionRun run;
     bool mem_fault = false;
     std::exception_ptr err;
     StopwatchNs wall;
     try {
-      run = execute_decision(*gov.engine, d.phase, inputs, gopts);
+      run = execute_decision(*gov.engine, session_iter ? &sessions : nullptr,
+                             d.phase, d, inputs, gopts);
     } catch (const std::bad_alloc&) {
       mem_fault = true;
       err = std::current_exception();
@@ -426,7 +626,12 @@ OnlineReport serve_trace(PipelineEngine& engine,
       // do not appear free.
       t += wall.elapsed_s();
       scheduler.fail(d, t);
-      if (!gov.handle(mem_fault)) std::rethrow_exception(err);
+      const bool recovered = gov.handle(mem_fault);
+      if (session_iter) {
+        sessions.bind(gov.engine);
+        sessions.reconcile(scheduler.finished());
+      }
+      if (!recovered) std::rethrow_exception(err);
       continue;
     }
     commit_decision(d, inputs, run.out, generated);
@@ -436,8 +641,10 @@ OnlineReport serve_trace(PipelineEngine& engine,
             ? t + run.timing.prefill_s
             : -1.0;
     scheduler.complete(d, finish, prefill_end);
+    if (session_iter) sessions.reconcile(scheduler.finished());
     t = finish;
   }
+  sessions.release_all();
   return build_report(scheduler, t, generated, &gov);
 }
 

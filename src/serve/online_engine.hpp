@@ -23,24 +23,29 @@ namespace llmpq {
 /// test can assert identical admission order and batch composition on
 /// identical traces.
 ///
-/// Execution mapping:
-///   * static batching — one dispatch = one padded `generate()` call
-///     (prefill + padded_gen tokens), exactly classic static batching;
-///   * iteration-level — prefill decisions run `generate(prompts, 1)`;
-///     each decode round re-runs the active set's full contexts for one
-///     token (replay decode). Without incremental KV reuse across
-///     decisions this costs a prefill-shaped pass per round; a step-level
-///     engine session API is the planned optimization (DESIGN.md).
+/// Execution mapping (SchedulerOptions::exec picks the decode strategy;
+/// it never changes which requests are batched, only how a dispatch runs):
+///   * iteration-level + DecodeExec::kSession (default) — prefill
+///     decisions begin persistent engine sessions and run one ragged
+///     prefill; every decode round advances the active set by exactly one
+///     token via `PipelineEngine::decode_step`, reusing all cached KV.
+///   * static batching + kSession — one dispatch runs over ephemeral
+///     sessions: a ragged batch prefill, then one decode round per
+///     outstanding token with each request leaving at its own generation
+///     length (no padded-shape work).
+///   * kReplay — the historical execution kept as the benchmark baseline:
+///     static batching is one padded `generate()` call (prefill +
+///     padded_gen tokens); iteration-level re-runs the active set's full
+///     padded contexts for one token per decode round, a prefill-shaped
+///     pass per round with pad positions attended to.
 ///
-/// Mixed-length fidelity limit: within a padded batch, shorter sequences
-/// are left-padded with their own first token so the sampled last position
-/// is the true last token, but `PipelineEngine::generate` applies no
-/// attention masking, so those pad positions ARE attended to. Uniform-
-/// length batches reproduce each request's unbatched greedy continuation
-/// exactly (`ReplayDecodeMatchesReferenceGreedy` pins this); in mixed-
-/// length batches shorter requests' tokens can diverge from their
-/// unbatched continuation. Padding-aware masking (or length-grouped
-/// dispatch) is the planned fix, alongside the step-level session API.
+/// Mixed-length batches are exact in session mode: ragged passes carry no
+/// pad tokens, so each request reproduces its unbatched greedy
+/// continuation bit-for-bit (the mixed-length regression test pins this
+/// against `reference_generate`). Replay mode keeps the old limitation —
+/// left-padded rows attend to their pad positions, so shorter requests can
+/// diverge — which is why it exists only for benchmark comparison and
+/// regression coverage, not serving.
 ///
 /// Live mode: construct, submit() from any thread (arrival time = wall
 /// clock), close(), then wait() for the report. A dedicated admission

@@ -210,6 +210,7 @@ DispatchDecision ServeScheduler::make_prefill_decision(double now, int take) {
     queue_.pop_front();
     const ServeRequest& r = q.req;
     d.request_ids.push_back(r.id);
+    d.contexts.push_back(r.prompt_len);
     d.padded_prompt = std::max(d.padded_prompt, r.prompt_len);
     d.padded_gen = std::max(d.padded_gen, r.gen_tokens);
     // Admission is *now* — queue delay must not include the prefill pass
@@ -340,8 +341,10 @@ SchedulerAction ServeScheduler::next_iteration(double now) {
     d.seq = next_seq_++;
     d.phase = ServePhase::kDecodePass;
     d.request_ids.reserve(active_.size());
+    d.contexts.reserve(active_.size());
     for (const ActiveReq& r : active_) {
       d.request_ids.push_back(r.id);
+      d.contexts.push_back(r.context);
       d.max_context = std::max(d.max_context, r.context);
     }
     in_flight_ = true;

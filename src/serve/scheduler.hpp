@@ -50,6 +50,23 @@ enum class SchedulerPolicy {
   kIterationLevel,  ///< ORCA: requests join/leave at token granularity
 };
 
+/// How a back-end executes the decode rounds the scheduler dispatches.
+/// This is an *execution* strategy, not a scheduling policy: it changes
+/// what a dispatch costs (and, for kReplay, mixed-length fidelity), never
+/// which requests are batched — the decision log is identical either way,
+/// which is what lets the parity test pin sim against runtime across both.
+enum class DecodeExec {
+  /// Step-level engine sessions: KV persists across decisions and each
+  /// decode round feeds exactly one new token per request (ragged, no
+  /// padding). Exact for mixed-length batches.
+  kSession,
+  /// Historical replay decode: each decode round re-runs every active
+  /// request's full padded context for one token — a prefill-shaped pass
+  /// per round, with pad positions attended to. Kept as the regression
+  /// baseline the session path is benchmarked against.
+  kReplay,
+};
+
 struct SchedulerOptions {
   SchedulerPolicy policy = SchedulerPolicy::kIterationLevel;
   /// Max concurrent sequences (bounded by the plan's preallocated KV).
@@ -58,6 +75,10 @@ struct SchedulerOptions {
   /// oldest has waited `max_wait_s`.
   int batch_size = 16;
   double max_wait_s = 5.0;
+  /// Decode execution strategy for the back-end (see DecodeExec). Lives in
+  /// the shared options so sim and runtime stay configured identically;
+  /// the scheduler itself ignores it — decisions do not depend on it.
+  DecodeExec exec = DecodeExec::kSession;
 
   // ---- Fault-tolerance policy (all defaults leave behavior unchanged:
   // with no deadline, no admission bound and no fail() calls the decision
@@ -105,6 +126,11 @@ struct DispatchDecision {
   int seq = 0;                    ///< decision index (parity-test key)
   ServePhase phase = ServePhase::kPrefillPass;
   std::vector<int> request_ids;   ///< admitted (prefill) or active (decode)
+  /// Per-request context length, aligned with request_ids: the prompt
+  /// length for a prefill pass, prompt + generated-so-far for a decode
+  /// round. Session back-ends use it to verify KV state and retry
+  /// idempotently; it is part of the parity-test key.
+  std::vector<int> contexts;
   int padded_prompt = 0;          ///< prefill: batch max prompt length
   int padded_gen = 0;             ///< static prefill: batch max generation
   int max_context = 0;            ///< decode: longest context this round

@@ -165,6 +165,13 @@ OnlineSimResult simulate_online(const ModelSpec& model,
           finish += pass_time(model, cluster, plan, Phase::kDecode, batch,
                               d.padded_prompt + round);
       }
+    } else if (options.exec == DecodeExec::kReplay) {
+      // Replay decode re-runs every active context for one token, so the
+      // round costs a prefill-shaped pass over the padded context — the
+      // cost model the session path is benchmarked against.
+      finish = t + straggle +
+               pass_time(model, cluster, plan, Phase::kPrefill, batch,
+                         d.max_context);
     } else {
       finish = t + straggle +
                pass_time(model, cluster, plan, Phase::kDecode, batch,

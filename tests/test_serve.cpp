@@ -266,9 +266,10 @@ class OnlineEngineTest : public ::testing::Test {
 };
 
 TEST_F(OnlineEngineTest, ReplayDecodeMatchesReferenceGreedy) {
-  // With uniform prompt lengths nothing is padded, so both policies must
-  // reproduce the single-threaded reference generation token for token —
-  // iteration-level via its replay-decode rounds.
+  // With uniform prompt lengths nothing is padded, so both policies and
+  // both execution modes must reproduce the single-threaded reference
+  // generation token for token — session mode via step-level decode,
+  // replay mode via its full-context re-runs.
   Rng rng(3);
   std::vector<std::vector<TokenId>> prompts;
   std::vector<OnlineTraceRequest> trace;
@@ -282,16 +283,19 @@ TEST_F(OnlineEngineTest, ReplayDecodeMatchesReferenceGreedy) {
   const auto reference = reference_generate(weights_, prompts, 5);
   for (SchedulerPolicy policy : {SchedulerPolicy::kStaticBatching,
                                  SchedulerPolicy::kIterationLevel}) {
-    OnlineEngineOptions opt;
-    opt.scheduler.policy = policy;
-    opt.scheduler.batch_size = 3;
-    opt.scheduler.max_batch = 3;
-    const OnlineReport rep = serve_trace(engine_, trace, opt);
-    EXPECT_EQ(rep.completed, 3);
-    ASSERT_EQ(rep.generated.size(), 3u);
-    for (std::size_t i = 0; i < 3; ++i)
-      EXPECT_EQ(rep.generated[i], reference[i])
-          << scheduler_policy_name(policy) << " request " << i;
+    for (DecodeExec exec : {DecodeExec::kSession, DecodeExec::kReplay}) {
+      OnlineEngineOptions opt;
+      opt.scheduler.policy = policy;
+      opt.scheduler.exec = exec;
+      opt.scheduler.batch_size = 3;
+      opt.scheduler.max_batch = 3;
+      const OnlineReport rep = serve_trace(engine_, trace, opt);
+      EXPECT_EQ(rep.completed, 3);
+      ASSERT_EQ(rep.generated.size(), 3u);
+      for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(rep.generated[i], reference[i])
+            << scheduler_policy_name(policy) << " request " << i;
+    }
   }
 }
 
@@ -352,6 +356,7 @@ void expect_same_decisions(const std::vector<DispatchDecision>& sim,
     EXPECT_EQ(sim[i].seq, rt[i].seq);
     EXPECT_EQ(sim[i].phase, rt[i].phase);
     EXPECT_EQ(sim[i].request_ids, rt[i].request_ids);
+    EXPECT_EQ(sim[i].contexts, rt[i].contexts);
     EXPECT_EQ(sim[i].padded_prompt, rt[i].padded_prompt);
     EXPECT_EQ(sim[i].padded_gen, rt[i].padded_gen);
     EXPECT_EQ(sim[i].max_context, rt[i].max_context);
