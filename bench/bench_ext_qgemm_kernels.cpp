@@ -1,0 +1,149 @@
+// Dequant-GEMM microkernel bench: times every available dispatch level
+// (scalar / AVX2 / AVX-512) against the scalar reference across the
+// bits x format matrix, on a serving-sized decode projection. The
+// speedup_vs_scalar numbers are what CI gates (scripts/ci.sh stage_bench
+// vs bench/baselines/ext_qgemm_kernels.json) and what calibrated the
+// format_kernel_factor table in quant/scheme.cpp — re-run with --json and
+// re-bake both when the kernels change.
+//
+// Kernels are driven directly (qgemm_rows_kernel, single thread) so the
+// measurement isolates SIMD gain from thread-pool scaling.
+//
+// Flags:
+//   --json PATH   write a "llmpq-kernels/v1" artifact
+//   --min_ms N    minimum measured wall time per cell (default 50)
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/json_writer.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "quant/format.hpp"
+#include "quant/qgemm_kernels.hpp"
+#include "quant/quantize.hpp"
+
+namespace {
+
+using namespace llmpq;
+
+std::vector<float> random_values(std::size_t n, std::uint64_t seed,
+                                 float scale) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = scale * static_cast<float>(rng.normal());
+  return v;
+}
+
+struct Cell {
+  int bits;
+  QuantFormat format;
+  SimdLevel dispatch;
+  double ms_per_call;
+  double gflops;
+  double speedup_vs_scalar;
+};
+
+// Median-of-reps wall time of one full [m x k] * W^T[n x k] pass.
+double time_ms(QgemmRowsFn fn, const std::vector<float>& x, std::size_t m,
+               std::size_t k, const QuantizedMatrix& w, std::vector<float>& y,
+               std::vector<float>& scratch, double min_ms) {
+  // Warm up, then grow the repetition count until the batch is long
+  // enough to be timer-noise-free.
+  fn(x.data(), m, k, w, nullptr, y.data(), 0, w.rows(), scratch.data());
+  int reps = 1;
+  for (;;) {
+    StopwatchNs sw;
+    for (int i = 0; i < reps; ++i)
+      fn(x.data(), m, k, w, nullptr, y.data(), 0, w.rows(), scratch.data());
+    const double ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
+    if (ms >= min_ms || reps >= (1 << 20)) return ms / reps;
+    reps = ms <= 0.0 ? reps * 8 : reps * 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double min_ms = std::stod(args.get_or("min_ms", "50"));
+
+  // OPT-350m-scale decode projection: micro-batch 4, [3h x h] at h = 768.
+  const std::size_t m = 4, k = 768, n = 3 * 768;
+  const auto x = random_values(m * k, 1, 1.0f);
+  const auto w = random_values(n * k, 2, 0.05f);
+  std::vector<float> y(m * n), scratch(k);
+  const double flop = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                      static_cast<double>(k);
+
+  std::vector<SimdLevel> levels;
+  for (SimdLevel l :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512})
+    if (simd_level_available(l)) levels.push_back(l);
+
+  std::printf("dequant-GEMM kernels, [%zu x %zu] * W^T[%zu x %zu], "
+              "detected %s\n\n",
+              m, k, n, k, simd_level_name(detected_simd_level()));
+  std::printf("%5s %12s %8s %10s %9s %9s\n", "bits", "format", "dispatch",
+              "ms/call", "GFLOP/s", "vs scalar");
+
+  std::vector<Cell> cells;
+  for (const QuantFormat format : kQuantFormats) {
+    for (const int bits : {3, 4, 8}) {
+      Rng rng(3);
+      const QuantizedMatrix qw = QuantizedMatrix::quantize(
+          w, n, k, bits, Rounding::kDeterministic, rng, format);
+      double scalar_ms = 0.0;
+      for (const SimdLevel level : levels) {
+        const double ms = time_ms(qgemm_rows_kernel(level), x, m, k, qw, y,
+                                  scratch, min_ms);
+        if (level == SimdLevel::kScalar) scalar_ms = ms;
+        Cell c;
+        c.bits = bits;
+        c.format = format;
+        c.dispatch = level;
+        c.ms_per_call = ms;
+        c.gflops = flop / (ms * 1e6);
+        c.speedup_vs_scalar = scalar_ms / ms;
+        cells.push_back(c);
+        std::printf("%5d %12s %8s %10.3f %9.2f %8.2fx\n", bits,
+                    quant_format_name(format), simd_level_name(level), ms,
+                    c.gflops, c.speedup_vs_scalar);
+      }
+    }
+  }
+
+  if (const auto json_path = args.get("json")) {
+    std::ofstream os(*json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", json_path->c_str());
+      return 1;
+    }
+    JsonWriter jw(os, 1);
+    jw.begin_object();
+    jw.kv("schema", "llmpq-kernels/v1");
+    jw.kv("bench", "ext_qgemm_kernels");
+    jw.kv("m", static_cast<std::int64_t>(m));
+    jw.kv("n", static_cast<std::int64_t>(n));
+    jw.kv("k", static_cast<std::int64_t>(k));
+    jw.key("rows");
+    jw.begin_array();
+    for (const Cell& c : cells) {
+      jw.begin_object();
+      jw.kv("bits", c.bits);
+      jw.kv("format", quant_format_name(c.format));
+      jw.kv("dispatch", simd_level_name(c.dispatch));
+      jw.kv("ms_per_call", c.ms_per_call);
+      jw.kv("gflops", c.gflops);
+      jw.kv("speedup_vs_scalar", c.speedup_vs_scalar);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    os << "\n";
+    std::printf("\nwrote %s\n", json_path->c_str());
+  }
+  return 0;
+}

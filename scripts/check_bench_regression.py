@@ -24,6 +24,15 @@ Checks, per (cluster, scheme) row of the *baseline*:
 Rows present only in the current artifact are reported but do not fail the
 gate (new clusters/schemes land first, the baseline is regenerated after).
 
+--kind kernels switches to the "llmpq-kernels/v1" schema written by
+bench_ext_qgemm_kernels: the baseline holds a floor
+(`min_speedup_vs_scalar`) per (bits, format, dispatch) cell and the gate
+requires the fresh measurement to clear it. Speedup ratios are
+machine-portable (both kernels run back to back on the same box), which is
+what makes a wall-clock bench gateable at all. Baseline cells whose
+dispatch level the host lacks (e.g. avx512 on an AVX2-only runner) are
+skipped, so one committed baseline serves the whole CI matrix.
+
 Stdlib only. Exit codes: 0 pass, 1 regression, 2 usage/bad input.
 """
 
@@ -32,21 +41,68 @@ import json
 import sys
 
 SCHEMA = "llmpq-bench/v1"
+KERNELS_SCHEMA = "llmpq-kernels/v1"
 METRICS = ("ppl", "latency_s", "throughput_tok_s")
 
 
-def load(path):
+def load(path, schema=SCHEMA):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") != schema:
         sys.exit(
-            f"error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r} "
+            f"error: {path}: schema {doc.get('schema')!r} != {schema!r} "
             "(regenerate the baseline after schema bumps)"
         )
     return doc
+
+
+def check_kernels(baseline_path, current_path):
+    """Gate kernel speedups: measured speedup_vs_scalar >= baseline floor
+    per (bits, format, dispatch); cells absent from the current artifact
+    (dispatch level not available on this host) are skipped."""
+    base = load(baseline_path, KERNELS_SCHEMA)
+    cur = load(current_path, KERNELS_SCHEMA)
+    cur_rows = {
+        (r.get("bits"), r.get("format"), r.get("dispatch")): r
+        for r in cur.get("rows", [])
+    }
+    if not base.get("rows"):
+        sys.exit(f"error: {baseline_path} contains no rows")
+
+    failures = []
+    checked = skipped = 0
+    for row in base["rows"]:
+        key = (row.get("bits"), row.get("format"), row.get("dispatch"))
+        label = "{}b/{}/{}".format(*key)
+        floor = row.get("min_speedup_vs_scalar")
+        if not isinstance(floor, (int, float)):
+            failures.append(f"{label}: baseline floor is not numeric")
+            continue
+        cur_row = cur_rows.get(key)
+        if cur_row is None:
+            skipped += 1  # dispatch level unavailable on this host
+            continue
+        got = cur_row.get("speedup_vs_scalar")
+        if not isinstance(got, (int, float)):
+            failures.append(f"{label}: speedup_vs_scalar is not numeric")
+        elif got < floor:
+            failures.append(
+                f"{label}: speedup {got:.2f}x below floor {floor:.2f}x"
+            )
+        checked += 1
+
+    if failures:
+        print(f"kernel regression: {len(failures)} failure(s) "
+              f"vs {baseline_path}:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(f"kernel regression: {checked} cell(s) above their floors "
+          f"({skipped} skipped: dispatch unavailable) vs {baseline_path}")
+    return 0
 
 
 def index_rows(doc):
@@ -69,9 +125,14 @@ def main():
     ap.add_argument("--current", required=True)
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed relative drift per metric (default 0.15)")
+    ap.add_argument("--kind", choices=("bench", "kernels"), default="bench",
+                    help="artifact schema: simulator bench rows (default) "
+                         "or kernel speedup floors")
     args = ap.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         ap.error("--tolerance must be in [0, 1)")
+    if args.kind == "kernels":
+        return check_kernels(args.baseline, args.current)
 
     baseline = index_rows(load(args.baseline))
     current = index_rows(load(args.current))

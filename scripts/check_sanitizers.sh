@@ -27,6 +27,14 @@ for mode in address thread; do
              llmpq_tests_runtime llmpq_tests_serve llmpq_tests_fault \
              llmpq_tests_trace
   (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
+  # Sweep the quant suite across every kernel dispatch level: the SIMD
+  # dequant-GEMM paths (unaligned word reads over packed rows, per-group
+  # metadata indexing) must be clean under each sanitizer too, not just
+  # whichever level the host auto-detects.
+  for simd in scalar avx2 avx512; do
+    echo "---- LLMPQ_SIMD=${simd} quant suite (${mode}san) ----"
+    (cd "${build}" && LLMPQ_SIMD="${simd}" ctest -R quant       --output-on-failure)
+  done
 done
 
 echo "==== sanitizer pass clean (address+undefined, thread) ===="

@@ -9,7 +9,10 @@
 #              the optional sanitizer ctest out of the plain-build run)
 #   format     clang-format gate (skips when the tool is absent)
 #   bench      run the JSON-emitting benches and diff the deterministic
-#              table4 rows against bench/baselines/ (±15%)
+#              table4 rows against bench/baselines/ (±15%); gate the
+#              dequant-GEMM kernel speedup floors (--kind kernels)
+#   scalar     rebuild with -DLLMPQ_ENABLE_SIMD=OFF and rerun the
+#              quant/runtime suites (scalar-reference matrix leg)
 #   sanitize   ASan+UBSan and TSan ctest passes (own build trees)
 #
 # Environment:
@@ -67,7 +70,8 @@ stage_bench() {
   echo "==== bench ===="
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
     --target bench_table4_hetero_serving bench_table8_optimizer_speed \
-             bench_ext_online_serving bench_runtime_engine
+             bench_ext_online_serving bench_runtime_engine \
+             bench_ext_qgemm_kernels
   "${BUILD_DIR}/bench/bench_table4_hetero_serving" \
     --json "${BUILD_DIR}/BENCH_table4_hetero_serving.json" > /dev/null
   # Table 8's gated artifact keeps the heuristic rows only: they are
@@ -97,6 +101,30 @@ stage_bench() {
   python3 scripts/check_bench_regression.py \
     --baseline bench/baselines/ext_online_serving.json \
     --current "${BUILD_DIR}/BENCH_ext_online_serving.json"
+  # Dequant-GEMM kernel dispatch: wall-clock, but gated on the
+  # speedup-vs-scalar *ratio* (same box runs both kernels back to back),
+  # against committed floors far below the measured values. This is what
+  # catches a silent dispatch regression to the scalar path.
+  "${BUILD_DIR}/bench/bench_ext_qgemm_kernels" \
+    --json "${BUILD_DIR}/BENCH_ext_qgemm_kernels.json" > /dev/null
+  python3 scripts/check_bench_regression.py --kind kernels \
+    --baseline bench/baselines/ext_qgemm_kernels.json \
+    --current "${BUILD_DIR}/BENCH_ext_qgemm_kernels.json"
+}
+
+stage_scalar() {
+  echo "==== scalar (SIMD compiled out) ===="
+  # Matrix leg with the vector kernels absent at compile time
+  # (-DLLMPQ_ENABLE_SIMD=OFF): proves the scalar reference is
+  # self-sufficient and that nothing links against an ISA symbol
+  # unconditionally. Quant + runtime suites cover every kernel consumer.
+  local dir="${BUILD_DIR}-nosimd"
+  # shellcheck disable=SC2086
+  cmake -B "${dir}" -S . -DLLMPQ_ENABLE_SIMD=OFF ${CMAKE_ARGS:-} > /dev/null
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target llmpq_tests_quant llmpq_tests_runtime
+  (cd "${dir}" && ctest -R "quant|runtime" --output-on-failure \
+    --timeout 300)
 }
 
 stage_sanitize() {
@@ -110,10 +138,11 @@ run_stage() {
     test) stage_test ;;
     format) stage_format ;;
     bench) stage_bench ;;
+    scalar) stage_scalar ;;
     sanitize) stage_sanitize ;;
-    all) stage_build; stage_test; stage_format; stage_bench; stage_sanitize ;;
+    all) stage_build; stage_test; stage_format; stage_bench; stage_scalar; stage_sanitize ;;
     *)
-      echo "unknown stage '$1' (known: build test format bench sanitize all)" >&2
+      echo "unknown stage '$1' (known: build test format bench scalar sanitize all)" >&2
       exit 2
       ;;
   esac

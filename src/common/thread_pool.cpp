@@ -47,20 +47,30 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   const std::size_t chunks = std::min(n, workers_.size() * 4);
   std::atomic<std::size_t> next{0};
+  // Short-circuits surviving workers once any body throws: without it a
+  // failed parallel_for still ran every remaining chunk to completion
+  // before rethrowing, turning one bad element into a full sweep of
+  // doomed (possibly equally-throwing or corrupt-state) work. Relaxed
+  // ordering suffices — the flag is a go/no-go hint; the error itself is
+  // published under the mutex and by the fork/join of parallel_for.
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto body = [&] {
     const std::size_t per = (n + chunks - 1) / chunks;
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) break;
       const std::size_t c = next.fetch_add(1);
       if (c >= chunks) break;
       const std::size_t lo = c * per;
       const std::size_t hi = std::min(n, lo + per);
       for (std::size_t i = lo; i < hi; ++i) {
+        if (failed.load(std::memory_order_relaxed)) break;
         try {
           fn(i);
         } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }

@@ -45,6 +45,7 @@ ExecutionPlan adabits_plan(const CostProvider& cost,
   plan.model_name = model.name;
   plan.cluster_name = cluster.name;
   plan.workload = cost.workload();
+  plan.weight_format = cost.format();
   plan.device_order = device_order;
   plan.prefill_micro_batch = prefill_mb;
   plan.decode_micro_batch = decode_mb;
@@ -103,7 +104,7 @@ ExecutionPlan adabits_plan(const CostProvider& cost,
   // Repair loop: if some stage cannot fit its layers even at 3 bits, move
   // boundary layers toward neighbours with headroom and retry.
   const std::int64_t min_layer_bytes =
-      layer_weight_bytes(model, 3) + kv_per_layer;
+      layer_weight_bytes(model, 3, cost.format()) + kv_per_layer;
   for (int attempt = 0; attempt < 4 * N + 4; ++attempt) {
     bool all_fit = true;
     for (int p = 0; p < N && all_fit; ++p) {
@@ -141,8 +142,9 @@ ExecutionPlan adabits_plan(const CostProvider& cost,
     for (int i = b; i < e; ++i) {
       std::vector<MckpOption> options;
       for (int bits : kBitCandidates) {
-        options.push_back({layer_weight_bytes(model, bits) + kv_per_layer,
-                           indicator.at(i, bits)});
+        options.push_back(
+            {layer_weight_bytes(model, bits, cost.format()) + kv_per_layer,
+             indicator.at(i, bits)});
       }
       items.push_back(std::move(options));
     }

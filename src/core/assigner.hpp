@@ -62,6 +62,10 @@ struct AssignerResult {
 /// each combination derives the best bit assignment + layer partition via
 /// the ILP (warm-started by the heuristic) or the heuristic alone; returns
 /// the plan minimizing latency + theta * quality penalty.
+/// The weight storage format is taken from the provider (set
+/// CostProvider::set_format before calling) and stamped onto the returned
+/// plan, keeping its memory estimate exactly equal to the runtime's packed
+/// bytes for that format.
 /// Throws InfeasibleError when the model cannot be served on the cluster.
 AssignerResult assign(const CostProvider& cost,
                       const AssignerOptions& options = {});

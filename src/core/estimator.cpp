@@ -41,7 +41,7 @@ PlanEstimate estimate_plan(const CostProvider& cost,
     const StageMemory mem =
         stage_memory(model, plan.stage_bits(p), w, plan.prefill_micro_batch,
                      plan.decode_micro_batch, p == first_stage,
-                     p == last_stage);
+                     p == last_stage, plan.weight_format);
     est.stage_mem[static_cast<std::size_t>(p)] = mem;
     const std::int64_t budget =
         cluster.devices[static_cast<std::size_t>(dev)].gpu().mem_bytes -
@@ -164,7 +164,8 @@ IncrementalPlanEvaluator::IncrementalPlanEvaluator(
   dec_ctx_ = w.prompt_len + w.gen_tokens / 2;
   kv_per_layer_ = layer_kv_bytes(model, w.global_batch, w.max_seq_len());
   for (std::size_t bi = 0; bi < kBitCandidates.size(); ++bi)
-    weight_bytes_[bi] = layer_weight_bytes(model, kBitCandidates[bi]);
+    weight_bytes_[bi] =
+        layer_weight_bytes(model, kBitCandidates[bi], plan.weight_format);
 
   const std::size_t ns = static_cast<std::size_t>(num_stages_);
   comp_pre_.assign(ns, 0.0);

@@ -94,7 +94,8 @@ MilpProblem IlpBuilder::build() const {
     for (int bi = 0; bi < B; ++bi) {
       const int bits = kBitCandidates[static_cast<std::size_t>(bi)];
       const double bytes = static_cast<double>(hi - lo) *
-                           static_cast<double>(layer_weight_bytes(model, bits) +
+                           static_cast<double>(layer_weight_bytes(model, bits,
+                                                                  cost_.format()) +
                                                kv_per_layer);
       mem_gb[static_cast<std::size_t>(g * B + bi)] = bytes / 1e9;
       double omega = 0.0;
@@ -228,6 +229,7 @@ ExecutionPlan IlpBuilder::extract_plan(const std::vector<double>& x) const {
   plan.model_name = model.name;
   plan.cluster_name = cost_.cluster().name;
   plan.workload = cost_.workload();
+  plan.weight_format = cost_.format();
   plan.device_order = device_order_;
   plan.prefill_micro_batch = prefill_mb_;
   plan.decode_micro_batch = decode_mb_;

@@ -79,6 +79,8 @@ std::string ExecutionPlan::to_string() const {
      << ", batch=" << workload.global_batch << ")\n";
   os << "  micro-batches: prefill=" << prefill_micro_batch
      << ", decode=" << decode_micro_batch << "\n";
+  if (weight_format != QuantFormat::kPerChannel)
+    os << "  weight format: " << quant_format_name(weight_format) << "\n";
   for (int p = 0; p < num_stages(); ++p) {
     const auto [b, e] = stage_range(p);
     os << "  stage " << p << " -> device " << device_order[static_cast<std::size_t>(p)]
@@ -110,6 +112,7 @@ std::string ExecutionPlan::serialize() const {
   os << "gen_tokens=" << workload.gen_tokens << "\n";
   os << "prefill_micro_batch=" << prefill_micro_batch << "\n";
   os << "decode_micro_batch=" << decode_micro_batch << "\n";
+  os << "weight_format=" << quant_format_name(weight_format) << "\n";
   auto emit_list = [&os](const char* key, const std::vector<int>& xs) {
     os << key << '=';
     for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -159,6 +162,7 @@ ExecutionPlan ExecutionPlan::deserialize(const std::string& text) {
     else if (key == "device_order") plan.device_order = parse_list(value, key);
     else if (key == "boundaries") plan.boundaries = parse_list(value, key);
     else if (key == "layer_bits") plan.layer_bits = parse_list(value, key);
+    else if (key == "weight_format") plan.weight_format = quant_format_from_name(value);
     else throw InvalidArgumentError("plan deserialize: unknown key " + key);
   }
   return plan;

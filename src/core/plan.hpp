@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "model/workload.hpp"
+#include "quant/format.hpp"
 
 namespace llmpq {
 
@@ -26,6 +27,12 @@ struct ExecutionPlan {
 
   /// Quantization bitwidth per decoder layer (size = model layers).
   std::vector<int> layer_bits;
+
+  /// Weight storage format shared by every quantized layer (16-bit layers
+  /// are float pass-through regardless). Stamped by assign() from its
+  /// CostProvider so the memory estimate, the kernel cost model and the
+  /// runtime's packed layout agree.
+  QuantFormat weight_format = QuantFormat::kPerChannel;
 
   int prefill_micro_batch = 0;
   int decode_micro_batch = 0;

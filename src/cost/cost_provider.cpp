@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "cost/ground_truth.hpp"
+#include "quant/scheme.hpp"
 
 namespace llmpq {
 
@@ -28,11 +29,13 @@ CostProvider::CostProvider(const ModelSpec& model, const ClusterSpec& cluster,
 namespace {
 
 /// Packs a layer_time query into one cache key. Fields comfortably cover
-/// the planner's ranges (devices < 2^8, 4 bit candidates, 2 phases,
-/// micro-batch < 2^16, context < 2^32); out-of-range queries return 0 and
-/// bypass the cache.
+/// the planner's ranges (devices < 2^8, 4 bit candidates, 2 phases, 3
+/// formats, micro-batch < 2^16, context < 2^32); out-of-range queries
+/// return 0 and bypass the cache. seq_or_ctx occupies bits 0-31, the
+/// format tag bits 34-35, and bit 36 marks a valid key.
 std::uint64_t pack_layer_query(int dev, int bit_idx, Phase phase,
-                               int micro_batch, int seq_or_ctx) {
+                               int micro_batch, int seq_or_ctx,
+                               QuantFormat format) {
   if (dev < 0 || dev >= 256 || bit_idx < 0 || micro_batch < 0 ||
       micro_batch >= (1 << 16) || seq_or_ctx < 0)
     return 0;
@@ -40,6 +43,7 @@ std::uint64_t pack_layer_query(int dev, int bit_idx, Phase phase,
          (static_cast<std::uint64_t>(bit_idx) << 54) |
          (static_cast<std::uint64_t>(phase == Phase::kDecode ? 1 : 0) << 53) |
          (static_cast<std::uint64_t>(micro_batch) << 37) |
+         (static_cast<std::uint64_t>(format) << 34) |
          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(seq_or_ctx)) |
           (1ull << 36));
 }
@@ -48,8 +52,8 @@ std::uint64_t pack_layer_query(int dev, int bit_idx, Phase phase,
 
 double CostProvider::layer_time(int dev, int bits, Phase phase,
                                 int micro_batch, int seq_or_ctx) const {
-  const std::uint64_t key =
-      pack_layer_query(dev, bit_index(bits), phase, micro_batch, seq_or_ctx);
+  const std::uint64_t key = pack_layer_query(dev, bit_index(bits), phase,
+                                             micro_batch, seq_or_ctx, format_);
   if (key == 0)
     return layer_time_uncached(dev, bits, phase, micro_batch, seq_or_ctx);
   {
@@ -77,13 +81,22 @@ double CostProvider::layer_time_uncached(int dev, int bits, Phase phase,
   check_arg(dev >= 0 && dev < cluster_.num_devices(),
             "CostProvider::layer_time: bad device");
   const auto& slot = cluster_.devices[static_cast<std::size_t>(dev)];
-  if (mode_ == CostMode::kFitted)
-    return latency_model_.predict(slot.gpu_name, bits, phase, micro_batch,
-                                  seq_or_ctx);
+  if (mode_ == CostMode::kFitted) {
+    // The fitted regression was trained on per-channel kernels; scale its
+    // answer by the phase's dominant format cost — compute (measured
+    // kernel factor) in prefill, weight-byte traffic in decode.
+    const double base = latency_model_.predict(slot.gpu_name, bits, phase,
+                                               micro_batch, seq_or_ctx);
+    if (format_ == QuantFormat::kPerChannel || bits >= 16) return base;
+    return phase == Phase::kPrefill
+               ? base / format_kernel_factor(bits, format_)
+               : base * format_memory_factor(bits, format_);
+  }
   const PhaseShape shape = phase == Phase::kPrefill
                                ? prefill_shape(micro_batch, seq_or_ctx)
                                : decode_shape(micro_batch, seq_or_ctx);
-  return layer_time_ground_truth(slot.gpu(), model_, shape, bits);
+  return layer_time_ground_truth(slot.gpu(), model_, shape, bits,
+                                 QuantScheme::kGptq, format_);
 }
 
 double CostProvider::embedding_time(int dev, int micro_batch,

@@ -8,6 +8,7 @@
 #include "cost/latency_model.hpp"
 #include "hw/cluster.hpp"
 #include "model/workload.hpp"
+#include "quant/format.hpp"
 
 namespace llmpq {
 
@@ -25,8 +26,9 @@ enum class CostMode { kFitted, kProfiled };
 /// answers in an internal cache guarded by a shared_mutex — the function
 /// is pure in its arguments, so the cache never needs invalidation and is
 /// shared across every (ordering, micro-batch) combo of a search.
-/// set_workload() is NOT thread-safe and must happen-before any concurrent
-/// queries.
+/// set_workload() / set_format() are NOT thread-safe and must happen-before
+/// any concurrent queries (the format participates in the cache key, so a
+/// mid-search change would mix regimes).
 class CostProvider {
  public:
   CostProvider(const ModelSpec& model, const ClusterSpec& cluster,
@@ -59,6 +61,11 @@ class CostProvider {
   const ClusterSpec& cluster() const { return cluster_; }
   const Workload& workload() const { return workload_; }
   void set_workload(const Workload& w) { workload_ = w; }
+  /// Weight storage format the planner is costing (default per-channel).
+  /// assign() stamps this onto the plans it produces so memory estimates
+  /// and kernel times stay coherent with the runtime's packed layout.
+  QuantFormat format() const { return format_; }
+  void set_format(QuantFormat format) { format_ = format; }
   CostMode mode() const { return mode_; }
   const LatencyModel& latency_model() const { return latency_model_; }
 
@@ -70,6 +77,7 @@ class CostProvider {
   ClusterSpec cluster_;
   CostMode mode_;
   Workload workload_;
+  QuantFormat format_ = QuantFormat::kPerChannel;
   LatencyModel latency_model_;
   double build_cost_s_ = 0.0;
 

@@ -6,12 +6,18 @@ namespace llmpq {
 
 double layer_time_ground_truth(const GpuSpec& gpu, const ModelSpec& model,
                                const PhaseShape& shape, int bits,
-                               QuantScheme scheme) {
+                               QuantScheme scheme, QuantFormat format) {
   const double flops = layer_flops(model, shape);
+  // Weight-byte traffic scales with the scheme side-car and the group
+  // metadata; the hw table's group_scale carries the compute-side format
+  // cost (format_kernel_factor stays out of this product to avoid double
+  // counting — it is the CPU-measured source that calibrated group_scale).
   const double bytes = layer_mem_ops(
-      model, shape, bytes_per_param(bits) * scheme_memory_factor(scheme, bits));
+      model, shape,
+      bytes_per_param(bits) * scheme_memory_factor(scheme, bits, format));
   const double compute_time =
-      flops / (gpu.effective_flops(bits) * scheme_kernel_speedup(scheme, bits));
+      flops / (gpu.effective_flops(bits, format) *
+               scheme_kernel_speedup(scheme, bits));
   const double memory_time = bytes / gpu.effective_bandwidth(bits);
   return std::max(compute_time, memory_time) + gpu.kernel(bits).overhead_s;
 }

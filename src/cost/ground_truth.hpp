@@ -14,10 +14,13 @@ namespace llmpq {
 /// planner only ever sees fitted regressions, never this function.
 
 /// Wall time of one decoder layer pass at `bits` for a phase shape.
-/// `scheme` selects the weight-only kernel family (Sec. 7 extension).
+/// `scheme` selects the weight-only kernel family (Sec. 7 extension);
+/// `format` the storage layout — group-wise formats pay the per-GPU
+/// group_scale on compute and their metadata overhead on weight bytes.
 double layer_time_ground_truth(const GpuSpec& gpu, const ModelSpec& model,
                                const PhaseShape& shape, int bits,
-                               QuantScheme scheme = QuantScheme::kGptq);
+                               QuantScheme scheme = QuantScheme::kGptq,
+                               QuantFormat format = QuantFormat::kPerChannel);
 
 /// Wall time of embedding lookup + LM-head projection for `tokens` tokens
 /// (always FP16).

@@ -4,24 +4,34 @@
 
 #include "common/error.hpp"
 #include "hw/gpu_spec.hpp"
+#include "quant/quantize.hpp"
 
 namespace llmpq {
 
-std::int64_t layer_weight_bytes(const ModelSpec& model, int bits) {
-  const double wbytes = bytes_per_param(bits);
-  std::int64_t linear_params = 0;
-  std::int64_t scale_floats = 0;
-  for (const auto& op : model.layer_linear_ops()) {
-    linear_params += op.weight_params();
-    scale_floats += op.out_dim;  // one scale per output channel
+std::int64_t layer_quantized_weight_bytes(const ModelSpec& model, int bits,
+                                          QuantFormat format) {
+  if (bits == 16) {
+    // Analytic device-FP16: 2 bytes/param (the runtime's float matrices
+    // are a host staging artifact, not what a GPU shard would hold).
+    std::int64_t params = 0;
+    for (const auto& op : model.layer_linear_ops())
+      params += op.weight_params();
+    return params * 2;
   }
+  std::int64_t total = 0;
+  for (const auto& op : model.layer_linear_ops())
+    total += static_cast<std::int64_t>(QuantizedMatrix::packed_bytes_for(
+        static_cast<std::size_t>(op.out_dim),
+        static_cast<std::size_t>(op.in_dim), bits, format));
+  return total;
+}
+
+std::int64_t layer_weight_bytes(const ModelSpec& model, int bits,
+                                QuantFormat format) {
   const std::int64_t fp16_side =
       2 * (4 * model.hidden) +              // two layer norms (w + b)
       2 * (model.hidden * 5 + model.ffn);   // linear biases at FP16
-  std::int64_t total = static_cast<std::int64_t>(
-      static_cast<double>(linear_params) * wbytes);
-  if (bits < 16) total += scale_floats * 2;  // FP16 scales
-  return total + fp16_side;
+  return layer_quantized_weight_bytes(model, bits, format) + fp16_side;
 }
 
 std::int64_t layer_kv_bytes(const ModelSpec& model, int batch,
@@ -63,10 +73,10 @@ std::int64_t temp_peak_bytes(const ModelSpec& model, const Workload& w,
 StageMemory stage_memory(const ModelSpec& model,
                          std::span<const int> layer_bits, const Workload& w,
                          int prefill_mb, int decode_mb, bool first_stage,
-                         bool last_stage) {
+                         bool last_stage, QuantFormat format) {
   StageMemory mem;
   for (int bits : layer_bits) {
-    mem.weights += layer_weight_bytes(model, bits);
+    mem.weights += layer_weight_bytes(model, bits, format);
     mem.kv_cache += layer_kv_bytes(model, w.global_batch, w.max_seq_len());
   }
   if (first_stage) mem.embedding += embedding_weight_bytes(model);

@@ -5,6 +5,7 @@
 
 #include "model/model_spec.hpp"
 #include "model/workload.hpp"
+#include "quant/format.hpp"
 
 namespace llmpq {
 
@@ -14,9 +15,21 @@ namespace llmpq {
 /// generation budget) in FP16; temporary memory is a worst case over the
 /// operators of the embedding layer and one decoder layer in both phases.
 
-/// Bytes of one decoder layer's weights at `bits` (linears packed at the
-/// quantized width plus per-channel scales; norms/biases stay FP16).
-std::int64_t layer_weight_bytes(const ModelSpec& model, int bits);
+/// Bytes of one decoder layer's packed linear weights at `bits` in
+/// `format` — exactly Σ QuantizedMatrix::packed_bytes_for over the
+/// layer's linear ops, so planner estimates reconcile with runtime
+/// footprints byte-for-byte (the seed charged 2-byte scales while the
+/// runtime stores float32, a systematic underestimate). bits == 16 is
+/// the analytic device-FP16 model (2 bytes/param), not the host float
+/// staging copy.
+std::int64_t layer_quantized_weight_bytes(
+    const ModelSpec& model, int bits,
+    QuantFormat format = QuantFormat::kPerChannel);
+
+/// Bytes of one decoder layer's weights at `bits` (packed linears as
+/// above; norms/biases stay FP16).
+std::int64_t layer_weight_bytes(const ModelSpec& model, int bits,
+                                QuantFormat format = QuantFormat::kPerChannel);
 
 /// Bytes of one layer's preallocated KV cache for `batch` sequences of up
 /// to `max_seq_len` tokens.
@@ -46,6 +59,7 @@ struct StageMemory {
 StageMemory stage_memory(const ModelSpec& model,
                          std::span<const int> layer_bits, const Workload& w,
                          int prefill_mb, int decode_mb, bool first_stage,
-                         bool last_stage);
+                         bool last_stage,
+                         QuantFormat format = QuantFormat::kPerChannel);
 
 }  // namespace llmpq

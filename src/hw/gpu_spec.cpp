@@ -27,6 +27,12 @@ double GpuSpec::effective_flops(int bits) const {
          kernel(bits).compute_scale;
 }
 
+double GpuSpec::effective_flops(int bits, QuantFormat format) const {
+  const double base = effective_flops(bits);
+  if (format == QuantFormat::kPerChannel || bits >= 16) return base;
+  return base * kernel(bits).group_scale;
+}
+
 namespace {
 
 // Kernel profiles, indexed {3, 4, 8, 16}. The 3/4-bit entries model GPTQ
@@ -88,6 +94,22 @@ std::vector<GpuSpec> build_registry() {
   p100.kernels = {KernelProfile{0.55, 0.85, us(55)}, KernelProfile{0.62, 0.90, us(50)},
                   KernelProfile{0.70, 0.50, us(50)}, KernelProfile{1.00, 1.00, us(30)}};
   r.push_back(p100);
+
+  // Group-format compute multipliers for the sub-16-bit kernels (FP16 has
+  // no metadata). Calibrated against the CPU dequant-GEMM ratios from
+  // bench_ext_qgemm_kernels; newer architectures (larger register files,
+  // better L2) hide the per-group (scale, min) reload better than Pascal.
+  for (GpuSpec& g : r) {
+    double gs = 0.95;
+    if (g.name.rfind("A100", 0) == 0 || g.name.rfind("A800", 0) == 0)
+      gs = 0.97;
+    else if (g.name.rfind("T4", 0) == 0)
+      gs = 0.93;
+    else if (g.name.rfind("P100", 0) == 0)
+      gs = 0.90;
+    for (std::size_t b = 0; b + 1 < g.kernels.size(); ++b)
+      g.kernels[b].group_scale = gs;
+  }
 
   return r;
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "quant/format.hpp"
+
 namespace llmpq {
 
 /// Candidate weight precisions (bits). Order matters: ascending.
@@ -27,6 +29,12 @@ struct KernelProfile {
   /// why V100 INT8 loses to FP16 even in the memory-bound decode phase).
   double mem_scale = 1.0;
   double overhead_s = 0.0;
+  /// Extra compute multiplier when the weights use a group-wise format
+  /// (per-32/64-block scale+min) instead of per-channel: the kernel
+  /// reloads metadata every group. Calibrated against the CPU kernel
+  /// ratios measured by bench_ext_qgemm_kernels; newer architectures hide
+  /// the reload better. 1.0 for per-channel.
+  double group_scale = 1.0;
 };
 
 /// Static description of one GPU model. These numbers parameterize the
@@ -46,6 +54,9 @@ struct GpuSpec {
   const KernelProfile& kernel(int bits) const;
   /// Effective FLOP/s when running at `bits`.
   double effective_flops(int bits) const;
+  /// Format-aware overload: group-wise formats pay kernel(bits)
+  /// .group_scale on top.
+  double effective_flops(int bits, QuantFormat format) const;
   /// Effective bytes/s when running at `bits`.
   double effective_bandwidth(int bits) const {
     return mem_bandwidth * mem_efficiency * kernel(bits).mem_scale;

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace llmpq {
+
+/// Storage format of a quantized weight matrix. Orthogonal to the bitwidth
+/// (3/4/8) and to the kernel-family scheme (GPTQ/AWQ/SpQR traits):
+///   kPerChannel — one symmetric scale per output channel (row); the
+///                 seed format. Codes are signed, stored biased by qmax.
+///   kGroup32 /
+///   kGroup64  — k-quant-style group-wise asymmetric: every block of
+///               32/64 consecutive input columns carries its own
+///               (scale, min) pair and codes are unsigned in
+///               [0, 2^bits - 1], reconstructed as code * scale + min.
+///               Smaller blocks track local weight ranges (better
+///               quality at 3/4-bit) at the price of more metadata.
+/// 16-bit matrices are float pass-through; any requested format
+/// normalizes to kPerChannel there.
+enum class QuantFormat { kPerChannel = 0, kGroup32 = 1, kGroup64 = 2 };
+
+inline constexpr std::array<QuantFormat, 3> kQuantFormats = {
+    QuantFormat::kPerChannel, QuantFormat::kGroup32, QuantFormat::kGroup64};
+
+/// Columns per metadata block; 0 for the per-channel format (the whole
+/// row shares one scale).
+inline constexpr std::size_t format_group_size(QuantFormat format) {
+  switch (format) {
+    case QuantFormat::kPerChannel:
+      return 0;
+    case QuantFormat::kGroup32:
+      return 32;
+    case QuantFormat::kGroup64:
+      return 64;
+  }
+  return 0;
+}
+
+inline constexpr const char* quant_format_name(QuantFormat format) {
+  switch (format) {
+    case QuantFormat::kPerChannel:
+      return "per_channel";
+    case QuantFormat::kGroup32:
+      return "group32";
+    case QuantFormat::kGroup64:
+      return "group64";
+  }
+  return "?";
+}
+
+/// Inverse of quant_format_name; throws InvalidArgumentError on an unknown
+/// name (defined in quantize.cpp to keep common/error.hpp out of this
+/// header, which hw/ includes).
+QuantFormat quant_format_from_name(const std::string& name);
+
+}  // namespace llmpq

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/thread_pool.hpp"
+#include "quant/qgemm_kernels.hpp"
 
 namespace llmpq {
 
@@ -13,30 +14,6 @@ namespace {
 /// Below this many multiply-accumulates the fork/join overhead of the pool
 /// outweighs the parallel speedup; measured on small CPU hosts.
 constexpr std::size_t kParallelWorkThreshold = 64 * 1024;
-
-/// Computes output channels [r0, r1). `scratch` (size cols) holds the
-/// dequantized row for packed matrices; 16-bit matrices are read in place
-/// via the fp-row cache (no copy).
-void qgemm_rows(std::span<const float> x, std::size_t m, std::size_t cols,
-                const QuantizedMatrix& w, std::span<const float> bias,
-                std::span<float> y, std::size_t r0, std::size_t r1,
-                float* scratch) {
-  const std::size_t rows = w.rows();
-  for (std::size_t r = r0; r < r1; ++r) {
-    const float* wrow = w.fp_row(r);
-    if (wrow == nullptr) {
-      w.dequantize_row(r, scratch);
-      wrow = scratch;
-    }
-    const float b = bias.empty() ? 0.0f : bias[r];
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* xi = x.data() + i * cols;
-      float acc = b;
-      for (std::size_t c = 0; c < cols; ++c) acc += xi[c] * wrow[c];
-      y[i * rows + r] = acc;
-    }
-  }
-}
 
 void check_qgemm_args(std::span<const float> x, std::size_t m,
                       std::size_t cols, const QuantizedMatrix& w,
@@ -55,7 +32,8 @@ void qgemm_serial(std::span<const float> x, std::size_t m, std::size_t cols,
                   std::span<float> y) {
   check_qgemm_args(x, m, cols, w, bias, y);
   std::vector<float> scratch(cols);
-  qgemm_rows(x, m, cols, w, bias, y, 0, w.rows(), scratch.data());
+  qgemm_rows_scalar(x.data(), m, cols, w, bias.empty() ? nullptr : bias.data(),
+                    y.data(), 0, w.rows(), scratch.data());
 }
 
 void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
@@ -67,11 +45,15 @@ void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
   FAULT_POINT("stage.qgemm");
   check_qgemm_args(x, m, cols, w, bias, y);
   const std::size_t rows = w.rows();
+  // Runtime dispatch: the same row-range contract at every level, so the
+  // threading decomposition is independent of the kernel picked.
+  const QgemmRowsFn kernel = qgemm_rows_kernel(active_simd_level());
+  const float* bias_ptr = bias.empty() ? nullptr : bias.data();
   ThreadPool& pool = ThreadPool::shared();
   if (pool.size() <= 1 || ThreadPool::inside_worker() ||
       m * cols * rows < kParallelWorkThreshold) {
     std::vector<float> scratch(cols);
-    qgemm_rows(x, m, cols, w, bias, y, 0, rows, scratch.data());
+    kernel(x.data(), m, cols, w, bias_ptr, y.data(), 0, rows, scratch.data());
     return;
   }
   // Output-channel blocks: disjoint writes, no synchronization inside the
@@ -83,7 +65,9 @@ void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
     if (scratch.size() < cols) scratch.resize(cols);
     const std::size_t r0 = blk * per;
     const std::size_t r1 = std::min(rows, r0 + per);
-    if (r0 < r1) qgemm_rows(x, m, cols, w, bias, y, r0, r1, scratch.data());
+    if (r0 < r1)
+      kernel(x.data(), m, cols, w, bias_ptr, y.data(), r0, r1,
+             scratch.data());
   });
 }
 

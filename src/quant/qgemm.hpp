@@ -13,18 +13,22 @@ namespace llmpq {
 /// matching the per-row quantization scales. `bias` (size rows) is optional.
 ///
 /// This is the CPU "weight-only kernel": each output channel is dequantized
-/// once per call and accumulated in fp32. Work is partitioned over output-
-/// channel blocks across the shared ThreadPool when the problem is large
-/// enough to amortize the fork/join (small problems and single-core hosts
-/// run the serial path). Every output element is produced by exactly one
-/// task with the same accumulation order as the serial kernel, so results
-/// are bit-for-bit identical regardless of thread count.
+/// once per call and accumulated in fp32. The row microkernel is picked at
+/// runtime (scalar / AVX2 / AVX-512 — see quant/qgemm_kernels.hpp); work
+/// is partitioned over output-channel blocks across the shared ThreadPool
+/// when the problem is large enough to amortize the fork/join (small
+/// problems and single-core hosts run one kernel call inline). Every
+/// output element is produced by exactly one task, so results are
+/// bit-for-bit identical regardless of thread count at a fixed dispatch
+/// level; across levels the dequantization is bit-identical and only the
+/// dot-product accumulation order differs (documented tolerance).
 void qgemm(std::span<const float> x, std::size_t m, std::size_t cols,
            const QuantizedMatrix& w, std::span<const float> bias,
            std::span<float> y);
 
-/// Single-threaded reference kernel (the seed implementation); kept as the
-/// comparison baseline for tests and `bench_micro_quant`.
+/// Single-threaded scalar reference kernel (the seed implementation,
+/// always dispatch-independent); the bit-defining baseline for tests and
+/// `bench_micro_quant`.
 void qgemm_serial(std::span<const float> x, std::size_t m, std::size_t cols,
                   const QuantizedMatrix& w, std::span<const float> bias,
                   std::span<float> y);

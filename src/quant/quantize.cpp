@@ -7,6 +7,12 @@
 
 namespace llmpq {
 
+QuantFormat quant_format_from_name(const std::string& name) {
+  for (QuantFormat f : kQuantFormats)
+    if (name == quant_format_name(f)) return f;
+  throw InvalidArgumentError("unknown quant format: " + name);
+}
+
 namespace {
 
 // Writes `value` (already biased, < 2^bits) at element index `idx` of a
@@ -37,7 +43,8 @@ std::uint32_t unpack_value(const std::uint32_t* row_words, std::size_t idx,
 
 QuantizedMatrix QuantizedMatrix::quantize(std::span<const float> weights,
                                           std::size_t rows, std::size_t cols,
-                                          int bits, Rounding mode, Rng& rng) {
+                                          int bits, Rounding mode, Rng& rng,
+                                          QuantFormat format) {
   check_arg(weights.size() == rows * cols, "quantize: size mismatch");
   check_arg(bits == 3 || bits == 4 || bits == 8 || bits == 16,
             "quantize: unsupported bitwidth");
@@ -51,26 +58,66 @@ QuantizedMatrix QuantizedMatrix::quantize(std::span<const float> weights,
     return q;
   }
 
-  const std::int32_t qmax = qmax_for_bits(bits);
+  q.format_ = format;
   q.words_per_row_ =
       (cols * static_cast<std::size_t>(bits) + 31) / 32 + 1;  // +1 spill word
-  q.scales_.resize(rows);
   q.packed_.assign(rows * q.words_per_row_, 0u);
 
+  if (format == QuantFormat::kPerChannel) {
+    const std::int32_t qmax = qmax_for_bits(bits);
+    q.scales_.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* w = weights.data() + r * cols;
+      float max_abs = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c)
+        max_abs = std::max(max_abs, std::fabs(w[c]));
+      const float scale =
+          max_abs > 0.0f ? max_abs / static_cast<float>(qmax) : 1.0f;
+      q.scales_[r] = scale;
+      std::uint32_t* row_words = q.packed_.data() + r * q.words_per_row_;
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::int32_t qi = clamp_to_bits(
+            round_scaled(static_cast<double>(w[c]) / scale, mode, rng), bits);
+        pack_value(row_words, c, bits, static_cast<std::uint32_t>(qi + qmax));
+      }
+    }
+    return q;
+  }
+
+  // Group-wise asymmetric: per group, map [min, max] onto the full
+  // unsigned code range [0, L] (asymmetric — no code is wasted on sign
+  // symmetry, which is what buys group formats their quality at 3/4-bit).
+  q.group_size_ = format_group_size(format);
+  q.groups_per_row_ = (cols + q.group_size_ - 1) / q.group_size_;
+  q.gscales_.resize(rows * q.groups_per_row_);
+  q.gmins_.resize(rows * q.groups_per_row_);
+  const std::int32_t level_max = (1 << bits) - 1;
   for (std::size_t r = 0; r < rows; ++r) {
     const float* w = weights.data() + r * cols;
-    float max_abs = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c)
-      max_abs = std::max(max_abs, std::fabs(w[c]));
-    const float scale =
-        max_abs > 0.0f ? max_abs / static_cast<float>(qmax) : 1.0f;
-    q.scales_[r] = scale;
     std::uint32_t* row_words = q.packed_.data() + r * q.words_per_row_;
-    for (std::size_t c = 0; c < cols; ++c) {
-      const std::int32_t qi = clamp_to_bits(
-          round_scaled(static_cast<double>(w[c]) / scale, mode, rng), bits);
-      pack_value(row_words, c, bits,
-                 static_cast<std::uint32_t>(qi + qmax));
+    float* gscale = q.gscales_.data() + r * q.groups_per_row_;
+    float* gmin = q.gmins_.data() + r * q.groups_per_row_;
+    for (std::size_t g = 0; g < q.groups_per_row_; ++g) {
+      const std::size_t c0 = g * q.group_size_;
+      const std::size_t c1 = std::min(cols, c0 + q.group_size_);
+      float lo = w[c0], hi = w[c0];
+      for (std::size_t c = c0 + 1; c < c1; ++c) {
+        lo = std::min(lo, w[c]);
+        hi = std::max(hi, w[c]);
+      }
+      const float scale =
+          hi > lo ? (hi - lo) / static_cast<float>(level_max) : 1.0f;
+      gscale[g] = scale;
+      gmin[g] = lo;
+      for (std::size_t c = c0; c < c1; ++c) {
+        const std::int64_t code = round_scaled(
+            (static_cast<double>(w[c]) - static_cast<double>(lo)) /
+                static_cast<double>(scale),
+            mode, rng);
+        const std::int32_t clamped = static_cast<std::int32_t>(std::clamp(
+            code, std::int64_t{0}, static_cast<std::int64_t>(level_max)));
+        pack_value(row_words, c, bits, static_cast<std::uint32_t>(clamped));
+      }
     }
   }
   return q;
@@ -82,13 +129,24 @@ void QuantizedMatrix::dequantize_row(std::size_t row, float* out) const {
     std::copy(src, src + cols_, out);
     return;
   }
-  const std::int32_t qmax = qmax_for_bits(bits_);
-  const float scale = scales_[row];
   const std::uint32_t* row_words = packed_.data() + row * words_per_row_;
+  if (format_ == QuantFormat::kPerChannel) {
+    const std::int32_t qmax = qmax_for_bits(bits_);
+    const float scale = scales_[row];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::int32_t qi =
+          static_cast<std::int32_t>(unpack_value(row_words, c, bits_)) - qmax;
+      out[c] = static_cast<float>(qi) * scale;
+    }
+    return;
+  }
+  const float* gscale = gscales_.data() + row * groups_per_row_;
+  const float* gmin = gmins_.data() + row * groups_per_row_;
   for (std::size_t c = 0; c < cols_; ++c) {
-    const std::int32_t qi =
-        static_cast<std::int32_t>(unpack_value(row_words, c, bits_)) - qmax;
-    out[c] = static_cast<float>(qi) * scale;
+    const std::size_t g = c / group_size_;
+    const float code =
+        static_cast<float>(unpack_value(row_words, c, bits_));
+    out[c] = code * gscale[g] + gmin[g];
   }
 }
 
@@ -103,14 +161,28 @@ std::int32_t QuantizedMatrix::quantized_at(std::size_t row,
                                            std::size_t col) const {
   check_arg(bits_ < 16, "quantized_at: matrix is not quantized");
   const std::uint32_t* row_words = packed_.data() + row * words_per_row_;
-  return static_cast<std::int32_t>(unpack_value(row_words, col, bits_)) -
-         qmax_for_bits(bits_);
+  const std::int32_t raw =
+      static_cast<std::int32_t>(unpack_value(row_words, col, bits_));
+  return format_ == QuantFormat::kPerChannel ? raw - qmax_for_bits(bits_)
+                                             : raw;
 }
 
 std::size_t QuantizedMatrix::packed_bytes() const {
-  if (bits_ == 16) return fp_.size() * sizeof(float);
-  return packed_.size() * sizeof(std::uint32_t) +
-         scales_.size() * sizeof(float);
+  return packed_bytes_for(rows_, cols_, bits_, format_);
+}
+
+std::size_t QuantizedMatrix::packed_bytes_for(std::size_t rows,
+                                              std::size_t cols, int bits,
+                                              QuantFormat format) {
+  if (bits == 16) return rows * cols * sizeof(float);
+  const std::size_t words_per_row =
+      (cols * static_cast<std::size_t>(bits) + 31) / 32 + 1;
+  const std::size_t packed = rows * words_per_row * sizeof(std::uint32_t);
+  if (format == QuantFormat::kPerChannel)
+    return packed + rows * sizeof(float);  // one scale per row
+  const std::size_t gs = format_group_size(format);
+  const std::size_t groups = (cols + gs - 1) / gs;
+  return packed + rows * groups * 2 * sizeof(float);  // (scale, min) pairs
 }
 
 }  // namespace llmpq

@@ -4,18 +4,25 @@
 #include <span>
 #include <vector>
 
+#include "quant/format.hpp"
 #include "quant/rounding.hpp"
 
 namespace llmpq {
 
-/// A row-major [rows x cols] weight matrix quantized symmetrically with one
-/// scale per output channel (row), stored bit-packed. 16 "bits" means
-/// unquantized pass-through (weights kept in float).
+/// A row-major [rows x cols] weight matrix quantized weight-only, stored
+/// bit-packed. 16 "bits" means unquantized pass-through (weights kept in
+/// float). Two formats (see QuantFormat):
+///   * per-channel symmetric — one scale per output channel (row), signed
+///     codes stored with a bias of qmax (stored field = q + qmax, always
+///     non-negative and < 2^b since |q| <= qmax);
+///   * group-wise asymmetric — every group of 32/64 consecutive columns
+///     carries a (scale, min) pair; codes are unsigned in [0, 2^b - 1]
+///     and reconstruct as code * scale + min.
 ///
-/// Packing layout for b in {3, 4, 8}: each row is packed independently into
-/// 32-bit words, `b` bits per element in little-endian bit order, signed
-/// values stored with a bias of qmax (so stored field = q + qmax, always
-/// non-negative and < 2^b ... well within b bits since |q| <= qmax).
+/// Packing layout is format-independent for b in {3, 4, 8}: each row is
+/// packed into 32-bit words, `b` bits per element in little-endian bit
+/// order, plus one spill word per row so kernels may read the word holding
+/// any element without bounds checks.
 class QuantizedMatrix {
  public:
   QuantizedMatrix() = default;
@@ -23,19 +30,25 @@ class QuantizedMatrix {
   int bits() const { return bits_; }
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+  QuantFormat format() const { return format_; }
+  /// Columns per metadata group (0 for per-channel / 16-bit).
+  std::size_t group_size() const { return group_size_; }
+  std::size_t groups_per_row() const { return groups_per_row_; }
   const std::vector<float>& scales() const { return scales_; }
 
   /// Quantizes `weights` ([rows x cols] row-major). For bits == 16 the
-  /// weights are stored verbatim.
-  static QuantizedMatrix quantize(std::span<const float> weights,
-                                  std::size_t rows, std::size_t cols, int bits,
-                                  Rounding mode, Rng& rng);
+  /// weights are stored verbatim and `format` is ignored (normalized to
+  /// per-channel).
+  static QuantizedMatrix quantize(
+      std::span<const float> weights, std::size_t rows, std::size_t cols,
+      int bits, Rounding mode, Rng& rng,
+      QuantFormat format = QuantFormat::kPerChannel);
 
   /// Reconstructs the full matrix in float.
   std::vector<float> dequantize() const;
 
-  /// Reconstructs one row into `out` (size cols). Hot path of the
-  /// dequantize-then-GEMM kernel.
+  /// Reconstructs one row into `out` (size cols). Hot path of the scalar
+  /// dequantize-then-GEMM kernel; bit-defining for the SIMD kernels.
   void dequantize_row(std::size_t row, float* out) const;
 
   /// Direct pointer to row `row`'s float data when bits() == 16 — the
@@ -47,17 +60,48 @@ class QuantizedMatrix {
   }
 
   /// Raw quantized value at (row, col); only valid for bits < 16.
+  /// Per-channel: the signed code (stored field minus qmax). Group-wise:
+  /// the unsigned code in [0, 2^bits - 1].
   std::int32_t quantized_at(std::size_t row, std::size_t col) const;
 
-  /// Storage footprint of the packed representation in bytes.
+  /// Storage footprint of the packed representation in bytes. Equal to
+  /// packed_bytes_for(rows, cols, bits, format) by construction — the
+  /// planner's memory model charges exactly this.
   std::size_t packed_bytes() const;
+
+  /// The single source of truth for quantized-weight byte accounting,
+  /// shared with cost/mem_model so planner estimates match runtime
+  /// footprints exactly: packed words (incl. the per-row spill word) plus
+  /// float32 metadata (per-channel: one scale per row; group-wise: a
+  /// (scale, min) pair per group). bits == 16 stores host floats (4 bytes
+  /// per param; the planner's *device* model charges FP16 separately).
+  static std::size_t packed_bytes_for(std::size_t rows, std::size_t cols,
+                                      int bits, QuantFormat format);
+
+  // ---- Raw views for the SIMD kernels (valid for bits < 16).
+  const std::uint32_t* packed_row(std::size_t row) const {
+    return packed_.data() + row * words_per_row_;
+  }
+  std::size_t words_per_row() const { return words_per_row_; }
+  /// Group metadata for row `row` (group-wise formats only).
+  const float* group_scales(std::size_t row) const {
+    return gscales_.data() + row * groups_per_row_;
+  }
+  const float* group_mins(std::size_t row) const {
+    return gmins_.data() + row * groups_per_row_;
+  }
 
  private:
   int bits_ = 16;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t words_per_row_ = 0;
-  std::vector<float> scales_;        ///< per-row scale
+  QuantFormat format_ = QuantFormat::kPerChannel;
+  std::size_t group_size_ = 0;      ///< 0 unless group-wise
+  std::size_t groups_per_row_ = 0;  ///< ceil(cols / group_size_)
+  std::vector<float> scales_;       ///< per-row scale (per-channel format)
+  std::vector<float> gscales_;      ///< [rows x groups] (group formats)
+  std::vector<float> gmins_;        ///< [rows x groups] (group formats)
   std::vector<std::uint32_t> packed_;  ///< bits < 16
   std::vector<float> fp_;              ///< bits == 16
 };

@@ -30,6 +30,38 @@ double scheme_kernel_speedup(QuantScheme scheme, int bits) {
   return 1.0;
 }
 
+double scheme_kernel_speedup(QuantScheme scheme, int bits,
+                             QuantFormat format) {
+  return scheme_kernel_speedup(scheme, bits) *
+         format_kernel_factor(bits, format);
+}
+
+double format_kernel_factor(int bits, QuantFormat format) {
+  if (format == QuantFormat::kPerChannel || bits >= 16) return 1.0;
+  // Calibrated from bench_ext_qgemm_kernels (SIMD path of this repo's CPU
+  // kernels, ms/call group vs per-channel at the same dispatch level): the
+  // per-group (scale, min) broadcast costs most at 3-bit, where codes are
+  // decoded element-wise and the extra metadata loads sit on the critical
+  // path; at 4/8-bit the vectorized decode hides most of the reload.
+  // Wider groups amortize better.
+  const bool g32 = format == QuantFormat::kGroup32;
+  switch (bits) {
+    case 3:
+      return g32 ? 0.92 : 0.94;
+    case 4:
+      return g32 ? 0.95 : 0.97;
+    default:  // 8
+      return g32 ? 0.96 : 0.98;
+  }
+}
+
+double format_memory_factor(int bits, QuantFormat format) {
+  if (format == QuantFormat::kPerChannel || bits >= 16) return 1.0;
+  const double gs = static_cast<double>(format_group_size(format));
+  // 8 metadata bytes per group of `gs` weights at bits/8 bytes each.
+  return 1.0 + 64.0 / (gs * static_cast<double>(bits));
+}
+
 double scheme_quality_factor(QuantScheme scheme, int bits) {
   if (bits >= 8) return 1.0;
   switch (scheme) {
@@ -48,6 +80,12 @@ double scheme_quality_factor(QuantScheme scheme, int bits) {
 double scheme_memory_factor(QuantScheme scheme, int bits) {
   if (bits >= 8) return 1.0;
   return scheme == QuantScheme::kSpqr ? 1.04 : 1.0;
+}
+
+double scheme_memory_factor(QuantScheme scheme, int bits,
+                            QuantFormat format) {
+  return scheme_memory_factor(scheme, bits) *
+         format_memory_factor(bits, format);
 }
 
 }  // namespace llmpq

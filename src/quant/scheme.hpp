@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "quant/format.hpp"
+
 namespace llmpq {
 
 /// Candidate weight-only quantization schemes (paper Sec. 7, "Other
@@ -22,11 +24,36 @@ std::string quant_scheme_name(QuantScheme scheme);
 /// relative to the GPTQ baseline kernels (only sub-16-bit widths differ).
 double scheme_kernel_speedup(QuantScheme scheme, int bits);
 
+/// Format-aware overload: the scheme speedup times the measured
+/// format_kernel_factor, so the planner's compute model tracks what the
+/// repo's kernels actually deliver per (bits, format).
+double scheme_kernel_speedup(QuantScheme scheme, int bits,
+                             QuantFormat format);
+
+/// Relative dequant-GEMM throughput of `format` vs per-channel at the
+/// same bitwidth (1.0 for per-channel / 16-bit). The sub-16-bit entries
+/// are measured on this repo's kernels with bench_ext_qgemm_kernels
+/// (group metadata costs a (scale, min) reload per 32/64 columns); they
+/// are what scheme_kernel_speedup feeds into assign()'s bitwidth choices
+/// and what calibrated the per-GPU KernelProfile::group_scale entries.
+double format_kernel_factor(int bits, QuantFormat format);
+
+/// Packed-bytes multiplier of `format` vs per-channel at the same
+/// bitwidth: group formats carry a float32 (scale, min) pair per group,
+/// i.e. 64 / (group_size * bits) extra bytes per weight byte. Exact for
+/// group-aligned shapes; mem_model uses the exact per-matrix accounting
+/// and this factor is for roofline byte-traffic scaling.
+double format_memory_factor(int bits, QuantFormat format);
+
 /// Multiplier on the quality perturbation (PPL delta / omega) at `bits`.
 double scheme_quality_factor(QuantScheme scheme, int bits);
 
 /// Multiplier on packed weight bytes at `bits` (SpQR's sparse outlier
 /// side-car costs a few percent).
 double scheme_memory_factor(QuantScheme scheme, int bits);
+
+/// Format-aware overload: scheme factor times format_memory_factor.
+double scheme_memory_factor(QuantScheme scheme, int bits,
+                            QuantFormat format);
 
 }  // namespace llmpq

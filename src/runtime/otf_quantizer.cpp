@@ -89,7 +89,7 @@ ModelWeights otf_load_model(const std::string& checkpoint_dir,
     auto& [layer, master] = *item;
     mw.layers[static_cast<std::size_t>(layer)] = quantize_layer(
         spec, master, bits_per_layer[static_cast<std::size_t>(layer)],
-        options.rounding, qrng);
+        options.rounding, qrng, options.format);
     in_flight_bytes.fetch_sub(master_bytes(master));
   }
   loader.join();

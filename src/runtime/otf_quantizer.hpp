@@ -25,6 +25,8 @@ struct OtfOptions {
   int prefetch_depth = 2;  ///< layers in flight (>= 1)
   Rounding rounding = Rounding::kDeterministic;
   std::uint64_t seed = 29;
+  /// Storage format for the quantized layers (plan.weight_format).
+  QuantFormat format = QuantFormat::kPerChannel;
 };
 
 /// Loads layers [layer_begin, layer_end) from `checkpoint_dir`, quantizing

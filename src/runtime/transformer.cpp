@@ -22,22 +22,43 @@ void apply_norm(const ModelSpec& spec, Tensor2D& x,
 
 float silu(float v) { return v / (1.0f + std::exp(-v)); }
 
-/// In-place rotary position embedding on one head-sized vector at absolute
-/// position `pos`: rotate feature pairs (i, i + dh/2) by pos * theta_i.
-void apply_rope(float* v, std::size_t dh, std::size_t pos) {
+/// Per-thread memo of the inverse-frequency table: the head dimension is
+/// constant per model, so after the first layer pass this is a branch and
+/// a pointer read instead of dh/2 calls to std::pow per (token, head) —
+/// the seed recomputed the pow for every rotated pair, which dominated
+/// RoPE models' attention prologue.
+const std::vector<float>& rope_inv_freq_cache(std::size_t dh) {
+  thread_local std::size_t cached_dh = 0;
+  thread_local std::vector<float> table;
+  if (cached_dh != dh) {
+    table = rope_inv_freqs(dh);
+    cached_dh = dh;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::vector<float> rope_inv_freqs(std::size_t dh) {
+  const std::size_t half = dh / 2;
+  std::vector<float> table(half);
+  for (std::size_t i = 0; i < half; ++i)
+    table[i] = std::pow(10000.0f, -2.0f * static_cast<float>(i) /
+                                      static_cast<float>(dh));
+  return table;
+}
+
+void apply_rope(float* v, std::size_t dh, std::size_t pos,
+                const float* inv_freq) {
   const std::size_t half = dh / 2;
   for (std::size_t i = 0; i < half; ++i) {
-    const float freq = std::pow(10000.0f, -2.0f * static_cast<float>(i) /
-                                              static_cast<float>(dh));
-    const float angle = static_cast<float>(pos) * freq;
+    const float angle = static_cast<float>(pos) * inv_freq[i];
     const float c = std::cos(angle), sn = std::sin(angle);
     const float a = v[i], b = v[i + half];
     v[i] = a * c - b * sn;
     v[i + half] = a * sn + b * c;
   }
 }
-
-}  // namespace
 
 /// Shared layer body for the uniform (KvCache, [batch, max_seq] slots) and
 /// ragged (KvCacheManager, per-sequence page tables) paths. `Cache` only
@@ -100,9 +121,10 @@ void layer_forward_core(const ModelSpec& spec, const LayerWeights& w,
       float* qkv_row = qkv.row(row_base + t);
       if (spec.use_rope) {
         const std::size_t pos = cache.filled(sid);  // this token's position
+        const float* inv_freq = rope_inv_freq_cache(dh).data();
         for (std::size_t head = 0; head < heads; ++head) {
-          apply_rope(qkv_row + head * dh, dh, pos);          // q
-          apply_rope(qkv_row + h + head * dh, dh, pos);      // k
+          apply_rope(qkv_row + head * dh, dh, pos, inv_freq);      // q
+          apply_rope(qkv_row + h + head * dh, dh, pos, inv_freq);  // k
         }
       }
       cache.append(sid, qkv_row + h, qkv_row + 2 * h);

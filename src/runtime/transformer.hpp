@@ -87,6 +87,19 @@ std::vector<TokenId> project_and_sample(const ModelWeights& mw,
                                         const Tensor2D& hidden,
                                         std::span<const SeqSpan> spans);
 
+/// Inverse-frequency table of rotary position embeddings for head
+/// dimension `dh`: entry i = 10000^(-2i/dh), i < dh/2. Computed once per
+/// thread and reused across every (token, head) rotation — the seed
+/// recomputed the pow per rotated pair. Entries are bit-identical to the
+/// inline expression (same float pow), so rotations are unchanged.
+std::vector<float> rope_inv_freqs(std::size_t dh);
+
+/// In-place rotary position embedding on one head-sized vector at absolute
+/// position `pos`: rotate feature pairs (i, i + dh/2) by
+/// pos * inv_freq[i], with `inv_freq` from rope_inv_freqs(dh).
+void apply_rope(float* v, std::size_t dh, std::size_t pos,
+                const float* inv_freq);
+
 /// Single-threaded reference generation: prefill the prompts then decode
 /// `gen_tokens - 1` further tokens greedily. Returns [batch x gen_tokens]
 /// generated tokens (the first generated token comes from prefill).

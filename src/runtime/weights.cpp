@@ -55,17 +55,24 @@ LayerMaster random_layer_master(const ModelSpec& spec, int layer, Rng& rng) {
 }
 
 LayerWeights quantize_layer(const ModelSpec& spec, const LayerMaster& master,
-                            int bits, Rounding mode, Rng& rng) {
+                            int bits, Rounding mode, Rng& rng,
+                            QuantFormat format) {
   const auto h = static_cast<std::size_t>(spec.hidden);
   const auto f = static_cast<std::size_t>(spec.ffn);
   LayerWeights w;
   w.bits = bits;
-  w.qkv = QuantizedMatrix::quantize(master.qkv, 3 * h, h, bits, mode, rng);
-  w.out = QuantizedMatrix::quantize(master.out, h, h, bits, mode, rng);
-  w.fc1 = QuantizedMatrix::quantize(master.fc1, f, h, bits, mode, rng);
-  w.fc2 = QuantizedMatrix::quantize(master.fc2, h, f, bits, mode, rng);
+  w.format = bits == 16 ? QuantFormat::kPerChannel : format;
+  w.qkv =
+      QuantizedMatrix::quantize(master.qkv, 3 * h, h, bits, mode, rng, format);
+  w.out =
+      QuantizedMatrix::quantize(master.out, h, h, bits, mode, rng, format);
+  w.fc1 =
+      QuantizedMatrix::quantize(master.fc1, f, h, bits, mode, rng, format);
+  w.fc2 =
+      QuantizedMatrix::quantize(master.fc2, h, f, bits, mode, rng, format);
   if (spec.gated_mlp)
-    w.fc3 = QuantizedMatrix::quantize(master.fc3, f, h, bits, mode, rng);
+    w.fc3 =
+        QuantizedMatrix::quantize(master.fc3, f, h, bits, mode, rng, format);
   w.qkv_bias = master.qkv_bias;
   w.out_bias = master.out_bias;
   w.fc1_bias = master.fc1_bias;
@@ -80,7 +87,7 @@ LayerWeights quantize_layer(const ModelSpec& spec, const LayerMaster& master,
 
 ModelWeights build_random_model(const ModelSpec& spec,
                                 const std::vector<int>& bits_per_layer,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, QuantFormat format) {
   check_arg(static_cast<int>(bits_per_layer.size()) == spec.layers,
             "build_random_model: bits size mismatch");
   Rng rng(seed);
@@ -99,7 +106,7 @@ ModelWeights build_random_model(const ModelSpec& spec,
     // Quantization rounding shares the master RNG stream: deterministic.
     mw.layers.push_back(quantize_layer(
         spec, master, bits_per_layer[static_cast<std::size_t>(i)],
-        Rounding::kDeterministic, rng));
+        Rounding::kDeterministic, rng, format));
   }
   return mw;
 }

@@ -14,6 +14,7 @@ namespace llmpq {
 /// norm parameters stay in float — mirroring weight-only LLM quantization.
 struct LayerWeights {
   int bits = 16;
+  QuantFormat format = QuantFormat::kPerChannel;
   QuantizedMatrix qkv;  ///< [3h x h]
   QuantizedMatrix out;  ///< [h x h]
   QuantizedMatrix fc1;  ///< [ffn x h]  (the *gate* projection when gated)
@@ -46,14 +47,19 @@ struct LayerMaster {
 /// Deterministic random master weights for a spec (the checkpoint stand-in).
 LayerMaster random_layer_master(const ModelSpec& spec, int layer, Rng& rng);
 
-/// Quantizes a master layer at `bits`.
+/// Quantizes a master layer at `bits` in `format` (ignored at 16 bits).
 LayerWeights quantize_layer(const ModelSpec& spec, const LayerMaster& master,
-                            int bits, Rounding mode, Rng& rng);
+                            int bits, Rounding mode, Rng& rng,
+                            QuantFormat format = QuantFormat::kPerChannel);
 
 /// Builds a complete model with random weights, quantized per
-/// `bits_per_layer` (size = spec.layers).
+/// `bits_per_layer` (size = spec.layers) in `format`. The master RNG
+/// stream is format-independent, so two builds with the same seed hold
+/// the same underlying weights requantized — what the serve degrade
+/// ladder relies on when it sheds group metadata under memory pressure.
 ModelWeights build_random_model(const ModelSpec& spec,
                                 const std::vector<int>& bits_per_layer,
-                                std::uint64_t seed);
+                                std::uint64_t seed,
+                                QuantFormat format = QuantFormat::kPerChannel);
 
 }  // namespace llmpq

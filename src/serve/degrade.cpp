@@ -1,0 +1,84 @@
+#include "serve/degrade.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+namespace {
+
+// Next rung down the supported weight widths; 3 is the floor.
+int lower_bits(int bits) {
+  if (bits > 8) return 8;
+  if (bits > 4) return 4;
+  return 3;
+}
+
+}  // namespace
+
+std::vector<DegradeStep> default_degrade_ladder(
+    const std::vector<int>& layer_bits, QuantFormat format,
+    int prefill_micro_batch, int decode_micro_batch) {
+  check_arg(!layer_bits.empty(), "degrade ladder needs layer bitwidths");
+  std::vector<DegradeStep> steps;
+  std::vector<int> bits = layer_bits;
+
+  if (format != QuantFormat::kPerChannel) {
+    steps.push_back(
+        {bits, QuantFormat::kPerChannel, prefill_micro_batch,
+         decode_micro_batch});
+  }
+
+  while (std::any_of(bits.begin(), bits.end(),
+                     [](int b) { return b > 3; })) {
+    for (int& b : bits) b = lower_bits(b);
+    steps.push_back({bits, QuantFormat::kPerChannel, prefill_micro_batch,
+                     decode_micro_batch});
+  }
+
+  if (prefill_micro_batch > 1 || decode_micro_batch > 1) {
+    steps.push_back({bits, QuantFormat::kPerChannel,
+                     std::max(1, prefill_micro_batch / 2),
+                     std::max(1, decode_micro_batch / 2)});
+  }
+  return steps;
+}
+
+DegradeLadder::DegradeLadder(ModelSpec spec,
+                             std::vector<std::pair<int, int>> stage_layers,
+                             std::uint64_t seed,
+                             std::vector<DegradeStep> steps)
+    : spec_(std::move(spec)),
+      stage_layers_(std::move(stage_layers)),
+      seed_(seed),
+      steps_(std::move(steps)) {
+  check_arg(!stage_layers_.empty(), "degrade ladder needs stage ranges");
+  for (const DegradeStep& s : steps_) {
+    check_arg(static_cast<int>(s.layer_bits.size()) == spec_.layers,
+                "degrade step bitwidths must cover every layer");
+  }
+}
+
+PipelineEngine* DegradeLadder::engine_for_level(int level) {
+  if (level < 1 || level > static_cast<int>(steps_.size())) return nullptr;
+  const std::size_t idx = static_cast<std::size_t>(level - 1);
+  if (built_.size() <= idx) built_.resize(idx + 1);
+  if (!built_[idx]) {
+    const DegradeStep& step = steps_[idx];
+    auto built = std::make_unique<Built>();
+    built->weights =
+        build_random_model(spec_, step.layer_bits, seed_, step.format);
+    built->engine = std::make_unique<PipelineEngine>(
+        built->weights, stage_layers_, step.prefill_micro_batch,
+        step.decode_micro_batch);
+    built_[idx] = std::move(built);
+  }
+  return built_[idx]->engine.get();
+}
+
+std::function<PipelineEngine*(int)> DegradeLadder::hook() {
+  return [this](int level) { return engine_for_level(level); };
+}
+
+}  // namespace llmpq

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "quant/format.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/weights.hpp"
+
+namespace llmpq {
+
+/// One rung of the graceful-degradation ladder: a complete cheaper
+/// configuration the serving loop can fall back to after repeated memory
+/// faults. Rungs shed cost in the order that preserves the most quality:
+/// first the group-wise scale/min metadata (same bitwidths, per-channel
+/// format), then bitwidth itself, and only at the bottom the micro-batch.
+struct DegradeStep {
+  std::vector<int> layer_bits;
+  QuantFormat format = QuantFormat::kPerChannel;
+  int prefill_micro_batch = 1;
+  int decode_micro_batch = 1;
+};
+
+/// Builds the default ladder below a serving configuration. Starting from
+/// (`layer_bits`, `format`, micro-batches), emits in order:
+///   1. the same bitwidths in per-channel format (only when `format` is
+///      group-wise — dropping per-group scale+min metadata is the cheapest
+///      memory cut, ~2-7% of weight bytes, with the smallest quality hit);
+///   2. one rung per uniform bit reduction (16 -> 8 -> 4 -> 3), applied to
+///      every layer still above the rung, until all layers sit at 3 bits;
+///   3. a final rung with both micro-batches halved (floor 1), shrinking
+///      peak activation + KV footprint when weights can shrink no further.
+std::vector<DegradeStep> default_degrade_ladder(
+    const std::vector<int>& layer_bits, QuantFormat format,
+    int prefill_micro_batch, int decode_micro_batch);
+
+/// Owns the replacement engines the OnlineEngine degrade hook hands out.
+/// Engines are built lazily (level N is only materialized when the serving
+/// loop actually reaches it) from the SAME weight seed as the original
+/// model: build_random_model draws master weights from a format- and
+/// bits-independent RNG stream, so every rung serves the same underlying
+/// model requantized — degradation changes precision, not identity.
+///
+/// OnlineEngineOptions::degrade documents that the caller retains
+/// ownership of replacement engines; this class is that caller. Keep it
+/// alive until OnlineEngine::wait() returns.
+class DegradeLadder {
+ public:
+  DegradeLadder(ModelSpec spec, std::vector<std::pair<int, int>> stage_layers,
+                std::uint64_t seed, std::vector<DegradeStep> steps);
+
+  /// Engine for ladder level `level` (1-based, matching the hook protocol);
+  /// nullptr once the ladder is exhausted. Stable addresses: a level's
+  /// engine is built once and reused if the loop asks again.
+  PipelineEngine* engine_for_level(int level);
+
+  /// Adapter for OnlineEngineOptions::degrade. The returned closure
+  /// borrows `this` — the ladder must outlive the serving loop.
+  std::function<PipelineEngine*(int)> hook();
+
+  const std::vector<DegradeStep>& steps() const { return steps_; }
+
+ private:
+  struct Built {
+    ModelWeights weights;
+    std::unique_ptr<PipelineEngine> engine;
+  };
+
+  ModelSpec spec_;
+  std::vector<std::pair<int, int>> stage_layers_;
+  std::uint64_t seed_ = 0;
+  std::vector<DegradeStep> steps_;
+  std::vector<std::unique_ptr<Built>> built_;  ///< index = level - 1
+};
+
+}  // namespace llmpq

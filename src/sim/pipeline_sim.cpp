@@ -64,7 +64,8 @@ SimResult simulate_plan(const ModelSpec& model, const ClusterSpec& cluster,
     const int dev = plan.device_order[static_cast<std::size_t>(p)];
     const StageMemory mem =
         stage_memory(model, plan.stage_bits(p), w, plan.prefill_micro_batch,
-                     plan.decode_micro_batch, si == 0, si == S - 1);
+                     plan.decode_micro_batch, si == 0, si == S - 1,
+                     plan.weight_format);
     result.stage_peak_mem[static_cast<std::size_t>(p)] = mem.total();
     const std::int64_t budget =
         cluster.devices[static_cast<std::size_t>(dev)].gpu().mem_bytes -

@@ -229,6 +229,30 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForStopsEarlyAfterException) {
+  // Before the failed-flag short-circuit, a throwing body still ran every
+  // remaining chunk to completion before rethrowing. The first index must
+  // throw (chunk 0 is claimed first by construction), surviving workers
+  // must bail out well short of the full range, and the ORIGINAL error —
+  // not a later one — must surface.
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.parallel_for(n, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first failure");
+      ++executed;
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first failure");
+  }
+  // Chunks are ~n / (workers * 4) indices; stopping at chunk granularity
+  // leaves executed far below n. Allow generous slack for chunks already
+  // in flight when the flag flips.
+  EXPECT_LT(executed.load(), n / 2);
+}
+
 TEST(ThreadPool, SubmitAfterShutdownThrows) {
   // A silently dropped task would leave the returned future forever
   // pending and deadlock the caller — the pool must fail loudly instead.

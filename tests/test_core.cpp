@@ -7,6 +7,7 @@
 #include "core/estimator.hpp"
 #include "core/ilp_builder.hpp"
 #include "core/plan.hpp"
+#include "cost/mem_model.hpp"
 #include "quant/quality.hpp"
 #include "solver/milp.hpp"
 
@@ -70,6 +71,13 @@ TEST(Plan, SerializeRoundTrips) {
   EXPECT_EQ(back.device_order, plan.device_order);
   EXPECT_EQ(back.prefill_micro_batch, plan.prefill_micro_batch);
   EXPECT_EQ(back.workload.prompt_len, plan.workload.prompt_len);
+  EXPECT_EQ(back.weight_format, QuantFormat::kPerChannel);
+
+  // Group formats survive the round trip too (and old files without the
+  // key keep defaulting to per-channel, which the first pass covered).
+  plan.weight_format = QuantFormat::kGroup64;
+  EXPECT_EQ(ExecutionPlan::deserialize(plan.serialize()).weight_format,
+            QuantFormat::kGroup64);
 }
 
 TEST(Plan, DeserializeRejectsCorruptNumericFields) {
@@ -314,6 +322,43 @@ TEST(Assigner, HeuristicPlanBeatsUniformOnHeteroCluster) {
   if (uni_est.mem_feasible) {
     EXPECT_LT(r.estimate.e2e_latency, uni_est.e2e_latency);
   }
+}
+
+// ---- Acceptance criterion for the format-aware planner: a plan produced
+// under a group-wise format carries that format, and its per-stage weight
+// estimate equals the exact packed-bytes sum of the stage's layers —
+// byte-for-byte, the same formula the runtime's QuantizedMatrix uses.
+TEST(Assigner, GroupFormatStampedAndMemoryReconcilesExactly) {
+  const auto [cluster, model_name] = paper_cluster(3);
+  const ModelSpec& m = model_registry_get(model_name);
+  CostProvider cost(m, cluster, CostMode::kProfiled);
+  cost.set_format(QuantFormat::kGroup32);
+  AssignerOptions opt;
+  opt.solver = SolverKind::kHeuristic;
+  const AssignerResult r = assign(cost, opt);
+  EXPECT_EQ(r.plan.weight_format, QuantFormat::kGroup32);
+  EXPECT_TRUE(r.estimate.mem_feasible);
+  ASSERT_EQ(r.estimate.stage_mem.size(), r.plan.device_order.size());
+  for (std::size_t s = 0; s < r.estimate.stage_mem.size(); ++s) {
+    std::int64_t expected = 0;
+    for (int l = r.plan.boundaries[s]; l < r.plan.boundaries[s + 1]; ++l) {
+      expected += layer_weight_bytes(
+          m, r.plan.layer_bits[static_cast<std::size_t>(l)],
+          r.plan.weight_format);
+    }
+    EXPECT_EQ(r.estimate.stage_mem[s].weights, expected) << "stage " << s;
+  }
+  // The same plan re-estimated as per-channel must claim strictly fewer
+  // weight bytes: group metadata is real memory the planner now charges.
+  ExecutionPlan pc = r.plan;
+  pc.weight_format = QuantFormat::kPerChannel;
+  const PlanEstimate pc_est = estimate_plan(cost, pc);
+  std::int64_t group_total = 0, pc_total = 0;
+  for (std::size_t s = 0; s < r.estimate.stage_mem.size(); ++s) {
+    group_total += r.estimate.stage_mem[s].weights;
+    pc_total += pc_est.stage_mem[s].weights;
+  }
+  EXPECT_LT(pc_total, group_total);
 }
 
 TEST(Assigner, ThetaTradesThroughputForQuality) {

@@ -8,6 +8,8 @@
 #include "cost/ground_truth.hpp"
 #include "cost/latency_model.hpp"
 #include "cost/mem_model.hpp"
+#include "quant/format.hpp"
+#include "quant/quantize.hpp"
 #include "cost/profiler.hpp"
 
 namespace llmpq {
@@ -36,6 +38,58 @@ TEST(MemModel, TotalWeightsMatchNameplate) {
       1e9;
   EXPECT_GT(total_gb, 55.0);
   EXPECT_LT(total_gb, 70.0);
+}
+
+// ---- The planner's weight-bytes formula must equal the bytes the
+// runtime actually packs — byte-for-byte, across every bits x format
+// pair. The seed version charged 2 bytes per scale while QuantizedMatrix
+// stores float32 scales, a systematic underestimate that let plans pass
+// the memory check and then OOM at load time.
+TEST(MemModel, QuantizedWeightBytesMatchPackedMatricesExactly) {
+  ModelSpec m;
+  m.name = "tiny-mem";
+  m.family = "opt";
+  m.hidden = 48;
+  m.ffn = 192;
+  m.heads = 4;
+  m.layers = 2;
+  m.vocab = 96;
+  m.max_pos = 64;
+  Rng rng(11);
+  for (QuantFormat format : kQuantFormats) {
+    for (int bits : {3, 4, 8}) {
+      std::int64_t packed = 0;
+      for (const LinearOp& op : m.layer_linear_ops()) {
+        const std::size_t rows = static_cast<std::size_t>(op.out_dim);
+        const std::size_t cols = static_cast<std::size_t>(op.in_dim);
+        const std::vector<float> w(rows * cols, 0.25f);
+        const QuantizedMatrix q = QuantizedMatrix::quantize(
+            w, rows, cols, bits, Rounding::kDeterministic, rng, format);
+        packed += static_cast<std::int64_t>(q.packed_bytes());
+      }
+      EXPECT_EQ(layer_quantized_weight_bytes(m, bits, format), packed)
+          << quant_format_name(format) << " bits=" << bits;
+    }
+    // 16-bit stays the analytic device-FP16 model (2 bytes/param): the
+    // runtime's float matrices are host staging, not the device layout.
+    std::int64_t params = 0;
+    for (const LinearOp& op : m.layer_linear_ops()) params += op.weight_params();
+    EXPECT_EQ(layer_quantized_weight_bytes(m, 16, format), params * 2);
+  }
+}
+
+TEST(MemModel, GroupFormatsChargeMetadataOverhead) {
+  const ModelSpec& m = model_registry_get("opt-13b");
+  for (int bits : {3, 4, 8}) {
+    const std::int64_t pc =
+        layer_weight_bytes(m, bits, QuantFormat::kPerChannel);
+    const std::int64_t g32 = layer_weight_bytes(m, bits, QuantFormat::kGroup32);
+    const std::int64_t g64 = layer_weight_bytes(m, bits, QuantFormat::kGroup64);
+    // Group metadata costs real bytes; 64-wide groups cost less than
+    // 32-wide; both exceed one scale per output channel.
+    EXPECT_GT(g64, pc);
+    EXPECT_GT(g32, g64);
+  }
 }
 
 TEST(MemModel, KvBytesFormula) {

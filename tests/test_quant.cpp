@@ -6,6 +6,7 @@
 #include "quant/calibration.hpp"
 #include "quant/indicator.hpp"
 #include "quant/qgemm.hpp"
+#include "quant/qgemm_kernels.hpp"
 #include "quant/quality.hpp"
 #include "quant/quantize.hpp"
 
@@ -103,6 +104,10 @@ TEST(Quantize, PackedBytesShrinkWithBits) {
 }
 
 TEST(Qgemm, MatchesFloatGemmAt16Bits) {
+  // Pinned to the scalar kernel: this test asserts bit-exact agreement
+  // with gemm_f32, which only the reference accumulation order gives.
+  // SIMD-vs-scalar agreement is covered in test_qgemm_kernels.cpp.
+  ScopedSimdLevel pin(SimdLevel::kScalar);
   Rng rng(4);
   const std::size_t m = 7, k = 19, n = 11;
   const auto x = random_weights(m * k, rng);
@@ -128,6 +133,9 @@ struct QgemmCase {
 class QgemmEquivalence : public ::testing::TestWithParam<QgemmCase> {};
 
 TEST_P(QgemmEquivalence, ThreadedMatchesSerialAndF32) {
+  // Scalar-pinned: thread decomposition must not change results, which is
+  // only a bit-exact statement when both paths run the reference kernel.
+  ScopedSimdLevel pin(SimdLevel::kScalar);
   const QgemmCase c = GetParam();
   Rng rng(900 + static_cast<std::uint64_t>(c.bits));
   // Odd k stresses the bit-packing spill-word path; m*k*n > the kernel's

@@ -35,6 +35,7 @@ constexpr const char* kUsage = R"(usage: llmpq_algo
   --fit                      use the fitted latency cost model (default)
   --use_profiler_prediction  answer cost queries from profiled samples
   --indicator KIND           variance | hessian | random   (default variance)
+  --weight_format F          per_channel | group32 | group64 (default per_channel)
   --omega_file FILE          write the indicator omega values to FILE
   --strat_file_name FILE     write the strategy file       (default stdout)
   --time_limit S             ILP time budget in seconds    (default 30)
@@ -101,6 +102,8 @@ int main(int argc, char** argv) {
     // ---- Plan.
     CostProvider cost(model, cluster, options.cost_mode);
     cost.set_workload(workload);
+    cost.set_format(
+        quant_format_from_name(args.get_or("weight_format", "per_channel")));
     const AssignerResult result = assign(cost, options);
 
     std::fprintf(stderr, "%s", result.plan.to_string().c_str());
