@@ -1,9 +1,10 @@
 // Online serving on the real (CPU) runtime: drive the shared serving
 // scheduler — the same policy code the online simulator uses — against the
-// threaded pipeline engine. Replays one trace under both policies (static
-// batching vs ORCA-style iteration-level scheduling), then demos the live
-// path where requests are submitted from the caller's thread and admitted
-// by the engine's own serving loop.
+// threaded pipeline engine. Replays one trace under three configurations
+// (static batching, ORCA-style iteration-level scheduling, and continuous
+// batching with a KV page ledger that preempts under memory pressure),
+// then demos the live path where requests are submitted from the caller's
+// thread and admitted by the engine's own serving loop.
 //
 // Pass --trace PATH to record the whole demo — engine stage spans, the
 // scheduler's dispatch passes and per-request lifecycles — as Chrome trace
@@ -46,11 +47,19 @@ void print_report(const char* title, const llmpq::OnlineReport& rep) {
   std::printf("  prefill     %s\n",
               llmpq::format_latency_summary(rep.prefill).c_str());
   std::printf("  %zu dispatches:", rep.decisions.size());
-  for (const llmpq::DispatchDecision& d : rep.decisions)
-    std::printf(" %s[%zu]",
+  for (const llmpq::DispatchDecision& d : rep.decisions) {
+    std::printf(" %s[%zu",
                 d.phase == llmpq::ServePhase::kPrefillPass ? "P" : "D",
                 d.request_ids.size());
+    if (d.num_join > 0 && d.phase != llmpq::ServePhase::kPrefillPass)
+      std::printf("+%dj", d.num_join);  // joins riding a decode round
+    std::printf("]");
+  }
   std::printf("\n");
+  if (rep.preemptions > 0)
+    std::printf("  %d preemption(s): KV pages evicted to pending, resumed "
+                "via re-prefill\n",
+                rep.preemptions);
   if (rep.timed_out || rep.rejected || rep.failed || rep.retries ||
       rep.engine_restarts || rep.degrades || rep.mem_faults)
     std::printf(
@@ -138,6 +147,20 @@ int main(int argc, char** argv) {
   if (!engine.healthy()) engine.restart();  // a chaos run may break it
   print_report("iteration-level scheduling (max_batch=4):",
                serve_trace(engine, trace, opts));
+
+  // Continuous batching: arrivals join the running decode batch between
+  // steps instead of waiting for a prefill round, and a deliberately tight
+  // KV page ledger forces the capacity planner to preempt the newest
+  // sequence under memory pressure (it resumes bit-exactly via re-prefill).
+  OnlineEngineOptions cont = opts;
+  cont.scheduler.policy = SchedulerPolicy::kIterationLevel;
+  cont.scheduler.exec = DecodeExec::kContinuous;
+  cont.scheduler.max_batch = 4;
+  cont.scheduler.kv_page_size = 4;
+  cont.scheduler.kv_pages = 8;
+  if (!engine.healthy()) engine.restart();
+  print_report("continuous batching (max_batch=4, kv_pages=8):",
+               serve_trace(engine, trace, cont));
 
   // Live mode: the engine's admission thread owns the scheduler; the stale
   // timer bounds a lone request's wait at arrival + max_wait_s.

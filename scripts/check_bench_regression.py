@@ -24,6 +24,14 @@ Checks, per (cluster, scheme) row of the *baseline*:
 Rows present only in the current artifact are reported but do not fail the
 gate (new clusters/schemes land first, the baseline is regenerated after).
 
+--floor-ratio CLUSTER/NUM_SCHEME/DEN_SCHEME/MIN (repeatable) adds an
+absolute floor on the *current* artifact: throughput_tok_s of NUM_SCHEME
+must be >= MIN x throughput_tok_s of DEN_SCHEME within that cluster slot.
+This is how CI pins "continuous batching >= static batching at the highest
+arrival rate" — a ratio of deterministic simulator rows, gated directly
+rather than via drift from a baseline (a baseline refresh cannot quietly
+bless an ordering regression).
+
 --kind kernels switches to the "llmpq-kernels/v1" schema written by
 bench_ext_qgemm_kernels: the baseline holds a floor
 (`min_speedup_vs_scalar`) per (bits, format, dispatch) cell and the gate
@@ -119,6 +127,51 @@ def rel_diff(base, cur):
     return abs(cur - base) / denom
 
 
+def parse_floor_ratio(spec):
+    """CLUSTER/NUM_SCHEME/DEN_SCHEME/MIN -> (int, str, str, float)."""
+    parts = spec.split("/")
+    if len(parts) != 4:
+        sys.exit(f"error: --floor-ratio {spec!r}: expected "
+                 "CLUSTER/NUM_SCHEME/DEN_SCHEME/MIN")
+    try:
+        return int(parts[0]), parts[1], parts[2], float(parts[3])
+    except ValueError as e:
+        sys.exit(f"error: --floor-ratio {spec!r}: {e}")
+
+
+def check_floor_ratios(current, specs, failures):
+    """Appends to `failures`; returns the number of ratios checked."""
+    checked = 0
+    for cluster, num_scheme, den_scheme, floor in specs:
+        label = (f"cluster {cluster}: {num_scheme}/{den_scheme} "
+                 f">= {floor:.2f}")
+        num = current.get((cluster, num_scheme))
+        den = current.get((cluster, den_scheme))
+        if num is None or den is None:
+            failures.append(f"{label}: scheme missing from current artifact")
+            continue
+        if not num.get("ok") or not den.get("ok"):
+            failures.append(f"{label}: scheme not ok "
+                            f"({num.get('note')!r} / {den.get('note')!r})")
+            continue
+        num_v = num.get("throughput_tok_s")
+        den_v = den.get("throughput_tok_s")
+        if not isinstance(num_v, (int, float)) or not isinstance(
+                den_v, (int, float)) or den_v <= 0:
+            failures.append(f"{label}: throughput_tok_s not usable")
+            continue
+        ratio = num_v / den_v
+        if ratio < floor:
+            failures.append(
+                f"{label}: ratio {ratio:.3f} below floor "
+                f"({num_v:.6g} vs {den_v:.6g} tok/s)"
+            )
+        else:
+            print(f"floor-ratio ok: {label} (got {ratio:.2f})")
+        checked += 1
+    return checked
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
@@ -128,10 +181,16 @@ def main():
     ap.add_argument("--kind", choices=("bench", "kernels"), default="bench",
                     help="artifact schema: simulator bench rows (default) "
                          "or kernel speedup floors")
+    ap.add_argument("--floor-ratio", action="append", default=[],
+                    metavar="CLUSTER/NUM_SCHEME/DEN_SCHEME/MIN",
+                    help="require throughput(NUM) >= MIN*throughput(DEN) in "
+                         "the current artifact's cluster slot (repeatable)")
     args = ap.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         ap.error("--tolerance must be in [0, 1)")
     if args.kind == "kernels":
+        if args.floor_ratio:
+            ap.error("--floor-ratio applies to --kind bench only")
         return check_kernels(args.baseline, args.current)
 
     baseline = index_rows(load(args.baseline))
@@ -172,6 +231,9 @@ def main():
                     f"{args.tolerance * 100:.0f}%)"
                 )
         checked += 1
+
+    checked += check_floor_ratios(
+        current, [parse_floor_ratio(s) for s in args.floor_ratio], failures)
 
     extra = sorted(set(current) - set(baseline))
     if extra:

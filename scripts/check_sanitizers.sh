@@ -4,8 +4,10 @@
 # common (queues, thread pool), core (parallel assigner search incl. the
 # shared-incumbent ILP refinements and the CostProvider layer-time cache),
 # runtime (pipeline engine, threaded qgemm), serve (online engine admission
-# thread), fault (chaos suite: injected faults through the threaded engine
-# and serving loop) and trace (multi-threaded span recording) — under each.
+# thread), session (step-level decode over the paged KV cache), continuous
+# (in-flight batching with KV preemption), fault (chaos suite: injected
+# faults through the threaded engine and serving loop) and trace
+# (multi-threaded span recording) — under each.
 # Run from the repo root:
 #
 #   scripts/check_sanitizers.sh [extra ctest -R pattern]
@@ -15,7 +17,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-pattern="${1:-common|^core$|quant|runtime|serve|fault|trace}"
+pattern="${1:-common|^core$|quant|runtime|serve|session|continuous|fault|trace}"
 
 for mode in address thread; do
   build="build-${mode}san"
@@ -24,8 +26,8 @@ for mode in address thread; do
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j \
     --target llmpq_tests_common llmpq_tests_core llmpq_tests_quant \
-             llmpq_tests_runtime llmpq_tests_serve llmpq_tests_fault \
-             llmpq_tests_trace
+             llmpq_tests_runtime llmpq_tests_serve llmpq_tests_session \
+             llmpq_tests_continuous llmpq_tests_fault llmpq_tests_trace
   (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
   # Sweep the quant suite across every kernel dispatch level: the SIMD
   # dequant-GEMM paths (unaligned word reads over packed rows, per-group

@@ -591,6 +591,22 @@ TokenId PipelineEngine::session_back(int session) const {
   return impl_->session_at(session).tokens.back();
 }
 
+std::size_t PipelineEngine::preempt_session(int session) {
+  Impl& im = *impl_;
+  im.throw_if_broken();
+  Impl::Session& s = im.session_at(session);
+  if (s.committed == 0) return 0;  // nothing materialized, nothing to free
+  const std::size_t released = s.committed;
+  for (auto& stage : im.kv)
+    for (KvCacheManager& m : stage)
+      if (m.has_seq(session)) m.preempt(session);
+  // Back to the un-prefilled state: the tokens (prompt + sampled) stay, so
+  // the next prefill() replays the full history and — greedy sampling being
+  // deterministic — resumes the continuation bit-identically.
+  s.committed = 0;
+  return released;
+}
+
 std::size_t PipelineEngine::kv_footprint_bytes() const {
   std::size_t total = 0;
   for (const auto& stage : impl_->kv)

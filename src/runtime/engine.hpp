@@ -164,6 +164,16 @@ class PipelineEngine {
   std::vector<TokenId> decode_step(const std::vector<int>& sessions,
                                    const GenerateOptions& options = {});
 
+  /// Preempts a live session under memory pressure: releases its KV pages
+  /// in every stage/layer manager (snapshotting the committed length via
+  /// KvCacheManager::preempt) and resets the session to the un-prefilled
+  /// state while keeping its tokens. Resume is exactly prefill() — the
+  /// session re-runs its full history (prompt + sampled tokens) and, greedy
+  /// sampling being deterministic, continues bit-identically. Returns the
+  /// number of KV positions released (0 for a session with nothing
+  /// committed — preempting it is a no-op, not an error).
+  std::size_t preempt_session(int session);
+
   /// Bytes held by the paged KV pools across all stages and layers
   /// (monotonic; pages return to the pool, not the OS).
   std::size_t kv_footprint_bytes() const;

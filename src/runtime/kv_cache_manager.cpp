@@ -81,6 +81,7 @@ void KvCacheManager::reserve(int seq, std::size_t target_len) {
   Seq& s = seq_at(seq, "reserve");
   s.last_use = ++tick_;
   const std::size_t want = pages_for(target_len, options_.page_size);
+  if (want > 0) s.preempted_len = 0;  // snapshot consumed by re-prefill
   while (s.pages.size() < want) {
     if (!free_.empty()) {
       s.pages.push_back(free_.back());
@@ -133,6 +134,24 @@ const float* KvCacheManager::k_at(int seq, std::size_t pos) const {
 
 const float* KvCacheManager::v_at(int seq, std::size_t pos) const {
   return at(seq, pos, /*value=*/true, "v_at");
+}
+
+std::size_t KvCacheManager::preempt(int seq) {
+  Seq& s = seq_at(seq, "preempt");
+  check_arg(!s.pages.empty(),
+            "KvCacheManager::preempt: sequence holds no pages "
+            "(double-preempt or never filled)");
+  const std::size_t snapshot = s.filled;
+  for (std::size_t page : s.pages) free_.push_back(page);
+  s.pages.clear();
+  s.filled = 0;
+  s.preempted_len = snapshot;
+  ++preemptions_;
+  return snapshot;
+}
+
+std::size_t KvCacheManager::preempted_len(int seq) const {
+  return seq_at(seq, "preempted_len").preempted_len;
 }
 
 void KvCacheManager::truncate(int seq, std::size_t len) {

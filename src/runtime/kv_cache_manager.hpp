@@ -90,6 +90,23 @@ class KvCacheManager {
   /// already appended.
   void truncate(int seq, std::size_t len);
 
+  /// Voluntary eviction, the serving layer's preemption primitive: snapshots
+  /// the committed length (returned, and readable via preempted_len() until
+  /// the sequence regrows), returns every page to the free list, and resets
+  /// `filled` to zero so the owner can re-prefill exactly. Unlike reserve()'s
+  /// LRU eviction this ignores pins (the caller owns the decision) and does
+  /// not fire the preempt hook (the caller already knows). Preempting a
+  /// sequence that holds no pages — never filled, or already preempted —
+  /// throws InvalidArgumentError: double-preempt is a scheduler bug.
+  std::size_t preempt(int seq);
+
+  /// Length snapshotted by the last preempt() of `seq`; 0 once reserve()
+  /// grows the sequence again (the snapshot is consumed by re-prefill).
+  std::size_t preempted_len(int seq) const;
+
+  /// Sequences voluntarily preempted via preempt() since construction.
+  std::int64_t preemptions() const { return preemptions_; }
+
   /// Called with the victim's id whenever reserve() evicts a sequence; the
   /// owner must re-prefill that sequence before using it again (its filled
   /// count is reset to zero, its pages are gone).
@@ -128,6 +145,7 @@ class KvCacheManager {
   struct Seq {
     std::vector<std::size_t> pages;  ///< indices into pool_
     std::size_t filled = 0;
+    std::size_t preempted_len = 0;  ///< snapshot from the last preempt()
     int pinned = 0;
     std::uint64_t last_use = 0;
   };
@@ -150,6 +168,7 @@ class KvCacheManager {
   PreemptHook preempt_;
   std::uint64_t tick_ = 0;
   std::int64_t evictions_ = 0;
+  std::int64_t preemptions_ = 0;
 };
 
 }  // namespace llmpq

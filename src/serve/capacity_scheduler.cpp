@@ -1,0 +1,74 @@
+#include "serve/capacity_scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+CapacityScheduler::CapacityScheduler(const CapacityOptions& options)
+    : options_(options) {
+  check_arg(options_.max_batch >= 1,
+            "CapacityScheduler: max_batch must be >= 1");
+  check_arg(options_.token_budget >= 0,
+            "CapacityScheduler: token_budget must be >= 0");
+  check_arg(options_.kv_page_size >= 1,
+            "CapacityScheduler: kv_page_size must be >= 1");
+  check_arg(options_.kv_pages >= 0,
+            "CapacityScheduler: kv_pages must be >= 0");
+}
+
+std::int64_t CapacityScheduler::pages_for(int tokens) const {
+  const std::int64_t t = tokens;
+  const std::int64_t p = options_.kv_page_size;
+  return (t + p - 1) / p;
+}
+
+CapacityPlan CapacityScheduler::plan_round(
+    const std::vector<CapacitySeq>& running,
+    const std::vector<CapacitySeq>& waiting) const {
+  CapacityPlan plan;
+
+  // Page ledger after this round's decode appends: every surviving running
+  // sequence grows to context + 1 positions.
+  std::int64_t used = 0;
+  for (const CapacitySeq& r : running) used += pages_for(r.context + 1);
+
+  // 1. Preempt newest-first until the running set fits, keeping at least
+  // one sequence so the batch always makes progress.
+  std::size_t keep = running.size();
+  if (options_.kv_pages > 0) {
+    while (used > options_.kv_pages && keep > 1) {
+      --keep;
+      used -= pages_for(running[keep].context + 1);
+      plan.preempt.push_back(running[keep].id);
+    }
+  }
+
+  // 2. Admit the longest FIFO prefix of the waiting list that fits. Decode
+  // rows cost one token each against the per-iteration budget; a join
+  // costs its full context (its prefill runs inside this iteration).
+  std::int64_t tokens_left = 0;
+  if (options_.token_budget > 0) {
+    tokens_left = options_.token_budget - static_cast<std::int64_t>(keep);
+    if (tokens_left < 0) tokens_left = 0;
+  }
+  std::size_t batch = keep;
+  for (const CapacitySeq& w : waiting) {
+    if (batch >= static_cast<std::size_t>(options_.max_batch)) break;
+    if (options_.token_budget > 0 && w.context > tokens_left) break;
+    const std::int64_t need = pages_for(w.context + 1);
+    if (options_.kv_pages > 0 && used + need > options_.kv_pages) break;
+    plan.admit.push_back(w.id);
+    used += need;
+    if (options_.token_budget > 0) tokens_left -= w.context;
+    ++batch;
+  }
+
+  // 3. Progress guarantee: a request bigger than the budgets must still be
+  // served once the batch is otherwise idle, or it wedges the scheduler.
+  if (plan.admit.empty() && running.empty() && !waiting.empty())
+    plan.admit.push_back(waiting.front().id);
+
+  return plan;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace llmpq {
+
+/// Knobs for the per-iteration admission/preemption plan. Zeros disable a
+/// dimension: with token_budget == 0 and kv_pages == 0 the plan degenerates
+/// to "admit while the batch has room", which is exactly the iteration-level
+/// scheduler's behavior — continuous mode with no budgets differs from
+/// kSession only in that joins ride along with decode rounds.
+struct CapacityOptions {
+  /// Max concurrent sequences (running + joining this round).
+  int max_batch = 32;
+  /// Per-iteration token budget (ORCA-style): each running sequence costs 1
+  /// (its decode token), each join costs its full context (the prefill
+  /// tokens fed this round). 0 = unbounded.
+  int token_budget = 0;
+  /// Analytic KV ledger: tokens per page, mirroring the engine's
+  /// KvCacheManagerOptions::page_size.
+  int kv_page_size = 16;
+  /// Analytic KV ledger: page cap *per layer manager* (every sequence
+  /// occupies the same page count in every manager, so one ledger covers
+  /// them all). 0 = unbounded, preemption never triggers.
+  int kv_pages = 0;
+};
+
+/// One sequence as the capacity planner sees it: `context` is the KV
+/// positions the sequence needs after this round for a running sequence
+/// (it appends one token), or the tokens its join prefill feeds for a
+/// waiting one.
+struct CapacitySeq {
+  int id = 0;
+  int context = 0;
+};
+
+/// Output of one planning round: `admit` is a FIFO prefix of the waiting
+/// list to join this iteration; `preempt` lists running sequences to evict
+/// to pending (pages released, re-prefilled later), newest first.
+struct CapacityPlan {
+  std::vector<int> admit;
+  std::vector<int> preempt;
+};
+
+/// The capacityScheduler of a TensorRT-LLM-style batch manager, reduced to
+/// its decision core: between decode iterations, decide which waiting
+/// sequences join the running batch and which running sequences must be
+/// preempted under KV memory pressure. Pure arithmetic over an analytic
+/// page ledger — it never consults real memory — so the simulator and the
+/// runtime make bit-identical decisions from the same inputs (the parity
+/// property the sim-vs-runtime test pins).
+///
+/// Policy, in order:
+///   1. Preempt newest-first while the running set overflows `kv_pages`,
+///      always keeping at least one running sequence. Victims lose their
+///      pages but keep their tokens; resuming is a re-prefill of the full
+///      history, which greedy sampling makes bit-exact (engine contract).
+///   2. Admit the longest FIFO prefix of `waiting` that fits max_batch, the
+///      token budget (decode rows cost 1 token, a join costs its context),
+///      and the page ledger. Stopping at the first non-fit keeps admission
+///      fair (no starvation by short requests slipping past a long head).
+///   3. Progress guarantee: an idle batch always admits the head of the
+///      waiting list even if it violates the budgets — otherwise a request
+///      larger than the budget would wedge the scheduler forever.
+class CapacityScheduler {
+ public:
+  explicit CapacityScheduler(const CapacityOptions& options);
+
+  CapacityPlan plan_round(const std::vector<CapacitySeq>& running,
+                          const std::vector<CapacitySeq>& waiting) const;
+
+  /// Pages one sequence of `tokens` positions occupies in each layer
+  /// manager (ceil division, int64 so big contexts cannot overflow).
+  std::int64_t pages_for(int tokens) const;
+
+  const CapacityOptions& options() const { return options_; }
+
+ private:
+  CapacityOptions options_;
+};
+
+}  // namespace llmpq

@@ -62,6 +62,23 @@ DecisionInputs prepare_decision(
   DecisionInputs in;
   in.rows.reserve(d.request_ids.size());
   in.take.reserve(d.request_ids.size());
+  if (exec == DecodeExec::kContinuous) {
+    // Continuous rounds mix decoding rows with joining rows (fresh
+    // prompts and preempt-resumes). Every row's engine input is its full
+    // context so far — for a fresh join that is just its prompt — and
+    // every row yields at most one kept token this iteration.
+    for (int id : d.request_ids) {
+      const std::size_t sid = static_cast<std::size_t>(id);
+      std::vector<TokenId> seq = prompts[sid].first;
+      seq.insert(seq.end(), generated[sid].begin(), generated[sid].end());
+      in.rows.push_back(std::move(seq));
+      const int want =
+          prompts[sid].second - static_cast<int>(generated[sid].size());
+      in.take.push_back(
+          static_cast<std::size_t>(std::clamp(want, 0, 1)));
+    }
+    return in;
+  }
   if (d.phase == ServePhase::kPrefillPass) {
     in.gen_call = policy == SchedulerPolicy::kStaticBatching
                       ? std::max(1, d.padded_gen)
@@ -143,6 +160,17 @@ class SessionExecutor {
   std::vector<TokenId> run(const DispatchDecision& d,
                            const DecisionInputs& in,
                            const GenerateOptions& gopts) {
+    // Capacity-planner evictions first: release the victims' KV pages
+    // (their tokens stay on the session, so resumption is a re-prefill of
+    // the full history). Idempotent across retries — a session already
+    // preempted has nothing committed and preempt_session is a no-op; a
+    // victim whose release never executed (the fault landed first) simply
+    // decode-steps on resume, which is equally exact.
+    for (int rid : d.preempted) {
+      auto it = sessions_.find(rid);
+      if (it != sessions_.end() && engine_->has_session(it->second))
+        engine_->preempt_session(it->second);
+    }
     const std::size_t n = d.request_ids.size();
     std::vector<TokenId> out(n, 0);
     std::vector<int> prefill_sids, step_sids;
@@ -271,7 +299,7 @@ DecisionRun execute_decision(PipelineEngine& engine,
     run.out = run_static_session(engine, in, gopts);
   }
   run.timing.total_s = wall.elapsed_s();
-  if (phase == ServePhase::kPrefillPass)
+  if (phase == ServePhase::kPrefillPass || d.num_join > 0)
     run.timing.prefill_s =
         std::max(0.0, engine.stats().prefill.seconds - prefill_before);
   return run;
@@ -364,6 +392,7 @@ OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
     queue_delays.push_back(r.queue_delay_s);
     prefills.push_back(r.prefill_s);
   }
+  rep.preemptions = scheduler.preemptions();
   const OutcomeCounts oc = scheduler.outcomes();
   rep.timed_out = oc.timed_out;
   rep.rejected = oc.rejected;
@@ -465,7 +494,8 @@ void OnlineEngine::serve_loop() {
   FailureGovernor gov{options_, engine_};
   const bool session_iter =
       options_.scheduler.policy == SchedulerPolicy::kIterationLevel &&
-      options_.scheduler.exec == DecodeExec::kSession;
+      (options_.scheduler.exec == DecodeExec::kSession ||
+       options_.scheduler.exec == DecodeExec::kContinuous);
   SessionExecutor sessions;
   sessions.bind(engine_);
   std::unique_lock<std::mutex> lk(mu_);
@@ -545,7 +575,8 @@ void OnlineEngine::serve_loop() {
     commit_decision(d, inputs, run.out, generated_);
     const double finish = clock_.elapsed_s();
     const double prefill_end =
-        d.phase == ServePhase::kPrefillPass && run.timing.prefill_s >= 0.0
+        (d.phase == ServePhase::kPrefillPass || d.num_join > 0) &&
+                run.timing.prefill_s >= 0.0
             ? start + run.timing.prefill_s
             : -1.0;
     scheduler_.complete(d, finish, prefill_end);
@@ -589,7 +620,8 @@ OnlineReport serve_trace(PipelineEngine& engine,
   FailureGovernor gov{options, &engine};
   const bool session_iter =
       options.scheduler.policy == SchedulerPolicy::kIterationLevel &&
-      options.scheduler.exec == DecodeExec::kSession;
+      (options.scheduler.exec == DecodeExec::kSession ||
+       options.scheduler.exec == DecodeExec::kContinuous);
   SessionExecutor sessions;
   sessions.bind(&engine);
   double t = 0.0;
@@ -637,7 +669,8 @@ OnlineReport serve_trace(PipelineEngine& engine,
     commit_decision(d, inputs, run.out, generated);
     const double finish = t + run.timing.total_s;
     const double prefill_end =
-        d.phase == ServePhase::kPrefillPass && run.timing.prefill_s >= 0.0
+        (d.phase == ServePhase::kPrefillPass || d.num_join > 0) &&
+                run.timing.prefill_s >= 0.0
             ? t + run.timing.prefill_s
             : -1.0;
     scheduler.complete(d, finish, prefill_end);

@@ -109,6 +109,7 @@ struct OnlineReport {
   int engine_restarts = 0;  ///< PipelineEngine::restart() invocations
   int degrades = 0;         ///< degradation-ladder steps taken
   int mem_faults = 0;       ///< std::bad_alloc dispatches observed
+  int preemptions = 0;      ///< capacity-planner evictions (kContinuous)
 };
 
 class OnlineEngine {

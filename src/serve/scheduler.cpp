@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "serve/capacity_scheduler.hpp"
 
 namespace llmpq {
 
@@ -50,6 +51,12 @@ ServeScheduler::ServeScheduler(const SchedulerOptions& options)
   check_arg(options_.retry_backoff_s >= 0.0 &&
                 options_.retry_backoff_max_s >= 0.0,
             "ServeScheduler: retry backoff must be non-negative");
+  check_arg(options_.exec != DecodeExec::kContinuous ||
+                options_.policy == SchedulerPolicy::kIterationLevel,
+            "ServeScheduler: kContinuous requires kIterationLevel");
+  check_arg(options_.token_budget >= 0 && options_.kv_pages >= 0 &&
+                options_.kv_page_size >= 1,
+            "ServeScheduler: bad continuous-batching budgets");
 }
 
 void ServeScheduler::enqueue(QueuedReq entry) {
@@ -168,21 +175,25 @@ void ServeScheduler::process_arrivals(double now) {
 
 void ServeScheduler::expire_active(double now) {
   if (options_.deadline_s == kInf) return;
-  for (auto it = active_.begin(); it != active_.end();) {
-    auto sit = open_.find(it->id);
-    check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
-    if (sit->second.arrival_s + options_.deadline_s <= now) {
-      RequestStats rs = sit->second;
-      rs.finish_s = now;
-      rs.outcome = RequestOutcome::kTimedOut;
-      rs.retries = it->retries;
-      finished_.push_back(rs);
-      open_.erase(sit);
-      it = active_.erase(it);
-    } else {
-      ++it;
+  const auto expire = [&](auto& set) {
+    for (auto it = set.begin(); it != set.end();) {
+      auto sit = open_.find(it->id);
+      check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
+      if (sit->second.arrival_s + options_.deadline_s <= now) {
+        RequestStats rs = sit->second;
+        rs.finish_s = now;
+        rs.outcome = RequestOutcome::kTimedOut;
+        rs.retries = it->retries;
+        finished_.push_back(rs);
+        open_.erase(sit);
+        it = set.erase(it);
+      } else {
+        ++it;
+      }
     }
-  }
+  };
+  expire(active_);
+  expire(resume_);  // preempted sequences' deadlines keep running
 }
 
 void ServeScheduler::fold_expiry_wakeups(SchedulerAction& a) const {
@@ -193,6 +204,12 @@ void ServeScheduler::fold_expiry_wakeups(SchedulerAction& a) const {
     a.wait_until =
         std::min(a.wait_until, e.req.arrival_s + options_.deadline_s);
   for (const ActiveReq& r : active_) {
+    const auto it = open_.find(r.id);
+    if (it != open_.end())
+      a.wait_until = std::min(
+          a.wait_until, it->second.arrival_s + options_.deadline_s);
+  }
+  for (const ActiveReq& r : resume_) {
     const auto it = open_.find(r.id);
     if (it != open_.end())
       a.wait_until = std::min(
@@ -277,7 +294,7 @@ SchedulerAction ServeScheduler::next(double now) {
   // every dispatch until the backoff window elapses so a persistent fault
   // does not spin the retry loop.
   if (resume_not_before_ > now &&
-      (arrived_count(now) > 0 || !active_.empty())) {
+      (arrived_count(now) > 0 || !active_.empty() || !resume_.empty())) {
     SchedulerAction a;
     a.kind = SchedulerAction::Kind::kWait;
     a.wait_until = resume_not_before_;
@@ -286,6 +303,8 @@ SchedulerAction ServeScheduler::next(double now) {
   }
   SchedulerAction a = options_.policy == SchedulerPolicy::kStaticBatching
                           ? next_static(now)
+                      : options_.exec == DecodeExec::kContinuous
+                          ? next_continuous(now)
                           : next_iteration(now);
   fold_expiry_wakeups(a);
   return a;
@@ -366,6 +385,122 @@ SchedulerAction ServeScheduler::next_iteration(double now) {
   return a;
 }
 
+SchedulerAction ServeScheduler::next_continuous(double now) {
+  SchedulerAction a;
+  CapacityOptions copt;
+  copt.max_batch = options_.max_batch;
+  copt.token_budget = options_.token_budget;
+  copt.kv_page_size = options_.kv_page_size;
+  copt.kv_pages = options_.kv_pages;
+  const CapacityScheduler cap(copt);
+
+  std::vector<CapacitySeq> running;
+  running.reserve(active_.size());
+  for (const ActiveReq& r : active_)
+    running.push_back(CapacitySeq{r.id, r.context});
+
+  // Waiting list: preempted sequences resume first (they hold generated
+  // tokens the system already paid for), then arrived fresh requests in
+  // queue order. A preempted sequence's "context" is its full history —
+  // the tokens its resume prefill must feed.
+  std::vector<CapacitySeq> waiting;
+  waiting.reserve(resume_.size());
+  for (const ActiveReq& r : resume_)
+    waiting.push_back(CapacitySeq{r.id, r.context});
+  const int arrived = arrived_count(now);
+  for (int i = 0; i < arrived; ++i) {
+    const QueuedReq& q = queue_[static_cast<std::size_t>(i)];
+    waiting.push_back(CapacitySeq{q.req.id, q.req.prompt_len});
+  }
+
+  const CapacityPlan plan = cap.plan_round(running, waiting);
+
+  if (plan.admit.empty() && active_.empty()) {
+    // Nothing runnable now (the planner force-admits the waiting head when
+    // the batch is idle, so resume_ must be empty here): wait for the
+    // arrival stream, or finish.
+    if (!queue_.empty()) {
+      a.kind = SchedulerAction::Kind::kWait;
+      a.wait_until = queue_.front().eligible_s;
+    } else if (!closed_) {
+      a.kind = SchedulerAction::Kind::kWait;
+      a.wait_until = kInf;
+    } else {
+      a.kind = SchedulerAction::Kind::kDone;
+    }
+    return a;
+  }
+
+  DispatchDecision d;
+  d.seq = next_seq_++;
+
+  // Evict-to-pending: the planner preempts newest-first, i.e. from the
+  // active_ tail. Victims park on resume_ in their original admission
+  // order (behind earlier preemptions) so resumption is FIFO-fair.
+  if (!plan.preempt.empty()) {
+    std::vector<ActiveReq> victims;
+    victims.reserve(plan.preempt.size());
+    for (int id : plan.preempt) {
+      check_arg(!active_.empty() && active_.back().id == id,
+                "ServeScheduler: preemption must pop the newest sequences");
+      victims.push_back(active_.back());
+      active_.pop_back();
+    }
+    for (auto it = victims.rbegin(); it != victims.rend(); ++it)
+      resume_.push_back(*it);
+    preemptions_ += static_cast<int>(plan.preempt.size());
+    d.preempted = plan.preempt;
+  }
+
+  // Continuing rows first, in admission order; joining rows trail.
+  d.phase = active_.empty() ? ServePhase::kPrefillPass
+                            : ServePhase::kDecodePass;
+  for (const ActiveReq& r : active_) {
+    d.request_ids.push_back(r.id);
+    d.contexts.push_back(r.context);
+    d.max_context = std::max(d.max_context, r.context);
+  }
+  joining_.clear();
+  for (int id : plan.admit) {
+    ActiveReq jr;
+    if (!resume_.empty() && resume_.front().id == id) {
+      jr = resume_.front();
+      resume_.pop_front();
+    } else {
+      check_arg(!queue_.empty() && queue_.front().req.id == id,
+                "ServeScheduler: admission must pop the waiting head");
+      const QueuedReq q = queue_.front();
+      queue_.pop_front();
+      const ServeRequest& r = q.req;
+      RequestStats rs;
+      rs.id = r.id;
+      rs.arrival_s = r.arrival_s;
+      rs.admit_s = now;
+      rs.queue_delay_s = std::max(0.0, now - r.arrival_s);
+      rs.prompt_len = r.prompt_len;
+      rs.gen_tokens = r.gen_tokens;
+      rs.retries = q.attempts;
+      open_.emplace(r.id, rs);
+      jr.id = r.id;
+      jr.context = r.prompt_len;
+      jr.remaining = r.gen_tokens;
+      jr.retries = q.attempts;
+    }
+    d.request_ids.push_back(jr.id);
+    d.contexts.push_back(jr.context);
+    d.padded_prompt = std::max(d.padded_prompt, jr.context);
+    joining_.push_back(jr);
+    ++d.num_join;
+  }
+
+  in_flight_ = true;
+  dispatch_now_ = now;
+  decision_log_.push_back(d);
+  a.kind = SchedulerAction::Kind::kDispatch;
+  a.decision = std::move(d);
+  return a;
+}
+
 void ServeScheduler::complete(const DispatchDecision& decision,
                               double finish_s, double prefill_end_s) {
   check_arg(in_flight_, "ServeScheduler: complete() with nothing in flight");
@@ -383,6 +518,11 @@ void ServeScheduler::complete(const DispatchDecision& decision,
         dispatch_now_ + trace_offset_s_,
         std::max(0.0, finish_s - dispatch_now_), trace_pid_, /*tid=*/0,
         "batch", static_cast<double>(decision.request_ids.size()));
+
+  if (options_.exec == DecodeExec::kContinuous) {
+    complete_continuous(decision, finish_s, prefill_end_s);
+    return;
+  }
 
   if (decision.phase == ServePhase::kPrefillPass) {
     for (int id : decision.request_ids) {
@@ -441,6 +581,104 @@ void ServeScheduler::complete(const DispatchDecision& decision,
   }
 }
 
+void ServeScheduler::complete_continuous(const DispatchDecision& decision,
+                                         double finish_s,
+                                         double prefill_end_s) {
+  const std::size_t cont =
+      decision.request_ids.size() - static_cast<std::size_t>(decision.num_join);
+  check_arg(cont == active_.size(),
+            "ServeScheduler: continuous completion does not match the "
+            "continuing set");
+  // Continuing rows: one decoded token each, retire the finished.
+  for (auto it = active_.begin(); it != active_.end();) {
+    ++it->context;
+    if (--it->remaining <= 0) {
+      auto sit = open_.find(it->id);
+      check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
+      sit->second.finish_s = finish_s;
+      sit->second.retries = it->retries;
+      trace_request_lifecycle(sit->second);
+      finished_.push_back(sit->second);
+      open_.erase(sit);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Joining rows: the ride-along prefill emitted each row's next token —
+  // token 1 for a fresh request, the next continuation token for a
+  // preempt-resume (the full-history re-prefill samples exactly what the
+  // preempted decode step would have, greedy sampling being deterministic).
+  for (ActiveReq& r : joining_) {
+    auto sit = open_.find(r.id);
+    check_arg(sit != open_.end(), "ServeScheduler: unknown joining id");
+    RequestStats& rs = sit->second;
+    if (r.context == rs.prompt_len) {
+      // Fresh join: this round was its prefill (resumed rows re-prefill
+      // too, but their prefill stat was recorded at first admission).
+      rs.prefill_s = prefill_end_s >= 0.0
+                         ? std::max(0.0, prefill_end_s - rs.admit_s)
+                         : std::max(0.0, finish_s - rs.admit_s);
+    }
+    ++r.context;
+    if (--r.remaining <= 0) {
+      rs.finish_s = finish_s;
+      rs.retries = r.retries;
+      trace_request_lifecycle(rs);
+      finished_.push_back(rs);
+      open_.erase(sit);
+    } else {
+      active_.push_back(r);
+    }
+  }
+  joining_.clear();
+}
+
+void ServeScheduler::fail_continuous(double now, int& max_attempt) {
+  // Continuing rows: decode-fail semantics — the round is idempotent at
+  // the scheduler level, so the set stays resident and is retried; rows
+  // that exhaust the cap leave as kFailed.
+  for (auto it = active_.begin(); it != active_.end();) {
+    ++it->retries;
+    if (it->retries > options_.max_retries) {
+      auto sit = open_.find(it->id);
+      check_arg(sit != open_.end(), "ServeScheduler: unknown active id");
+      RequestStats rs = sit->second;
+      rs.finish_s = now;
+      rs.outcome = RequestOutcome::kFailed;
+      rs.retries = it->retries - 1;
+      finished_.push_back(rs);
+      open_.erase(sit);
+      it = active_.erase(it);
+    } else {
+      max_attempt = std::max(max_attempt, it->retries);
+      ++it;
+    }
+  }
+  // Joining rows committed nothing: back to the resume queue's *front*
+  // (reverse iteration preserves their relative order) so the retry keeps
+  // FIFO fairness. Preempted rows already sit on resume_ from decision
+  // time and simply stay there.
+  for (auto it = joining_.rbegin(); it != joining_.rend(); ++it) {
+    ActiveReq r = *it;
+    ++r.retries;
+    if (r.retries > options_.max_retries) {
+      auto sit = open_.find(r.id);
+      check_arg(sit != open_.end(), "ServeScheduler: unknown joining id");
+      RequestStats rs = sit->second;
+      rs.finish_s = now;
+      rs.outcome = RequestOutcome::kFailed;
+      rs.retries = r.retries - 1;
+      finished_.push_back(rs);
+      open_.erase(sit);
+      continue;
+    }
+    max_attempt = std::max(max_attempt, r.retries);
+    resume_.push_front(r);
+  }
+  joining_.clear();
+}
+
 void ServeScheduler::fail(const DispatchDecision& decision, double now) {
   check_arg(in_flight_, "ServeScheduler: fail() with nothing in flight");
   check_arg(!decision_log_.empty() &&
@@ -450,7 +688,9 @@ void ServeScheduler::fail(const DispatchDecision& decision, double now) {
   in_flight_ = false;
   int max_attempt = 1;  // backoff window scales with the deepest retry
 
-  if (decision.phase == ServePhase::kPrefillPass) {
+  if (options_.exec == DecodeExec::kContinuous) {
+    fail_continuous(now, max_attempt);
+  } else if (decision.phase == ServePhase::kPrefillPass) {
     // The pass produced nothing: pull its requests back out of open_ and
     // either re-enqueue them behind a backoff window or, past the retry
     // cap, finish them as kFailed. Retries keep their original arrival

@@ -51,10 +51,14 @@ enum class SchedulerPolicy {
 };
 
 /// How a back-end executes the decode rounds the scheduler dispatches.
-/// This is an *execution* strategy, not a scheduling policy: it changes
+/// For kSession/kReplay this is purely an *execution* strategy: it changes
 /// what a dispatch costs (and, for kReplay, mixed-length fidelity), never
-/// which requests are batched — the decision log is identical either way,
-/// which is what lets the parity test pin sim against runtime across both.
+/// which requests are batched — their decision logs are identical.
+/// kContinuous is different in kind: it routes decisions through the
+/// capacity planner (joins ride along with decode rounds, memory pressure
+/// preempts), so its log differs from the other two — but it is still
+/// deterministic and back-end independent, which is what lets the parity
+/// test pin sim against runtime for all three.
 enum class DecodeExec {
   /// Step-level engine sessions: KV persists across decisions and each
   /// decode round feeds exactly one new token per request (ragged, no
@@ -65,6 +69,13 @@ enum class DecodeExec {
   /// per round, with pad positions attended to. Kept as the regression
   /// baseline the session path is benchmarked against.
   kReplay,
+  /// Continuous (in-flight) batching over engine sessions: between decode
+  /// steps the capacity planner admits waiting requests into the running
+  /// batch (their prefill joins the same iteration), retires finished
+  /// sequences immediately, and preempts the newest sequences to pending
+  /// when the analytic KV page ledger overflows. Requires
+  /// SchedulerPolicy::kIterationLevel.
+  kContinuous,
 };
 
 struct SchedulerOptions {
@@ -76,9 +87,27 @@ struct SchedulerOptions {
   int batch_size = 16;
   double max_wait_s = 5.0;
   /// Decode execution strategy for the back-end (see DecodeExec). Lives in
-  /// the shared options so sim and runtime stay configured identically;
-  /// the scheduler itself ignores it — decisions do not depend on it.
+  /// the shared options so sim and runtime stay configured identically.
+  /// For kSession/kReplay the scheduler ignores it — decisions do not
+  /// depend on it; kContinuous switches the decision path to the capacity
+  /// planner (identical in sim and runtime, so parity still holds).
   DecodeExec exec = DecodeExec::kSession;
+
+  // ---- Continuous-batching budgets (kContinuous only; ignored by the
+  // other modes). Zeros disable a dimension — see CapacityOptions.
+
+  /// Per-iteration token budget: each decode row costs 1, a joining
+  /// request costs its full context. 0 = unbounded.
+  int token_budget = 0;
+  /// Analytic KV ledger granularity — tokens per page, mirroring the
+  /// engine's KvCacheManagerOptions::page_size.
+  int kv_page_size = 16;
+  /// Analytic KV ledger cap in pages per layer manager; overflow preempts
+  /// the newest running sequences to pending. 0 = unbounded (never
+  /// preempts). The ledger is the enforcer — the engine's real pools stay
+  /// unbounded, so sim and runtime decide identically without consulting
+  /// memory.
+  int kv_pages = 0;
 
   // ---- Fault-tolerance policy (all defaults leave behavior unchanged:
   // with no deadline, no admission bound and no fail() calls the decision
@@ -134,6 +163,17 @@ struct DispatchDecision {
   int padded_prompt = 0;          ///< prefill: batch max prompt length
   int padded_gen = 0;             ///< static prefill: batch max generation
   int max_context = 0;            ///< decode: longest context this round
+  /// Continuous batching only: the last `num_join` rows of request_ids are
+  /// joining this iteration — their context is prefilled (fresh prompt or
+  /// preempt-resume re-prefill) while the leading rows decode one token.
+  /// A round with only joins is phase kPrefillPass; a mixed round is
+  /// kDecodePass with num_join > 0.
+  int num_join = 0;
+  /// Continuous batching only: running sequences evicted to pending by
+  /// this decision, newest first. The back-end must release their KV
+  /// (PipelineEngine::preempt_session) before executing the round; they
+  /// re-enter later as joining rows. Part of the parity key.
+  std::vector<int> preempted;
 };
 
 /// What the back-end should do next, at the clock value it passed in.
@@ -220,7 +260,12 @@ class ServeScheduler {
 
   int pending() const { return static_cast<int>(queue_.size()); }
   int active() const { return static_cast<int>(active_.size()); }
-  bool idle() const { return queue_.empty() && active_.empty() && !in_flight_; }
+  bool idle() const {
+    return queue_.empty() && active_.empty() && resume_.empty() &&
+           !in_flight_;
+  }
+  /// Sequences evicted to pending by the capacity planner (kContinuous).
+  int preemptions() const { return preemptions_; }
 
   /// Requests that finished, in completion order.
   const std::vector<RequestStats>& finished() const { return finished_; }
@@ -260,6 +305,13 @@ class ServeScheduler {
 
   SchedulerAction next_static(double now);
   SchedulerAction next_iteration(double now);
+  /// Continuous batching: one capacity-planner round — preempt under page
+  /// pressure, then dispatch the continuing set plus the admitted joins as
+  /// a single decision.
+  SchedulerAction next_continuous(double now);
+  void complete_continuous(const DispatchDecision& decision, double finish_s,
+                           double prefill_end_s);
+  void fail_continuous(double now, int& max_attempt);
   DispatchDecision make_prefill_decision(double now, int take);
   int arrived_count(double now) const;
   void trace_request_lifecycle(const RequestStats& rs) const;
@@ -280,6 +332,13 @@ class ServeScheduler {
   std::unordered_set<int> ids_;     ///< every id ever submitted (O(1) dups)
   std::deque<QueuedReq> queue_;     ///< sorted by (eligible_s, id)
   std::vector<ActiveReq> active_;   ///< iteration-level in-generation set
+  /// Continuous mode: preempted sequences waiting to resume (FIFO; they
+  /// outrank fresh arrivals for admission since they already hold
+  /// generated tokens) plus failed joins awaiting retry.
+  std::deque<ActiveReq> resume_;
+  /// Continuous mode: the joining rows of the in-flight decision, so
+  /// complete()/fail() know each join's shape (context fed, remaining).
+  std::vector<ActiveReq> joining_;
   std::unordered_map<int, RequestStats> open_;  ///< admitted, not finished
   std::vector<RequestStats> finished_;
   std::vector<DispatchDecision> decision_log_;
@@ -288,6 +347,7 @@ class ServeScheduler {
   double dispatch_now_ = 0.0;  ///< clock value of the in-flight dispatch
   double resume_not_before_ = 0.0;  ///< backoff window after a fail()
   int next_seq_ = 0;
+  int preemptions_ = 0;  ///< capacity-planner evictions (kContinuous)
 
   bool trace_ = false;
   std::uint32_t trace_pid_ = trace_pids::kServe;

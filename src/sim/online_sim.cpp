@@ -172,6 +172,16 @@ OnlineSimResult simulate_online(const ModelSpec& model,
       finish = t + straggle +
                pass_time(model, cluster, plan, Phase::kPrefill, batch,
                          d.max_context);
+    } else if (options.exec == DecodeExec::kContinuous && d.num_join > 0) {
+      // Mixed continuous round: the joining rows' ride-along prefill runs
+      // first (mirroring the SessionExecutor's prefill-then-decode call
+      // order), then the continuing rows decode one token each.
+      prefill_end = t + straggle +
+                    pass_time(model, cluster, plan, Phase::kPrefill,
+                              d.num_join, d.padded_prompt);
+      finish = prefill_end +
+               pass_time(model, cluster, plan, Phase::kDecode,
+                         batch - d.num_join, d.max_context);
     } else {
       finish = t + straggle +
                pass_time(model, cluster, plan, Phase::kDecode, batch,
@@ -210,6 +220,7 @@ OnlineSimResult simulate_online(const ModelSpec& model,
     result.mean_queue_delay_s = mean(queue_delays);
     result.mean_prefill_s = mean(prefills);
   }
+  result.preemptions = scheduler.preemptions();
   result.requests = scheduler.finished();
   result.decisions = scheduler.decision_log();
   return result;

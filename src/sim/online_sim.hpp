@@ -67,6 +67,7 @@ struct OnlineSimResult {
   int failed = 0;        ///< exhausted max_retries
   int retries = 0;       ///< total dispatch retries consumed
   int fault_events = 0;  ///< "sim.dispatch" rule firings (delays included)
+  int preemptions = 0;   ///< capacity-planner evictions (kContinuous)
 };
 
 /// Replays `requests` against the plan's pipeline on the simulated

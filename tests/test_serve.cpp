@@ -360,6 +360,8 @@ void expect_same_decisions(const std::vector<DispatchDecision>& sim,
     EXPECT_EQ(sim[i].padded_prompt, rt[i].padded_prompt);
     EXPECT_EQ(sim[i].padded_gen, rt[i].padded_gen);
     EXPECT_EQ(sim[i].max_context, rt[i].max_context);
+    EXPECT_EQ(sim[i].num_join, rt[i].num_join);
+    EXPECT_EQ(sim[i].preempted, rt[i].preempted);
   }
 }
 
