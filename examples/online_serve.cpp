@@ -15,6 +15,15 @@
 // serving stack retry, restart and degrade its way through it; the report
 // then includes the outcome/recovery counters. --deadline-s, --capacity
 // and --max-retries expose the matching scheduler fault policy.
+//
+// Pass --metrics-out PATH (and optionally --metrics-interval-s N, default
+// 1.0) to have each serving loop periodically overwrite PATH with an
+// llmpq-metrics/v1 JSON snapshot of its health monitor and engine stats.
+//
+// The final section demos the self-healing control loop: a sustained
+// straggler is injected into stage 1's workers, the health monitor trips,
+// and the Replanner + MigrationController migrate layers off the slow
+// stage live — mid-trace, bit-exactly.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -23,8 +32,12 @@
 #include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
+#include "cost/cost_provider.hpp"
+#include "hw/cluster.hpp"
 #include "runtime/weights.hpp"
+#include "serve/migration.hpp"
 #include "serve/online_engine.hpp"
+#include "serve/replanner.hpp"
 
 namespace {
 
@@ -67,6 +80,15 @@ void print_report(const char* title, const llmpq::OnlineReport& rep) {
         "%d engine restarts, %d degrades, %d mem faults\n",
         rep.timed_out, rep.rejected, rep.failed, rep.retries,
         rep.engine_restarts, rep.degrades, rep.mem_faults);
+  for (const llmpq::ReplanEvent& ev : rep.replans)
+    std::printf("  replan @seq %d: %s on stage %d -> %s%s\n", ev.at_seq,
+                llmpq::health_status_name(ev.status), ev.bottleneck_stage,
+                ev.delta.describe().c_str(),
+                ev.applied ? "" : " (not applied)");
+  if (rep.migrations > 0)
+    std::printf("  %d live migration(s): sessions re-prefilled on the new "
+                "engine, outputs bit-exact\n",
+                rep.migrations);
   std::printf("\n");
 }
 
@@ -135,6 +157,11 @@ int main(int argc, char** argv) {
   opts.scheduler.max_retries =
       static_cast<int>(args.get_long("max-retries", opts.scheduler.max_retries));
   if (args.has("faults")) opts.dispatch_deadline_s = 2.0;  // bound hangs
+  // Observability: every serving loop below periodically overwrites this
+  // path with an llmpq-metrics/v1 snapshot (the last section wins).
+  if (const auto metrics = args.get("metrics-out")) opts.metrics_out = *metrics;
+  opts.metrics_interval_s =
+      args.get_double("metrics-interval-s", opts.metrics_interval_s);
 
   opts.scheduler.policy = SchedulerPolicy::kStaticBatching;
   opts.scheduler.batch_size = 4;
@@ -173,6 +200,59 @@ int main(int argc, char** argv) {
     server.submit(random_prompt(rng, 8 + i, spec.vocab), 3);
   server.close();
   print_report("live submissions (iteration-level):", server.wait());
+
+  // Self-healing control loop: arm a sustained straggler on stage 1's
+  // workers (delay per micro-batch per layer, so the drag scales with the
+  // layers the stage owns), then serve with the health monitor and the
+  // re-planner wired in. Watch the replan events migrate layers off the
+  // slow stage — the drag shrinks with each move, and outputs stay
+  // bit-exact because boundary moves share the same weights.
+  {
+    FaultPlan slow_plan;
+    FaultRule slow;
+    slow.site = "stage.1.layer";
+    slow.kind = FaultKind::kSlow;
+    slow.delay_ms = 10.0;
+    slow.after = 40;  // keep the health baseline window clean
+    slow_plan.rules.push_back(slow);
+    FaultInjector::instance().arm(slow_plan);
+
+    const ClusterSpec cluster = make_cluster("demo", {{"T4-16G", 2}});
+    const CostProvider cost(spec, cluster, CostMode::kProfiled);
+    ExecutionPlan plan;
+    plan.model_name = spec.name;
+    plan.cluster_name = cluster.name;
+    plan.workload.global_batch = 4;
+    plan.workload.prompt_len = 32;
+    plan.workload.gen_tokens = 16;
+    plan.device_order = {0, 1};
+    plan.boundaries = {0, 3, 6};
+    plan.layer_bits = bits;
+    plan.prefill_micro_batch = 2;
+    plan.decode_micro_batch = 2;
+
+    const Replanner replanner(cost, nullptr, /*theta=*/0.0);
+    MigrationController controller(weights, plan, 2024);
+    OnlineEngineOptions heal = opts;
+    heal.scheduler.policy = SchedulerPolicy::kIterationLevel;
+    heal.scheduler.max_batch = 4;
+    heal.health.cooldown = 3;  // re-trip quickly so several repairs land
+    heal.replan = controller.hook(replanner);
+    std::vector<OnlineTraceRequest> long_trace;
+    for (int i = 0; i < 4; ++i) {
+      OnlineTraceRequest t;
+      t.prompt = random_prompt(rng, 8, spec.vocab);
+      t.gen_tokens = 16;
+      long_trace.push_back(std::move(t));
+    }
+    if (!engine.healthy()) engine.restart();
+    print_report("self-healing (kSlow straggler on stage 1 + re-planner):",
+                 serve_trace(engine, long_trace, heal));
+    std::printf("  final plan boundaries after migration:");
+    for (int b : controller.plan().boundaries) std::printf(" %d", b);
+    std::printf("\n\n");
+    FaultInjector::instance().disarm();
+  }
 
   if (trace_path) {
     TraceSession::instance().stop();

@@ -6,7 +6,8 @@
 # runtime (pipeline engine, threaded qgemm), serve (online engine admission
 # thread), session (step-level decode over the paged KV cache), continuous
 # (in-flight batching with KV preemption), fault (chaos suite: injected
-# faults through the threaded engine and serving loop) and trace
+# faults through the threaded engine and serving loop), replan (live
+# migration: engine swaps under injected stragglers) and trace
 # (multi-threaded span recording) — under each.
 # Run from the repo root:
 #
@@ -17,7 +18,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-pattern="${1:-common|^core$|quant|runtime|serve|session|continuous|fault|trace}"
+pattern="${1:-common|^core$|quant|runtime|serve|session|continuous|fault|replan|trace}"
 
 for mode in address thread; do
   build="build-${mode}san"
@@ -27,7 +28,8 @@ for mode in address thread; do
   cmake --build "${build}" -j \
     --target llmpq_tests_common llmpq_tests_core llmpq_tests_quant \
              llmpq_tests_runtime llmpq_tests_serve llmpq_tests_session \
-             llmpq_tests_continuous llmpq_tests_fault llmpq_tests_trace
+             llmpq_tests_continuous llmpq_tests_fault llmpq_tests_replan \
+             llmpq_tests_trace
   (cd "${build}" && ctest -R "${pattern}" --output-on-failure)
   # Sweep the quant suite across every kernel dispatch level: the SIMD
   # dequant-GEMM paths (unaligned word reads over packed rows, per-group

@@ -98,13 +98,17 @@ stage_bench() {
   python3 scripts/check_bench_regression.py \
     --baseline bench/baselines/table8_optimizer_speed.json \
     --current "${BUILD_DIR}/BENCH_table8_optimizer_speed.json"
-  # The floor ratio pins the continuous-batching ordering claim directly:
-  # at the highest arrival rate (cluster slot 3) continuous throughput
-  # must be >= static batching, independent of baseline drift tolerance.
+  # The floor ratios pin the ordering claims directly, independent of
+  # baseline drift tolerance: at the highest arrival rate (cluster slot 3)
+  # continuous throughput must be >= static batching, and under the
+  # injected straggler (slot 4) the self-healing control loop must serve
+  # at least as fast as tolerating the drag — a baseline refresh cannot
+  # quietly bless a replanner that makes a degraded run worse.
   python3 scripts/check_bench_regression.py \
     --baseline bench/baselines/ext_online_serving.json \
     --current "${BUILD_DIR}/BENCH_ext_online_serving.json" \
-    --floor-ratio 3/continuous/static/1.0
+    --floor-ratio 3/continuous/static/1.0 \
+    --floor-ratio 4/straggler-replan/straggler-tolerate/1.0
   # Dequant-GEMM kernel dispatch: wall-clock, but gated on the
   # speedup-vs-scalar *ratio* (same box runs both kernels back to back),
   # against committed floors far below the measured values. This is what

@@ -33,8 +33,10 @@ FaultKind fault_kind_from_name(const std::string& name) {
   if (name == "delay") return FaultKind::kDelay;
   if (name == "alloc_fail") return FaultKind::kAllocFail;
   if (name == "drop") return FaultKind::kDrop;
-  throw InvalidArgumentError("FaultPlan: unknown fault kind '" + name +
-                             "' (known: throw, delay, alloc_fail, drop)");
+  if (name == "slow") return FaultKind::kSlow;
+  throw InvalidArgumentError(
+      "FaultPlan: unknown fault kind '" + name +
+      "' (known: throw, delay, alloc_fail, drop, slow)");
 }
 
 }  // namespace
@@ -51,6 +53,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "alloc_fail";
     case FaultKind::kDrop:
       return "drop";
+    case FaultKind::kSlow:
+      return "slow";
   }
   return "?";
 }
@@ -75,6 +79,8 @@ std::string FaultPlan::to_json() const {
     if (r.max_fires != std::numeric_limits<int>::max())
       w.kv("max_fires", r.max_fires);
     if (r.delay_ms != 0.0) w.kv("delay_ms", r.delay_ms);
+    if (r.duration != std::numeric_limits<int>::max())
+      w.kv("duration", r.duration);
     if (!r.message.empty()) w.kv("message", r.message);
     w.end_object();
   }
@@ -128,6 +134,11 @@ FaultPlan FaultPlan::from_json(std::string_view text) {
                 "FaultPlan: 'delay_ms' must be non-negative");
       r.delay_ms = jr.at("delay_ms").number;
     }
+    if (jr.has("duration")) {
+      check_arg(jr.at("duration").is_number() && jr.at("duration").number >= 1,
+                "FaultPlan: 'duration' must be a positive integer");
+      r.duration = static_cast<int>(jr.at("duration").number);
+    }
     if (jr.has("message")) {
       check_arg(jr.at("message").is_string(),
                 "FaultPlan: 'message' must be a string");
@@ -135,6 +146,8 @@ FaultPlan FaultPlan::from_json(std::string_view text) {
     }
     check_arg(r.kind != FaultKind::kDelay || r.delay_ms > 0.0,
               "FaultPlan: a delay rule needs delay_ms > 0");
+    check_arg(r.kind != FaultKind::kSlow || r.delay_ms > 0.0,
+              "FaultPlan: a slow rule needs delay_ms > 0");
     plan.rules.push_back(std::move(r));
   }
   return plan;
@@ -147,6 +160,14 @@ FaultPlan FaultPlan::from_json(std::string_view text) {
 struct FaultLottery::RuleState {
   std::atomic<std::uint64_t> hits{0};   ///< evaluations of this rule
   std::atomic<std::uint64_t> fires{0};  ///< decisions that fired
+  /// kSlow memo: first evaluation index whose draw fired (-1 = not yet
+  /// found). The onset is a pure function of (seed, rule index) — racing
+  /// threads recompute the identical value, so a plain store is fine.
+  std::atomic<std::int64_t> slow_onset{-1};
+  /// kSlow scan hint: evaluations below this index are known not to fire.
+  /// Only ever advanced past indices whose (pure) draw came up empty, so a
+  /// stale value merely causes a redundant re-scan.
+  std::atomic<std::uint64_t> slow_scanned{0};
 };
 
 FaultLottery::FaultLottery() = default;
@@ -168,6 +189,49 @@ FaultAction FaultLottery::check(std::string_view site) {
     RuleState& st = *states_[i];
     const std::uint64_t n = st.hits.fetch_add(1, std::memory_order_relaxed);
     if (n < static_cast<std::uint64_t>(rule.after)) continue;
+    if (rule.kind == FaultKind::kSlow) {
+      // Sustained straggler: the site is slow for evaluations in
+      // [onset, onset + duration), where onset is the first eligible
+      // evaluation whose hash draw fires. Everything is derived from pure
+      // draws, so the verdict for evaluation n is interleaving-independent.
+      std::int64_t onset = st.slow_onset.load(std::memory_order_relaxed);
+      if (onset < 0) {
+        std::uint64_t s = std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(rule.after),
+            st.slow_scanned.load(std::memory_order_relaxed));
+        for (; s <= n; ++s) {
+          if (rule.probability >= 1.0) {
+            onset = static_cast<std::int64_t>(s);
+            break;
+          }
+          const std::uint64_t h = mix64(plan_.seed ^ mix64(i + 1) ^ mix64(s));
+          const double u =
+              static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+          if (u < rule.probability) {
+            onset = static_cast<std::int64_t>(s);
+            break;
+          }
+        }
+        if (onset >= 0)
+          st.slow_onset.store(onset, std::memory_order_relaxed);
+        else
+          st.slow_scanned.store(n + 1, std::memory_order_relaxed);
+      }
+      if (onset < 0 || n < static_cast<std::uint64_t>(onset) ||
+          n - static_cast<std::uint64_t>(onset) >=
+              static_cast<std::uint64_t>(rule.duration))
+        continue;
+      const std::uint64_t f =
+          st.fires.fetch_add(1, std::memory_order_relaxed);
+      if (f >= static_cast<std::uint64_t>(rule.max_fires)) {
+        st.fires.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      action.kind = rule.kind;
+      action.delay_s = rule.delay_ms / 1e3;
+      action.rule = &rule;
+      return action;
+    }
     if (rule.probability < 1.0) {
       // Counter-based hash, not a sequential RNG: the n-th evaluation's
       // verdict is fixed by (seed, rule, n) no matter how threads
@@ -277,6 +341,7 @@ void fault_point_act(const char* site) {
     case FaultKind::kDrop:  // drop sites use FAULT_DROP
       return;
     case FaultKind::kDelay:
+    case FaultKind::kSlow:
       std::this_thread::sleep_for(
           std::chrono::duration<double>(action.delay_s));
       return;
@@ -295,6 +360,7 @@ bool fault_drop_check(const char* site) {
     case FaultKind::kDrop:
       return true;
     case FaultKind::kDelay:
+    case FaultKind::kSlow:
       std::this_thread::sleep_for(
           std::chrono::duration<double>(action.delay_s));
       return false;

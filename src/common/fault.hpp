@@ -41,6 +41,16 @@ namespace llmpq {
 ///   engine.mailbox  inter-stage forward (drop => message vanishes; the
 ///                   master's deadline converts it into a restartable fault)
 ///   serve.dispatch  online serving loop, per scheduler decision
+///   serve.stage.<p> online serving loop, once per dispatch per pipeline
+///                   stage, in BOTH back-ends: the runtime sleeps and
+///                   attributes the delay to stage p; the online simulator
+///                   charges it per layer of stage p so migrating layers
+///                   away measurably relieves the straggler (mirroring the
+///                   per-layer engine site below). The control loop's
+///                   parity trace is keyed on these evaluations.
+///   stage.<p>.layer pipeline stage worker, per micro-batch per layer of
+///                   stage p — a slow rule here models a degraded device
+///                   whose drag shrinks when layers migrate off it
 ///   sim.stage       pipeline_sim stage pass (virtual-clock straggler/fail)
 ///   sim.dispatch    online_sim dispatch (virtual-clock fail/straggler)
 
@@ -50,6 +60,9 @@ enum class FaultKind : char {
   kDelay,      ///< sleep `delay_ms` (straggler); sims add virtual time
   kAllocFail,  ///< throw std::bad_alloc (simulated allocation failure)
   kDrop,       ///< site-specific: drop the message/work item
+  kSlow,       ///< sustained straggler: once the probability draw first
+               ///< fires, the site stays slow (`delay_ms` per evaluation)
+               ///< for `duration` consecutive evaluations
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -63,14 +76,21 @@ struct FaultRule {
   double probability = 1.0;  ///< chance an eligible evaluation fires
   int after = 0;             ///< skip the first `after` evaluations
   int max_fires = std::numeric_limits<int>::max();
-  double delay_ms = 0.0;     ///< kDelay payload
+  double delay_ms = 0.0;     ///< kDelay / kSlow payload
+  /// kSlow only: how many consecutive evaluations stay slow once the onset
+  /// draw fires (default: forever, i.e. a device that degrades and stays
+  /// degraded until disarmed). The onset index is itself deterministic —
+  /// the first eligible evaluation whose hash draw fires — so a slow window
+  /// is a pure function of (seed, rule index) across thread interleavings.
+  int duration = std::numeric_limits<int>::max();
   std::string message;       ///< optional InjectedFault text
 };
 
 /// A seeded set of rules — the unit tests and CLIs pass around. JSON shape:
 ///   {"seed": 7, "rules": [{"site": "stage.work", "kind": "throw",
 ///     "probability": 0.25, "after": 1, "max_fires": 3, "delay_ms": 0,
-///     "message": "boom"}]}
+///     "duration": 4, "message": "boom"}]}
+/// (`duration` only applies to "slow" rules; omitted means slow forever.)
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::vector<FaultRule> rules;

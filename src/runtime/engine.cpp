@@ -54,6 +54,7 @@ Clock::time_point deadline_from(const GenerateOptions& options,
 struct PipelineEngine::Impl {
   const ModelWeights& weights;
   std::vector<std::pair<int, int>> stages;  ///< non-empty ranges only
+  std::vector<std::string> stage_sites;     ///< "stage.<p>.layer" fault sites
   int prefill_mb;
   int decode_mb;
 
@@ -134,6 +135,10 @@ struct PipelineEngine::Impl {
     for (std::size_t p = 0; p < stages.size(); ++p) {
       inboxes.push_back(std::make_unique<MpmcQueue<StageMsg>>(64));
       stage_metrics.push_back(std::make_unique<StageMetrics>());
+      // Per-stage straggler site, evaluated once per layer per micro-batch:
+      // a slow rule on "stage.<p>.layer" drags stage p in proportion to its
+      // layer count, so migrating layers off the stage measurably helps.
+      stage_sites.push_back("stage." + std::to_string(p) + ".layer");
       const int layers = stages[p].second - stages[p].first;
       for (int l = 0; l < layers; ++l) kv[p].emplace_back(hidden);
     }
@@ -258,6 +263,7 @@ struct PipelineEngine::Impl {
         try {
           FAULT_POINT("stage.work");
           for (int layer = begin; layer < end; ++layer) {
+            FAULT_POINT(stage_sites[p].c_str());
             decoder_layer_forward(
                 weights.spec, weights.layers[static_cast<std::size_t>(layer)],
                 m.acts, kv[p][static_cast<std::size_t>(layer - begin)],
@@ -511,6 +517,12 @@ PipelineEngine::~PipelineEngine() = default;
 
 int PipelineEngine::num_stages() const {
   return static_cast<int>(impl_->stages.size());
+}
+
+const ModelSpec& PipelineEngine::spec() const { return impl_->weights.spec; }
+
+const std::vector<std::pair<int, int>>& PipelineEngine::stage_layers() const {
+  return impl_->stages;
 }
 
 EngineStats PipelineEngine::stats() const {

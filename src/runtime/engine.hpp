@@ -194,6 +194,15 @@ class PipelineEngine {
 
   int num_stages() const;
 
+  /// The model the engine was built over (the shared weights' spec). Lets
+  /// the serving loop validate a replacement engine — same vocab, same
+  /// layer count — before swapping it in during degrade or migration.
+  const ModelSpec& spec() const;
+
+  /// The constructor's stage ranges with empty stages filtered out —
+  /// `stage_layers()[p]` is the [begin, end) layer range worker p runs.
+  const std::vector<std::pair<int, int>>& stage_layers() const;
+
   /// Cumulative runtime metrics since construction: per-stage busy/idle
   /// split, qgemm/attention breakdown, inbox high-water marks, and
   /// per-phase token throughput. Safe to call concurrently with generate().

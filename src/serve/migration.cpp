@@ -1,0 +1,59 @@
+#include "serve/migration.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace llmpq {
+
+MigrationController::MigrationController(const ModelWeights& weights,
+                                         ExecutionPlan plan,
+                                         std::uint64_t seed)
+    : base_(weights), plan_(std::move(plan)), seed_(seed) {
+  check_arg(plan_.num_layers() == base_.spec.layers,
+            "MigrationController: plan does not cover the model's layers");
+  plan_.validate(plan_.num_layers(), plan_.num_stages());
+}
+
+std::vector<std::pair<int, int>> MigrationController::stage_ranges() const {
+  std::vector<std::pair<int, int>> ranges;
+  ranges.reserve(static_cast<std::size_t>(plan_.num_stages()));
+  for (int p = 0; p < plan_.num_stages(); ++p)
+    ranges.push_back(plan_.stage_range(p));
+  return ranges;
+}
+
+PipelineEngine* MigrationController::apply(const PlanDelta& delta) {
+  if (delta.kind == PlanDeltaKind::kNone) return nullptr;
+  plan_ = Replanner::apply(plan_, delta);
+
+  auto built = std::make_unique<Built>();
+  const ModelWeights* weights = &base_;
+  if (delta.kind == PlanDeltaKind::kBitChange) {
+    // Requantize from the same master seed: same model, new precision
+    // (the one delta kind that is deliberately not bit-preserving).
+    built->weights = build_random_model(base_.spec, plan_.layer_bits, seed_,
+                                        plan_.weight_format);
+    built->owns_weights = true;
+    weights = &built->weights;
+  }
+  built->engine = std::make_unique<PipelineEngine>(
+      *weights, stage_ranges(), std::max(1, plan_.prefill_micro_batch),
+      std::max(1, plan_.decode_micro_batch));
+  PipelineEngine* engine = built->engine.get();
+  built_.push_back(std::move(built));
+  ++migrations_;
+  return engine;
+}
+
+std::function<ReplanOutcome(const HealthVerdict&)> MigrationController::hook(
+    const Replanner& replanner) {
+  return [this, &replanner](const HealthVerdict& verdict) {
+    ReplanOutcome out;
+    out.delta = replanner.propose(plan_, verdict);
+    out.engine = apply(out.delta);
+    return out;
+  };
+}
+
+}  // namespace llmpq

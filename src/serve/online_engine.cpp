@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <exception>
 #include <new>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -112,7 +114,40 @@ DecisionInputs prepare_decision(
 struct DecisionRun {
   std::vector<std::vector<TokenId>> out;  ///< engine output, row-aligned
   DecisionTiming timing;
+  std::vector<double> stage_busy_s;  ///< per-stage attribution (health)
 };
+
+/// Serving-layer per-stage fault sites ("serve.stage.<p>"): evaluated
+/// exactly once per dispatch per engine stage, mirroring the check the
+/// online simulator runs per decision per plan stage — one fault plan
+/// drives the same straggler signal through both control loops. The
+/// runtime sleeps for real here and reports the injected delay so the
+/// health monitor can attribute it to the stage; throw/alloc rules fail
+/// the dispatch like any other serving fault.
+std::vector<double> check_serve_stage_sites(int num_stages) {
+  std::vector<double> delays(static_cast<std::size_t>(num_stages), 0.0);
+  if (!FaultInjector::armed()) return delays;
+  for (int p = 0; p < num_stages; ++p) {
+    const std::string site = "serve.stage." + std::to_string(p);
+    const FaultAction action = FaultInjector::check(site.c_str());
+    switch (action.kind) {
+      case FaultKind::kNone:
+      case FaultKind::kDrop:
+        break;
+      case FaultKind::kDelay:
+      case FaultKind::kSlow:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(action.delay_s));
+        delays[static_cast<std::size_t>(p)] += action.delay_s;
+        break;
+      case FaultKind::kThrow:
+        throw InjectedFault(site, action.rule ? action.rule->message : "");
+      case FaultKind::kAllocFail:
+        throw std::bad_alloc();
+    }
+  }
+  return delays;
+}
 
 /// Maps request ids to persistent engine sessions for the iteration-level
 /// session path. Prefill decisions begin sessions; every decode round
@@ -288,7 +323,14 @@ DecisionRun execute_decision(PipelineEngine& engine,
   FAULT_POINT("serve.dispatch");
   DecisionRun run;
   StopwatchNs wall;
-  const double prefill_before = engine.stats().prefill.seconds;
+  // Per-stage straggler sites first (inside the dispatch wall clock), then
+  // a stats snapshot so the health sample can attribute this dispatch's
+  // cost: measured per-stage busy delta plus the serving-level injected
+  // delay per stage.
+  const std::vector<double> injected =
+      check_serve_stage_sites(engine.num_stages());
+  const EngineStats before = engine.stats();
+  const double prefill_before = before.prefill.seconds;
   if (sessions != nullptr) {
     const std::vector<TokenId> toks = sessions->run(d, in, gopts);
     run.out.reserve(toks.size());
@@ -299,9 +341,17 @@ DecisionRun execute_decision(PipelineEngine& engine,
     run.out = run_static_session(engine, in, gopts);
   }
   run.timing.total_s = wall.elapsed_s();
+  const EngineStats after = engine.stats();
+  run.stage_busy_s.resize(injected.size(), 0.0);
+  for (std::size_t p = 0; p < injected.size(); ++p) {
+    double busy = injected[p];
+    if (p < before.stages.size() && p < after.stages.size())
+      busy += std::max(0.0, after.stages[p].busy_s - before.stages[p].busy_s);
+    run.stage_busy_s[p] = busy;
+  }
   if (phase == ServePhase::kPrefillPass || d.num_join > 0)
     run.timing.prefill_s =
-        std::max(0.0, engine.stats().prefill.seconds - prefill_before);
+        std::max(0.0, after.prefill.seconds - prefill_before);
   return run;
 }
 
@@ -318,6 +368,12 @@ struct FailureGovernor {
   int total_mem_faults = 0;
   int degrade_level = 0;
 
+  /// Set when a degrade hook returned an incompatible engine; handle()
+  /// then reports no recovery and the caller surfaces this instead of the
+  /// dispatch error. handle() itself never throws — it runs outside the
+  /// serving loop's try block.
+  std::string validation_error;
+
   bool handle(bool mem_fault) {
     if (mem_fault) {
       ++mem_faults;
@@ -326,6 +382,18 @@ struct FailureGovernor {
       if (options.degrade &&
           mem_faults >= options.degrade_after_mem_faults) {
         if (PipelineEngine* next = options.degrade(++degrade_level)) {
+          // Don't trust the hook: a replacement serving a different model
+          // would silently corrupt every in-flight request. Mismatches are
+          // terminal — there is no safe engine to fall back to.
+          const std::string mismatch =
+              validate_replacement_engine(*engine, *next);
+          if (!mismatch.empty()) {
+            validation_error =
+                "OnlineEngineOptions::degrade returned an incompatible "
+                "engine at level " +
+                std::to_string(degrade_level) + ": " + mismatch;
+            return false;
+          }
           // Step down the ladder (lower bitwidth / smaller micro-batch)
           // and give the cheaper engine a fresh fault budget.
           engine = next;
@@ -344,6 +412,87 @@ struct FailureGovernor {
     return true;
   }
 };
+
+/// The control-loop state both serving back-ends share: one health sample
+/// per successful dispatch, verdicts consulted against the replan hook,
+/// and the resulting decision log. after_dispatch() returns the validated
+/// replacement engine when a migration happened (the caller rebinds
+/// sessions — releasing KV on the old engine and re-prefilling on the new
+/// one, the KvCacheManager::preempt + re-prefill primitive) and throws
+/// Error when the hook hands back an incompatible engine.
+struct ControlLoop {
+  const OnlineEngineOptions& options;
+  HealthMonitor monitor;
+  std::vector<ReplanEvent> replans;
+  int migrations = 0;
+
+  explicit ControlLoop(const OnlineEngineOptions& opts)
+      : options(opts), monitor(opts.health) {}
+
+  bool active() const {
+    return static_cast<bool>(options.replan) || !options.metrics_out.empty();
+  }
+
+  PipelineEngine* after_dispatch(const DispatchDecision& d,
+                                 const DecisionRun& run, int queue_depth,
+                                 int preemptions, int mem_faults,
+                                 PipelineEngine* current) {
+    if (!active()) return nullptr;
+    HealthSample sample;
+    sample.seq = d.seq;
+    sample.dispatch_s = run.timing.total_s;
+    sample.stage_busy_s = run.stage_busy_s;
+    sample.queue_depth = queue_depth;
+    sample.preemptions = preemptions;
+    sample.mem_faults = mem_faults;
+    const HealthVerdict verdict = monitor.observe(sample);
+    if (verdict.healthy() || !options.replan) return nullptr;
+    const ReplanOutcome out = options.replan(verdict);
+    ReplanEvent ev;
+    ev.at_seq = verdict.at_seq;
+    ev.status = verdict.status;
+    ev.bottleneck_stage = verdict.bottleneck_stage;
+    ev.severity = verdict.severity;
+    ev.delta = out.delta;
+    ev.applied = out.delta.kind != PlanDeltaKind::kNone &&
+                 out.engine != nullptr && out.engine != current;
+    replans.push_back(ev);
+    if (!ev.applied) return nullptr;
+    const std::string mismatch =
+        validate_replacement_engine(*current, *out.engine);
+    if (!mismatch.empty())
+      throw Error(
+          "OnlineEngineOptions::replan returned an incompatible engine: " +
+          mismatch);
+    ++migrations;
+    TRACE_INSTANT("serve", "migrate");
+    return out.engine;
+  }
+};
+
+/// Periodic llmpq-metrics/v1 dump of the control loop's view: health
+/// snapshot (baseline, EWMAs, per-stage busy, counters) plus the live
+/// engine's cumulative stats.
+void export_serve_metrics(const std::string& path, const ControlLoop& control,
+                          const PipelineEngine& engine) {
+  const HealthMonitor::Snapshot snap = control.monitor.snapshot();
+  MetricsRegistry reg;
+  reg.set_value("serve.health.samples", snap.samples);
+  reg.set_value("serve.health.verdicts", snap.verdicts);
+  reg.set_value("serve.health.baseline_s", snap.baseline_s);
+  reg.set_value("serve.health.dispatch_ewma_s", snap.dispatch_ewma_s);
+  reg.set_value("serve.health.queue_depth", snap.queue_depth);
+  reg.set_value("serve.health.preemptions", snap.preemptions);
+  reg.set_value("serve.health.mem_faults", snap.mem_faults);
+  reg.set_value("serve.health.migrations", control.migrations);
+  reg.set_value("serve.health.replans",
+                static_cast<double>(control.replans.size()));
+  for (std::size_t p = 0; p < snap.stage_busy_ewma_s.size(); ++p)
+    reg.set_value("serve.health.stage" + std::to_string(p) + ".busy_ewma_s",
+                  snap.stage_busy_ewma_s[p]);
+  reg.set_engine("serve.engine", engine.stats());
+  (void)reg.write_json_file(path);
+}
 
 std::string describe_exception(const std::exception_ptr& err) {
   try {
@@ -371,7 +520,9 @@ void commit_decision(const DispatchDecision& d, const DecisionInputs& in,
 
 OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
                           const std::deque<std::vector<TokenId>>& generated,
-                          const FailureGovernor* gov = nullptr) {
+                          const FailureGovernor* gov = nullptr,
+                          const std::vector<ReplanEvent>* replans = nullptr,
+                          int migrations = 0) {
   OnlineReport rep;
   rep.requests = scheduler.finished();
   rep.decisions = scheduler.decision_log();
@@ -403,6 +554,8 @@ OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
     rep.degrades = gov->degrades;
     rep.mem_faults = gov->total_mem_faults;
   }
+  if (replans != nullptr) rep.replans = *replans;
+  rep.migrations = migrations;
   rep.throughput_tokens_per_s =
       makespan_s > 0.0 ? static_cast<double>(tokens_out) / makespan_s : 0.0;
   rep.latency = summarize_latency(std::move(latencies));
@@ -413,6 +566,22 @@ OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
 }
 
 }  // namespace
+
+std::string validate_replacement_engine(const PipelineEngine& current,
+                                        const PipelineEngine& next) {
+  if (next.spec().vocab != current.spec().vocab)
+    return "vocab mismatch (" + std::to_string(next.spec().vocab) + " vs " +
+           std::to_string(current.spec().vocab) +
+           ") — the replacement serves a different token space";
+  if (next.spec().layers != current.spec().layers)
+    return "layer count mismatch (" + std::to_string(next.spec().layers) +
+           " vs " + std::to_string(current.spec().layers) +
+           ") — the replacement's plan covers a different model";
+  if (!next.healthy())
+    return "replacement engine is broken (restart() it before handing it "
+           "to the serving loop)";
+  return {};
+}
 
 OnlineEngine::OnlineEngine(PipelineEngine& engine,
                            const OnlineEngineOptions& options)
@@ -484,7 +653,8 @@ OnlineReport OnlineEngine::wait() {
   gov.engine_restarts = engine_restarts_;
   gov.degrades = degrades_;
   gov.total_mem_faults = total_mem_faults_;
-  return build_report(scheduler_, makespan_s_, generated_, &gov);
+  return build_report(scheduler_, makespan_s_, generated_, &gov, &replans_,
+                      migrations_);
 }
 
 void OnlineEngine::serve_loop() {
@@ -492,6 +662,8 @@ void OnlineEngine::serve_loop() {
   GenerateOptions gopts;
   gopts.deadline_s = options_.dispatch_deadline_s;
   FailureGovernor gov{options_, engine_};
+  ControlLoop control(options_);
+  double last_metrics_s = 0.0;
   const bool session_iter =
       options_.scheduler.policy == SchedulerPolicy::kIterationLevel &&
       (options_.scheduler.exec == DecodeExec::kSession ||
@@ -566,6 +738,8 @@ void OnlineEngine::serve_loop() {
         sessions.reconcile(scheduler_.finished());
       }
       if (!recovered) {
+        if (!gov.validation_error.empty())
+          err = std::make_exception_ptr(Error(gov.validation_error));
         error_ = err;
         error_what_ = describe_exception(err);
         break;
@@ -582,8 +756,35 @@ void OnlineEngine::serve_loop() {
     scheduler_.complete(d, finish, prefill_end);
     if (session_iter) sessions.reconcile(scheduler_.finished());
     makespan_s_ = finish;
+    // Control loop: one health sample per dispatch; a verdict consults the
+    // replan hook and a validated migration swaps the engine live. The
+    // session rebind releases every KV page on the old engine; the next
+    // decision rebuilds each request from its authoritative context via
+    // re-prefill, which under greedy sampling resumes it exactly.
+    try {
+      if (PipelineEngine* next = control.after_dispatch(
+              d, run, scheduler_.pending(), scheduler_.preemptions(),
+              gov.total_mem_faults, gov.engine)) {
+        gov.engine = next;
+        engine_ = next;
+        if (session_iter) sessions.bind(next);
+      }
+    } catch (...) {
+      error_ = std::current_exception();
+      error_what_ = describe_exception(error_);
+      break;
+    }
+    if (!options_.metrics_out.empty() &&
+        finish - last_metrics_s >= options_.metrics_interval_s) {
+      last_metrics_s = finish;
+      export_serve_metrics(options_.metrics_out, control, *gov.engine);
+    }
   }
   sessions.release_all();
+  if (!options_.metrics_out.empty())
+    export_serve_metrics(options_.metrics_out, control, *gov.engine);
+  replans_ = std::move(control.replans);
+  migrations_ = control.migrations;
   done_ = true;
   lk.unlock();
   cv_.notify_all();
@@ -618,6 +819,8 @@ OnlineReport serve_trace(PipelineEngine& engine,
   GenerateOptions gopts;
   gopts.deadline_s = options.dispatch_deadline_s;
   FailureGovernor gov{options, &engine};
+  ControlLoop control(options);
+  double last_metrics_s = 0.0;
   const bool session_iter =
       options.scheduler.policy == SchedulerPolicy::kIterationLevel &&
       (options.scheduler.exec == DecodeExec::kSession ||
@@ -663,7 +866,10 @@ OnlineReport serve_trace(PipelineEngine& engine,
         sessions.bind(gov.engine);
         sessions.reconcile(scheduler.finished());
       }
-      if (!recovered) std::rethrow_exception(err);
+      if (!recovered) {
+        if (!gov.validation_error.empty()) throw Error(gov.validation_error);
+        std::rethrow_exception(err);
+      }
       continue;
     }
     commit_decision(d, inputs, run.out, generated);
@@ -676,9 +882,27 @@ OnlineReport serve_trace(PipelineEngine& engine,
     scheduler.complete(d, finish, prefill_end);
     if (session_iter) sessions.reconcile(scheduler.finished());
     t = finish;
+    // Same control loop as the live path, on the virtual clock (the
+    // health sample's dispatch cost is the measured wall time of the real
+    // engine call, so an injected straggler dominates it identically).
+    if (PipelineEngine* next =
+            control.after_dispatch(d, run, scheduler.pending(),
+                                   scheduler.preemptions(),
+                                   gov.total_mem_faults, gov.engine)) {
+      gov.engine = next;
+      if (session_iter) sessions.bind(next);
+    }
+    if (!options.metrics_out.empty() &&
+        finish - last_metrics_s >= options.metrics_interval_s) {
+      last_metrics_s = finish;
+      export_serve_metrics(options.metrics_out, control, *gov.engine);
+    }
   }
   sessions.release_all();
-  return build_report(scheduler, t, generated, &gov);
+  if (!options.metrics_out.empty())
+    export_serve_metrics(options.metrics_out, control, *gov.engine);
+  return build_report(scheduler, t, generated, &gov, &control.replans,
+                      control.migrations);
 }
 
 }  // namespace llmpq

@@ -12,6 +12,8 @@
 
 #include "common/metrics.hpp"
 #include "runtime/engine.hpp"
+#include "serve/health.hpp"
+#include "serve/replanner.hpp"
 #include "serve/scheduler.hpp"
 
 namespace llmpq {
@@ -80,9 +82,42 @@ struct OnlineEngineOptions {
   /// repeated memory faults; returns a replacement engine built from a
   /// cheaper plan (next-lower bitwidth, halved micro-batch) or nullptr
   /// when out of options. The caller retains ownership and must keep the
-  /// replacement alive until wait() returns.
+  /// replacement alive until wait() returns. The returned engine is
+  /// validated before the swap (same vocab and layer count, healthy) —
+  /// see validate_replacement_engine; a mismatch is a terminal serving
+  /// error, not a silent swap.
   std::function<PipelineEngine*(int level)> degrade;
+
+  // ---- Online control loop (DESIGN.md "Online control loop & elastic
+  // migration"). Off unless `replan` is set; `health` then tunes the
+  // monitor that feeds it one sample per dispatch.
+
+  /// Health-monitor knobs (baseline warmup, straggler ratio, hysteresis,
+  /// cooldown). Defaults are the parity-tested configuration.
+  HealthMonitorOptions health;
+  /// Re-plan hook, consulted on every non-healthy verdict: returns the
+  /// PlanDelta it decided on and, when it applied the delta, a validated
+  /// replacement engine the loop migrates onto live (sessions are
+  /// released and rebuilt by re-prefill on the new engine — bit-exact
+  /// under greedy sampling for bit-preserving deltas). The caller retains
+  /// engine ownership; MigrationController::hook is the canonical
+  /// implementation.
+  std::function<ReplanOutcome(const HealthVerdict&)> replan;
+
+  /// When non-empty, the serving loop periodically (every
+  /// `metrics_interval_s` of its clock) overwrites this path with an
+  /// llmpq-metrics/v1 JSON snapshot of the health monitor + engine stats;
+  /// a final snapshot is written when the loop drains.
+  std::string metrics_out;
+  double metrics_interval_s = 1.0;
 };
+
+/// Compatibility check for a replacement engine before the serving loop
+/// swaps it in (degrade and replan paths both run it): same vocabulary,
+/// same total layer count, and healthy. Returns an empty string when
+/// compatible, else a human-readable mismatch description.
+std::string validate_replacement_engine(const PipelineEngine& current,
+                                        const PipelineEngine& next);
 
 struct OnlineTraceRequest {
   double arrival_s = 0.0;
@@ -100,6 +135,17 @@ struct OnlineReport {
   std::vector<RequestStats> requests;       ///< completion order
   std::vector<DispatchDecision> decisions;  ///< dispatch order (parity key)
   std::vector<std::vector<TokenId>> generated;  ///< indexed by request id
+
+  // ---- Re-plan decision log. Joins `decisions` in the sim-vs-runtime
+  // parity contract: on identical traces with identical fault plans and
+  // control-loop options, both back-ends must produce the same events in
+  // the same order. Compared fields (ReplanEvent::same_decision): at_seq
+  // (the DispatchDecision::seq the verdict tripped on), status,
+  // bottleneck_stage, applied, and the structural PlanDelta fields (kind,
+  // layer, from/to stage, new_bits, micro-batches). Severities and
+  // objective scores are clock-dependent and deliberately excluded.
+  std::vector<ReplanEvent> replans;
+  int migrations = 0;  ///< applied deltas (engine swaps on the runtime)
 
   // ---- Fault accounting (all zero on a fault-free run).
   int timed_out = 0;        ///< requests past deadline_s
@@ -159,6 +205,8 @@ class OnlineEngine {
   int mem_faults_ = 0;        ///< since the last degrade step
   int total_mem_faults_ = 0;
   int degrade_level_ = 0;
+  std::vector<ReplanEvent> replans_;  ///< control-loop decision log
+  int migrations_ = 0;
   std::thread server_;  ///< started last, joined in wait()/destructor
 };
 

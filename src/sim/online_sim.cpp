@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "cost/ground_truth.hpp"
 #include "cost/profiler.hpp"
+#include "serve/health.hpp"
 #include "sim/pipeline_sim.hpp"
 
 namespace llmpq {
@@ -52,10 +55,13 @@ namespace {
 
 /// Serial traversal time of the whole pipeline for one pass: with a single
 /// in-flight batch, round r+1 depends on round r's token, so stages do not
-/// overlap; the pass costs the sum of stage times plus transfers.
+/// overlap; the pass costs the sum of stage times plus transfers. When
+/// `stage_s` is non-null it accumulates each stage's share (embedding to
+/// the first non-empty stage, a transfer to its receiving stage) so the
+/// health monitor can attribute a dispatch's cost per stage.
 double pass_time(const ModelSpec& model, const ClusterSpec& cluster,
                  const ExecutionPlan& plan, Phase phase, int batch,
-                 int seq_or_ctx) {
+                 int seq_or_ctx, std::vector<double>* stage_s = nullptr) {
   double total = 0.0;
   int prev_dev = -1;
   bool first = true;
@@ -66,20 +72,24 @@ double pass_time(const ModelSpec& model, const ClusterSpec& cluster,
     const PhaseShape shape = phase == Phase::kPrefill
                                  ? prefill_shape(batch, seq_or_ctx)
                                  : decode_shape(batch, seq_or_ctx);
+    double stage_t = 0.0;
     for (int bits : plan.stage_bits(p))
-      total += layer_time_ground_truth(gpu, model, shape, bits);
+      stage_t += layer_time_ground_truth(gpu, model, shape, bits);
     if (first) {
       const std::int64_t tokens =
           phase == Phase::kPrefill
               ? static_cast<std::int64_t>(batch) * seq_or_ctx
               : static_cast<std::int64_t>(batch);
-      total += embedding_time_ground_truth(gpu, model, tokens);
+      stage_t += embedding_time_ground_truth(gpu, model, tokens);
       first = false;
     }
     if (prev_dev >= 0 && prev_dev != dev)
-      total += cluster.link(prev_dev, dev)
-                   .transfer_time(activation_bytes(model, shape));
+      stage_t += cluster.link(prev_dev, dev)
+                     .transfer_time(activation_bytes(model, shape));
     prev_dev = dev;
+    total += stage_t;
+    if (stage_s != nullptr && p < static_cast<int>(stage_s->size()))
+      (*stage_s)[static_cast<std::size_t>(p)] += stage_t;
   }
   return total;
 }
@@ -91,9 +101,12 @@ OnlineSimResult simulate_online(const ModelSpec& model,
                                 const ExecutionPlan& plan,
                                 const std::vector<OnlineRequest>& requests,
                                 const OnlineSimOptions& options,
-                                const FaultPlan& faults) {
+                                const FaultPlan& faults,
+                                const OnlineReplanOptions* replan) {
   OnlineSimResult result;
   plan.validate(model.layers, cluster.num_devices());
+  check_arg(replan == nullptr || replan->cost != nullptr,
+            "simulate_online: OnlineReplanOptions needs a cost provider");
 
   // The plan's memory feasibility gates the run exactly like offline.
   {
@@ -128,6 +141,17 @@ OnlineSimResult simulate_online(const ModelSpec& model,
   FaultLottery lottery(faults);
   const bool faults_armed = !faults.empty();
 
+  // Control-loop mirror: the plan evolves inside the run exactly like the
+  // runtime's MigrationController plan does, and the same HealthMonitor /
+  // Replanner pair makes the decisions — only the sample's clock differs.
+  ExecutionPlan cur_plan = plan;
+  std::optional<HealthMonitor> monitor;
+  std::optional<Replanner> replanner;
+  if (replan != nullptr) {
+    monitor.emplace(replan->health);
+    replanner.emplace(*replan->cost, replan->indicator, replan->theta);
+  }
+
   double t = 0.0;
   for (;;) {
     SchedulerAction a = scheduler.next(t);
@@ -140,7 +164,10 @@ OnlineSimResult simulate_online(const ModelSpec& model,
     }
     const DispatchDecision d = std::move(a.decision);
     const int batch = static_cast<int>(d.request_ids.size());
+    std::vector<double> stage_busy(
+        static_cast<std::size_t>(cur_plan.num_stages()), 0.0);
     double straggle = 0.0;
+    bool dispatch_failed = false;
     if (faults_armed) {
       const FaultAction fa = lottery.check("sim.dispatch");
       if (fa.kind != FaultKind::kNone) ++result.fault_events;
@@ -150,44 +177,94 @@ OnlineSimResult simulate_online(const ModelSpec& model,
         scheduler.fail(d, t);
         continue;
       }
+      // Per-stage serving sites, one draw per decision per plan stage —
+      // the cadence the runtime serving loop uses. A delay/slow firing is
+      // charged per layer of the stage, so a migration that moves layers
+      // off the straggler shrinks the drag on the virtual clock; any
+      // other kind fails the dispatch (and, like the runtime, stops
+      // evaluating later stages' sites for this attempt).
+      for (int p = 0; p < cur_plan.num_stages(); ++p) {
+        const FaultAction sa =
+            lottery.check(("serve.stage." + std::to_string(p)).c_str());
+        if (sa.kind == FaultKind::kNone) continue;
+        ++result.fault_events;
+        if (sa.kind == FaultKind::kDelay || sa.kind == FaultKind::kSlow) {
+          const double drag = sa.delay_s * cur_plan.stage_size(p);
+          straggle += drag;
+          stage_busy[static_cast<std::size_t>(p)] += drag;
+        } else if (sa.kind != FaultKind::kDrop) {
+          scheduler.fail(d, t);
+          dispatch_failed = true;
+          break;
+        }
+      }
+      if (dispatch_failed) continue;
     }
     double finish;
     double prefill_end = -1.0;
     if (d.phase == ServePhase::kPrefillPass) {
       prefill_end = t + straggle +
-                    pass_time(model, cluster, plan, Phase::kPrefill, batch,
-                              d.padded_prompt);
+                    pass_time(model, cluster, cur_plan, Phase::kPrefill,
+                              batch, d.padded_prompt, &stage_busy);
       finish = prefill_end;
       if (options.policy == SchedulerPolicy::kStaticBatching) {
         // Static batching runs the whole padded generation as one unit;
         // the batch stays intact until its longest request finishes.
         for (int round = 1; round < d.padded_gen; ++round)
-          finish += pass_time(model, cluster, plan, Phase::kDecode, batch,
-                              d.padded_prompt + round);
+          finish += pass_time(model, cluster, cur_plan, Phase::kDecode,
+                              batch, d.padded_prompt + round, &stage_busy);
       }
     } else if (options.exec == DecodeExec::kReplay) {
       // Replay decode re-runs every active context for one token, so the
       // round costs a prefill-shaped pass over the padded context — the
       // cost model the session path is benchmarked against.
       finish = t + straggle +
-               pass_time(model, cluster, plan, Phase::kPrefill, batch,
-                         d.max_context);
+               pass_time(model, cluster, cur_plan, Phase::kPrefill, batch,
+                         d.max_context, &stage_busy);
     } else if (options.exec == DecodeExec::kContinuous && d.num_join > 0) {
       // Mixed continuous round: the joining rows' ride-along prefill runs
       // first (mirroring the SessionExecutor's prefill-then-decode call
       // order), then the continuing rows decode one token each.
       prefill_end = t + straggle +
-                    pass_time(model, cluster, plan, Phase::kPrefill,
-                              d.num_join, d.padded_prompt);
+                    pass_time(model, cluster, cur_plan, Phase::kPrefill,
+                              d.num_join, d.padded_prompt, &stage_busy);
       finish = prefill_end +
-               pass_time(model, cluster, plan, Phase::kDecode,
-                         batch - d.num_join, d.max_context);
+               pass_time(model, cluster, cur_plan, Phase::kDecode,
+                         batch - d.num_join, d.max_context, &stage_busy);
     } else {
       finish = t + straggle +
-               pass_time(model, cluster, plan, Phase::kDecode, batch,
-                         d.max_context);
+               pass_time(model, cluster, cur_plan, Phase::kDecode, batch,
+                         d.max_context, &stage_busy);
     }
     scheduler.complete(d, finish, prefill_end);
+    // Health sample + re-plan decision, mirroring ControlLoop::
+    // after_dispatch in serve/online_engine.cpp field for field. An
+    // applied delta mutates the working plan; the next decision runs on
+    // it (the runtime swaps engines at the same point).
+    if (monitor) {
+      HealthSample sample;
+      sample.seq = d.seq;
+      sample.dispatch_s = finish - t;
+      sample.stage_busy_s = stage_busy;
+      sample.queue_depth = scheduler.pending();
+      sample.preemptions = scheduler.preemptions();
+      sample.mem_faults = 0;  // the sim has no allocator to fault
+      const HealthVerdict verdict = monitor->observe(sample);
+      if (!verdict.healthy()) {
+        ReplanEvent ev;
+        ev.at_seq = verdict.at_seq;
+        ev.status = verdict.status;
+        ev.bottleneck_stage = verdict.bottleneck_stage;
+        ev.severity = verdict.severity;
+        ev.delta = replanner->propose(cur_plan, verdict);
+        ev.applied = ev.delta.kind != PlanDeltaKind::kNone;
+        if (ev.applied) {
+          cur_plan = Replanner::apply(cur_plan, ev.delta);
+          ++result.migrations;
+        }
+        result.replans.push_back(ev);
+      }
+    }
     t = finish;
   }
 
@@ -223,6 +300,7 @@ OnlineSimResult simulate_online(const ModelSpec& model,
   result.preemptions = scheduler.preemptions();
   result.requests = scheduler.finished();
   result.decisions = scheduler.decision_log();
+  result.final_plan = cur_plan;
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "core/plan.hpp"
 #include "hw/cluster.hpp"
 #include "model/model_spec.hpp"
+#include "serve/replanner.hpp"
 #include "serve/scheduler.hpp"
 
 namespace llmpq {
@@ -44,6 +45,26 @@ double fraction_below(const std::vector<OnlineRequest>& reqs, int threshold);
 /// the simulator keeps its historical option-struct name.
 using OnlineSimOptions = SchedulerOptions;
 
+/// Virtual-clock mirror of the runtime control loop (DESIGN.md "Online
+/// control loop & elastic migration"): when passed to simulate_online the
+/// simulator feeds the same HealthMonitor one sample per dispatched
+/// decision (dispatch cost + per-stage busy breakdown from the roofline
+/// model) and applies the Replanner's single-move repairs to its working
+/// copy of the plan. With identical traces, fault plans, and health
+/// options, the sim's ReplanEvent log matches the runtime's event for
+/// event (ReplanEvent::same_decision) — the extended parity key.
+struct OnlineReplanOptions {
+  /// Health-monitor knobs; defaults are the parity-tested configuration.
+  HealthMonitorOptions health;
+  /// Cost model for the Replanner's feasibility/objective scoring.
+  /// Required (the simulator cannot propose repairs without one).
+  const CostProvider* cost = nullptr;
+  /// Optional quality indicator for the evaluator's objective.
+  const IndicatorResult* indicator = nullptr;
+  /// Quality/latency trade-off weight (same theta as the offline planner).
+  double theta = 0.0;
+};
+
 struct OnlineSimResult {
   bool ok = false;
   std::string error;
@@ -61,12 +82,21 @@ struct OnlineSimResult {
   std::vector<RequestStats> requests;
   std::vector<DispatchDecision> decisions;
 
+  // ---- Control-loop mirror (populated when OnlineReplanOptions is
+  // passed). `replans` joins `decisions` in the sim-vs-runtime parity
+  // contract: same compared fields as OnlineReport::replans. The sim has
+  // no engine to swap, so an "applied" event means the working plan copy
+  // changed; `final_plan` is that copy after the run.
+  std::vector<ReplanEvent> replans;
+  int migrations = 0;  ///< applied deltas (plan mutations in the sim)
+  ExecutionPlan final_plan;
+
   // ---- Fault accounting (all zero with an empty fault plan).
   int timed_out = 0;     ///< requests past deadline_s
   int rejected = 0;      ///< bounced by the admission bound
   int failed = 0;        ///< exhausted max_retries
   int retries = 0;       ///< total dispatch retries consumed
-  int fault_events = 0;  ///< "sim.dispatch" rule firings (delays included)
+  int fault_events = 0;  ///< sim-site rule firings (delays included)
   int preemptions = 0;   ///< capacity-planner evictions (kContinuous)
 };
 
@@ -77,14 +107,24 @@ struct OnlineSimResult {
 /// `faults` mirrors the runtime fault injector on the virtual clock: a
 /// `delay` rule on site "sim.dispatch" inflates that dispatch's pass time
 /// (straggler); any other rule kind fails the dispatch, exercising the
-/// scheduler's retry/backoff/kFailed path. The lottery is seeded by the
-/// plan alone, so identical (requests, options, faults) runs are
-/// bit-identical — chaos tests sweep seeds on top of this determinism.
+/// scheduler's retry/backoff/kFailed path. Per-stage sites
+/// "serve.stage.<p>" are evaluated once per decision per plan stage (the
+/// same cadence as the runtime serving loop), with delay/slow rules
+/// charged once per layer of stage p — so migrating layers off a
+/// straggling stage visibly shrinks the drag on the virtual clock. The
+/// lottery is seeded by the plan alone, so identical (requests, options,
+/// faults) runs are bit-identical — chaos tests sweep seeds on top of
+/// this determinism.
+///
+/// `replan`, when non-null, arms the control-loop mirror (see
+/// OnlineReplanOptions); the plan evolves inside the run and the result
+/// carries the decision log plus the final plan.
 OnlineSimResult simulate_online(const ModelSpec& model,
                                 const ClusterSpec& cluster,
                                 const ExecutionPlan& plan,
                                 const std::vector<OnlineRequest>& requests,
                                 const OnlineSimOptions& options = {},
-                                const FaultPlan& faults = {});
+                                const FaultPlan& faults = {},
+                                const OnlineReplanOptions* replan = nullptr);
 
 }  // namespace llmpq

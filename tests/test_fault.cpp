@@ -199,6 +199,99 @@ TEST(FaultPlan, FromJsonRejectsMalformedPlans) {
 }
 
 // ---------------------------------------------------------------------------
+// kSlow: the sustained-straggler fault kind.
+// ---------------------------------------------------------------------------
+
+TEST(SlowFault, WindowOpensAtOnsetAndClosesAfterDuration) {
+  FaultPlan plan;
+  FaultRule r = rule("s", FaultKind::kSlow, 1.0,
+                     std::numeric_limits<int>::max(), 5.0);
+  r.after = 2;
+  r.duration = 3;
+  plan.rules.push_back(r);
+  FaultLottery l(plan);
+  // Evaluations 0-1 precede the onset, 2-4 are the slow window, 5+ are
+  // past it — the site recovers.
+  for (int i = 0; i < 2; ++i)
+    EXPECT_EQ(l.check("s").kind, FaultKind::kNone) << "eval " << i;
+  for (int i = 2; i < 5; ++i) {
+    const FaultAction a = l.check("s");
+    EXPECT_EQ(a.kind, FaultKind::kSlow) << "eval " << i;
+    EXPECT_DOUBLE_EQ(a.delay_s, 0.005);
+  }
+  for (int i = 5; i < 10; ++i)
+    EXPECT_EQ(l.check("s").kind, FaultKind::kNone) << "eval " << i;
+}
+
+TEST(SlowFault, DefaultDurationIsSlowForever) {
+  FaultPlan plan;
+  plan.rules.push_back(rule("s", FaultKind::kSlow, 1.0,
+                            std::numeric_limits<int>::max(), 1.0));
+  FaultLottery l(plan);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(l.check("s").kind, FaultKind::kSlow) << "eval " << i;
+}
+
+TEST(SlowFault, ProbabilisticOnsetIsPositionalNotOrderDependent) {
+  // The onset draw is a pure hash of (seed, rule, evaluation index), so a
+  // lottery hammered by racing threads lands on the same onset — and the
+  // same total slow evaluations — as a serial run of the same length.
+  FaultPlan plan;
+  plan.seed = 77;
+  FaultRule r = rule("s", FaultKind::kSlow, 0.01,
+                     std::numeric_limits<int>::max(), 1.0);
+  r.duration = 50;
+  plan.rules.push_back(r);
+
+  std::uint64_t expected = 0;
+  {
+    FaultLottery serial(plan);
+    for (int i = 0; i < 4000; ++i) serial.check("s");
+    expected = serial.total_fires();
+  }
+  EXPECT_GT(expected, 0u);
+  EXPECT_LE(expected, 50u);  // bounded by the window
+  FaultLottery shared(plan);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) shared.check("s");
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(shared.total_fires(), expected);
+}
+
+TEST(SlowFault, JsonRoundTripKeepsDurationAndValidates) {
+  FaultPlan plan;
+  FaultRule r = rule("serve.stage.1", FaultKind::kSlow, 0.5,
+                     std::numeric_limits<int>::max(), 25.0);
+  r.after = 8;
+  r.duration = 4;
+  plan.rules.push_back(r);
+  plan.rules.push_back(rule("s2", FaultKind::kSlow, 1.0,
+                            std::numeric_limits<int>::max(), 1.0));
+
+  const FaultPlan back = FaultPlan::from_json(plan.to_json());
+  ASSERT_EQ(back.rules.size(), 2u);
+  EXPECT_EQ(back.rules[0].kind, FaultKind::kSlow);
+  EXPECT_EQ(back.rules[0].duration, 4);
+  EXPECT_EQ(back.rules[0].after, 8);
+  EXPECT_DOUBLE_EQ(back.rules[0].delay_ms, 25.0);
+  // Omitted duration round-trips as "slow forever".
+  EXPECT_EQ(back.rules[1].duration, std::numeric_limits<int>::max());
+
+  // A slow rule without a positive delay is a no-op plan bug, and a
+  // non-positive duration is meaningless.
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"rules":[{"site":"s","kind":"slow"}]})"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      FaultPlan::from_json(
+          R"({"rules":[{"site":"s","kind":"slow","delay_ms":1,"duration":0}]})"),
+      InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
 // FaultInjector: the process-wide singleton behind FAULT_POINT/FAULT_DROP.
 // ---------------------------------------------------------------------------
 
@@ -674,6 +767,38 @@ TEST(DegradeLadderTest, DefaultLadderShedsMetadataThenBitsThenMicrobatch) {
   EXPECT_EQ(default_degrade_ladder(bits, QuantFormat::kPerChannel, 1, 1)
                 .size(),
             3u);
+}
+
+TEST(DegradeLadderTest, EveryRungIsMonotonicallyCheaper) {
+  // Level monotonicity: walking the ladder must never raise any layer's
+  // bitwidth or grow a micro-batch — each rung strictly sheds something.
+  const std::vector<int> bits = {16, 8, 4, 3, 8, 16};
+  const auto steps = default_degrade_ladder(bits, QuantFormat::kGroup32, 4, 2);
+  ASSERT_FALSE(steps.empty());
+  std::vector<int> prev_bits = bits;
+  int prev_pre = 4, prev_dec = 2;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    ASSERT_EQ(steps[i].layer_bits.size(), bits.size()) << "rung " << i;
+    bool shed_something = steps[i].format != QuantFormat::kGroup32 && i == 0;
+    for (std::size_t l = 0; l < bits.size(); ++l) {
+      EXPECT_LE(steps[i].layer_bits[l], prev_bits[l])
+          << "rung " << i << " raised layer " << l;
+      shed_something |= steps[i].layer_bits[l] < prev_bits[l];
+    }
+    EXPECT_LE(steps[i].prefill_micro_batch, prev_pre) << "rung " << i;
+    EXPECT_LE(steps[i].decode_micro_batch, prev_dec) << "rung " << i;
+    shed_something |= steps[i].prefill_micro_batch < prev_pre ||
+                      steps[i].decode_micro_batch < prev_dec;
+    EXPECT_TRUE(shed_something) << "rung " << i << " changed nothing";
+    prev_bits = steps[i].layer_bits;
+    prev_pre = steps[i].prefill_micro_batch;
+    prev_dec = steps[i].decode_micro_batch;
+  }
+  // An already-minimal start (3-bit, per-channel, micro-batch 1) has no
+  // rungs at all: the hook exhausts immediately.
+  EXPECT_TRUE(default_degrade_ladder(std::vector<int>(6, 3),
+                                     QuantFormat::kPerChannel, 1, 1)
+                  .empty());
 }
 
 TEST(DegradeLadderTest, LazilyBuildsStableEnginesAndExhausts) {
