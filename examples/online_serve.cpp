@@ -20,13 +20,23 @@
 // 1.0) to have each serving loop periodically overwrite PATH with an
 // llmpq-metrics/v1 JSON snapshot of its health monitor and engine stats.
 //
+// Pass --tenants N to add a multi-tenant section: the burst trace is
+// striped across N weighted tenants and served under virtual-time fair
+// sharing (DESIGN.md "Multi-tenant serving & fair sharing"), with a
+// per-tenant SLO report at the end. --slo-s S sets tenant 1's latency SLO
+// (tenant i gets S*i — the heaviest tenant carries the strictest target)
+// and --class-bits B routes the lowest-weight tenant's request class to a
+// uniform B-bit variant of the same model (B in {3, 4, 8, 16}).
+//
 // The final section demos the self-healing control loop: a sustained
 // straggler is injected into stage 1's workers, the health monitor trips,
 // and the Replanner + MigrationController migrate layers off the slow
 // stage live — mid-trace, bit-exactly.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "common/args.hpp"
 #include "common/fault.hpp"
@@ -35,6 +45,7 @@
 #include "cost/cost_provider.hpp"
 #include "hw/cluster.hpp"
 #include "runtime/weights.hpp"
+#include "serve/degrade.hpp"
 #include "serve/migration.hpp"
 #include "serve/online_engine.hpp"
 #include "serve/replanner.hpp"
@@ -200,6 +211,79 @@ int main(int argc, char** argv) {
     server.submit(random_prompt(rng, 8 + i, spec.vocab), 3);
   server.close();
   print_report("live submissions (iteration-level):", server.wait());
+
+  // Multi-tenant fair sharing: stripe a fresh burst across N weighted
+  // tenants (tenant 1 heaviest) and serve it under the virtual-time
+  // fair-share scheduler. With --class-bits the lowest-weight tenant's
+  // requests carry class 1, which the engine routes to a uniform B-bit
+  // variant of the same model — adaptive quantization applied per request
+  // class instead of per outage.
+  if (const int n_tenants = static_cast<int>(args.get_long("tenants", 0));
+      n_tenants > 0) {
+    const double slo_s = args.get_double("slo-s", 0.75);
+    const int class_bits = static_cast<int>(args.get_long("class-bits", 0));
+
+    OnlineEngineOptions fair = opts;
+    fair.scheduler.policy = SchedulerPolicy::kIterationLevel;
+    fair.scheduler.exec = DecodeExec::kContinuous;
+    fair.scheduler.max_batch = 4;
+    fair.scheduler.kv_page_size = 4;
+    fair.scheduler.kv_pages = 16;
+    for (int i = 1; i <= n_tenants; ++i) {
+      TenantSpec ts;
+      ts.id = i;
+      ts.weight = static_cast<double>(n_tenants - i + 1);
+      ts.slo_s = slo_s * i;  // heaviest tenant, strictest target
+      ts.name = "tenant-" + std::to_string(i);
+      if (class_bits > 0 && i == n_tenants) ts.default_class = 1;
+      fair.scheduler.tenants.push_back(ts);
+    }
+
+    std::unique_ptr<DegradeLadder> ladder;
+    if (class_bits > 0) {
+      DegradeStep rung;
+      rung.layer_bits.assign(static_cast<std::size_t>(spec.layers),
+                             class_bits);
+      rung.prefill_micro_batch = 2;
+      rung.decode_micro_batch = 2;
+      ladder = std::make_unique<DegradeLadder>(
+          spec, std::vector<std::pair<int, int>>{{0, 3}, {3, 6}}, 2024,
+          std::vector<DegradeStep>{rung});
+      fair.class_engine = [l = ladder.get()](int cls) {
+        return l->engine_for_level(cls);
+      };
+    }
+
+    std::vector<OnlineTraceRequest> mt_trace;
+    for (int i = 0; i < 4 * n_tenants; ++i) {
+      OnlineTraceRequest t;
+      t.arrival_s = 0.0;
+      t.prompt = random_prompt(rng, 6 + 3 * (i % 4), spec.vocab);
+      t.gen_tokens = 4 + (i % 4);
+      t.tenant_id = 1 + i % n_tenants;
+      t.req_class =
+          fair.scheduler.tenants[static_cast<std::size_t>(t.tenant_id - 1)]
+              .default_class;
+      mt_trace.push_back(std::move(t));
+    }
+    if (!engine.healthy()) engine.restart();
+    const OnlineReport rep = serve_trace(engine, mt_trace, fair);
+    std::string title = "multi-tenant fair sharing (" +
+                        std::to_string(n_tenants) + " tenants, slo-s " +
+                        std::to_string(slo_s) + "):";
+    print_report(title.c_str(), rep);
+    for (const TenantSummary& ts : rep.tenants)
+      std::printf("  %-10s w=%-3g slo=%5.2fs  %d/%d completed, "
+                  "attainment %.2f, latency %s\n",
+                  ts.name.c_str(), ts.weight, ts.slo_s, ts.completed,
+                  ts.submitted, ts.slo_attainment,
+                  format_latency_summary(ts.latency).c_str());
+    if (class_bits > 0)
+      std::printf("  class 1 (tenant-%d) served on the uniform %d-bit "
+                  "variant via class_engine routing\n",
+                  n_tenants, class_bits);
+    std::printf("\n");
+  }
 
   // Self-healing control loop: arm a sustained straggler on stage 1's
   // workers (delay per micro-batch per layer, so the drag scales with the

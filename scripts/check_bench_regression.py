@@ -32,6 +32,12 @@ arrival rate" — a ratio of deterministic simulator rows, gated directly
 rather than via drift from a baseline (a baseline refresh cannot quietly
 bless an ordering regression).
 
+--floor-value CLUSTER/SCHEME/FIELD/MIN (repeatable) adds an absolute floor
+on a single field of a *current* row: the named field must be >= MIN. This
+is how CI pins the multi-tenant fairness floor — the min-tenant row's
+slo_attainment may never fall below the committed floor, independent of
+baseline drift (a baseline refresh cannot quietly bless a starved tenant).
+
 --kind kernels switches to the "llmpq-kernels/v1" schema written by
 bench_ext_qgemm_kernels: the baseline holds a floor
 (`min_speedup_vs_scalar`) per (bits, format, dispatch) cell and the gate
@@ -139,6 +145,45 @@ def parse_floor_ratio(spec):
         sys.exit(f"error: --floor-ratio {spec!r}: {e}")
 
 
+def parse_floor_value(spec):
+    """CLUSTER/SCHEME/FIELD/MIN -> (int, str, str, float)."""
+    parts = spec.split("/")
+    if len(parts) != 4:
+        sys.exit(f"error: --floor-value {spec!r}: expected "
+                 "CLUSTER/SCHEME/FIELD/MIN")
+    try:
+        return int(parts[0]), parts[1], parts[2], float(parts[3])
+    except ValueError as e:
+        sys.exit(f"error: --floor-value {spec!r}: {e}")
+
+
+def check_floor_values(current, specs, failures):
+    """Absolute per-field floors on current rows. Appends to `failures`;
+    returns the number of floors checked."""
+    checked = 0
+    for cluster, scheme, field, floor in specs:
+        label = f"cluster {cluster}: {scheme}.{field} >= {floor:g}"
+        row = current.get((cluster, scheme))
+        if row is None:
+            failures.append(f"{label}: scheme missing from current artifact")
+            continue
+        if not row.get("ok"):
+            failures.append(f"{label}: scheme not ok "
+                            f"(note: {row.get('note')!r})")
+            continue
+        value = row.get(field)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{label}: field {field!r} not numeric "
+                            f"(got {value!r})")
+            continue
+        if value < floor:
+            failures.append(f"{label}: value {value:.6g} below floor")
+        else:
+            print(f"floor-value ok: {label} (got {value:.6g})")
+        checked += 1
+    return checked
+
+
 def check_floor_ratios(current, specs, failures):
     """Appends to `failures`; returns the number of ratios checked."""
     checked = 0
@@ -185,12 +230,17 @@ def main():
                     metavar="CLUSTER/NUM_SCHEME/DEN_SCHEME/MIN",
                     help="require throughput(NUM) >= MIN*throughput(DEN) in "
                          "the current artifact's cluster slot (repeatable)")
+    ap.add_argument("--floor-value", action="append", default=[],
+                    metavar="CLUSTER/SCHEME/FIELD/MIN",
+                    help="require the current row's FIELD >= MIN "
+                         "(repeatable; e.g. the min-tenant SLO-attainment "
+                         "fairness floor)")
     args = ap.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         ap.error("--tolerance must be in [0, 1)")
     if args.kind == "kernels":
-        if args.floor_ratio:
-            ap.error("--floor-ratio applies to --kind bench only")
+        if args.floor_ratio or args.floor_value:
+            ap.error("--floor-ratio/--floor-value apply to --kind bench only")
         return check_kernels(args.baseline, args.current)
 
     baseline = index_rows(load(args.baseline))
@@ -234,6 +284,8 @@ def main():
 
     checked += check_floor_ratios(
         current, [parse_floor_ratio(s) for s in args.floor_ratio], failures)
+    checked += check_floor_values(
+        current, [parse_floor_value(s) for s in args.floor_value], failures)
 
     extra = sorted(set(current) - set(baseline))
     if extra:

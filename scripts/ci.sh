@@ -70,8 +70,8 @@ stage_bench() {
   echo "==== bench ===="
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
     --target bench_table4_hetero_serving bench_table8_optimizer_speed \
-             bench_ext_online_serving bench_runtime_engine \
-             bench_ext_qgemm_kernels
+             bench_ext_online_serving bench_ext_multi_tenant \
+             bench_runtime_engine bench_ext_qgemm_kernels
   "${BUILD_DIR}/bench/bench_table4_hetero_serving" \
     --json "${BUILD_DIR}/BENCH_table4_hetero_serving.json" > /dev/null
   # Table 8's gated artifact keeps the heuristic rows only: they are
@@ -85,6 +85,11 @@ stage_bench() {
   # (including the session speedup the KV work is gated on) is diffed.
   "${BUILD_DIR}/bench/bench_ext_online_serving" \
     --json "${BUILD_DIR}/BENCH_ext_online_serving.json" > /dev/null
+  # Multi-tenant fair-share serving: the virtual-clock simulator leg only
+  # (--live 0 skips the wall-clock OnlineEngine leg, which is never
+  # gated). Deterministic, so every per-tenant row is diffed.
+  "${BUILD_DIR}/bench/bench_ext_multi_tenant" --live 0 \
+    --json "${BUILD_DIR}/BENCH_ext_multi_tenant.json" > /dev/null
   "${BUILD_DIR}/bench/bench_runtime_engine" \
     --json "${BUILD_DIR}/BENCH_runtime_engine.json" > /dev/null
   # Only the simulator-backed benches are gated: their numbers are
@@ -109,6 +114,13 @@ stage_bench() {
     --current "${BUILD_DIR}/BENCH_ext_online_serving.json" \
     --floor-ratio 3/continuous/static/1.0 \
     --floor-ratio 4/straggler-replan/straggler-tolerate/1.0
+  # Multi-tenant fairness floor: the worst tenant's SLO attainment is
+  # gated as an absolute value, so weighted fair sharing can never be
+  # "tuned" into starving a tenant to make the aggregate look better.
+  python3 scripts/check_bench_regression.py \
+    --baseline bench/baselines/ext_multi_tenant.json \
+    --current "${BUILD_DIR}/BENCH_ext_multi_tenant.json" \
+    --floor-value 1/min-tenant/slo_attainment/0.95
   # Dequant-GEMM kernel dispatch: wall-clock, but gated on the
   # speedup-vs-scalar *ratio* (same box runs both kernels back to back),
   # against committed floors far below the measured values. This is what

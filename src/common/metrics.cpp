@@ -73,7 +73,8 @@ LatencySummary summarize_latency(std::vector<double> seconds) {
   s.mean_s = mean(seconds);
   s.max_s = *std::max_element(seconds.begin(), seconds.end());
   s.p50_s = percentile(seconds, 50);
-  s.p95_s = percentile(std::move(seconds), 95);
+  s.p95_s = percentile(seconds, 95);
+  s.p99_s = percentile(std::move(seconds), 99);
   return s;
 }
 
@@ -81,8 +82,8 @@ std::string format_latency_summary(const LatencySummary& summary) {
   std::ostringstream out;
   out << "n=" << summary.count << " mean=" << Table::fmt(summary.mean_s)
       << "s p50=" << Table::fmt(summary.p50_s) << "s p95="
-      << Table::fmt(summary.p95_s) << "s max=" << Table::fmt(summary.max_s)
-      << "s";
+      << Table::fmt(summary.p95_s) << "s p99=" << Table::fmt(summary.p99_s)
+      << "s max=" << Table::fmt(summary.max_s) << "s";
   return out.str();
 }
 
@@ -126,6 +127,7 @@ void write_json(JsonWriter& w, const LatencySummary& s) {
   w.kv("mean_s", s.mean_s);
   w.kv("p50_s", s.p50_s);
   w.kv("p95_s", s.p95_s);
+  w.kv("p99_s", s.p99_s);
   w.kv("max_s", s.max_s);
   w.end_object();
 }

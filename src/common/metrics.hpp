@@ -113,21 +113,25 @@ class PhaseMetrics {
 /// `llmpq-dist`-style launchers).
 std::string format_engine_stats(const EngineStats& stats);
 
-/// Five-number summary of a latency-like sample (seconds). Shared by the
+/// Tail-aware summary of a latency-like sample (seconds). Shared by the
 /// serving back-ends: the online simulator and the real `OnlineEngine`
 /// report request latency / queue delay / prefill time in this shape so
-/// the two can be compared side by side.
+/// the two can be compared side by side. `p99_s` is the tail statistic
+/// SLO gates and the serving benches key on — bench rows, metrics
+/// snapshots and per-tenant SLO reports all read the same field.
 struct LatencySummary {
   std::size_t count = 0;
   double mean_s = 0.0;
   double p50_s = 0.0;
   double p95_s = 0.0;
+  double p99_s = 0.0;
   double max_s = 0.0;
 };
 
 LatencySummary summarize_latency(std::vector<double> seconds);
 
-/// One-line rendering: "n=12 mean=0.31s p50=0.25s p95=0.80s max=1.10s".
+/// One-line rendering:
+/// "n=12 mean=0.31s p50=0.25s p95=0.80s p99=1.02s max=1.10s".
 std::string format_latency_summary(const LatencySummary& summary);
 
 /// JSON projections of the metric structs (objects with snake_case keys,

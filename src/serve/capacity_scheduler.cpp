@@ -24,7 +24,8 @@ std::int64_t CapacityScheduler::pages_for(int tokens) const {
 
 CapacityPlan CapacityScheduler::plan_round(
     const std::vector<CapacitySeq>& running,
-    const std::vector<CapacitySeq>& waiting) const {
+    const std::vector<CapacitySeq>& waiting,
+    bool force_admit_head) const {
   CapacityPlan plan;
 
   // Page ledger after this round's decode appends: every surviving running
@@ -67,6 +68,29 @@ CapacityPlan CapacityScheduler::plan_round(
   // served once the batch is otherwise idle, or it wedges the scheduler.
   if (plan.admit.empty() && running.empty() && !waiting.empty())
     plan.admit.push_back(waiting.front().id);
+
+  // 4. Starvation bound: the caller decided the waiting head has waited
+  // long enough — make room for it by preempting the newest survivors of
+  // step 1 (down to an empty batch if it comes to that), ignoring the
+  // per-iteration token budget exactly like step 3 does. The victims
+  // resume later via the normal re-prefill path, so this trades one
+  // tenant's steady progress for another's bounded admission delay.
+  if (force_admit_head && plan.admit.empty() && !waiting.empty()) {
+    const CapacitySeq& head = waiting.front();
+    const std::int64_t need = pages_for(head.context + 1);
+    const auto fits = [&](std::size_t b) {
+      if (b + 1 > static_cast<std::size_t>(options_.max_batch)) return false;
+      return options_.kv_pages <= 0 || used + need <= options_.kv_pages;
+    };
+    while (!fits(keep) && keep > 0) {
+      --keep;
+      used -= pages_for(running[keep].context + 1);
+      plan.preempt.push_back(running[keep].id);
+    }
+    // Admit even if the head alone still violates the ledger (keep == 0):
+    // the head must make progress eventually, same as the idle rule.
+    plan.admit.push_back(head.id);
+  }
 
   return plan;
 }

@@ -63,12 +63,21 @@ struct CapacityPlan {
 ///   3. Progress guarantee: an idle batch always admits the head of the
 ///      waiting list even if it violates the budgets — otherwise a request
 ///      larger than the budget would wedge the scheduler forever.
+///   4. Starvation bound (`force_admit_head`, set by the serve scheduler
+///      once the waiting head has been passed over too many consecutive
+///      rounds): if the normal pass admitted nothing, preempt the newest
+///      running sequences — all the way to an empty batch if needed,
+///      ignoring the token budget like rule 3 — until the head fits the
+///      page ledger and batch slot, then admit it. This bounds worst-case
+///      admission delay under a continuously-full running batch, which
+///      rules 1–3 alone never guarantee.
 class CapacityScheduler {
  public:
   explicit CapacityScheduler(const CapacityOptions& options);
 
   CapacityPlan plan_round(const std::vector<CapacitySeq>& running,
-                          const std::vector<CapacitySeq>& waiting) const;
+                          const std::vector<CapacitySeq>& waiting,
+                          bool force_admit_head = false) const;
 
   /// Pages one sequence of `tokens` positions occupies in each layer
   /// manager (ceil division, int64 so big contexts cannot overflow).

@@ -160,10 +160,19 @@ std::vector<double> check_serve_stage_sites(int num_stages) {
 /// the round's greedy token.
 class SessionExecutor {
  public:
-  /// Points the executor at (a possibly new) engine. A swap releases every
-  /// session held on the previous engine — its KV is useless to the
-  /// replacement — and the map starts empty, so the next decision rebuilds
-  /// sessions from request contexts.
+  /// Per-class engine routing (OnlineEngineOptions::class_engine): rows
+  /// whose decision class is > 0 execute on the router's variant; class 0
+  /// (and a nullptr from the router) stays on the base engine. Variants
+  /// must be address-stable for the executor's lifetime (the degrade
+  /// ladder's lazily-built engines are).
+  void set_router(std::function<PipelineEngine*(int)> router) {
+    router_ = std::move(router);
+  }
+
+  /// Points the executor at (a possibly new) base engine. A swap releases
+  /// every session — KV held on the previous base is useless to the
+  /// replacement, and class-variant sessions are dropped with it so every
+  /// request resumes from its authoritative context on the next decision.
   void bind(PipelineEngine* engine) {
     if (engine_ == engine) return;
     release_all();
@@ -177,21 +186,22 @@ class SessionExecutor {
     for (; finished_seen_ < finished.size(); ++finished_seen_) {
       auto it = sessions_.find(finished[finished_seen_].id);
       if (it == sessions_.end()) continue;
-      if (engine_->has_session(it->second)) engine_->end_session(it->second);
+      if (it->second.eng->has_session(it->second.sid))
+        it->second.eng->end_session(it->second.sid);
       sessions_.erase(it);
     }
   }
 
   void release_all() {
-    if (engine_ != nullptr)
-      for (const auto& [rid, sid] : sessions_)
-        if (engine_->has_session(sid)) engine_->end_session(sid);
+    for (const auto& [rid, s] : sessions_)
+      if (s.eng->has_session(s.sid)) s.eng->end_session(s.sid);
     sessions_.clear();
   }
 
-  /// Executes one decision, returning one token per row. At most two
-  /// ragged engine calls: one prefill over rows that need their context
-  /// materialized, one decode_step over rows advancing by a token.
+  /// Executes one decision, returning one token per row. Per engine at
+  /// most two ragged calls: one prefill over rows that need their context
+  /// materialized, one decode_step over rows advancing by a token (one
+  /// engine total unless class routing is armed).
   std::vector<TokenId> run(const DispatchDecision& d,
                            const DecisionInputs& in,
                            const GenerateOptions& gopts) {
@@ -203,67 +213,98 @@ class SessionExecutor {
     // decode-steps on resume, which is equally exact.
     for (int rid : d.preempted) {
       auto it = sessions_.find(rid);
-      if (it != sessions_.end() && engine_->has_session(it->second))
-        engine_->preempt_session(it->second);
+      if (it != sessions_.end() && it->second.eng->has_session(it->second.sid))
+        it->second.eng->preempt_session(it->second.sid);
     }
     const std::size_t n = d.request_ids.size();
     std::vector<TokenId> out(n, 0);
-    std::vector<int> prefill_sids, step_sids;
-    std::vector<std::size_t> prefill_rows, step_rows;
+    // Rows group by (engine, call kind); groups keep first-seen order so
+    // the call sequence is deterministic.
+    struct Group {
+      PipelineEngine* eng;
+      std::vector<int> sids;
+      std::vector<std::size_t> rows;
+    };
+    std::vector<Group> prefills, steps;
+    const auto enlist = [](std::vector<Group>& groups, PipelineEngine* eng,
+                           int sid, std::size_t row) {
+      for (Group& g : groups) {
+        if (g.eng != eng) continue;
+        g.sids.push_back(sid);
+        g.rows.push_back(row);
+        return;
+      }
+      groups.push_back(Group{eng, {sid}, {row}});
+    };
     for (std::size_t i = 0; i < n; ++i) {
       const int rid = d.request_ids[i];
       const auto ctx = static_cast<std::size_t>(d.contexts[i]);
+      PipelineEngine* eng =
+          engine_for(i < d.classes.size() ? d.classes[i] : 0);
       auto it = sessions_.find(rid);
-      if (it != sessions_.end() && !engine_->has_session(it->second)) {
+      if (it != sessions_.end() &&
+          (!it->second.eng->has_session(it->second.sid) ||
+           it->second.eng != eng)) {
+        // Lost to a restart, or the row's class routes elsewhere now (a
+        // degrade swap rebound the base): drop and rebuild below.
+        if (it->second.eng->has_session(it->second.sid))
+          it->second.eng->end_session(it->second.sid);
         sessions_.erase(it);
         it = sessions_.end();
       }
       if (it == sessions_.end()) {
-        const int sid = engine_->begin_session(in.rows[i]);
-        sessions_.emplace(rid, sid);
-        prefill_sids.push_back(sid);
-        prefill_rows.push_back(i);
+        const int sid = eng->begin_session(in.rows[i]);
+        sessions_.emplace(rid, Sess{eng, sid});
+        enlist(prefills, eng, sid, i);
         continue;
       }
-      const int sid = it->second;
-      const std::size_t len = engine_->session_length(sid);
+      const int sid = it->second.sid;
+      const std::size_t len = eng->session_length(sid);
       if (len == ctx + 1) {
         // This round already advanced the session (a later group of the
         // same decision failed, and the scheduler is retrying the round):
         // its token was sampled last time — reuse it.
-        out[i] = engine_->session_back(sid);
-      } else if (len == ctx && engine_->session_committed(sid) == 0) {
-        prefill_sids.push_back(sid);  // begun but never prefilled (retry)
-        prefill_rows.push_back(i);
+        out[i] = eng->session_back(sid);
+      } else if (len == ctx && eng->session_committed(sid) == 0) {
+        enlist(prefills, eng, sid, i);  // begun, never prefilled (retry)
       } else if (len == ctx) {
-        step_sids.push_back(sid);
-        step_rows.push_back(i);
+        enlist(steps, eng, sid, i);
       } else {
         // Inconsistent with the scheduler's view (should not happen):
         // rebuild from the authoritative request tables.
-        engine_->end_session(sid);
-        const int fresh = engine_->begin_session(in.rows[i]);
-        sessions_[rid] = fresh;
-        prefill_sids.push_back(fresh);
-        prefill_rows.push_back(i);
+        eng->end_session(sid);
+        const int fresh = eng->begin_session(in.rows[i]);
+        sessions_[rid] = Sess{eng, fresh};
+        enlist(prefills, eng, fresh, i);
       }
     }
-    if (!prefill_sids.empty()) {
-      const std::vector<TokenId> toks = engine_->prefill(prefill_sids, gopts);
-      for (std::size_t j = 0; j < toks.size(); ++j)
-        out[prefill_rows[j]] = toks[j];
+    for (const Group& g : prefills) {
+      const std::vector<TokenId> toks = g.eng->prefill(g.sids, gopts);
+      for (std::size_t j = 0; j < toks.size(); ++j) out[g.rows[j]] = toks[j];
     }
-    if (!step_sids.empty()) {
-      const std::vector<TokenId> toks = engine_->decode_step(step_sids, gopts);
-      for (std::size_t j = 0; j < toks.size(); ++j) out[step_rows[j]] = toks[j];
+    for (const Group& g : steps) {
+      const std::vector<TokenId> toks = g.eng->decode_step(g.sids, gopts);
+      for (std::size_t j = 0; j < toks.size(); ++j) out[g.rows[j]] = toks[j];
     }
     return out;
   }
 
  private:
+  struct Sess {
+    PipelineEngine* eng;  ///< engine holding the session's KV
+    int sid;
+  };
+
+  PipelineEngine* engine_for(int cls) const {
+    if (cls > 0 && router_)
+      if (PipelineEngine* e = router_(cls)) return e;
+    return engine_;
+  }
+
   PipelineEngine* engine_ = nullptr;
-  std::unordered_map<int, int> sessions_;  ///< request id -> session id
-  std::size_t finished_seen_ = 0;          ///< reconcile() cursor
+  std::function<PipelineEngine*(int)> router_;
+  std::unordered_map<int, Sess> sessions_;  ///< request id -> session
+  std::size_t finished_seen_ = 0;           ///< reconcile() cursor
 };
 
 /// Static batching over ephemeral sessions: one ragged prefill for the
@@ -471,12 +512,28 @@ struct ControlLoop {
 };
 
 /// Periodic llmpq-metrics/v1 dump of the control loop's view: health
-/// snapshot (baseline, EWMAs, per-stage busy, counters) plus the live
-/// engine's cumulative stats.
+/// snapshot (baseline, EWMAs, per-stage busy, counters), the request
+/// latency summary so far (completed requests, arrival -> last token),
+/// and the live engine's cumulative stats. Callers hold the request
+/// tables stable (the live loop runs this under its lock).
 void export_serve_metrics(const std::string& path, const ControlLoop& control,
-                          const PipelineEngine& engine) {
+                          const PipelineEngine& engine,
+                          const ServeScheduler* scheduler = nullptr) {
   const HealthMonitor::Snapshot snap = control.monitor.snapshot();
   MetricsRegistry reg;
+  if (scheduler != nullptr) {
+    std::vector<double> latencies;
+    for (const RequestStats& r : scheduler->finished()) {
+      if (r.outcome != RequestOutcome::kCompleted) continue;
+      latencies.push_back(r.finish_s - r.arrival_s);
+    }
+    reg.set_latency("serve.request_latency", summarize_latency(std::move(latencies)));
+    const OutcomeCounts oc = scheduler->outcomes();
+    reg.set_value("serve.requests.completed", oc.completed);
+    reg.set_value("serve.requests.timed_out", oc.timed_out);
+    reg.set_value("serve.requests.rejected", oc.rejected);
+    reg.set_value("serve.requests.failed", oc.failed);
+  }
   reg.set_value("serve.health.samples", snap.samples);
   reg.set_value("serve.health.verdicts", snap.verdicts);
   reg.set_value("serve.health.baseline_s", snap.baseline_s);
@@ -544,6 +601,8 @@ OnlineReport build_report(const ServeScheduler& scheduler, double makespan_s,
     prefills.push_back(r.prefill_s);
   }
   rep.preemptions = scheduler.preemptions();
+  rep.forced_joins = scheduler.forced_joins();
+  rep.tenants = scheduler.tenant_summaries();
   const OutcomeCounts oc = scheduler.outcomes();
   rep.timed_out = oc.timed_out;
   rep.rejected = oc.rejected;
@@ -599,7 +658,8 @@ OnlineEngine::~OnlineEngine() {
   if (server_.joinable()) server_.join();
 }
 
-int OnlineEngine::submit(std::vector<TokenId> prompt, int gen_tokens) {
+int OnlineEngine::submit(std::vector<TokenId> prompt, int gen_tokens,
+                         int tenant_id, int req_class) {
   TRACE_INSTANT("serve", "submit");
   // Boundary guard: an empty prompt has no last token to sample from and
   // nothing to prefill; reject it here with a precise message instead of
@@ -618,7 +678,9 @@ int OnlineEngine::submit(std::vector<TokenId> prompt, int gen_tokens) {
   r.arrival_s = clock_.elapsed_s();
   r.prompt_len = static_cast<int>(prompt.size());
   r.gen_tokens = gen_tokens;
-  scheduler_.submit(r);  // validates shape and stream state
+  r.tenant_id = tenant_id;
+  r.req_class = req_class;
+  scheduler_.submit(r);  // validates shape, tenant and stream state
   prompts_.emplace_back(std::move(prompt), gen_tokens);
   generated_.emplace_back();
   lk.unlock();
@@ -669,6 +731,7 @@ void OnlineEngine::serve_loop() {
       (options_.scheduler.exec == DecodeExec::kSession ||
        options_.scheduler.exec == DecodeExec::kContinuous);
   SessionExecutor sessions;
+  sessions.set_router(options_.class_engine);
   sessions.bind(engine_);
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -777,12 +840,14 @@ void OnlineEngine::serve_loop() {
     if (!options_.metrics_out.empty() &&
         finish - last_metrics_s >= options_.metrics_interval_s) {
       last_metrics_s = finish;
-      export_serve_metrics(options_.metrics_out, control, *gov.engine);
+      export_serve_metrics(options_.metrics_out, control, *gov.engine,
+                           &scheduler_);
     }
   }
   sessions.release_all();
   if (!options_.metrics_out.empty())
-    export_serve_metrics(options_.metrics_out, control, *gov.engine);
+    export_serve_metrics(options_.metrics_out, control, *gov.engine,
+                         &scheduler_);
   replans_ = std::move(control.replans);
   migrations_ = control.migrations;
   done_ = true;
@@ -808,6 +873,8 @@ OnlineReport serve_trace(PipelineEngine& engine,
     r.arrival_s = t.arrival_s;
     r.prompt_len = static_cast<int>(t.prompt.size());
     r.gen_tokens = t.gen_tokens;
+    r.tenant_id = t.tenant_id;
+    r.req_class = t.req_class;
     scheduler.submit(r);
     prompts.emplace_back(t.prompt, t.gen_tokens);
     generated.emplace_back();
@@ -826,6 +893,7 @@ OnlineReport serve_trace(PipelineEngine& engine,
       (options.scheduler.exec == DecodeExec::kSession ||
        options.scheduler.exec == DecodeExec::kContinuous);
   SessionExecutor sessions;
+  sessions.set_router(options.class_engine);
   sessions.bind(&engine);
   double t = 0.0;
   for (;;) {
@@ -895,12 +963,14 @@ OnlineReport serve_trace(PipelineEngine& engine,
     if (!options.metrics_out.empty() &&
         finish - last_metrics_s >= options.metrics_interval_s) {
       last_metrics_s = finish;
-      export_serve_metrics(options.metrics_out, control, *gov.engine);
+      export_serve_metrics(options.metrics_out, control, *gov.engine,
+                           &scheduler);
     }
   }
   sessions.release_all();
   if (!options.metrics_out.empty())
-    export_serve_metrics(options.metrics_out, control, *gov.engine);
+    export_serve_metrics(options.metrics_out, control, *gov.engine,
+                         &scheduler);
   return build_report(scheduler, t, generated, &gov, &control.replans,
                       control.migrations);
 }

@@ -106,10 +106,22 @@ struct OnlineEngineOptions {
 
   /// When non-empty, the serving loop periodically (every
   /// `metrics_interval_s` of its clock) overwrites this path with an
-  /// llmpq-metrics/v1 JSON snapshot of the health monitor + engine stats;
-  /// a final snapshot is written when the loop drains.
+  /// llmpq-metrics/v1 JSON snapshot of the health monitor + engine stats
+  /// plus the request-latency summary so far; a final snapshot is written
+  /// when the loop drains.
   std::string metrics_out;
   double metrics_interval_s = 1.0;
+
+  /// Per-class engine routing (multi-tenant request classes): rows whose
+  /// DispatchDecision::classes entry is > 0 execute on
+  /// `class_engine(cls)` instead of the base engine — the adaptive-
+  /// quantization story applied per request class, with
+  /// DegradeLadder::engine_for_level as the canonical variant source
+  /// (stable addresses, caller-owned). Returning nullptr falls back to
+  /// the base engine. Routing never changes *which* rows are batched
+  /// (scheduling stays class-blind beyond the stamp), so sim-vs-runtime
+  /// decision parity is unaffected; only execution placement moves.
+  std::function<PipelineEngine*(int cls)> class_engine;
 };
 
 /// Compatibility check for a replacement engine before the serving loop
@@ -123,6 +135,8 @@ struct OnlineTraceRequest {
   double arrival_s = 0.0;
   std::vector<TokenId> prompt;
   int gen_tokens = 0;
+  int tenant_id = 0;  ///< ServeRequest::tenant_id (multi-tenant runs)
+  int req_class = 0;  ///< ServeRequest::req_class (class_engine routing)
 };
 
 struct OnlineReport {
@@ -156,6 +170,11 @@ struct OnlineReport {
   int degrades = 0;         ///< degradation-ladder steps taken
   int mem_faults = 0;       ///< std::bad_alloc dispatches observed
   int preemptions = 0;      ///< capacity-planner evictions (kContinuous)
+  int forced_joins = 0;     ///< starvation-bound admissions (kContinuous)
+
+  /// Per-tenant outcome/latency/SLO summaries (one synthetic row when no
+  /// tenants are configured). Same shape as OnlineSimResult::tenants.
+  std::vector<TenantSummary> tenants;
 };
 
 class OnlineEngine {
@@ -171,7 +190,10 @@ class OnlineEngine {
   /// Fails fast once the serving loop has died: after the loop stores its
   /// terminal error, every submit() throws immediately (naming the
   /// original failure) instead of silently queueing work no one will run.
-  int submit(std::vector<TokenId> prompt, int gen_tokens);
+  /// `tenant_id`/`req_class` feed multi-tenant fair sharing and per-class
+  /// engine routing; the defaults are the single-tenant legacy behavior.
+  int submit(std::vector<TokenId> prompt, int gen_tokens, int tenant_id = 0,
+             int req_class = 0);
 
   /// Declares the request stream finished; the admission thread exits once
   /// everything queued has been served.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/trace.hpp"
+#include "serve/tenant.hpp"
 
 namespace llmpq {
 
@@ -43,6 +44,14 @@ struct ServeRequest {
   double arrival_s = 0.0;
   int prompt_len = 0;
   int gen_tokens = 0;
+  /// Tenant the request belongs to (multi-tenant fair sharing; see
+  /// SchedulerOptions::tenants). With no tenants configured the field is
+  /// carried through to RequestStats but never affects decisions.
+  int tenant_id = 0;
+  /// Request class (RAMP-style): stamped into DispatchDecision::classes
+  /// so the runtime can route classes to degraded-bit engine variants.
+  /// Never affects *which* requests are batched, only where they execute.
+  int req_class = 0;
 };
 
 enum class SchedulerPolicy {
@@ -130,6 +139,35 @@ struct SchedulerOptions {
   int max_retries = 2;
   double retry_backoff_s = 0.05;
   double retry_backoff_max_s = 2.0;
+
+  // ---- Multi-tenant fair sharing (empty = single-tenant legacy mode;
+  // the decision log is then bit-identical to the tenant-blind scheduler,
+  // which existing parity tests and committed baselines rely on).
+
+  /// Tenant table. When non-empty, every submitted request's tenant_id
+  /// must name one of these specs; admission then follows virtual-time
+  /// weighted fair sharing (see DESIGN.md "Multi-tenant serving & fair
+  /// sharing") and per-tenant deadlines/admission bounds apply.
+  std::vector<TenantSpec> tenants;
+  /// Starvation bound for continuous batching, measured in dispatch
+  /// *rounds* (clock-free, so sim and runtime decide identically): once
+  /// the head of the waiting list has been passed over this many
+  /// consecutive rounds by a full running batch, the capacity planner
+  /// force-admits it, preempting the newest running sequences as needed.
+  /// 0 disables (legacy decision logs unchanged); -1 = auto (0 without
+  /// tenants, 16 with tenants configured).
+  int join_starvation_rounds = -1;
+  /// Caps the waiting-list prefix the continuous-mode planner examines
+  /// per round, bounding per-round work under a deep backlog (the 10^6
+  /// request scale scenario). 0 = unbounded. The cap never reorders —
+  /// it only truncates the tail the planner would not admit anyway once
+  /// the batch is near capacity.
+  int admit_scan_limit = 0;
+  /// When false, the scheduler stops retaining the dispatch-decision log
+  /// (decision_log() stays empty). Million-request runs disable it —
+  /// retaining ~10^8 decision rows is the scale killer, and the parity
+  /// tests that need the log run on small traces.
+  bool record_decisions = true;
 };
 
 /// Terminal state of a request. Conservation invariant (chaos tests): every
@@ -174,6 +212,16 @@ struct DispatchDecision {
   /// (PipelineEngine::preempt_session) before executing the round; they
   /// re-enter later as joining rows. Part of the parity key.
   std::vector<int> preempted;
+  /// Per-row tenant ids and request classes, aligned with request_ids.
+  /// Tenancy is part of the parity key: the fair-share pass must admit
+  /// the same rows in the same order on both back-ends. Classes tell the
+  /// runtime which engine variant each row executes on.
+  std::vector<int> tenants;
+  std::vector<int> classes;
+  /// Joins admitted by the starvation bound this round (trailing rows of
+  /// the join set). Part of the parity key — a forced admission must
+  /// happen at the same round on both back-ends.
+  int forced_joins = 0;
 };
 
 /// What the back-end should do next, at the clock value it passed in.
@@ -199,8 +247,16 @@ struct RequestStats {
   double finish_s = 0.0;
   double queue_delay_s = 0.0;  ///< admit_s - arrival_s
   double prefill_s = 0.0;      ///< prefill pass duration (0 if unknown)
+  /// Total time spent parked on the resume queue after a preemption or a
+  /// failed join (kContinuous). queue_delay_s covers arrival->admission
+  /// only, so without this field preemption-era waiting was invisible —
+  /// per-tenant SLO attribution needs wall time to decompose as
+  /// queue_delay + service + resume_wait.
+  double resume_wait_s = 0.0;
   int prompt_len = 0;
   int gen_tokens = 0;
+  int tenant = 0;     ///< ServeRequest::tenant_id
+  int req_class = 0;  ///< ServeRequest::req_class
   RequestOutcome outcome = RequestOutcome::kCompleted;
   int retries = 0;  ///< failed-dispatch retries this request consumed
 };
@@ -266,6 +322,14 @@ class ServeScheduler {
   }
   /// Sequences evicted to pending by the capacity planner (kContinuous).
   int preemptions() const { return preemptions_; }
+  /// Joins admitted by the starvation bound (kContinuous; see
+  /// SchedulerOptions::join_starvation_rounds).
+  int forced_joins() const { return forced_joins_total_; }
+  /// Per-tenant outcome/SLO summaries over finished() (empty specs fold
+  /// everything into one synthetic tenant row).
+  std::vector<TenantSummary> tenant_summaries() const {
+    return summarize_tenants(finished_, options_.tenants);
+  }
 
   /// Requests that finished, in completion order.
   const std::vector<RequestStats>& finished() const { return finished_; }
@@ -291,6 +355,12 @@ class ServeScheduler {
     int context = 0;    ///< tokens in KV (prompt + generated so far)
     int remaining = 0;  ///< tokens still to generate
     int retries = 0;    ///< failed dispatches consumed so far
+    int tenant = 0;     ///< ServeRequest::tenant_id
+    int cls = 0;        ///< ServeRequest::req_class
+    /// Clock value this sequence was parked on resume_ (preemption or
+    /// failed join); < 0 while running. Re-admission charges the parked
+    /// interval to RequestStats::resume_wait_s.
+    double parked_at = -1.0;
   };
 
   /// Queue entry: a waiting request plus its retry state. `eligible_s` is
@@ -301,6 +371,15 @@ class ServeScheduler {
     double eligible_s = 0.0;
     int attempts = 0;      ///< failed dispatches so far
     bool admitted = false; ///< passed the admission bound (retries keep it)
+  };
+
+  /// Where a waiting-list row came from, so an admitted prefix maps back
+  /// onto resume_ / queue_ (fair sharing interleaves the two, so the old
+  /// pop-the-head bookkeeping no longer suffices).
+  struct WaitRef {
+    int id = 0;
+    bool from_resume = false;
+    std::size_t idx = 0;  ///< index into resume_ or queue_
   };
 
   SchedulerAction next_static(double now);
@@ -314,6 +393,24 @@ class ServeScheduler {
   void fail_continuous(double now, int& max_attempt);
   DispatchDecision make_prefill_decision(double now, int take);
   int arrived_count(double now) const;
+  /// Builds the round's waiting order: resume rows first, then arrived
+  /// fresh rows — each group FIFO in legacy mode, interleaved by
+  /// ascending virtual service when tenants are configured.
+  std::vector<WaitRef> order_waiting(double now);
+  /// Tenant bookkeeping. tenant_idx returns the spec index (-1 when
+  /// tenants are not configured); weight_of/deadline_for read the spec.
+  int tenant_idx(int tenant_id) const;
+  double weight_of(int tenant_id) const;
+  double deadline_for(int tenant_id) const;
+  /// Charges `tokens` of admitted work to the tenant's virtual-time
+  /// account (no-op in legacy mode).
+  void charge_service(int tenant_id, double tokens);
+  /// Idle-tenant catch-up: a tenant with no active/resume rows cannot
+  /// bank fair-share credit while idle — its account is lifted to the
+  /// smallest account among tenants that do hold rows, so a returning
+  /// tenant gets priority without monopolizing the batch.
+  void clamp_idle_service();
+  void record_decision(const DispatchDecision& d);
   void trace_request_lifecycle(const RequestStats& rs) const;
   void enqueue(QueuedReq entry);
   /// Deterministic arrival-order pass: expire queued requests whose
@@ -347,7 +444,20 @@ class ServeScheduler {
   double dispatch_now_ = 0.0;  ///< clock value of the in-flight dispatch
   double resume_not_before_ = 0.0;  ///< backoff window after a fail()
   int next_seq_ = 0;
+  int in_flight_seq_ = -1;  ///< seq of the in-flight dispatch
   int preemptions_ = 0;  ///< capacity-planner evictions (kContinuous)
+
+  // ---- Multi-tenant state (all unused in legacy single-tenant mode).
+  std::unordered_map<int, int> tenant_index_;  ///< tenant id -> spec index
+  /// Virtual-time fair-share accounts, indexed like options_.tenants:
+  /// admitted tokens / weight. The tenant with the smallest account is
+  /// first in line.
+  std::vector<double> service_;
+  bool tenant_deadlines_ = false;  ///< any spec with a finite deadline_s
+  bool tenant_admission_ = false;  ///< any spec with an admission bound
+  int forced_joins_total_ = 0;  ///< starvation-bound force admissions
+  int starved_id_ = -1;     ///< current waiting-list head (kContinuous)
+  int starved_rounds_ = 0;  ///< rounds that head has been passed over
 
   bool trace_ = false;
   std::uint32_t trace_pid_ = trace_pids::kServe;

@@ -1,0 +1,79 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "serve/scheduler.hpp"
+
+namespace llmpq {
+
+std::vector<TenantSummary> summarize_tenants(
+    const std::vector<RequestStats>& finished,
+    const std::vector<TenantSpec>& specs) {
+  // Ordered map so the summary order is deterministic (ascending tenant
+  // id) regardless of completion order; spec'd tenants appear even when
+  // they finished nothing.
+  std::map<int, TenantSummary> by_tenant;
+  std::map<int, std::vector<double>> latencies;
+  for (const TenantSpec& spec : specs) {
+    TenantSummary s;
+    s.tenant = spec.id;
+    s.name = spec.name;
+    s.weight = spec.weight;
+    s.slo_s = spec.slo_s;
+    by_tenant.emplace(spec.id, std::move(s));
+  }
+  for (const RequestStats& r : finished) {
+    auto it = by_tenant.find(r.tenant);
+    if (it == by_tenant.end()) {
+      TenantSummary s;
+      s.tenant = r.tenant;
+      it = by_tenant.emplace(r.tenant, std::move(s)).first;
+    }
+    TenantSummary& s = it->second;
+    ++s.submitted;
+    switch (r.outcome) {
+      case RequestOutcome::kCompleted: {
+        ++s.completed;
+        s.tokens_out += r.gen_tokens;
+        latencies[r.tenant].push_back(r.finish_s - r.arrival_s);
+        break;
+      }
+      case RequestOutcome::kTimedOut:
+        ++s.timed_out;
+        break;
+      case RequestOutcome::kRejected:
+        ++s.rejected;
+        break;
+      case RequestOutcome::kFailed:
+        ++s.failed;
+        break;
+    }
+  }
+  std::vector<TenantSummary> out;
+  out.reserve(by_tenant.size());
+  for (auto& [id, s] : by_tenant) {
+    auto lit = latencies.find(id);
+    const std::vector<double>* lat =
+        lit != latencies.end() ? &lit->second : nullptr;
+    int within = 0;
+    if (lat != nullptr)
+      for (double l : *lat) within += l <= s.slo_s;
+    s.slo_attainment =
+        s.submitted > 0
+            ? static_cast<double>(within) / static_cast<double>(s.submitted)
+            : 0.0;
+    if (lat != nullptr) s.latency = summarize_latency(*lat);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double min_slo_attainment(const std::vector<TenantSummary>& summaries) {
+  double floor = 1.0;
+  for (const TenantSummary& s : summaries)
+    floor = std::min(floor, s.slo_attainment);
+  return floor;
+}
+
+}  // namespace llmpq

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace llmpq {
+
+struct RequestStats;  // serve/scheduler.hpp
+
+/// Multi-tenant serving model (ROADMAP item 4, RAMP-style request
+/// classes): every request carries a `tenant_id` naming the stream it
+/// belongs to and a `req_class` naming its service class. Tenants share
+/// one cluster under weighted fair sharing — the scheduler keeps a
+/// virtual-time account per tenant (admitted work divided by weight) and
+/// admits waiting requests in ascending-service order, so over a backlog
+/// a weight-2 tenant is admitted twice the tokens of a weight-1 tenant.
+/// SLOs are per-tenant latency targets measured (not enforced) by
+/// `summarize_tenants`; deadlines/admission bounds are per-tenant
+/// *enforcement* knobs layered on the scheduler's existing global ones.
+struct TenantSpec {
+  int id = 0;
+  /// Fair-share weight: admitted work is charged as tokens / weight, so a
+  /// tenant with twice the weight receives twice the admitted tokens when
+  /// every tenant has backlog. Must be > 0.
+  double weight = 1.0;
+  /// Latency SLO (arrival -> last token) for attainment reporting. Pure
+  /// metric — nothing is dropped for missing it. +inf = no SLO.
+  double slo_s = std::numeric_limits<double>::infinity();
+  /// Per-tenant service deadline (enforced, like
+  /// SchedulerOptions::deadline_s but scoped to this tenant's requests;
+  /// the effective deadline is the tighter of the two). +inf disables.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Per-tenant bounded admission: a fresh arrival that finds this many
+  /// of the tenant's requests already waiting is rejected (kRejected).
+  /// 0 = unbounded (the global bound still applies).
+  int admission_capacity = 0;
+  /// Request class stamped on the tenant's requests by the workload
+  /// generator and carried through `DispatchDecision::classes`; the
+  /// runtime can route classes to degraded-bit engine variants (see
+  /// OnlineEngineOptions::class_engine). Class 0 is the base plan.
+  int default_class = 0;
+  /// Display name for reports (optional).
+  std::string name;
+};
+
+/// Per-tenant serving outcome over one run: outcome tallies, the latency
+/// summary of completed requests, and SLO attainment — the fraction of
+/// *finished* requests (any outcome) that completed within `slo_s`.
+/// Counting rejections/timeouts/failures as misses keeps attainment
+/// honest: shedding a tenant's load cannot raise its score.
+struct TenantSummary {
+  int tenant = 0;
+  std::string name;
+  double weight = 1.0;
+  double slo_s = std::numeric_limits<double>::infinity();
+  int submitted = 0;  ///< finished requests of this tenant (all outcomes)
+  int completed = 0;
+  int timed_out = 0;
+  int rejected = 0;
+  int failed = 0;
+  long long tokens_out = 0;  ///< useful generated tokens (completed only)
+  LatencySummary latency;    ///< arrival -> last token, completed only
+  /// Completed-within-SLO / finished; 1.0 when the tenant has no SLO and
+  /// nothing was lost, 0.0 when nothing finished.
+  double slo_attainment = 0.0;
+};
+
+/// Aggregates the scheduler's completion log per tenant. Requests whose
+/// tenant id has no spec are folded into a synthetic default spec (id as
+/// given, weight 1, no SLO) so the summary always conserves requests.
+std::vector<TenantSummary> summarize_tenants(
+    const std::vector<RequestStats>& finished,
+    const std::vector<TenantSpec>& specs);
+
+/// Smallest per-tenant SLO attainment across `summaries` (1.0 when
+/// empty) — the fairness floor CI gates: no tenant may be starved to
+/// prop up the aggregate.
+double min_slo_attainment(const std::vector<TenantSummary>& summaries);
+
+}  // namespace llmpq

@@ -44,6 +44,83 @@ std::vector<OnlineRequest> generate_sharegpt_workload(Rng& rng, int count,
   return reqs;
 }
 
+std::vector<OnlineRequest> generate_tenant_workload(
+    Rng& rng, const ClusterTrace& trace,
+    const std::vector<TenantSpec>& tenants, int count, double base_rate_per_s,
+    const std::vector<double>& load, int max_prompt, int max_gen) {
+  check_arg(count >= 0 && base_rate_per_s > 0.0,
+            "generate_tenant_workload: bad arguments");
+  check_arg(!tenants.empty(), "generate_tenant_workload: no tenants");
+  check_arg(load.empty() || load.size() == tenants.size(),
+            "generate_tenant_workload: load shares must match tenants");
+  // Per-day fleet utilization: share-weighted mean over GPU types. An
+  // empty trace degenerates to a flat 0.5 modulation (constant rate).
+  int days = 0;
+  for (const UtilizationSample& s : trace.samples)
+    days = std::max(days, s.day + 1);
+  std::vector<double> util(static_cast<std::size_t>(std::max(days, 1)), 0.5);
+  if (days > 0) {
+    std::vector<double> acc(static_cast<std::size_t>(days), 0.0);
+    std::vector<double> wsum(static_cast<std::size_t>(days), 0.0);
+    for (const UtilizationSample& s : trace.samples) {
+      double share = 0.0;
+      for (const GpuFleetShare& g : trace.shares)
+        if (g.gpu_name == s.gpu_name) share = g.fraction;
+      acc[static_cast<std::size_t>(s.day)] += share * s.util;
+      wsum[static_cast<std::size_t>(s.day)] += share;
+    }
+    for (int d = 0; d < days; ++d)
+      if (wsum[static_cast<std::size_t>(d)] > 0.0)
+        util[static_cast<std::size_t>(d)] =
+            acc[static_cast<std::size_t>(d)] / wsum[static_cast<std::size_t>(d)];
+  }
+  // Normalized cumulative tenant shares for the per-request draw.
+  std::vector<double> cum(tenants.size(), 0.0);
+  {
+    double total = 0.0;
+    for (std::size_t i = 0; i < tenants.size(); ++i)
+      total += load.empty() ? 1.0 : std::max(load[i], 0.0);
+    check_arg(total > 0.0, "generate_tenant_workload: zero total load");
+    double run = 0.0;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      run += (load.empty() ? 1.0 : std::max(load[i], 0.0)) / total;
+      cum[i] = run;
+    }
+    cum.back() = 1.0;  // absorb rounding
+  }
+  std::vector<OnlineRequest> reqs;
+  reqs.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    // Map the stream position onto the trace's days so busy days become
+    // burst windows of the generated stream.
+    const std::size_t day =
+        count > 0 ? static_cast<std::size_t>(
+                        (static_cast<long long>(i) * util.size()) / count)
+                  : 0;
+    const double rate = base_rate_per_s * (0.5 + util[day]);
+    t += -std::log(std::max(rng.uniform(), 1e-12)) / rate;  // Poisson
+    OnlineRequest r;
+    r.arrival_s = t;
+    const double u = rng.uniform();
+    std::size_t ti = 0;
+    while (ti + 1 < cum.size() && u > cum[ti]) ++ti;
+    r.tenant_id = tenants[ti].id;
+    r.req_class = tenants[ti].default_class;
+    const bool short_prompt = rng.uniform() < 0.55;
+    const double mu = short_prompt ? 3.6 : 6.0;
+    const double sigma = short_prompt ? 0.6 : 0.5;
+    r.prompt_len = static_cast<int>(
+        std::clamp(std::exp(rng.normal(mu, sigma)), 4.0,
+                   static_cast<double>(max_prompt)));
+    r.gen_tokens = static_cast<int>(
+        std::clamp(std::exp(rng.normal(4.0, 0.8)), 4.0,
+                   static_cast<double>(max_gen)));
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
 double fraction_below(const std::vector<OnlineRequest>& reqs, int threshold) {
   if (reqs.empty()) return 0.0;
   int below = 0;
@@ -130,6 +207,8 @@ OnlineSimResult simulate_online(const ModelSpec& model,
     r.arrival_s = requests[i].arrival_s;
     r.prompt_len = requests[i].prompt_len;
     r.gen_tokens = requests[i].gen_tokens;
+    r.tenant_id = requests[i].tenant_id;
+    r.req_class = requests[i].req_class;
     scheduler.submit(r);
   }
   scheduler.close();
@@ -294,10 +373,13 @@ OnlineSimResult simulate_online(const ModelSpec& model,
   if (!latencies.empty()) {
     result.mean_latency_s = mean(latencies);
     result.p95_latency_s = percentile(latencies, 95);
+    result.p99_latency_s = percentile(latencies, 99);
     result.mean_queue_delay_s = mean(queue_delays);
     result.mean_prefill_s = mean(prefills);
   }
   result.preemptions = scheduler.preemptions();
+  result.forced_joins = scheduler.forced_joins();
+  result.tenants = scheduler.tenant_summaries();
   result.requests = scheduler.finished();
   result.decisions = scheduler.decision_log();
   result.final_plan = cur_plan;

@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "core/plan.hpp"
 #include "hw/cluster.hpp"
+#include "hw/trace.hpp"
 #include "model/model_spec.hpp"
 #include "serve/replanner.hpp"
 #include "serve/scheduler.hpp"
@@ -27,6 +28,8 @@ struct OnlineRequest {
   double arrival_s = 0.0;
   int prompt_len = 0;
   int gen_tokens = 0;
+  int tenant_id = 0;   ///< ServeRequest::tenant_id (multi-tenant runs)
+  int req_class = 0;   ///< ServeRequest::req_class (bitwidth routing)
 };
 
 /// Synthetic ShareGPT-like workload (paper Sec. 2.1: "prompt length varies
@@ -36,6 +39,21 @@ std::vector<OnlineRequest> generate_sharegpt_workload(Rng& rng, int count,
                                                       double rate_per_s,
                                                       int max_prompt = 1024,
                                                       int max_gen = 256);
+
+/// Multi-tenant workload whose aggregate arrival rate follows the cluster
+/// utilization trace (hw/trace.hpp): the request stream is mapped onto the
+/// trace's days and each day's Poisson rate is
+/// `base_rate_per_s * (0.5 + fleet_util(day))`, so busy trace days become
+/// burst windows. Each request draws its tenant from `load` (per-tenant
+/// arrival share, normalized; empty = equal shares), takes that tenant's
+/// default_class, and uses the ShareGPT shape mix for lengths. This is the
+/// scenario generator behind the 10^6-request scale runs — deterministic
+/// given the rng seed, so scale baselines are reproducible.
+std::vector<OnlineRequest> generate_tenant_workload(
+    Rng& rng, const ClusterTrace& trace,
+    const std::vector<TenantSpec>& tenants, int count, double base_rate_per_s,
+    const std::vector<double>& load = {}, int max_prompt = 1024,
+    int max_gen = 256);
 
 /// Fraction of prompts shorter than `threshold` (the paper's "< 128"
 /// observation).
@@ -73,6 +91,7 @@ struct OnlineSimResult {
   double throughput_tokens_per_s = 0.0;
   double mean_latency_s = 0.0;   ///< arrival -> last token
   double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
   double mean_queue_delay_s = 0.0;  ///< arrival -> admission decision
   double mean_prefill_s = 0.0;      ///< prefill pass time, tracked apart
                                     ///< from queueing (was conflated)
@@ -81,6 +100,11 @@ struct OnlineSimResult {
   /// with the runtime back-end.
   std::vector<RequestStats> requests;
   std::vector<DispatchDecision> decisions;
+  /// Per-tenant outcome/latency/SLO summaries (one synthetic row when no
+  /// tenants are configured). Same shape as OnlineReport::tenants.
+  std::vector<TenantSummary> tenants;
+  /// Joins admitted by the continuous-mode starvation bound.
+  int forced_joins = 0;
 
   // ---- Control-loop mirror (populated when OnlineReplanOptions is
   // passed). `replans` joins `decisions` in the sim-vs-runtime parity

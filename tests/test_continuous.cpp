@@ -473,6 +473,9 @@ TEST_F(ContinuousEngineTest, SimAndRuntimeMakeIdenticalContinuousDecisions) {
     EXPECT_EQ(sim.decisions[i].max_context, rt.decisions[i].max_context);
     EXPECT_EQ(sim.decisions[i].num_join, rt.decisions[i].num_join);
     EXPECT_EQ(sim.decisions[i].preempted, rt.decisions[i].preempted);
+    EXPECT_EQ(sim.decisions[i].tenants, rt.decisions[i].tenants);
+    EXPECT_EQ(sim.decisions[i].classes, rt.decisions[i].classes);
+    EXPECT_EQ(sim.decisions[i].forced_joins, rt.decisions[i].forced_joins);
   }
 }
 

@@ -362,6 +362,9 @@ void expect_same_decisions(const std::vector<DispatchDecision>& sim,
     EXPECT_EQ(sim[i].max_context, rt[i].max_context);
     EXPECT_EQ(sim[i].num_join, rt[i].num_join);
     EXPECT_EQ(sim[i].preempted, rt[i].preempted);
+    EXPECT_EQ(sim[i].tenants, rt[i].tenants);
+    EXPECT_EQ(sim[i].classes, rt[i].classes);
+    EXPECT_EQ(sim[i].forced_joins, rt[i].forced_joins);
   }
 }
 
@@ -407,6 +410,72 @@ TEST_F(OnlineEngineTest, SimAndRuntimeMakeIdenticalDecisions) {
     EXPECT_EQ(sim.completed, rt.completed);
     expect_same_decisions(sim.decisions, rt.decisions,
                           scheduler_policy_name(policy));
+  }
+}
+
+TEST_F(OnlineEngineTest, TenantAwareParityOnBurstTraces) {
+  // The tenant-aware fair-share pass joins the parity contract: on an
+  // identical burst trace with tenants configured, both back-ends must
+  // produce the same admission order, tenant stamps and class stamps —
+  // under both policies.
+  const auto pc = paper_cluster(3);
+  const ModelSpec& sim_model = model_registry_get(pc.model_name);
+  CostProvider cost(sim_model, pc.cluster, CostMode::kProfiled);
+  const ExecutionPlan plan = pipeedge_plan(cost);
+
+  std::vector<TenantSpec> tenants(2);
+  tenants[0].id = 1;
+  tenants[0].weight = 2.0;
+  tenants[1].id = 2;
+  tenants[1].weight = 1.0;
+  tenants[1].default_class = 1;
+
+  const int prompt_lens[] = {6, 9, 12, 15, 18, 21};
+  const int gens[] = {4, 5, 6, 7, 8, 9};
+  const int tenant_of[] = {2, 2, 2, 1, 1, 1};  // heavy tenant arrives last
+  Rng rng(23);
+  std::vector<OnlineRequest> sim_reqs;
+  std::vector<OnlineTraceRequest> rt_trace;
+  for (int i = 0; i < 6; ++i) {
+    OnlineRequest sr;
+    sr.arrival_s = 0.0;
+    sr.prompt_len = prompt_lens[i];
+    sr.gen_tokens = gens[i];
+    sr.tenant_id = tenant_of[i];
+    sr.req_class = tenant_of[i] == 2 ? 1 : 0;
+    sim_reqs.push_back(sr);
+    OnlineTraceRequest tr;
+    tr.arrival_s = 0.0;
+    tr.prompt = make_prompt(rng, spec_, prompt_lens[i]);
+    tr.gen_tokens = gens[i];
+    tr.tenant_id = sr.tenant_id;
+    tr.req_class = sr.req_class;
+    rt_trace.push_back(std::move(tr));
+  }
+
+  for (SchedulerPolicy policy : {SchedulerPolicy::kStaticBatching,
+                                 SchedulerPolicy::kIterationLevel}) {
+    OnlineEngineOptions opt;
+    opt.scheduler.policy = policy;
+    opt.scheduler.batch_size = 4;
+    opt.scheduler.max_batch = 4;
+    opt.scheduler.max_wait_s = 0.0;
+    opt.scheduler.tenants = tenants;
+    const OnlineSimResult sim =
+        simulate_online(sim_model, pc.cluster, plan, sim_reqs, opt.scheduler);
+    ASSERT_TRUE(sim.ok) << sim.error;
+    const OnlineReport rt = serve_trace(engine_, rt_trace, opt);
+    EXPECT_EQ(sim.completed, rt.completed);
+    expect_same_decisions(sim.decisions, rt.decisions,
+                          scheduler_policy_name(policy));
+    // The fair-share order is actually exercised: the heavy tenant's
+    // first request outranks the light tenant's FIFO backlog.
+    ASSERT_FALSE(rt.decisions.empty());
+    ASSERT_FALSE(rt.decisions[0].tenants.empty());
+    EXPECT_EQ(rt.decisions[0].tenants[0], 1);
+    // Per-tenant summaries materialize on both back-ends.
+    EXPECT_EQ(sim.tenants.size(), 2u);
+    EXPECT_EQ(rt.tenants.size(), 2u);
   }
 }
 

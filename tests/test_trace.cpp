@@ -390,6 +390,7 @@ TEST(MetricsJson, RegistryExportsSchemaV1) {
   lat.mean_s = 0.5;
   lat.p50_s = 0.4;
   lat.p95_s = 0.9;
+  lat.p99_s = 0.97;
   lat.max_s = 1.0;
   registry.set_latency("request", lat);
 
@@ -411,6 +412,8 @@ TEST(MetricsJson, RegistryExportsSchemaV1) {
   EXPECT_DOUBLE_EQ(
       doc.at("values").at("engine.generated_tok_per_s").number, 123.5);
   EXPECT_DOUBLE_EQ(doc.at("latencies").at("request").at("p95_s").number, 0.9);
+  EXPECT_DOUBLE_EQ(doc.at("latencies").at("request").at("p99_s").number,
+                   0.97);
   const JsonValue& engine = doc.at("engines").at("pipeline");
   EXPECT_DOUBLE_EQ(engine.at("generate_calls").number, 2.0);
   EXPECT_DOUBLE_EQ(engine.at("prefill").at("tokens").number, 128.0);
